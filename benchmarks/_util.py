@@ -1,0 +1,14 @@
+"""Reporting helper shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def record(benchmark, **values) -> None:
+    """Store reproduced values on the benchmark for reporting.
+
+    The values end up in ``benchmark.extra_info`` and therefore in the JSON
+    produced by ``--benchmark-json`` as well as in the verbose console
+    report, which is how EXPERIMENTS.md's "measured" column is filled in.
+    """
+    for key, value in values.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,90 @@
+"""Experiment E6 — complexity of sound chase (Theorem 5.2, Examples H.1/H.2).
+
+Two series are regenerated:
+
+* **exponential in |Σ| / schema size m** — the H family: the terminal chase
+  of ``Q(X,Y) :- p1(X,Y)`` has ≈ 2^(i-1) subgoals per relation p_i, so the
+  total chase size roughly doubles with every extra relation; the key-based
+  fds of Example H.2 make every tgd sound under bag and bag-set semantics, so
+  the sound chase exhibits the same blow-up.
+* **polynomial (here: linear) in |Q|** — chain queries of growing length
+  under key + inclusion dependencies: chase output size and time grow gently
+  with the query size for a fixed dependency set size per relation.
+
+Absolute times are machine dependent; the shape (doubling vs linear growth)
+is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import record
+
+from repro.chase import bag_set_chase, set_chase
+from repro.paperlib import chain_workload, h_family
+
+H_SIZES = (2, 3, 4, 5)
+CHAIN_LENGTHS = (2, 4, 6, 8)
+
+
+@pytest.mark.parametrize("m", H_SIZES)
+def bench_h_family_set_chase(benchmark, m):
+    workload = h_family(m)
+    result = benchmark(lambda: set_chase(workload.query, workload.dependencies, max_steps=5000))
+    size = len(result.query.body)
+    record(
+        benchmark,
+        schema_size_m=m,
+        chase_body_size=size,
+        chase_steps=result.step_count,
+        paper_expected="size grows exponentially in m (Example H.1)",
+    )
+    # The last relation p_m accumulates at least 2^(m-1) subgoals.
+    assert result.query.predicate_counts()[f"p{m}"] >= 2 ** (m - 1)
+
+
+@pytest.mark.parametrize("m", (2, 3, 4))
+def bench_h_family_sound_bag_set_chase(benchmark, m):
+    workload = h_family(m)
+    result = benchmark(
+        lambda: bag_set_chase(workload.query, workload.dependencies, max_steps=5000)
+    )
+    set_size = len(set_chase(workload.query, workload.dependencies, max_steps=5000).query.body)
+    record(
+        benchmark,
+        schema_size_m=m,
+        sound_chase_body_size=len(result.query.body),
+        set_chase_body_size=set_size,
+        paper_expected="key-based tgds keep the full exponential blow-up under "
+        "bag-set semantics (Example H.2)",
+    )
+    assert len(result.query.body) == set_size
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def bench_chain_query_set_chase(benchmark, length):
+    workload = chain_workload(length)
+    result = benchmark(lambda: set_chase(workload.query, workload.dependencies))
+    record(
+        benchmark,
+        query_size=length,
+        chase_body_size=len(result.query.body),
+        paper_expected="chase size linear in |Q| for a fixed per-relation "
+        "dependency budget (polynomial half of Theorem 5.2)",
+    )
+    assert len(result.query.body) == length
+
+
+def bench_h_family_growth_curve(benchmark):
+    """One run that collects the whole size-vs-m series (the E6 'figure')."""
+
+    def series():
+        return {
+            m: len(set_chase(h_family(m).query, h_family(m).dependencies, max_steps=5000).query.body)
+            for m in H_SIZES
+        }
+
+    sizes = benchmark(series)
+    # Roughly doubling growth.
+    assert all(sizes[m + 1] >= 1.8 * sizes[m] for m in H_SIZES[:-1])
+    record(benchmark, size_by_m={str(m): v for m, v in sizes.items()})

@@ -1,0 +1,72 @@
+"""Experiment E7 — Σ-aware equivalence tests (Theorems 6.1 / 6.2, Prop. 6.1).
+
+Times the three decision procedures on the Example 4.1 query pairs and on
+chain queries of growing size, and records the verdict matrix (which is the
+reproduced artefact: who is equivalent to whom under which semantics).
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import record
+
+from repro.equivalence import (
+    equivalent_under_dependencies_bag,
+    equivalent_under_dependencies_bag_set,
+    equivalent_under_dependencies_set,
+)
+from repro.paperlib import chain_workload
+from repro.semantics import Semantics
+
+_TESTS = {
+    Semantics.SET: equivalent_under_dependencies_set,
+    Semantics.BAG_SET: equivalent_under_dependencies_bag_set,
+    Semantics.BAG: equivalent_under_dependencies_bag,
+}
+
+# Expected verdict matrix for (Qi vs Q4) of Example 4.1 under the three semantics.
+_EXPECTED = {
+    "Q1": {"set": True, "bag-set": False, "bag": False},
+    "Q2": {"set": True, "bag-set": True, "bag": False},
+    "Q3": {"set": True, "bag-set": True, "bag": True},
+}
+
+
+@pytest.mark.parametrize("semantics", list(_TESTS))
+def bench_verdict_matrix_example_4_1(benchmark, ex41, semantics):
+    pairs = {"Q1": ex41.q1, "Q2": ex41.q2, "Q3": ex41.q3}
+
+    def verdicts():
+        return {
+            name: _TESTS[semantics](query, ex41.q4, ex41.dependencies)
+            for name, query in pairs.items()
+        }
+
+    result = benchmark(verdicts)
+    expected = {name: _EXPECTED[name][str(semantics)] for name in pairs}
+    assert result == expected
+    record(benchmark, semantics=str(semantics), verdicts=result, paper_expected=expected)
+
+
+@pytest.mark.parametrize("length", (2, 4, 6))
+def bench_equivalence_cost_vs_query_size(benchmark, length):
+    """Cost of the bag-set test on chain queries: the prefix (single subgoal)
+    vs the full chain — equivalent because the inclusions regenerate the rest."""
+    workload = chain_workload(length)
+    prefix = workload.query.with_body(workload.query.body[:1])
+    verdict = benchmark(
+        lambda: equivalent_under_dependencies_bag_set(
+            prefix, workload.query, workload.dependencies
+        )
+    )
+    assert verdict is True
+    record(benchmark, chain_length=length, equivalent=verdict)
+
+
+def bench_negative_case_cost(benchmark, ex41):
+    """The typically slower direction: proving *in*equivalence (Q1 vs Q4, bag)."""
+    verdict = benchmark(
+        lambda: equivalent_under_dependencies_bag(ex41.q1, ex41.q4, ex41.dependencies)
+    )
+    assert verdict is False
+    record(benchmark, equivalent=verdict, paper_expected=False)

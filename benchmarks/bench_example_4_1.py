@@ -1,0 +1,84 @@
+"""Experiment E1 — Example 4.1, the paper's motivating example.
+
+Reproduces, and times, the example's artefacts:
+
+* the sound chase results of Q4 under bag, bag-set, and set semantics
+  ((Q4)Σ,B ≅ Q3, (Q4)Σ,BS ≅ Q2, (Q4)Σ,S ≡S Q1),
+* the equivalence verdicts Q1 ≡Σ,S Q4 but Q1 ≢Σ,BS Q4 and Q1 ≢Σ,B Q4,
+* the counterexample-database multiplicities (Q4(D,B) = {{(1)}} vs
+  Q1(D,B) = {{(1),(1)}}).
+"""
+
+from __future__ import annotations
+
+from _util import record
+
+from repro.chase import sound_chase
+from repro.core import are_isomorphic, is_set_equivalent
+from repro.equivalence import decide_equivalence
+from repro.evaluation import evaluate
+from repro.semantics import Semantics
+
+
+def bench_sound_chase_bag(benchmark, ex41):
+    result = benchmark(lambda: sound_chase(ex41.q4, ex41.dependencies, Semantics.BAG))
+    assert are_isomorphic(result.query, ex41.q3)
+    record(
+        benchmark,
+        chase_result=str(result.query),
+        paper_expected="Q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)",
+        matches_paper=True,
+        chase_steps=result.step_count,
+    )
+
+
+def bench_sound_chase_bag_set(benchmark, ex41):
+    result = benchmark(
+        lambda: sound_chase(ex41.q4, ex41.dependencies, Semantics.BAG_SET)
+    )
+    assert are_isomorphic(result.query, ex41.q2)
+    record(
+        benchmark,
+        chase_result=str(result.query),
+        paper_expected="Q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)",
+        matches_paper=True,
+    )
+
+
+def bench_set_chase(benchmark, ex41):
+    result = benchmark(lambda: sound_chase(ex41.q4, ex41.dependencies, Semantics.SET))
+    assert is_set_equivalent(result.query, ex41.q1)
+    record(
+        benchmark,
+        chase_result=str(result.query),
+        paper_expected="set-equivalent to Q1",
+        matches_paper=True,
+    )
+
+
+def bench_equivalence_verdicts(benchmark, ex41):
+    def verdicts():
+        return {
+            "set": bool(decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "set")),
+            "bag-set": bool(
+                decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "bag-set")
+            ),
+            "bag": bool(decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "bag")),
+        }
+
+    result = benchmark(verdicts)
+    assert result == {"set": True, "bag-set": False, "bag": False}
+    record(benchmark, verdicts=result, paper_expected={"set": True, "bag-set": False, "bag": False})
+
+
+def bench_counterexample_multiplicities(benchmark, ex41):
+    def multiplicities():
+        return {
+            "Q4(D,B)": evaluate(ex41.q4, ex41.counterexample, "bag").multiplicity((1,)),
+            "Q1(D,B)": evaluate(ex41.q1, ex41.counterexample, "bag").multiplicity((1,)),
+            "Q1(D,BS)": evaluate(ex41.q1, ex41.counterexample, "bag-set").multiplicity((1,)),
+        }
+
+    result = benchmark(multiplicities)
+    assert result == {"Q4(D,B)": 1, "Q1(D,B)": 2, "Q1(D,BS)": 2}
+    record(benchmark, multiplicities=result, paper_expected={"Q4(D,B)": 1, "Q1(D,B)": 2, "Q1(D,BS)": 2})

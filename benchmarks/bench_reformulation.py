@@ -1,0 +1,134 @@
+"""Experiment E9 — the reformulation space under the three semantics
+(C&B vs Bag-C&B vs Bag-Set-C&B vs the naive unsound extension; Theorem 6.4,
+Section 4.1, Example 4.1) plus the orders and chain workloads.
+
+The reproduced shape: on Example 4.1, the set-semantics C&B accepts all of
+Q1–Q4 as reformulations of Q4; Bag-Set-C&B accepts Q2–Q4 but not Q1;
+Bag-C&B accepts only Q3 and Q4; and the naive extension of Section 4.1
+accepts reformulations that are *not* bag equivalent to Q4 — the sound
+algorithm accepts none of those.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _util import record
+
+from repro.equivalence import decide_equivalence
+from repro.paperlib import chain_workload
+from repro.reformulation import (
+    bag_c_and_b,
+    bag_set_c_and_b,
+    c_and_b,
+    naive_bag_c_and_b,
+)
+
+_ALGORITHMS = {
+    "set (C&B)": c_and_b,
+    "bag-set (Bag-Set-C&B)": bag_set_c_and_b,
+    "bag (Bag-C&B)": bag_c_and_b,
+}
+
+_EXPECTED_MEMBERSHIP = {
+    "set (C&B)": {"Q1": True, "Q2": True, "Q3": True, "Q4": True},
+    "bag-set (Bag-Set-C&B)": {"Q1": False, "Q2": True, "Q3": True, "Q4": True},
+    "bag (Bag-C&B)": {"Q1": False, "Q2": False, "Q3": True, "Q4": True},
+}
+
+
+@pytest.mark.parametrize("name", sorted(_ALGORITHMS))
+def bench_example_4_1_reformulation_space(benchmark, ex41, name):
+    algorithm = _ALGORITHMS[name]
+    result = benchmark(
+        lambda: algorithm(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+    )
+    membership = {
+        "Q1": result.contains_isomorphic(ex41.q1),
+        "Q2": result.contains_isomorphic(ex41.q2),
+        "Q3": result.contains_isomorphic(ex41.q3),
+        "Q4": result.contains_isomorphic(ex41.q4),
+    }
+    assert membership == _EXPECTED_MEMBERSHIP[name]
+    record(
+        benchmark,
+        algorithm=name,
+        reformulations=len(result.reformulations),
+        candidates_examined=result.candidates_examined,
+        membership=membership,
+        paper_expected=_EXPECTED_MEMBERSHIP[name],
+    )
+
+
+def bench_naive_extension_is_unsound(benchmark, ex41):
+    def run():
+        naive = naive_bag_c_and_b(ex41.q4, ex41.dependencies)
+        unsound = sum(
+            1
+            for query in naive.reformulations
+            if not decide_equivalence(query, ex41.q4, ex41.dependencies, "bag")
+        )
+        sound = bag_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        sound_unsound = sum(
+            1
+            for query in sound.reformulations
+            if not decide_equivalence(query, ex41.q4, ex41.dependencies, "bag")
+        )
+        return {
+            "naive_accepted": len(naive.reformulations),
+            "naive_not_bag_equivalent": unsound,
+            "bag_cb_accepted": len(sound.reformulations),
+            "bag_cb_not_bag_equivalent": sound_unsound,
+        }
+
+    result = benchmark(run)
+    assert result["naive_not_bag_equivalent"] > 0
+    assert result["bag_cb_not_bag_equivalent"] == 0
+    record(
+        benchmark,
+        measured=result,
+        paper_expected="the naive extension of Section 4.1 accepts non-equivalent "
+        "reformulations; Bag-C&B accepts only bag-equivalent ones",
+    )
+
+
+def bench_sigma_minimal_outputs(benchmark, ex41):
+    result = benchmark(lambda: bag_c_and_b(ex41.q4, ex41.dependencies))
+    assert len(result.minimal_reformulations) >= 1
+    assert all(len(q.body) == 1 for q in result.minimal_reformulations)
+    record(
+        benchmark,
+        minimal_reformulations=[str(q) for q in result.minimal_reformulations],
+        equivalent_reformulations=len(result.reformulations),
+    )
+
+
+def bench_orders_workload_reformulation(benchmark, orders):
+    def run():
+        set_result = c_and_b(orders.query, orders.dependencies, check_sigma_minimality=False)
+        bag_result = bag_c_and_b(orders.query, orders.dependencies, check_sigma_minimality=False)
+        return {
+            "set_reformulations": len(set_result.reformulations),
+            "set_shortest_body": min(len(q.body) for q in set_result.reformulations),
+            "bag_reformulations": len(bag_result.reformulations),
+            "bag_shortest_body": min(len(q.body) for q in bag_result.reformulations),
+        }
+
+    result = benchmark(run)
+    assert result["set_shortest_body"] == 1
+    assert result["bag_shortest_body"] == 1  # keys make the lookups multiplicity preserving
+    record(benchmark, measured=result)
+
+
+@pytest.mark.parametrize("length", (2, 3, 4))
+def bench_chain_reformulation_scaling(benchmark, length):
+    workload = chain_workload(length)
+    result = benchmark(
+        lambda: c_and_b(workload.query, workload.dependencies, check_sigma_minimality=False)
+    )
+    assert any(len(q.body) == 1 for q in result.reformulations)
+    record(
+        benchmark,
+        chain_length=length,
+        candidates_examined=result.candidates_examined,
+        reformulations=len(result.reformulations),
+    )

@@ -1,0 +1,84 @@
+"""Experiment E4 — Theorem 4.2 / Example 4.9 / Appendix D (Lemma D.1).
+
+Bag equivalence in the presence of set-enforcing constraints only:
+duplicate subgoals over set-enforced relations are harmless (Q3 vs Q5),
+duplicate subgoals over possibly-bag relations are not (Q7 vs Q8), and the
+Lemma D.1 counterexample construction produces the multiplicity gap
+m^(n1) vs ~m^(n2) that the proof relies on (Example D.2: m² vs m for Q7/Q8).
+
+The ablation toggle of DESIGN.md — running the bag-equivalence test with and
+without the duplicate-removal rule — is ``bench_theorem_4_2_ablation``.
+"""
+
+from __future__ import annotations
+
+from _util import record
+
+from repro.core import is_bag_equivalent, is_bag_equivalent_with_set_enforced
+from repro.database import DatabaseInstance
+from repro.evaluation import evaluate
+
+
+def bench_example_4_9_duplicate_over_set_enforced_relation(benchmark, ex41):
+    def run():
+        return {
+            "plain_bag_equivalence": is_bag_equivalent(ex41.q3, ex41.q5),
+            "with_set_enforced_s_t": is_bag_equivalent_with_set_enforced(
+                ex41.q3, ex41.q5, {"s", "t"}
+            ),
+        }
+
+    result = benchmark(run)
+    assert result == {"plain_bag_equivalence": False, "with_set_enforced_s_t": True}
+    record(benchmark, measured=result, paper_expected=result)
+
+
+def bench_example_d_1_counterexample(benchmark, ex41):
+    def run():
+        return {
+            "Q3(D,B)": evaluate(ex41.q3, ex41.counterexample_d1, "bag").multiplicity((1,)),
+            "Q5(D,B)": evaluate(ex41.q5, ex41.counterexample_d1, "bag").multiplicity((1,)),
+        }
+
+    result = benchmark(run)
+    assert result == {"Q3(D,B)": 2, "Q5(D,B)": 4}
+    record(benchmark, measured=result, paper_expected=result)
+
+
+def bench_example_d_2_lemma_d_1_construction(benchmark, ex41):
+    """Q7 (two r-subgoals) vs Q8 (one): multiplicities m² vs m on the scaled database."""
+
+    def run():
+        gaps = {}
+        for m in (2, 5, 10):
+            database = DatabaseInstance.from_dict(
+                {"p": [(1, 2)], "r": [(1,)] * m, "s": [], "t": [], "u": []},
+                ex41.schema,
+            )
+            gaps[m] = (
+                evaluate(ex41.q7, database, "bag").multiplicity((1,)),
+                evaluate(ex41.q8, database, "bag").multiplicity((1,)),
+            )
+        return gaps
+
+    result = benchmark(run)
+    assert all(result[m] == (m * m, m) for m in (2, 5, 10))
+    record(
+        benchmark,
+        measured={str(m): v for m, v in result.items()},
+        paper_expected="Q7 grows as m^2, Q8 as m (Lemma D.1 / Example D.2)",
+    )
+
+
+def bench_theorem_4_2_ablation(benchmark, ex41):
+    """Disable the duplicate-removal rule: Q3 vs Q5 then (wrongly) look inequivalent."""
+
+    def run():
+        return {
+            "with_rule": is_bag_equivalent_with_set_enforced(ex41.q3, ex41.q5, {"s", "t"}),
+            "without_rule": is_bag_equivalent_with_set_enforced(ex41.q3, ex41.q5, set()),
+        }
+
+    result = benchmark(run)
+    assert result == {"with_rule": True, "without_rule": False}
+    record(benchmark, measured=result)

@@ -1,0 +1,59 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment of DESIGN.md's
+per-experiment index (E1–E11).  Besides timing the relevant procedure with
+pytest-benchmark, each benchmark records the *reproduced values* (equivalence
+verdicts, chase sizes, reformulation counts, multiplicities) in
+``benchmark.extra_info`` so that the numbers the paper reports can be read
+straight out of ``pytest benchmarks/ --benchmark-only -v`` output or the
+saved JSON (``--benchmark-json``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paperlib import (
+    example_4_1,
+    example_4_2,
+    example_4_3,
+    example_4_6,
+    example_e_1,
+    example_e_2,
+    orders_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def ex41():
+    return example_4_1()
+
+
+@pytest.fixture(scope="session")
+def ex42():
+    return example_4_2()
+
+
+@pytest.fixture(scope="session")
+def ex43():
+    return example_4_3()
+
+
+@pytest.fixture(scope="session")
+def ex46():
+    return example_4_6()
+
+
+@pytest.fixture(scope="session")
+def exE1():
+    return example_e_1()
+
+
+@pytest.fixture(scope="session")
+def exE2():
+    return example_e_2()
+
+
+@pytest.fixture(scope="session")
+def orders():
+    return orders_workload()

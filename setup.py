@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed editable in
+offline environments where the ``wheel`` package (needed for PEP 660
+editable installs) is unavailable::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Reporting helpers: chase statistics, equivalence matrices, reformulation tables."""
+
+from .reporting import (
+    ChaseStatistics,
+    chase_statistics,
+    equivalence_matrix,
+    equivalence_matrix_table,
+    reformulation_table,
+    render_table,
+)
+
+__all__ = [
+    "ChaseStatistics",
+    "chase_statistics",
+    "equivalence_matrix",
+    "equivalence_matrix_table",
+    "reformulation_table",
+    "render_table",
+]

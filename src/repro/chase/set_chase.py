@@ -1,0 +1,142 @@
+"""Set-semantics chase of conjunctive queries (Section 2.4).
+
+``set_chase(Q, Σ)`` repeatedly applies tgd and egd chase steps until the
+canonical database of the current query satisfies every dependency (i.e. no
+step is applicable), or the step budget is exhausted.  The chase is run with
+a deterministic strategy — egds are given priority, dependencies are tried in
+their given order, and the first applicable homomorphism (in the
+deterministic order produced by the homomorphism search) is applied — so
+repeated runs produce the same result.  All terminal chase results of a
+query are set-equivalent in the absence of dependencies, so determinism is a
+convenience, not a correctness requirement.
+
+Chase termination is undecidable in general; weakly acyclic dependency sets
+(see :mod:`repro.dependencies.weak_acyclicity`) are guaranteed to terminate.
+A :class:`~repro.exceptions.ChaseNonTerminationError` is raised when the
+budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..dependencies.regularize import regularize_dependencies
+from ..exceptions import ChaseNonTerminationError
+from ..semantics import Semantics
+from .steps import (
+    ChaseStepRecord,
+    apply_egd_step,
+    apply_tgd_step,
+    deduplicate_body,
+    iter_applicable_egd_homomorphisms,
+    iter_applicable_tgd_homomorphisms,
+)
+
+DEFAULT_MAX_STEPS = 2000
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run."""
+
+    query: ConjunctiveQuery
+    steps: list[ChaseStepRecord] = field(default_factory=list)
+    semantics: Semantics = Semantics.SET
+    terminated: bool = True
+
+    @property
+    def step_count(self) -> int:
+        """Number of chase steps applied."""
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        lines = [f"chase result ({self.semantics}): {self.query}"]
+        lines.extend(f"  {record}" for record in self.steps)
+        return "\n".join(lines)
+
+
+def _as_dependency_list(
+    dependencies: DependencySet | Sequence[Dependency] | Iterable[Dependency],
+) -> list[Dependency]:
+    if isinstance(dependencies, DependencySet):
+        return list(dependencies.dependencies)
+    return list(dependencies)
+
+
+def _first_applicable_egd_step(query: ConjunctiveQuery, egds: Sequence[EGD]):
+    for egd in egds:
+        for hom, left, right in iter_applicable_egd_homomorphisms(query, egd):
+            return egd, hom, left, right
+    return None
+
+
+def _first_applicable_tgd_step(query: ConjunctiveQuery, tgds: Sequence[TGD]):
+    for tgd in tgds:
+        for hom in iter_applicable_tgd_homomorphisms(query, tgd):
+            return tgd, hom
+    return None
+
+
+def set_chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    regularize: bool = True,
+    deduplicate: bool = True,
+) -> ChaseResult:
+    """Chase *query* with *dependencies* under set semantics to termination.
+
+    ``regularize`` replaces every tgd by its regularized set first
+    (Proposition 4.1 guarantees this does not change the result up to
+    equivalence); ``deduplicate`` drops duplicate subgoals after egd steps,
+    which is always harmless under set semantics.
+    """
+    items = _as_dependency_list(dependencies)
+    if regularize:
+        items = regularize_dependencies(items)
+    egds = [d for d in items if isinstance(d, EGD)]
+    tgds = [d for d in items if isinstance(d, TGD)]
+
+    current = query
+    records: list[ChaseStepRecord] = []
+    # Names of every variable ever used in this chase run, so fresh variables
+    # never reuse a name eliminated by an earlier egd step.
+    used_names = {v.name for v in query.all_variables()}
+    for _ in range(max_steps):
+        egd_step = _first_applicable_egd_step(current, egds)
+        if egd_step is not None:
+            egd, hom, left, right = egd_step
+            current, record = apply_egd_step(current, egd, hom, left, right)
+            if deduplicate:
+                current = deduplicate_body(current)
+            records.append(record)
+            continue
+        tgd_step = _first_applicable_tgd_step(current, tgds)
+        if tgd_step is not None:
+            tgd, hom = tgd_step
+            current, record = apply_tgd_step(current, tgd, hom, used_names)
+            records.append(record)
+            continue
+        return ChaseResult(current, records, Semantics.SET, terminated=True)
+    raise ChaseNonTerminationError(
+        f"set chase did not terminate within {max_steps} steps "
+        f"(query {query.head_predicate}, {len(items)} dependencies); "
+        "either raise max_steps or use weakly acyclic dependencies",
+        steps_taken=len(records),
+    )
+
+
+def set_chase_terminates(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Convenience wrapper: does the set chase terminate within the budget?"""
+    try:
+        set_chase(query, dependencies, max_steps=max_steps)
+    except ChaseNonTerminationError:
+        return False
+    return True

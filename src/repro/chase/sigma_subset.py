@@ -1,0 +1,80 @@
+"""Maximal satisfied dependency subsets (Section 5.3, Appendix I).
+
+Theorem 5.3 (and its bag-set analogue, Theorem I.1): for a CQ query Q and a
+dependency set Σ whose set chase terminates, there is a *unique maximal*
+subset Σ^max of Σ satisfied by the canonical database of the sound-chase
+result of Q.  Algorithms 1 and 2 of the paper compute it by removing from Σ
+exactly those dependencies that are (unsoundly) applicable to the terminal
+sound-chase result.
+
+``max_bag_sigma_subset`` and ``max_bag_set_sigma_subset`` implement
+Algorithms 1 and 2 verbatim; :class:`SigmaSubsetResult` also carries the
+chase result so callers can verify the canonical-database satisfaction claim
+(the tests do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import Dependency, DependencySet
+from ..semantics import Semantics
+from .set_chase import DEFAULT_MAX_STEPS, ChaseResult
+from .sound_chase import is_sound_chase_step, sound_chase
+
+
+@dataclass
+class SigmaSubsetResult:
+    """Output of Max-Bag-Σ-Subset / Max-Bag-Set-Σ-Subset."""
+
+    subset: DependencySet
+    removed: list[Dependency]
+    chase_result: ChaseResult
+    semantics: Semantics
+
+    def __contains__(self, dependency: Dependency) -> bool:
+        return dependency in self.subset.dependencies
+
+
+def _max_sigma_subset(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics,
+    max_steps: int,
+) -> SigmaSubsetResult:
+    if not isinstance(dependencies, DependencySet):
+        dependencies = DependencySet(dependencies)
+    chased = sound_chase(query, dependencies, semantics, max_steps)
+    kept: list[Dependency] = []
+    removed: list[Dependency] = []
+    for dependency in dependencies:
+        if is_sound_chase_step(
+            chased.query, dependency, dependencies, semantics, max_steps
+        ):
+            kept.append(dependency)
+        else:
+            removed.append(dependency)
+    subset = dependencies.restricted_to(kept)
+    return SigmaSubsetResult(subset, removed, chased, semantics)
+
+
+def max_bag_sigma_subset(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> SigmaSubsetResult:
+    """Algorithm 1 (Max-Bag-Σ-Subset): the maximal Σ^max_B(Q, Σ) ⊆ Σ satisfied
+    by the canonical database of ``(Q)_{Σ,B}``."""
+    return _max_sigma_subset(query, dependencies, Semantics.BAG, max_steps)
+
+
+def max_bag_set_sigma_subset(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> SigmaSubsetResult:
+    """Algorithm 2 (Max-Bag-Set-Σ-Subset): the maximal Σ^max_BS(Q, Σ) ⊆ Σ
+    satisfied by the canonical database of ``(Q)_{Σ,BS}``."""
+    return _max_sigma_subset(query, dependencies, Semantics.BAG_SET, max_steps)

@@ -1,0 +1,210 @@
+"""Sound chase under bag and bag-set semantics (Section 4 of the paper).
+
+The ordinary set-semantics chase is *not* sound under bag or bag-set
+semantics: a chase step can change answer multiplicities (Example 4.1).
+Theorems 4.1 and 4.3 give the exact conditions under which a step preserves
+equivalence:
+
+* **bag semantics** (Theorem 4.1) — a tgd step is sound iff it is an
+  assignment-fixing chase step *and* every subgoal it adds is over a
+  relation required to be set valued in all instances; an egd step is always
+  sound, but duplicate subgoals it creates may be dropped only for
+  set-valued relations (Theorem 4.2).
+* **bag-set semantics** (Theorem 4.3) — a tgd step is sound iff it is an
+  assignment-fixing chase step; egd steps are always sound and duplicates
+  may always be dropped.
+
+``sound_chase`` applies only sound steps until none remains; by
+Proposition 5.1 this terminates whenever the set chase terminates, and by
+Theorem 5.1 (and its bag-set analogue, Theorem G.1) the result is unique up
+to bag equivalence (modulo duplicate subgoals over set-valued relations).
+Every tgd is regularized before chasing — Theorem 4.1/4.3 require it, and
+Examples 4.4–4.5 show the failure modes otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..dependencies.regularize import regularize_dependencies
+from ..exceptions import ChaseError, ChaseNonTerminationError
+from ..semantics import Semantics
+from .assignment_fixing import is_assignment_fixing_for
+from .set_chase import DEFAULT_MAX_STEPS, ChaseResult, set_chase
+from .steps import (
+    ChaseStepRecord,
+    apply_egd_step,
+    apply_tgd_step,
+    deduplicate_body,
+    iter_applicable_egd_homomorphisms,
+    iter_applicable_tgd_homomorphisms,
+)
+
+
+def _split(dependencies: DependencySet | Sequence[Dependency]) -> tuple[
+    list[Dependency], frozenset[str]
+]:
+    if isinstance(dependencies, DependencySet):
+        return list(dependencies.dependencies), dependencies.set_valued_predicates
+    return list(dependencies), frozenset()
+
+
+def _first_sound_tgd_step(
+    query: ConjunctiveQuery,
+    tgds: Sequence[TGD],
+    all_dependencies: Sequence[Dependency],
+    semantics: Semantics,
+    set_valued: frozenset[str],
+    max_steps: int,
+):
+    for tgd in tgds:
+        if semantics is Semantics.BAG:
+            # Theorem 4.1(1): every added subgoal must be over a set-valued relation.
+            if not all(atom.predicate in set_valued for atom in tgd.conclusion):
+                continue
+        for homomorphism in iter_applicable_tgd_homomorphisms(query, tgd):
+            if is_assignment_fixing_for(
+                query, tgd, homomorphism, all_dependencies, max_steps
+            ):
+                return tgd, homomorphism
+    return None
+
+
+def sound_chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics | str = Semantics.BAG,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """Chase *query* applying only chase steps sound under *semantics*.
+
+    For ``Semantics.SET`` this simply delegates to :func:`set_chase` (every
+    step is sound under set semantics).  For bag semantics the
+    :class:`DependencySet`'s ``set_valued_predicates`` determine which
+    relations may receive new subgoals and which duplicate subgoals may be
+    dropped.
+    """
+    semantics = Semantics.from_name(semantics)
+    if semantics is Semantics.SET:
+        return set_chase(query, dependencies, max_steps=max_steps)
+
+    items, set_valued = _split(dependencies)
+    items = regularize_dependencies(items)
+    egds = [d for d in items if isinstance(d, EGD)]
+    tgds = [d for d in items if isinstance(d, TGD)]
+    dedup_predicates: set[str] | None
+    if semantics is Semantics.BAG:
+        dedup_predicates = set(set_valued)
+    else:
+        dedup_predicates = None  # bag-set: all duplicates may be dropped
+
+    current = query
+    records: list[ChaseStepRecord] = []
+    # Forbid reuse of any variable name ever produced in this chase run.
+    used_names = {v.name for v in query.all_variables()}
+    for _ in range(max_steps):
+        # Egd steps are always sound under both semantics (Theorems 4.1/4.3 item 2).
+        egd_step = None
+        for egd in egds:
+            for hom, left, right in iter_applicable_egd_homomorphisms(current, egd):
+                egd_step = (egd, hom, left, right)
+                break
+            if egd_step is not None:
+                break
+        if egd_step is not None:
+            egd, hom, left, right = egd_step
+            current, record = apply_egd_step(current, egd, hom, left, right)
+            current = deduplicate_body(current, dedup_predicates)
+            records.append(record)
+            continue
+
+        tgd_step = _first_sound_tgd_step(
+            current, tgds, items, semantics, set_valued, max_steps
+        )
+        if tgd_step is not None:
+            tgd, hom = tgd_step
+            current, record = apply_tgd_step(current, tgd, hom, used_names)
+            records.append(record)
+            continue
+        return ChaseResult(current, records, semantics, terminated=True)
+    raise ChaseNonTerminationError(
+        f"sound chase under {semantics} did not terminate within {max_steps} steps",
+        steps_taken=len(records),
+    )
+
+
+def chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics | str = Semantics.SET,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """Uniform entry point: set chase or sound bag / bag-set chase by *semantics*."""
+    return sound_chase(query, dependencies, semantics, max_steps)
+
+
+def is_sound_chase_step(
+    query: ConjunctiveQuery,
+    dependency: Dependency,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics | str = Semantics.BAG,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Is every applicable chase step of *dependency* on *query* sound?
+
+    This is the ``soundChaseStep`` predicate of Algorithms 1 and 2
+    (Max-Bag-Σ-Subset and its bag-set counterpart): it returns True when
+    *dependency* has no applicable step on *query* (vacuously sound) or when
+    all its applicable steps satisfy the soundness conditions of Theorem 4.1
+    (bag) / Theorem 4.3 (bag-set); it returns False when some applicable step
+    is unsound.  Note that a *non-regularized* tgd with an applicable step is
+    never sound under bag or bag-set semantics (Section 4.2.2), so it is
+    checked against its regularized set: the step is sound only if each
+    regularized component with an applicable step passes the test.
+    """
+    semantics = Semantics.from_name(semantics)
+    items, set_valued = _split(dependencies)
+    items = regularize_dependencies(items)
+
+    if isinstance(dependency, EGD):
+        return True
+    if semantics is Semantics.SET:
+        return True
+    if not isinstance(dependency, TGD):
+        raise ChaseError(f"unsupported dependency {dependency!r}")
+
+    components = regularize_dependencies([dependency])
+    for component in components:
+        assert isinstance(component, TGD)
+        for homomorphism in iter_applicable_tgd_homomorphisms(query, component):
+            if semantics is Semantics.BAG and not all(
+                atom.predicate in set_valued for atom in component.conclusion
+            ):
+                return False
+            if not is_assignment_fixing_for(
+                query, component, homomorphism, items, max_steps
+            ):
+                return False
+    # Either not applicable at all (vacuously sound) or every applicable step
+    # of every regularized component is sound.
+    return True
+
+
+def bag_chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """Sound chase under bag semantics, ``(Q)_{Σ,B}``."""
+    return sound_chase(query, dependencies, Semantics.BAG, max_steps)
+
+
+def bag_set_chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """Sound chase under bag-set semantics, ``(Q)_{Σ,BS}``."""
+    return sound_chase(query, dependencies, Semantics.BAG_SET, max_steps)

@@ -1,0 +1,203 @@
+"""Individual chase steps with tgds and egds (Section 2.4 of the paper).
+
+* A **tgd chase step** with ``σ : φ → ∃V̄ ψ`` applies to a query Q when there
+  is a homomorphism h from φ to Q's body that cannot be extended to a
+  homomorphism from φ ∧ ψ; the step adds ψ(h(X̄), V̄') to the body, with V̄'
+  fresh variables.
+* An **egd chase step** with ``e : φ → U1 = U2`` applies when there is a
+  homomorphism h from φ to the body with h(U1) ≠ h(U2) and at least one of
+  the two a variable; the step replaces the variable by the other term
+  throughout the query.  If both images are distinct constants the chase
+  *fails* (the query is unsatisfiable under the dependencies) — reported via
+  :class:`ChaseFailedError`.
+
+Each applied step is recorded in a :class:`ChaseStepRecord`, which the
+higher-level chase drivers accumulate for provenance / debugging and which
+the tests use to assert what the chase actually did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..core.atoms import Atom
+from ..core.homomorphism import Homomorphism, find_homomorphism, iter_homomorphisms
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, FreshVariableFactory, Term, Variable
+from ..dependencies.base import EGD, TGD, Dependency
+from ..exceptions import ChaseError
+
+
+class ChaseFailedError(ChaseError):
+    """An egd tried to equate two distinct constants: the chase fails."""
+
+
+@dataclass
+class ChaseStepRecord:
+    """Provenance of one applied chase step."""
+
+    dependency: Dependency
+    homomorphism: Homomorphism
+    kind: str  # "tgd" or "egd"
+    added_atoms: tuple[Atom, ...] = ()
+    substitution: dict[Term, Term] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        name = self.dependency.name or self.kind
+        if self.kind == "tgd":
+            added = ", ".join(str(a) for a in self.added_atoms)
+            return f"tgd step [{name}]: added {added}"
+        pairs = ", ".join(f"{k}→{v}" for k, v in self.substitution.items())
+        return f"egd step [{name}]: identified {pairs}"
+
+
+# ---------------------------------------------------------------------- #
+# TGD steps
+# ---------------------------------------------------------------------- #
+def iter_applicable_tgd_homomorphisms(
+    query: ConjunctiveQuery, tgd: TGD
+) -> Iterator[Homomorphism]:
+    """Yield the homomorphisms from the tgd's premise that make a step applicable.
+
+    A homomorphism h from the premise to the query body triggers a step only
+    when it cannot be extended to also cover the conclusion (otherwise the
+    dependency is already satisfied for this match).
+    """
+    for hom in iter_homomorphisms(tgd.premise, query.body):
+        if find_homomorphism(tgd.conclusion, query.body, fixed=hom) is None:
+            yield hom
+
+
+def is_tgd_applicable(query: ConjunctiveQuery, tgd: TGD) -> bool:
+    """Is a chase step with *tgd* applicable to *query*?"""
+    for _ in iter_applicable_tgd_homomorphisms(query, tgd):
+        return True
+    return False
+
+
+def conclusion_instantiation(
+    query: ConjunctiveQuery,
+    tgd: TGD,
+    homomorphism: Mapping[Term, Term],
+    used_names: set[str] | None = None,
+) -> tuple[tuple[Atom, ...], dict[Variable, Variable]]:
+    """Instantiate the tgd's conclusion for one chase step.
+
+    Universal variables are replaced by their image under *homomorphism*;
+    existential variables are replaced by fresh variables that collide
+    neither with the query nor with the dependency.  Returns the new atoms
+    and the existential-variable renaming used.
+
+    ``used_names`` lets a chase driver forbid *every* variable name it has
+    ever produced, not just the names currently occurring in the query:
+    without it, a name eliminated by an earlier egd step could be reused for
+    an unrelated fresh variable, which would confuse provenance-based checks
+    such as the assignment-fixing test (Definition 4.3).  The set is updated
+    in place with the names generated here.
+    """
+    existential = tgd.existential_variables()
+    forbidden = {v.name for v in query.all_variables()}
+    forbidden |= {v.name for v in tgd.all_variables()}
+    if used_names is not None:
+        forbidden |= used_names
+    factory = FreshVariableFactory(forbidden)
+    fresh: dict[Variable, Variable] = {
+        var: factory(hint=var.name) for var in existential
+    }
+    if used_names is not None:
+        used_names.update(v.name for v in fresh.values())
+    substitution: dict[Term, Term] = dict(homomorphism)
+    substitution.update(fresh)
+    atoms = tuple(atom.substitute(substitution) for atom in tgd.conclusion)
+    return atoms, fresh
+
+
+def apply_tgd_step(
+    query: ConjunctiveQuery,
+    tgd: TGD,
+    homomorphism: Mapping[Term, Term],
+    used_names: set[str] | None = None,
+) -> tuple[ConjunctiveQuery, ChaseStepRecord]:
+    """Apply one tgd chase step and return the rewritten query plus its record."""
+    atoms, _ = conclusion_instantiation(query, tgd, homomorphism, used_names)
+    new_query = query.add_atoms(atoms)
+    record = ChaseStepRecord(
+        dependency=tgd,
+        homomorphism=dict(homomorphism),
+        kind="tgd",
+        added_atoms=atoms,
+    )
+    return new_query, record
+
+
+# ---------------------------------------------------------------------- #
+# EGD steps
+# ---------------------------------------------------------------------- #
+def iter_applicable_egd_homomorphisms(
+    query: ConjunctiveQuery, egd: EGD
+) -> Iterator[tuple[Homomorphism, Term, Term]]:
+    """Yield ``(h, image_left, image_right)`` for applicable egd steps.
+
+    Applicable means the two images differ; the caller decides how to unify
+    them (or to fail when both are constants).
+    """
+    for hom in iter_homomorphisms(egd.premise, query.body):
+        for equality in egd.equalities:
+            left = hom.get(equality.left, equality.left)
+            right = hom.get(equality.right, equality.right)
+            if left != right:
+                yield hom, left, right
+
+
+def is_egd_applicable(query: ConjunctiveQuery, egd: EGD) -> bool:
+    """Is a chase step with *egd* applicable (or failing) on *query*?"""
+    for _ in iter_applicable_egd_homomorphisms(query, egd):
+        return True
+    return False
+
+
+def apply_egd_step(
+    query: ConjunctiveQuery,
+    egd: EGD,
+    homomorphism: Mapping[Term, Term],
+    left: Term,
+    right: Term,
+) -> tuple[ConjunctiveQuery, ChaseStepRecord]:
+    """Apply one egd chase step, identifying *left* and *right* in the query.
+
+    A variable is replaced by the other term (preferring to keep constants);
+    two distinct constants raise :class:`ChaseFailedError`.
+    """
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        raise ChaseFailedError(
+            f"egd {egd} forces distinct constants {left} = {right}; "
+            "the query is unsatisfiable under the dependencies"
+        )
+    if isinstance(left, Variable):
+        substitution: dict[Term, Term] = {left: right}
+    else:
+        substitution = {right: left}
+    new_query = query.substitute(substitution)
+    record = ChaseStepRecord(
+        dependency=egd,
+        homomorphism=dict(homomorphism),
+        kind="egd",
+        substitution=substitution,
+    )
+    return new_query, record
+
+
+def deduplicate_body(
+    query: ConjunctiveQuery, predicates: set[str] | None = None
+) -> ConjunctiveQuery:
+    """Drop duplicate subgoals, optionally only for the given predicates.
+
+    After an egd step identifies variables, duplicate subgoals can appear.
+    Under set and bag-set semantics they may always be dropped; under bag
+    semantics only subgoals over set-valued relations may be dropped
+    (Theorem 4.1, item 2, justified by Theorem 4.2).
+    """
+    if predicates is None:
+        return query.canonical_representation()
+    return query.drop_duplicates_for(predicates)

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+The CLI exposes the library's main entry points so the decision procedures
+can be used without writing Python::
+
+    python -m repro chase --query "Q(X) :- p(X,Y)" --dependencies deps.txt \
+        --semantics bag --set-valued s,t
+
+    python -m repro equivalence --query "Q1(X) :- ..." --other "Q2(X) :- ..." \
+        --dependencies deps.txt --semantics all
+
+    python -m repro reformulate --query "Q(X) :- ..." --dependencies deps.txt \
+        --semantics bag-set --show-all
+
+    python -m repro sql --ddl schema.sql \
+        --query "SELECT o.oid FROM orders o, customer c WHERE o.cid = c.cid"
+
+Dependencies are written in the rule notation accepted by
+:mod:`repro.datalog` (one dependency per line; ``#`` comments); the
+``--dependencies`` / ``--ddl`` arguments accept either a file path or the
+literal text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .chase import sound_chase
+from .datalog import parse_dependencies, parse_query, render_query
+from .equivalence import decide_all, decide_equivalence
+from .exceptions import ReproError
+from .reformulation import chase_and_backchase
+from .semantics import Semantics
+from .sql import query_to_sql, schema_from_ddl, translate_sql
+
+
+def _read_text_or_file(value: str) -> str:
+    """Return the contents of *value* if it names a file, else *value* itself."""
+    path = Path(value)
+    try:
+        if path.is_file():
+            return path.read_text()
+    except OSError:
+        pass
+    return value
+
+
+def _load_dependencies(args) -> "DependencySet":
+    from .dependencies import DependencySet
+
+    set_valued = [name.strip() for name in (args.set_valued or "").split(",") if name.strip()]
+    if not args.dependencies:
+        return DependencySet([], set_valued)
+    text = _read_text_or_file(args.dependencies)
+    return parse_dependencies(text, set_valued=set_valued)
+
+
+def _add_dependency_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dependencies",
+        help="embedded dependencies: a file path or literal rule-notation text",
+    )
+    parser.add_argument(
+        "--set-valued",
+        help="comma-separated relations required to be set valued in every instance",
+    )
+
+
+def _semantics_argument(parser: argparse.ArgumentParser, allow_all: bool = False) -> None:
+    choices = ["set", "bag", "bag-set"] + (["all"] if allow_all else [])
+    parser.add_argument(
+        "--semantics",
+        default="bag-set",
+        choices=choices,
+        help="query-evaluation semantics (default: bag-set, the SQL default)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_chase(args) -> int:
+    dependencies = _load_dependencies(args)
+    query = parse_query(args.query)
+    result = sound_chase(query, dependencies, args.semantics, max_steps=args.max_steps)
+    print(render_query(result.query))
+    if args.show_steps:
+        for record in result.steps:
+            print(f"  {record}")
+    return 0
+
+
+def _cmd_equivalence(args) -> int:
+    dependencies = _load_dependencies(args)
+    query = parse_query(args.query)
+    other = parse_query(args.other)
+    if args.semantics == "all":
+        verdicts = decide_all(query, other, dependencies, max_steps=args.max_steps)
+        equivalent_somewhere = False
+        for semantics, verdict in verdicts.items():
+            status = "equivalent" if verdict else "not equivalent"
+            print(f"{semantics!s:8s}: {status}")
+            equivalent_somewhere |= bool(verdict)
+        return 0 if equivalent_somewhere else 1
+    verdict = decide_equivalence(
+        query, other, dependencies, args.semantics, max_steps=args.max_steps
+    )
+    print("equivalent" if verdict else "not equivalent")
+    if args.verbose:
+        print(f"  chased left : {verdict.chased_left}")
+        print(f"  chased right: {verdict.chased_right}")
+    return 0 if verdict else 1
+
+
+def _cmd_reformulate(args) -> int:
+    dependencies = _load_dependencies(args)
+    query = parse_query(args.query)
+    result = chase_and_backchase(
+        query,
+        dependencies,
+        args.semantics,
+        max_steps=args.max_steps,
+        check_sigma_minimality=not args.show_all,
+    )
+    print(f"universal plan: {render_query(result.universal_plan)}")
+    pool = result.reformulations if args.show_all else result.minimal_reformulations
+    label = "equivalent reformulations" if args.show_all else "Σ-minimal reformulations"
+    print(f"{len(pool)} {label}:")
+    for reformulation in sorted(pool, key=lambda q: len(q.body)):
+        print(f"  {render_query(reformulation)}")
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    ddl = _read_text_or_file(args.ddl)
+    schema, dependencies = schema_from_ddl(ddl)
+    translated = translate_sql(args.query, schema)
+    semantics = Semantics.from_name(args.semantics) if args.semantics else translated.semantics
+    if translated.is_aggregate:
+        print("aggregate queries are reformulated via their cores; core:", file=sys.stderr)
+        print(f"  {translated.query.core()}", file=sys.stderr)
+        query = translated.query.core()
+    else:
+        query = translated.query
+    print(f"-- evaluation semantics: {semantics}")
+    print(f"-- as conjunctive query: {query}")
+    result = chase_and_backchase(
+        query, dependencies, semantics, check_sigma_minimality=False,
+        max_steps=args.max_steps,
+    )
+    print(f"-- {len(result.reformulations)} equivalent reformulations:")
+    for reformulation in sorted(result.reformulations, key=lambda q: len(q.body)):
+        print(query_to_sql(reformulation, schema, semantics) + ";")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Equivalence and reformulation of SQL/conjunctive queries "
+        "in presence of embedded dependencies (Chirkova & Genesereth, PODS 2009).",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=2000,
+        help="chase step budget (guards against non-terminating dependency sets)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    chase_parser = subparsers.add_parser(
+        "chase", help="chase a query with the chase sound for the chosen semantics"
+    )
+    chase_parser.add_argument("--query", required=True, help="query in rule notation")
+    _add_dependency_arguments(chase_parser)
+    _semantics_argument(chase_parser)
+    chase_parser.add_argument(
+        "--show-steps", action="store_true", help="print the applied chase steps"
+    )
+    chase_parser.set_defaults(handler=_cmd_chase)
+
+    equivalence_parser = subparsers.add_parser(
+        "equivalence", help="decide Σ-equivalence of two queries"
+    )
+    equivalence_parser.add_argument("--query", required=True)
+    equivalence_parser.add_argument("--other", required=True)
+    _add_dependency_arguments(equivalence_parser)
+    _semantics_argument(equivalence_parser, allow_all=True)
+    equivalence_parser.add_argument("--verbose", action="store_true")
+    equivalence_parser.set_defaults(handler=_cmd_equivalence)
+
+    reformulate_parser = subparsers.add_parser(
+        "reformulate", help="enumerate equivalent (Σ-minimal) reformulations"
+    )
+    reformulate_parser.add_argument("--query", required=True)
+    _add_dependency_arguments(reformulate_parser)
+    _semantics_argument(reformulate_parser)
+    reformulate_parser.add_argument(
+        "--show-all",
+        action="store_true",
+        help="report every equivalent reformulation, not only Σ-minimal ones",
+    )
+    reformulate_parser.set_defaults(handler=_cmd_reformulate)
+
+    sql_parser = subparsers.add_parser(
+        "sql", help="reformulate a SQL query against a SQL DDL schema"
+    )
+    sql_parser.add_argument("--ddl", required=True, help="CREATE TABLE script (file or text)")
+    sql_parser.add_argument("--query", required=True, help="the SELECT statement")
+    sql_parser.add_argument(
+        "--semantics",
+        choices=["set", "bag", "bag-set"],
+        help="override the semantics inferred from the statement and schema",
+    )
+    sql_parser.set_defaults(handler=_cmd_sql)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Core query model: terms, atoms, conjunctive and aggregate queries, and the
+classical dependency-free containment / equivalence tests."""
+
+from .aggregate import AggregateFunction, AggregateQuery, AggregateTerm
+from .atoms import Atom, EqualityAtom
+from .bag_equivalence import (
+    is_bag_equivalent,
+    is_bag_equivalent_with_set_enforced,
+    is_bag_set_equivalent,
+    violates_bag_containment_count_condition,
+)
+from .containment import is_set_contained, is_set_equivalent
+from .homomorphism import (
+    are_isomorphic,
+    find_containment_mapping,
+    find_homomorphism,
+    find_isomorphism,
+    iter_homomorphisms,
+)
+from .minimization import is_minimal, minimize
+from .query import ConjunctiveQuery, cq
+from .terms import Constant, FreshVariableFactory, Term, Variable
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateQuery",
+    "AggregateTerm",
+    "Atom",
+    "EqualityAtom",
+    "Constant",
+    "ConjunctiveQuery",
+    "FreshVariableFactory",
+    "Term",
+    "Variable",
+    "cq",
+    "are_isomorphic",
+    "find_containment_mapping",
+    "find_homomorphism",
+    "find_isomorphism",
+    "iter_homomorphisms",
+    "is_bag_equivalent",
+    "is_bag_equivalent_with_set_enforced",
+    "is_bag_set_equivalent",
+    "is_minimal",
+    "is_set_contained",
+    "is_set_equivalent",
+    "minimize",
+    "violates_bag_containment_count_condition",
+]

@@ -1,0 +1,185 @@
+"""Aggregate conjunctive queries (Section 2.5 of the paper).
+
+An aggregate query is a conjunctive query whose head carries one aggregate
+term ``α(Y)`` in addition to its grouping terms::
+
+    Q(S̄, α(Y)) :- A(S̄, Y, Z̄)
+
+The supported aggregate functions are ``sum``, ``count``, ``count(*)``,
+``max``, and ``min`` — exactly the ones the paper handles.  The *core* of an
+aggregate query (written Q̆ in the paper) is the plain conjunctive query that
+returns the grouping terms followed by the aggregated argument; equivalence
+of aggregate queries reduces to set / bag-set equivalence of cores
+(Theorems 2.3 and 6.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import QueryError
+from .atoms import Atom
+from .query import ConjunctiveQuery
+from .terms import Term, Variable, term_from_value
+
+
+class AggregateFunction(enum.Enum):
+    """The aggregate functions covered by the paper."""
+
+    SUM = "sum"
+    COUNT = "count"
+    COUNT_STAR = "count(*)"
+    MAX = "max"
+    MIN = "min"
+
+    @property
+    def is_duplicate_sensitive(self) -> bool:
+        """True when the function's value depends on duplicate multiplicities.
+
+        ``sum`` and ``count`` are duplicate sensitive (their equivalence
+        reduces to bag-set equivalence of cores); ``max`` and ``min`` are not
+        (their equivalence reduces to set equivalence of cores).
+        """
+        return self in (
+            AggregateFunction.SUM,
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT_STAR,
+        )
+
+    @classmethod
+    def from_name(cls, name: str) -> "AggregateFunction":
+        """Parse an aggregate-function name, case insensitively."""
+        lowered = name.strip().lower()
+        if lowered in ("count(*)", "count_star"):
+            return cls.COUNT_STAR
+        for member in cls:
+            if member.value == lowered:
+                return member
+        raise QueryError(f"unknown aggregate function {name!r}")
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """An aggregate term ``function(argument)`` in a query head.
+
+    ``COUNT_STAR`` takes no argument; every other function takes exactly one
+    variable argument.
+    """
+
+    function: AggregateFunction
+    argument: Variable | None
+
+    def __init__(self, function: AggregateFunction | str, argument: object = None):
+        if isinstance(function, str):
+            function = AggregateFunction.from_name(function)
+        object.__setattr__(self, "function", function)
+        if function is AggregateFunction.COUNT_STAR:
+            if argument is not None:
+                raise QueryError("count(*) takes no argument")
+            object.__setattr__(self, "argument", None)
+        else:
+            if argument is None:
+                raise QueryError(f"aggregate {function.value} requires an argument")
+            term = term_from_value(argument)
+            if not isinstance(term, Variable):
+                raise QueryError(
+                    f"aggregate argument must be a variable, got {term!r}"
+                )
+            object.__setattr__(self, "argument", term)
+
+    def __str__(self) -> str:
+        if self.function is AggregateFunction.COUNT_STAR:
+            return "count(*)"
+        return f"{self.function.value}({self.argument})"
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """An aggregate query ``Q(grouping_terms, aggregate) :- body``."""
+
+    head_predicate: str
+    grouping_terms: tuple[Term, ...]
+    aggregate: AggregateTerm
+    body: tuple[Atom, ...]
+
+    def __init__(
+        self,
+        head_predicate: str,
+        grouping_terms: Sequence[object],
+        aggregate: AggregateTerm,
+        body: Sequence[Atom],
+    ):
+        object.__setattr__(self, "head_predicate", head_predicate)
+        object.__setattr__(
+            self, "grouping_terms", tuple(term_from_value(t) for t in grouping_terms)
+        )
+        object.__setattr__(self, "aggregate", aggregate)
+        object.__setattr__(self, "body", tuple(body))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.body:
+            raise QueryError("aggregate query must have a nonempty body")
+        body_vars = {v for atom in self.body for v in atom.variables()}
+        for term in self.grouping_terms:
+            if isinstance(term, Variable) and term not in body_vars:
+                raise QueryError(
+                    f"aggregate query is unsafe: grouping variable {term} "
+                    "does not occur in the body"
+                )
+        arg = self.aggregate.argument
+        if arg is not None:
+            if arg not in body_vars:
+                raise QueryError(
+                    f"aggregate query is unsafe: aggregated variable {arg} "
+                    "does not occur in the body"
+                )
+            if arg in self.grouping_terms:
+                raise QueryError(
+                    f"aggregated variable {arg} must not be a grouping term "
+                    "(Section 2.5 of the paper)"
+                )
+
+    # ------------------------------------------------------------------ #
+    def core(self) -> ConjunctiveQuery:
+        """The unaggregated core Q̆ of the query (Section 2.5).
+
+        The core returns the grouping terms followed by the aggregated
+        argument (omitted for ``count(*)``), over the same body.
+        """
+        head_terms: list[object] = list(self.grouping_terms)
+        if self.aggregate.argument is not None:
+            head_terms.append(self.aggregate.argument)
+        return ConjunctiveQuery(self.head_predicate, head_terms, self.body)
+
+    def with_core(self, core: ConjunctiveQuery) -> "AggregateQuery":
+        """Reattach this query's head (grouping + aggregate) onto *core*'s body.
+
+        This is how Max-Min-C&B and Sum-Count-C&B turn a reformulated core
+        back into an aggregate reformulation (Section 6.3).
+        """
+        return AggregateQuery(
+            self.head_predicate, self.grouping_terms, self.aggregate, core.body
+        )
+
+    def is_compatible_with(self, other: "AggregateQuery") -> bool:
+        """Compatibility in the sense of Definition 2.1.
+
+        Two aggregate queries are compatible when they have the same list of
+        head arguments: same grouping terms and the same aggregate term.
+        """
+        return (
+            self.grouping_terms == other.grouping_terms
+            and self.aggregate == other.aggregate
+        )
+
+    def __str__(self) -> str:
+        grouping = ", ".join(str(t) for t in self.grouping_terms)
+        head_args = f"{grouping}, {self.aggregate}" if grouping else str(self.aggregate)
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.head_predicate}({head_args}) :- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AggregateQuery({self!s})"

@@ -1,0 +1,131 @@
+"""Relational and equality atoms.
+
+An :class:`Atom` is a relational atom ``p(t1, ..., tk)`` — the building block
+of conjunctive-query bodies, dependency premises, and dependency conclusions.
+An :class:`EqualityAtom` ``t1 = t2`` appears only on the right-hand side of
+equality-generating dependencies (egds) and inside raw embedded dependencies
+before normalisation (Section 2.4 of the paper).
+
+Atoms are immutable and hashable so that query bodies can be treated both as
+sequences (bag semantics cares about duplicate subgoals) and as sets
+(canonical representations drop duplicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from .terms import Constant, Term, Variable, term_from_value
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``predicate(terms...)``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Sequence[object]):
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(
+            self, "terms", tuple(term_from_value(t) for t in terms)
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions of the atom."""
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom in position order (with repeats)."""
+        for term in self.terms:
+            if isinstance(term, Variable):
+                yield term
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants of the atom in position order (with repeats)."""
+        for term in self.terms:
+            if isinstance(term, Constant):
+                yield term
+
+    def variable_set(self) -> frozenset[Variable]:
+        """The set of distinct variables used by the atom."""
+        return frozenset(self.variables())
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Atom":
+        """Apply *mapping* to every term; unmapped terms are kept as is."""
+        return Atom(self.predicate, [mapping.get(t, t) for t in self.terms])
+
+    def is_ground(self) -> bool:
+        """True when every term is a constant (i.e. the atom denotes a tuple)."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def to_tuple(self) -> tuple[object, ...]:
+        """Return the tuple of constant values for a ground atom."""
+        if not self.is_ground():
+            raise ValueError(f"atom {self} is not ground")
+        return tuple(t.value for t in self.terms)  # type: ignore[union-attr]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Atom({self.predicate!r}, {list(self.terms)!r})"
+
+
+@dataclass(frozen=True)
+class EqualityAtom:
+    """An equality ``left = right`` between two terms."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left: object, right: object):
+        object.__setattr__(self, "left", term_from_value(left))
+        object.__setattr__(self, "right", term_from_value(right))
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "EqualityAtom":
+        """Apply *mapping* to both sides."""
+        return EqualityAtom(
+            mapping.get(self.left, self.left), mapping.get(self.right, self.right)
+        )
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables among the two sides."""
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                yield term
+
+    def is_trivial(self) -> bool:
+        """True when both sides are syntactically identical."""
+        return self.left == self.right
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+def atoms_variables(atoms: Sequence[Atom]) -> list[Variable]:
+    """Distinct variables of a conjunction of atoms, in first-occurrence order."""
+    seen: dict[Variable, None] = {}
+    for atom in atoms:
+        for var in atom.variables():
+            seen.setdefault(var, None)
+    return list(seen)
+
+
+def atoms_constants(atoms: Sequence[Atom]) -> list[Constant]:
+    """Distinct constants of a conjunction of atoms, in first-occurrence order."""
+    seen: dict[Constant, None] = {}
+    for atom in atoms:
+        for const in atom.constants():
+            seen.setdefault(const, None)
+    return list(seen)
+
+
+def substitute_atoms(
+    atoms: Sequence[Atom], mapping: Mapping[Term, Term]
+) -> tuple[Atom, ...]:
+    """Apply *mapping* to every atom in *atoms*."""
+    return tuple(atom.substitute(mapping) for atom in atoms)

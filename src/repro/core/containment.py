@@ -1,0 +1,42 @@
+"""Set-semantics containment and equivalence of conjunctive queries.
+
+The classical Chandra–Merlin result (Section 2.1 of the paper): for CQ
+queries ``Q1`` and ``Q2``, the set containment ``Q1 ⊑S Q2`` holds if and
+only if there is a containment mapping *from Q2 to Q1*.  Set equivalence is
+mutual containment.
+
+These dependency-free tests are the building blocks for the Σ-aware tests of
+Theorem 2.2 (set semantics), Theorem 6.1 (bag semantics), and Theorem 6.2
+(bag-set semantics), implemented in :mod:`repro.equivalence`.
+"""
+
+from __future__ import annotations
+
+from .homomorphism import find_containment_mapping
+from .query import ConjunctiveQuery
+
+
+def is_set_contained(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``Q1 ⊑S Q2``: the answer to Q1 is a subset of the answer to Q2
+    on every set-valued database.
+
+    Per Chandra–Merlin this holds iff there is a containment mapping from Q2
+    to Q1.
+    """
+    return find_containment_mapping(q2, q1) is not None
+
+
+def is_set_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Decide ``Q1 ≡S Q2`` (mutual set containment)."""
+    return is_set_contained(q1, q2) and is_set_contained(q2, q1)
+
+
+def containment_witness(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> dict | None:
+    """Return the containment mapping from Q2 to Q1 witnessing ``Q1 ⊑S Q2``.
+
+    Returns None when the containment does not hold.  Exposed for callers
+    (and tests) that want to inspect *why* a containment was accepted.
+    """
+    return find_containment_mapping(q2, q1)

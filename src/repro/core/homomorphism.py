@@ -1,0 +1,275 @@
+"""Homomorphisms, containment mappings, and query isomorphism.
+
+These are the workhorse procedures of the whole library:
+
+* :func:`find_homomorphism` / :func:`iter_homomorphisms` — find mappings
+  ``h`` from the variables of one conjunction of atoms to the terms of
+  another such that every source atom is mapped onto some target atom and
+  constants are preserved (Section 2.1 of the paper).
+* :func:`find_containment_mapping` — a homomorphism between query bodies
+  that also maps the head vector onto the head vector; existence of a
+  containment mapping from ``Q2`` to ``Q1`` characterises set containment
+  ``Q1 ⊑S Q2`` (Chandra–Merlin).
+* :func:`find_isomorphism` / :func:`are_isomorphic` — a bijection between
+  the two queries' subgoal occurrences compatible with a variable renaming;
+  isomorphism characterises bag equivalence (Theorem 2.1(1)).
+
+The search is plain backtracking with a most-constrained-atom-first
+heuristic: at every step the next source atom chosen is the one with the
+fewest compatible target atoms under the current partial mapping.  That
+keeps the (NP-complete in general) search fast on the query sizes the chase
+produces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .query import ConjunctiveQuery
+from .terms import Constant, Term, Variable
+
+Homomorphism = dict[Term, Term]
+
+
+def _compatible(
+    source_atom: Atom, target_atom: Atom, mapping: Homomorphism
+) -> Homomorphism | None:
+    """Try to match *source_atom* onto *target_atom* under *mapping*.
+
+    Returns the (new bindings only) extension of the mapping, or None when
+    the atoms cannot be unified in the homomorphism direction.
+    """
+    if source_atom.predicate != target_atom.predicate:
+        return None
+    if source_atom.arity != target_atom.arity:
+        return None
+    new_bindings: Homomorphism = {}
+    for s_term, t_term in zip(source_atom.terms, target_atom.terms):
+        if isinstance(s_term, Constant):
+            if s_term != t_term:
+                return None
+            continue
+        bound = mapping.get(s_term, new_bindings.get(s_term))
+        if bound is None:
+            new_bindings[s_term] = t_term
+        elif bound != t_term:
+            return None
+    return new_bindings
+
+
+def _candidate_index(target: Sequence[Atom]) -> dict[str, list[Atom]]:
+    index: dict[str, list[Atom]] = defaultdict(list)
+    for atom in target:
+        index[atom.predicate].append(atom)
+    return index
+
+
+def iter_homomorphisms(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    fixed: Mapping[Term, Term] | None = None,
+) -> Iterator[Homomorphism]:
+    """Yield every homomorphism from *source* to *target* extending *fixed*.
+
+    The yielded dictionaries map variables of *source* (and the keys of
+    *fixed*) to terms of *target*.  Constants are required to be preserved
+    but are not recorded in the mapping.
+    """
+    index = _candidate_index(target)
+    base: Homomorphism = dict(fixed or {})
+    # Constants in the fixed mapping must be identity (defensive check).
+    for key, value in base.items():
+        if isinstance(key, Constant) and key != value:
+            return
+
+    source_atoms = list(source)
+
+    def candidates(atom: Atom, mapping: Homomorphism) -> list[Homomorphism]:
+        found = []
+        for target_atom in index.get(atom.predicate, ()):
+            extension = _compatible(atom, target_atom, mapping)
+            if extension is not None:
+                found.append(extension)
+        return found
+
+    def search(remaining: list[Atom], mapping: Homomorphism) -> Iterator[Homomorphism]:
+        if not remaining:
+            yield dict(mapping)
+            return
+        # Most-constrained-first: pick the remaining atom with the fewest
+        # compatible target atoms under the current mapping.
+        best_idx = 0
+        best_candidates: list[Homomorphism] | None = None
+        for idx, atom in enumerate(remaining):
+            cands = candidates(atom, mapping)
+            if best_candidates is None or len(cands) < len(best_candidates):
+                best_idx, best_candidates = idx, cands
+                if not cands:
+                    return
+        atom = remaining[best_idx]
+        rest = remaining[:best_idx] + remaining[best_idx + 1 :]
+        assert best_candidates is not None
+        for extension in best_candidates:
+            mapping.update(extension)
+            yield from search(rest, mapping)
+            for key in extension:
+                del mapping[key]
+
+    yield from search(source_atoms, base)
+
+
+def find_homomorphism(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    fixed: Mapping[Term, Term] | None = None,
+) -> Homomorphism | None:
+    """Return one homomorphism from *source* to *target*, or None."""
+    for hom in iter_homomorphisms(source, target, fixed):
+        return hom
+    return None
+
+
+def can_extend_homomorphism(
+    mapping: Mapping[Term, Term],
+    extra_source: Sequence[Atom],
+    target: Sequence[Atom],
+) -> bool:
+    """Can *mapping* be extended to also cover *extra_source* atoms?
+
+    This is exactly the applicability condition of a tgd chase step
+    (Section 2.4): the chase with ``φ → ∃V̄ ψ`` applies when a homomorphism
+    from φ exists that can *not* be extended to φ ∧ ψ.
+    """
+    return find_homomorphism(extra_source, target, fixed=mapping) is not None
+
+
+def _head_fixed_mapping(
+    q_from: ConjunctiveQuery, q_to: ConjunctiveQuery
+) -> Homomorphism | None:
+    """Initial mapping forcing h(head of q_from) = head of q_to."""
+    if len(q_from.head_terms) != len(q_to.head_terms):
+        return None
+    fixed: Homomorphism = {}
+    for s_term, t_term in zip(q_from.head_terms, q_to.head_terms):
+        if isinstance(s_term, Constant):
+            if s_term != t_term:
+                return None
+            continue
+        if s_term in fixed and fixed[s_term] != t_term:
+            return None
+        fixed[s_term] = t_term
+    return fixed
+
+
+def iter_containment_mappings(
+    q_from: ConjunctiveQuery, q_to: ConjunctiveQuery
+) -> Iterator[Homomorphism]:
+    """Yield all containment mappings from *q_from* to *q_to*."""
+    fixed = _head_fixed_mapping(q_from, q_to)
+    if fixed is None:
+        return
+    yield from iter_homomorphisms(q_from.body, q_to.body, fixed=fixed)
+
+
+def find_containment_mapping(
+    q_from: ConjunctiveQuery, q_to: ConjunctiveQuery
+) -> Homomorphism | None:
+    """Return one containment mapping from *q_from* to *q_to*, or None."""
+    for mapping in iter_containment_mappings(q_from, q_to):
+        return mapping
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Isomorphism (bag equivalence, Theorem 2.1(1))
+# ---------------------------------------------------------------------- #
+def _atom_occurrence_bijection(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Iterator[Homomorphism]:
+    """Search for a variable renaming inducing a bijection of subgoal occurrences.
+
+    The mapping must (i) send the head vector of q1 onto the head vector of
+    q2, (ii) be injective on variables, and (iii) match the body subgoals of
+    q1 one-to-one onto the body subgoals of q2 (occurrences, not just atom
+    values, so duplicate subgoals are respected).
+    """
+    if len(q1.body) != len(q2.body):
+        return
+    if Counter(a.predicate for a in q1.body) != Counter(a.predicate for a in q2.body):
+        return
+    fixed = _head_fixed_mapping(q1, q2)
+    if fixed is None:
+        return
+    # Variables may not rename to constants in an isomorphism.
+    if any(isinstance(image, Constant) for image in fixed.values()):
+        return
+    # Injectivity of the initial head mapping.
+    images = [v for v in fixed.values()]
+    if len(set(images)) != len(images):
+        # Two distinct q1 head variables forced onto the same q2 term can
+        # still be fine only if they are the same variable; distinct keys
+        # with equal values break injectivity.
+        keys = list(fixed.keys())
+        if len(set(keys)) == len(keys) and len(set(images)) != len(keys):
+            return
+
+    target_atoms = list(q2.body)
+
+    def search(
+        remaining: list[Atom],
+        available: list[bool],
+        mapping: Homomorphism,
+        used_targets: set[Term],
+    ) -> Iterator[Homomorphism]:
+        if not remaining:
+            yield dict(mapping)
+            return
+        atom = remaining[0]
+        rest = remaining[1:]
+        for idx, target_atom in enumerate(target_atoms):
+            if not available[idx]:
+                continue
+            extension = _compatible(atom, target_atom, mapping)
+            if extension is None:
+                continue
+            # An isomorphism is a variable *renaming*: variables may not be
+            # mapped to constants (otherwise the mapping has no inverse).
+            if any(isinstance(image, Constant) for image in extension.values()):
+                continue
+            # Enforce injectivity on variables.
+            new_images = list(extension.values())
+            if any(img in used_targets for img in new_images):
+                continue
+            if len(set(new_images)) != len(new_images):
+                continue
+            available[idx] = False
+            mapping.update(extension)
+            used_targets.update(new_images)
+            yield from search(rest, available, mapping, used_targets)
+            for key, img in extension.items():
+                del mapping[key]
+                used_targets.discard(img)
+            available[idx] = True
+
+    initial_used = set(fixed.values())
+    yield from search(list(q1.body), [True] * len(target_atoms), dict(fixed), initial_used)
+
+
+def find_isomorphism(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> Homomorphism | None:
+    """Return a query isomorphism from *q1* to *q2*, or None.
+
+    An isomorphism is a renaming of variables under which the two queries
+    have identical heads and identical bodies *as bags of subgoals*.
+    """
+    for mapping in _atom_occurrence_bijection(q1, q2):
+        return mapping
+    return None
+
+
+def are_isomorphic(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """True when the two queries are isomorphic (Theorem 2.1(1))."""
+    return find_isomorphism(q1, q2) is not None

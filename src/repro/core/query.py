@@ -1,0 +1,245 @@
+"""Conjunctive queries (CQ queries).
+
+A conjunctive query ``Q(X̄) :- p1(...), ..., pn(...)`` (Section 2.1 of the
+paper) is represented by :class:`ConjunctiveQuery`: a head predicate name, a
+tuple of head terms, and a tuple of body atoms.  The body is an *ordered
+sequence* rather than a set because bag semantics distinguishes duplicate
+subgoals (Theorem 2.1 and Theorem 4.2 hinge on subgoal multiplicities).
+
+Key operations provided here:
+
+* safety validation (every head variable occurs in the body),
+* canonical representation (duplicate subgoals dropped — used by the
+  Chaudhuri–Vardi bag-set equivalence test),
+* variable renaming / freshening (used everywhere by the chase),
+* structural equality and a normal form useful for deduplicating
+  reformulation outputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import QueryError
+from .atoms import Atom, atoms_constants, atoms_variables, substitute_atoms
+from .terms import (
+    Constant,
+    FreshVariableFactory,
+    Term,
+    Variable,
+    term_from_value,
+)
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A safe conjunctive query ``head_predicate(head_terms) :- body``."""
+
+    head_predicate: str
+    head_terms: tuple[Term, ...]
+    body: tuple[Atom, ...]
+
+    def __init__(
+        self,
+        head_predicate: str,
+        head_terms: Sequence[object],
+        body: Sequence[Atom],
+        validate: bool = True,
+    ):
+        object.__setattr__(self, "head_predicate", head_predicate)
+        object.__setattr__(
+            self, "head_terms", tuple(term_from_value(t) for t in head_terms)
+        )
+        object.__setattr__(self, "body", tuple(body))
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation and basic accessors
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        if not self.body:
+            raise QueryError(
+                f"query {self.head_predicate} has an empty body; CQ queries "
+                "must have a nonempty conjunction of atoms"
+            )
+        body_vars = set(self.body_variables())
+        for term in self.head_terms:
+            if isinstance(term, Variable) and term not in body_vars:
+                raise QueryError(
+                    f"query {self.head_predicate} is unsafe: head variable "
+                    f"{term} does not occur in the body"
+                )
+
+    def head_variables(self) -> list[Variable]:
+        """Distinct head variables in first-occurrence order."""
+        seen: dict[Variable, None] = {}
+        for term in self.head_terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term, None)
+        return list(seen)
+
+    def body_variables(self) -> list[Variable]:
+        """Distinct body variables in first-occurrence order."""
+        return atoms_variables(self.body)
+
+    def existential_variables(self) -> list[Variable]:
+        """Body variables that do not occur in the head."""
+        head = set(self.head_variables())
+        return [v for v in self.body_variables() if v not in head]
+
+    def all_variables(self) -> list[Variable]:
+        """Distinct variables of head and body, body order first."""
+        seen: dict[Variable, None] = {}
+        for var in self.body_variables():
+            seen.setdefault(var, None)
+        for var in self.head_variables():
+            seen.setdefault(var, None)
+        return list(seen)
+
+    def constants(self) -> list[Constant]:
+        """Distinct constants occurring in head or body."""
+        seen: dict[Constant, None] = {}
+        for const in atoms_constants(self.body):
+            seen.setdefault(const, None)
+        for term in self.head_terms:
+            if isinstance(term, Constant):
+                seen.setdefault(term, None)
+        return list(seen)
+
+    def predicates(self) -> set[str]:
+        """The set of predicate names used in the body."""
+        return {atom.predicate for atom in self.body}
+
+    def predicate_counts(self) -> Counter[str]:
+        """Multiplicity of each predicate among the body subgoals."""
+        return Counter(atom.predicate for atom in self.body)
+
+    @property
+    def head_atom(self) -> Atom:
+        """The head rendered as an atom (useful for printing and hashing)."""
+        return Atom(self.head_predicate, self.head_terms)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def canonical_representation(self) -> "ConjunctiveQuery":
+        """Drop duplicate body atoms (the paper's canonical representation).
+
+        Used by Theorem 2.1(2): two CQ queries are bag-set equivalent iff
+        their canonical representations are bag equivalent (isomorphic).
+        """
+        seen: dict[Atom, None] = {}
+        for atom in self.body:
+            seen.setdefault(atom, None)
+        return ConjunctiveQuery(self.head_predicate, self.head_terms, tuple(seen))
+
+    def drop_duplicates_for(self, set_valued_predicates: Iterable[str]) -> "ConjunctiveQuery":
+        """Drop duplicate subgoals only for predicates in *set_valued_predicates*.
+
+        This is the transformation of Theorem 4.2: only subgoals whose
+        relations are forced to be set valued may be deduplicated without
+        changing the query's bag semantics.
+        """
+        allowed = set(set_valued_predicates)
+        kept: list[Atom] = []
+        seen: set[Atom] = set()
+        for atom in self.body:
+            if atom.predicate in allowed:
+                if atom in seen:
+                    continue
+                seen.add(atom)
+            kept.append(atom)
+        return ConjunctiveQuery(self.head_predicate, self.head_terms, tuple(kept))
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "ConjunctiveQuery":
+        """Apply a term substitution to head and body.
+
+        Safety is re-checked because an arbitrary substitution could in
+        principle break it; substitutions produced by the chase never do.
+        """
+        head = tuple(mapping.get(t, t) for t in self.head_terms)
+        return ConjunctiveQuery(
+            self.head_predicate, head, substitute_atoms(self.body, mapping)
+        )
+
+    def rename_variables(self, mapping: Mapping[Variable, Variable]) -> "ConjunctiveQuery":
+        """Rename variables according to *mapping* (a special-case substitute)."""
+        return self.substitute(dict(mapping))
+
+    def freshen(
+        self, avoid: Iterable[Variable] = (), prefix: str = "_r"
+    ) -> tuple["ConjunctiveQuery", dict[Variable, Variable]]:
+        """Return a variable-disjoint copy plus the renaming that produced it.
+
+        Every variable of the query is renamed to a fresh variable whose name
+        collides neither with *avoid* nor with the query's own variables.
+        """
+        avoid_names = {v.name for v in avoid} | {v.name for v in self.all_variables()}
+        factory = FreshVariableFactory(avoid_names, prefix=prefix)
+        renaming = {v: factory(hint=f"{prefix}_{v.name}") for v in self.all_variables()}
+        return self.rename_variables(renaming), renaming
+
+    def with_body(self, body: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Return a copy of the query with *body* as its new body."""
+        return ConjunctiveQuery(self.head_predicate, self.head_terms, tuple(body))
+
+    def add_atoms(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Return a copy with *atoms* appended to the body."""
+        return self.with_body(self.body + tuple(atoms))
+
+    def drop_atom_at(self, index: int) -> "ConjunctiveQuery":
+        """Return a copy with the body atom at *index* removed."""
+        if not 0 <= index < len(self.body):
+            raise QueryError(f"no body atom at index {index}")
+        body = self.body[:index] + self.body[index + 1 :]
+        return ConjunctiveQuery(self.head_predicate, self.head_terms, body)
+
+    # ------------------------------------------------------------------ #
+    # Normal form, equality, display
+    # ------------------------------------------------------------------ #
+    def normal_form(self) -> "ConjunctiveQuery":
+        """A deterministic renaming of variables used for deduplication.
+
+        Variables are renamed to ``V0, V1, ...`` in order of first occurrence
+        (head first, then body, in body order).  Two queries that are
+        identical up to variable renaming have equal normal forms; the
+        operation is idempotent.  It deliberately does **not** canonicalise
+        body order or detect general isomorphism — use
+        :func:`repro.core.homomorphism.are_isomorphic` for the real test.
+        """
+        order: dict[Variable, Variable] = {}
+
+        def canon(term: Term) -> Term:
+            if isinstance(term, Variable):
+                if term not in order:
+                    order[term] = Variable(f"V{len(order)}")
+                return order[term]
+            return term
+
+        head = tuple(canon(t) for t in self.head_terms)
+        body = [Atom(a.predicate, [canon(t) for t in a.terms]) for a in self.body]
+        return ConjunctiveQuery(self.head_predicate, head, tuple(body))
+
+    def structural_key(self) -> tuple:
+        """Hashable key of the normal form, for dictionaries and set lookups."""
+        nf = self.normal_form()
+        return (
+            nf.head_predicate,
+            nf.head_terms,
+            tuple(nf.body),
+        )
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.head_atom} :- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConjunctiveQuery({self!s})"
+
+
+def cq(head: str, head_terms: Sequence[object], *body: Atom) -> ConjunctiveQuery:
+    """Small convenience constructor: ``cq("Q", ["X"], Atom("p", ["X", "Y"]))``."""
+    return ConjunctiveQuery(head, head_terms, list(body))

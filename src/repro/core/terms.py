@@ -1,0 +1,137 @@
+"""Terms: variables and constants.
+
+The paper's queries and dependencies are built from *terms*: variables
+(implicitly universally or existentially quantified, depending on position)
+and constants.  Both are small immutable value objects so they can be used as
+dictionary keys, set members, and members of frozen atoms.
+
+A :class:`Variable` is identified by its name; a :class:`Constant` by its
+value (any hashable Python object — ints and strings in practice).  Two
+helper functions, :func:`fresh_variable` and :func:`FreshVariableFactory`,
+generate names guaranteed not to collide with a given set of used names;
+the chase and the associated-test-query construction (Definition 4.2 of the
+paper) rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query / dependency variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value appearing in a query, dependency, or database tuple."""
+
+    value: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def term_from_value(value: object) -> Term:
+    """Coerce a raw Python value into a term.
+
+    Strings beginning with an uppercase letter or an underscore are treated
+    as variables (the paper's convention: ``X``, ``Y``, ``Z1``); everything
+    else becomes a constant.  Existing :class:`Variable` / :class:`Constant`
+    objects pass through unchanged.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+class FreshVariableFactory:
+    """Produces variables whose names do not collide with a set of used names.
+
+    The factory is deterministic: it numbers variables ``prefix0``,
+    ``prefix1`` ... skipping any name already in use, and records every name
+    it hands out so repeated calls never collide with each other either.
+    """
+
+    def __init__(self, used_names: Iterable[str] = (), prefix: str = "_v"):
+        self._used = set(used_names)
+        self._prefix = prefix
+        self._counter = 0
+
+    def __call__(self, hint: str | None = None) -> Variable:
+        """Return a fresh variable.
+
+        If *hint* is given, the fresh name is derived from it (``hint``,
+        ``hint_1``, ``hint_2`` ...), which keeps chase outputs readable.
+        """
+        if hint is not None:
+            candidate = hint
+            suffix = 0
+            while candidate in self._used:
+                suffix += 1
+                candidate = f"{hint}_{suffix}"
+            self._used.add(candidate)
+            return Variable(candidate)
+        while True:
+            candidate = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return Variable(candidate)
+
+    def reserve(self, names: Iterable[str]) -> None:
+        """Mark *names* as used so they will never be produced."""
+        self._used.update(names)
+
+
+def fresh_variable(used: Iterable[Variable | str], hint: str = "_v") -> Variable:
+    """Return a single variable not occurring in *used*.
+
+    Convenience wrapper around :class:`FreshVariableFactory` for call sites
+    that need just one fresh name.
+    """
+    used_names = {u.name if isinstance(u, Variable) else u for u in used}
+    factory = FreshVariableFactory(used_names, prefix=hint)
+    return factory(hint=hint) if hint != "_v" else factory()
+
+
+def variables_in(terms: Iterable[Term]) -> Iterator[Variable]:
+    """Yield the variables among *terms*, preserving order, with duplicates."""
+    for term in terms:
+        if isinstance(term, Variable):
+            yield term
+
+
+def constants_in(terms: Iterable[Term]) -> Iterator[Constant]:
+    """Yield the constants among *terms*, preserving order, with duplicates."""
+    for term in terms:
+        if isinstance(term, Constant):
+            yield term

@@ -1,0 +1,29 @@
+"""Bag-valued database instances, canonical databases, dependency satisfaction."""
+
+from .canonical import CanonicalDatabase, canonical_database
+from .generator import chained_instance, random_instance, random_key_respecting_instance
+from .instance import DatabaseInstance, Relation
+from .satisfaction import (
+    satisfies,
+    satisfies_all,
+    satisfies_egd,
+    satisfies_set_valuedness,
+    satisfies_tgd,
+    violated_dependencies,
+)
+
+__all__ = [
+    "CanonicalDatabase",
+    "DatabaseInstance",
+    "Relation",
+    "canonical_database",
+    "chained_instance",
+    "random_instance",
+    "random_key_respecting_instance",
+    "satisfies",
+    "satisfies_all",
+    "satisfies_egd",
+    "satisfies_set_valuedness",
+    "satisfies_tgd",
+    "violated_dependencies",
+]

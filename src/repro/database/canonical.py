@@ -1,0 +1,87 @@
+"""Canonical databases of conjunctive queries (Section 2.1).
+
+The canonical database D(Q) of a CQ query Q freezes the query: every
+constant of the body is kept, every variable is consistently replaced by a
+distinct fresh constant, and the resulting ground atoms are the only tuples
+of the instance.  The canonical database is set valued by construction and
+is unique up to isomorphism (choice of the fresh constants).
+
+Several constructions in the paper start from canonical databases:
+
+* the Chandra–Merlin containment test (conceptually),
+* chase termination — ``D(Qn) |= Σ`` is the set-chase termination condition,
+* the counterexample databases of Theorem 4.1's proof, of Proposition E.2 /
+  E.3, and of Lemma D.1 are all modifications of canonical databases; the
+  helpers here (:func:`frozen_variable_constant`, returning the constant a
+  given variable froze to) make those modifications easy to express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from .instance import DatabaseInstance
+
+
+@dataclass(frozen=True)
+class CanonicalDatabase:
+    """A canonical database together with the freezing assignment used to build it."""
+
+    instance: DatabaseInstance
+    assignment: dict[Variable, object]
+    query: ConjunctiveQuery
+
+    def constant_for(self, variable: Variable | str) -> object:
+        """The constant that *variable* froze to."""
+        if isinstance(variable, str):
+            variable = Variable(variable)
+        return self.assignment[variable]
+
+    def head_tuple(self) -> tuple:
+        """The tuple the frozen head evaluates to (γ(X̄) in the paper's proofs)."""
+        values = []
+        for term in self.query.head_terms:
+            if isinstance(term, Constant):
+                values.append(term.value)
+            else:
+                values.append(self.assignment[term])
+        return tuple(values)
+
+
+def canonical_database(query: ConjunctiveQuery) -> CanonicalDatabase:
+    """Build the canonical database D(Q) of *query*.
+
+    Fresh constants are derived from variable names (``"@X"`` for variable
+    ``X``), with a numeric suffix added if that string happens to collide
+    with an actual constant of the query — so the frozen constants are always
+    distinct from the query's own constants and from each other.
+    """
+    existing_constants = {c.value for c in query.constants()}
+    assignment: dict[Variable, object] = {}
+    for variable in query.all_variables():
+        candidate = f"@{variable.name}"
+        suffix = 0
+        while candidate in existing_constants:
+            suffix += 1
+            candidate = f"@{variable.name}#{suffix}"
+        existing_constants.add(candidate)
+        assignment[variable] = candidate
+
+    instance = DatabaseInstance()
+    seen: set[tuple[str, tuple]] = set()
+    for atom in query.body:
+        row = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                row.append(term.value)
+            else:
+                row.append(assignment[term])
+        key = (atom.predicate, tuple(row))
+        # The canonical database is a set: duplicate subgoals contribute one tuple.
+        if key in seen:
+            continue
+        seen.add(key)
+        instance.add_tuple(atom.predicate, row)
+    return CanonicalDatabase(instance, assignment, query)

@@ -1,0 +1,112 @@
+"""Synthetic database-instance generators.
+
+Used by the benchmark harness (experiment E11: evaluation-engine scaling) and
+by randomized tests.  Three generators are provided:
+
+* :func:`random_instance` — independent uniform tuples over an integer
+  domain, optionally with duplicate tuples (bag-valued relations);
+* :func:`random_key_respecting_instance` — tuples whose listed key positions
+  are unique, so key egds are satisfied by construction;
+* :func:`chained_instance` — tuples forming a referential chain
+  ``r1 → r2 → ...`` so that inclusion dependencies between consecutive
+  relations hold by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from ..schema.schema import DatabaseSchema
+from .instance import DatabaseInstance
+
+
+def random_instance(
+    schema: DatabaseSchema,
+    tuples_per_relation: int,
+    domain_size: int = 50,
+    duplicate_fraction: float = 0.0,
+    seed: int = 0,
+) -> DatabaseInstance:
+    """A random instance of *schema*.
+
+    ``duplicate_fraction`` of the tuples in each relation are duplicates of
+    previously generated tuples, producing a bag-valued instance; 0 yields a
+    set-valued instance (with high probability for reasonable domain sizes,
+    and exactly if ``domain_size ** arity`` exceeds the tuple count).
+    """
+    rng = random.Random(seed)
+    instance = DatabaseInstance()
+    for relation in schema:
+        rows: list[tuple] = []
+        for _ in range(tuples_per_relation):
+            if rows and rng.random() < duplicate_fraction:
+                rows.append(rng.choice(rows))
+            else:
+                rows.append(
+                    tuple(rng.randrange(domain_size) for _ in range(relation.arity))
+                )
+        for row in rows:
+            instance.add_tuple(relation.name, row)
+    return instance
+
+
+def random_key_respecting_instance(
+    schema: DatabaseSchema,
+    key_positions: Mapping[str, Sequence[int]],
+    tuples_per_relation: int,
+    domain_size: int = 50,
+    seed: int = 0,
+) -> DatabaseInstance:
+    """A set-valued random instance in which the given key positions are unique.
+
+    ``key_positions`` maps relation names to the 0-based positions of their
+    key; relations not listed get independent random tuples.
+    """
+    rng = random.Random(seed)
+    instance = DatabaseInstance()
+    for relation in schema:
+        positions = key_positions.get(relation.name)
+        seen_keys: set[tuple] = set()
+        produced = 0
+        attempts = 0
+        while produced < tuples_per_relation and attempts < tuples_per_relation * 20:
+            attempts += 1
+            row = tuple(rng.randrange(domain_size) for _ in range(relation.arity))
+            if positions is not None:
+                key = tuple(row[p] for p in positions)
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+            if instance.has_relation(relation.name) and row in instance.relation(relation.name):
+                continue
+            instance.add_tuple(relation.name, row)
+            produced += 1
+        if not instance.has_relation(relation.name):
+            instance.add_tuple(relation.name, tuple(range(relation.arity)))
+    return instance
+
+
+def chained_instance(
+    relation_names: Sequence[str],
+    arity: int,
+    chain_length: int,
+    fanout: int = 1,
+    seed: int = 0,
+) -> DatabaseInstance:
+    """An instance where each relation references the next one positionally.
+
+    Relation ``r_i`` contains tuples whose first component equals the first
+    component of some tuple of ``r_{i+1}``, so the inclusion dependencies
+    ``r_i[0] ⊆ r_{i+1}[0]`` all hold.  ``fanout`` controls how many tuples of
+    ``r_i`` reference each tuple of ``r_{i+1}``.
+    """
+    rng = random.Random(seed)
+    instance = DatabaseInstance()
+    keys = list(range(chain_length))
+    for name in reversed(relation_names):
+        for key in keys:
+            for copy in range(fanout):
+                row = [key] + [rng.randrange(1000) for _ in range(arity - 1)]
+                instance.add_tuple(name, tuple(row))
+    return instance

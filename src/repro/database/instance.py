@@ -1,0 +1,245 @@
+"""Bag-valued relations and database instances.
+
+Under bag semantics (Section 2.2) a stored relation is a multiset of tuples;
+a relation is *set valued* when its cardinality equals the cardinality of its
+core set.  :class:`Relation` stores tuples in a :class:`collections.Counter`
+so both views are cheap; :class:`DatabaseInstance` is a name-indexed
+collection of relations with helpers to build instances from plain Python
+data, to view them as ground atoms (used by dependency-satisfaction checks),
+and to deduplicate them (the set-valued projection used when evaluating
+under bag-set semantics).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.atoms import Atom
+from ..exceptions import SchemaError
+from ..schema.schema import DatabaseSchema
+
+Tuple = tuple
+
+class Relation:
+    """A (generally bag-valued) relation: a multiset of same-arity tuples."""
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[Sequence[object]] = ()):
+        self.name = name
+        self.arity = arity
+        self._tuples: Counter[tuple] = Counter()
+        for row in tuples:
+            self.add(row)
+
+    # ------------------------------------------------------------------ #
+    def add(self, row: Sequence[object], multiplicity: int = 1) -> None:
+        """Add *multiplicity* copies of *row*."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, relation {self.name} "
+                f"expects arity {self.arity}"
+            )
+        if multiplicity <= 0:
+            raise SchemaError("multiplicity must be positive")
+        self._tuples[row] += multiplicity
+
+    def multiplicity(self, row: Sequence[object]) -> int:
+        """Number of copies of *row* in the relation (0 when absent)."""
+        return self._tuples.get(tuple(row), 0)
+
+    def core_set(self) -> set[tuple]:
+        """The core set (distinct tuples) of the relation."""
+        return set(self._tuples)
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of tuples, counting duplicates."""
+        return sum(self._tuples.values())
+
+    def is_set_valued(self) -> bool:
+        """True when the relation contains no duplicate tuples."""
+        return all(count == 1 for count in self._tuples.values())
+
+    def distinct(self) -> "Relation":
+        """The set-valued relation with the same core set."""
+        deduplicated = Relation(self.name, self.arity)
+        for row in self._tuples:
+            deduplicated.add(row)
+        return deduplicated
+
+    def scaled(self, factor: int) -> "Relation":
+        """A copy in which every tuple's multiplicity is multiplied by *factor*.
+
+        Used by the Lemma D.1 counterexample construction ("m copies of the
+        canonical relation").
+        """
+        if factor <= 0:
+            raise SchemaError("scaling factor must be positive")
+        copy = Relation(self.name, self.arity)
+        for row, count in self._tuples.items():
+            copy.add(row, count * factor)
+        return copy
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate over distinct tuples."""
+        return iter(self._tuples)
+
+    def iter_with_multiplicity(self) -> Iterator[tuple[tuple, int]]:
+        """Iterate over ``(tuple, multiplicity)`` pairs."""
+        return iter(self._tuples.items())
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def as_counter(self) -> Counter[tuple]:
+        """A copy of the underlying multiset."""
+        return Counter(self._tuples)
+
+    def __str__(self) -> str:
+        rows = ", ".join(
+            f"{row}×{count}" if count > 1 else f"{row}"
+            for row, count in sorted(self._tuples.items(), key=repr)
+        )
+        return f"{self.name} = {{{{{rows}}}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self!s})"
+
+
+class DatabaseInstance:
+    """A database instance: one (bag-valued) relation per relation symbol."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self.relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.relations[relation.name] = relation
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Iterable[Sequence[object]]],
+        schema: DatabaseSchema | None = None,
+    ) -> "DatabaseInstance":
+        """Build an instance from ``{"p": [(1, 2), (1, 2)], ...}``.
+
+        Listing a tuple twice makes its multiplicity 2 (bag semantics).  When
+        a *schema* is supplied, relations missing from *data* are created
+        empty and arities are validated.
+        """
+        instance = cls()
+        for name, rows in data.items():
+            rows = [tuple(r) for r in rows]
+            if schema is not None and name in schema:
+                arity = schema.arity(name)
+            elif rows:
+                arity = len(rows[0])
+            else:
+                raise SchemaError(
+                    f"cannot infer arity of empty relation {name!r} without a schema"
+                )
+            instance.relations[name] = Relation(name, arity, rows)
+        if schema is not None:
+            for relation_schema in schema:
+                if relation_schema.name not in instance.relations:
+                    instance.relations[relation_schema.name] = Relation(
+                        relation_schema.name, relation_schema.arity
+                    )
+        return instance
+
+    def add_tuple(self, relation: str, row: Sequence[object], multiplicity: int = 1) -> None:
+        """Add a tuple to *relation*, creating the relation if needed."""
+        if relation not in self.relations:
+            self.relations[relation] = Relation(relation, len(row))
+        self.relations[relation].add(row, multiplicity)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> Relation:
+        """The relation named *name*; an empty 0-tuple relation is never created
+        implicitly — a missing name raises :class:`SchemaError`."""
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"instance has no relation named {name!r}") from exc
+
+    def has_relation(self, name: str) -> bool:
+        """True when the instance has a relation named *name* (even if empty)."""
+        return name in self.relations
+
+    def relation_names(self) -> list[str]:
+        """All relation names present in the instance."""
+        return list(self.relations)
+
+    def is_set_valued(self, relations: Iterable[str] | None = None) -> bool:
+        """Is the instance (or the listed subset of relations) duplicate free?"""
+        names = list(relations) if relations is not None else self.relation_names()
+        return all(
+            self.relations[name].is_set_valued()
+            for name in names
+            if name in self.relations
+        )
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations, counting duplicates."""
+        return sum(rel.cardinality for rel in self.relations.values())
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def distinct(self) -> "DatabaseInstance":
+        """The set-valued instance with the same core sets (bag-set semantics
+        evaluates queries against this projection)."""
+        return DatabaseInstance(rel.distinct() for rel in self.relations.values())
+
+    def copy(self) -> "DatabaseInstance":
+        """A deep copy of the instance."""
+        copy = DatabaseInstance()
+        for name, relation in self.relations.items():
+            fresh = Relation(name, relation.arity)
+            for row, count in relation.iter_with_multiplicity():
+                fresh.add(row, count)
+            copy.relations[name] = fresh
+        return copy
+
+    def ground_atoms(self) -> list[Atom]:
+        """The instance viewed as a set of ground atoms (one per distinct tuple).
+
+        Used by homomorphism-based dependency checks; multiplicities are not
+        represented because dependency satisfaction only depends on the core
+        sets.
+        """
+        atoms = []
+        for relation in self.relations.values():
+            for row in relation:
+                atoms.append(Atom(relation.name, [*row]))
+        return atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        mine = {n: r for n, r in self.relations.items() if r.cardinality}
+        theirs = {n: r for n, r in other.relations.items() if r.cardinality}
+        return mine == theirs
+
+    def __str__(self) -> str:
+        return "\n".join(str(rel) for rel in self.relations.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseInstance({self.relation_names()})"

@@ -1,0 +1,100 @@
+"""Dependency satisfaction on database instances (``D |= Σ``, Section 2.4).
+
+* a tgd ``φ → ∃V̄ ψ`` is satisfied when every assignment satisfying φ can be
+  extended to one satisfying ψ;
+* an egd ``φ → U1 = U2`` is satisfied when every assignment satisfying φ
+  makes the equated terms equal.
+
+Satisfaction depends only on the *core sets* of the relations (duplicates do
+not matter), so the checks run against the deduplicated instance.  Note that
+set-enforcing constraints (relations required to be set valued, Appendix C)
+are *not* expressible over the un-augmented schema; they are checked
+separately by :func:`satisfies_set_valuedness`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..evaluation.assignments import (
+    InstanceIndex,
+    instantiate_terms,
+    iter_satisfying_assignments,
+)
+from .instance import DatabaseInstance
+
+
+def satisfies_tgd(instance: DatabaseInstance, tgd: TGD) -> bool:
+    """Does *instance* satisfy the tuple-generating dependency *tgd*?"""
+    deduplicated = instance.distinct()
+    index = InstanceIndex(deduplicated)
+    for assignment in iter_satisfying_assignments(tgd.premise, deduplicated, index):
+        premise_bindings = {
+            variable: assignment[variable]
+            for variable in tgd.universal_variables()
+            if variable in assignment
+        }
+        extended = iter_satisfying_assignments(
+            tgd.conclusion, deduplicated, index, fixed=premise_bindings
+        )
+        if next(iter(extended), None) is None:
+            return False
+    return True
+
+
+def satisfies_egd(instance: DatabaseInstance, egd: EGD) -> bool:
+    """Does *instance* satisfy the equality-generating dependency *egd*?"""
+    deduplicated = instance.distinct()
+    index = InstanceIndex(deduplicated)
+    for assignment in iter_satisfying_assignments(egd.premise, deduplicated, index):
+        for equality in egd.equalities:
+            left, right = instantiate_terms([equality.left, equality.right], assignment)
+            if left != right:
+                return False
+    return True
+
+
+def satisfies(instance: DatabaseInstance, dependency: Dependency) -> bool:
+    """Does *instance* satisfy *dependency*?"""
+    if isinstance(dependency, TGD):
+        return satisfies_tgd(instance, dependency)
+    return satisfies_egd(instance, dependency)
+
+
+def satisfies_all(
+    instance: DatabaseInstance,
+    dependencies: DependencySet | Iterable[Dependency],
+    check_set_valuedness: bool = True,
+) -> bool:
+    """Does *instance* satisfy every dependency of the set (``D |= Σ``)?
+
+    When *dependencies* is a :class:`DependencySet` carrying set-valuedness
+    markers and *check_set_valuedness* is True, the marked relations are also
+    required to be duplicate free in *instance*.
+    """
+    if isinstance(dependencies, DependencySet):
+        if check_set_valuedness and not satisfies_set_valuedness(
+            instance, dependencies.set_valued_predicates
+        ):
+            return False
+        items: Iterable[Dependency] = dependencies.dependencies
+    else:
+        items = dependencies
+    return all(satisfies(instance, dependency) for dependency in items)
+
+
+def satisfies_set_valuedness(
+    instance: DatabaseInstance, set_valued_predicates: Iterable[str]
+) -> bool:
+    """Are all the listed relations duplicate free in *instance*?"""
+    return instance.is_set_valued(set_valued_predicates)
+
+
+def violated_dependencies(
+    instance: DatabaseInstance, dependencies: DependencySet | Iterable[Dependency]
+) -> list[Dependency]:
+    """The dependencies of the set that *instance* violates (diagnostics helper)."""
+    items: Iterable[Dependency]
+    items = dependencies.dependencies if isinstance(dependencies, DependencySet) else dependencies
+    return [dependency for dependency in items if not satisfies(instance, dependency)]

@@ -1,0 +1,33 @@
+"""Datalog-style (rule notation) parsing and rendering of queries and dependencies."""
+
+from .parser import (
+    parse_aggregate_query,
+    parse_dependencies,
+    parse_dependency,
+    parse_egd,
+    parse_query,
+    parse_tgd,
+)
+from .render import (
+    render_aggregate_query,
+    render_atom,
+    render_dependency,
+    render_dependency_set,
+    render_query,
+    render_term,
+)
+
+__all__ = [
+    "parse_aggregate_query",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_egd",
+    "parse_query",
+    "parse_tgd",
+    "render_aggregate_query",
+    "render_atom",
+    "render_dependency",
+    "render_dependency_set",
+    "render_query",
+    "render_term",
+]

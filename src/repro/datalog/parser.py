@@ -1,0 +1,316 @@
+"""Parser for the paper's rule notation.
+
+Queries, dependencies, and aggregate queries in the paper are written in a
+datalog-like notation; this parser accepts that notation so tests, examples,
+and benchmarks can state inputs exactly as the paper does::
+
+    Q4(X) :- p(X,Y)
+    Q(X, sum(Y)) :- r(X,Y), s(Y,Z)
+    p(X,Y) -> s(X,Z) & t(X,V,W)          # tgd  (existentials are implicit)
+    s(X,Y) & s(X,Z) -> Y = Z             # egd
+    p(X,Y) -> t(X,Y,W) & X = Y           # mixed conclusions are normalised
+
+Conventions:
+
+* identifiers starting with an uppercase letter or underscore are variables;
+  everything else (lowercase identifiers, numbers, quoted strings) is a
+  constant;
+* ``:-`` separates a query head from its body; ``->`` (or ``=>``)
+  separates a dependency premise from its conclusion;
+* conjunctions may be written with ``,``, ``&``, ``^`` or ``∧``;
+* an optional ``exists V1, V2:`` prefix on a tgd conclusion is accepted and
+  ignored (existential variables are inferred).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..core.aggregate import AggregateFunction, AggregateQuery, AggregateTerm
+from ..core.atoms import Atom, EqualityAtom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..dependencies.base import Dependency, DependencySet, normalise_embedded_dependency
+from ..exceptions import ParseError
+
+_TOKEN_REGEX = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-|->|=>|⟶|→)
+  | (?P<and>&&|&|\^|∧)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<eq>=)
+  | (?P<star>\*)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATE_NAMES = {"sum", "count", "max", "min"}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_REGEX.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at position {position}",
+                position,
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------------ #
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.value!r} at position "
+                f"{token.position} in {self.text!r}",
+                token.position,
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # ------------------------------------------------------------------ #
+    def parse_term(self):
+        token = self.advance()
+        if token.kind == "name":
+            if token.value[0].isupper() or token.value[0] == "_":
+                return Variable(token.value)
+            return Constant(token.value)
+        if token.kind == "number":
+            text = token.value
+            return Constant(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            return Constant(token.value[1:-1])
+        raise ParseError(
+            f"expected a term but found {token.value!r} at position {token.position}",
+            token.position,
+        )
+
+    def parse_atom(self) -> Atom:
+        name_token = self.expect("name")
+        self.expect("lparen")
+        terms = [self.parse_term()]
+        while self.peek() is not None and self.peek().kind == "comma":
+            self.advance()
+            terms.append(self.parse_term())
+        self.expect("rparen")
+        return Atom(name_token.value, terms)
+
+    def parse_conjunct(self) -> Atom | EqualityAtom:
+        """One conjunct: either an atom or an equality ``X = Y``."""
+        checkpoint = self.index
+        token = self.advance()
+        nxt = self.peek()
+        if token.kind in ("name", "number", "string") and nxt is not None and nxt.kind == "eq":
+            self.index = checkpoint
+            left = self.parse_term()
+            self.expect("eq")
+            right = self.parse_term()
+            return EqualityAtom(left, right)
+        self.index = checkpoint
+        return self.parse_atom()
+
+    def parse_conjunction(self) -> list[Atom | EqualityAtom]:
+        conjuncts = [self.parse_conjunct()]
+        while True:
+            token = self.peek()
+            if token is not None and token.kind in ("comma", "and"):
+                self.advance()
+                conjuncts.append(self.parse_conjunct())
+            else:
+                break
+        return conjuncts
+
+    def skip_exists_prefix(self) -> None:
+        token = self.peek()
+        if token is not None and token.kind == "name" and token.value.lower() == "exists":
+            self.advance()
+            # Consume the variable list and the optional ':' -- but ':' is not
+            # a token, so the prefix is simply "exists V1, V2" followed by atoms.
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    raise ParseError("dangling 'exists' prefix")
+                if nxt.kind == "name" and self.index + 1 < len(self.tokens) and \
+                        self.tokens[self.index + 1].kind == "lparen":
+                    # Next token starts an atom: the prefix is over.
+                    return
+                if nxt.kind in ("name", "comma"):
+                    self.advance()
+                    continue
+                return
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query written as ``Head(X,...) :- atom, atom, ...``."""
+    parser = _Parser(text)
+    head = parser.parse_atom()
+    parser.expect("arrow")
+    body = parser.parse_conjunction()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(
+            f"unexpected trailing input {token.value!r} in {text!r}", token.position
+        )
+    atoms = []
+    for conjunct in body:
+        if isinstance(conjunct, EqualityAtom):
+            raise ParseError("query bodies must not contain equalities; "
+                             "use repeated variables instead")
+        atoms.append(conjunct)
+    return ConjunctiveQuery(head.predicate, head.terms, atoms)
+
+
+def parse_aggregate_query(text: str) -> AggregateQuery:
+    """Parse an aggregate query such as ``Q(X, sum(Y)) :- r(X,Y)``.
+
+    The aggregate term must be the last head argument; ``count(*)`` is
+    written literally.
+    """
+    parser = _Parser(text)
+    name_token = parser.expect("name")
+    parser.expect("lparen")
+    grouping_terms = []
+    aggregate: AggregateTerm | None = None
+    while True:
+        token = parser.peek()
+        if token is None:
+            raise ParseError(f"unterminated head in {text!r}")
+        if token.kind == "name" and token.value.lower() in _AGGREGATE_NAMES and \
+                parser.index + 1 < len(parser.tokens) and \
+                parser.tokens[parser.index + 1].kind == "lparen":
+            function_token = parser.advance()
+            parser.expect("lparen")
+            nxt = parser.peek()
+            if nxt is not None and nxt.kind == "star":
+                parser.advance()
+                aggregate = AggregateTerm(AggregateFunction.COUNT_STAR)
+            else:
+                argument = parser.parse_term()
+                aggregate = AggregateTerm(
+                    AggregateFunction.from_name(function_token.value), argument
+                )
+            parser.expect("rparen")
+        else:
+            grouping_terms.append(parser.parse_term())
+        nxt = parser.peek()
+        if nxt is not None and nxt.kind == "comma":
+            parser.advance()
+            continue
+        parser.expect("rparen")
+        break
+    if aggregate is None:
+        raise ParseError(f"no aggregate term found in head of {text!r}")
+    parser.expect("arrow")
+    body = parser.parse_conjunction()
+    atoms = [conjunct for conjunct in body if isinstance(conjunct, Atom)]
+    if len(atoms) != len(body):
+        raise ParseError("aggregate query bodies must not contain equalities")
+    return AggregateQuery(name_token.value, grouping_terms, aggregate, atoms)
+
+
+def parse_dependency(text: str, name: str = "") -> list[Dependency]:
+    """Parse an embedded dependency ``premise -> conclusion``.
+
+    The conclusion may mix relational atoms and equalities; the result is
+    normalised into (at most) one tgd and one egd.
+    """
+    parser = _Parser(text)
+    premise = parser.parse_conjunction()
+    parser.expect("arrow")
+    parser.skip_exists_prefix()
+    conclusion = parser.parse_conjunction()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(
+            f"unexpected trailing input {token.value!r} in {text!r}", token.position
+        )
+    premise_atoms = []
+    for conjunct in premise:
+        if isinstance(conjunct, EqualityAtom):
+            raise ParseError("dependency premises must not contain equalities")
+        premise_atoms.append(conjunct)
+    return normalise_embedded_dependency(premise_atoms, conclusion, name=name)
+
+
+def parse_tgd(text: str, name: str = ""):
+    """Parse a dependency expected to be a single tgd."""
+    dependencies = parse_dependency(text, name)
+    if len(dependencies) != 1:
+        raise ParseError(f"{text!r} is not a single tgd")
+    return dependencies[0]
+
+
+def parse_egd(text: str, name: str = ""):
+    """Parse a dependency expected to be a single egd."""
+    dependencies = parse_dependency(text, name)
+    if len(dependencies) != 1:
+        raise ParseError(f"{text!r} is not a single egd")
+    return dependencies[0]
+
+
+def parse_dependencies(
+    lines: Iterator[str] | list[str] | str,
+    set_valued: Iterator[str] | list[str] = (),
+) -> DependencySet:
+    """Parse several dependencies (one per non-empty, non-comment line).
+
+    *lines* may be a multi-line string or an iterable of lines; lines
+    starting with ``#`` or ``%`` are ignored.  ``set_valued`` lists the
+    relations required to be set valued in every instance.
+    """
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    dependencies: list[Dependency] = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "%")):
+            continue
+        dependencies.extend(parse_dependency(stripped, name=f"sigma_{index + 1}"))
+    return DependencySet(dependencies, set_valued_predicates=list(set_valued))

@@ -1,0 +1,80 @@
+"""Rendering queries and dependencies back into the rule notation.
+
+The renderers produce text that :mod:`repro.datalog.parser` parses back to an
+equal object (round-tripping is property-tested), which makes them suitable
+both for display and for serialising workloads.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregate import AggregateFunction, AggregateQuery
+from ..core.atoms import Atom, EqualityAtom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+
+
+def render_term(term: Term) -> str:
+    """Render a term: variables as their name, constants literally."""
+    if isinstance(term, Variable):
+        return term.name
+    assert isinstance(term, Constant)
+    value = term.value
+    if isinstance(value, str):
+        # Lowercase identifiers parse back as constants without quoting.
+        if value.isidentifier() and not (value[0].isupper() or value[0] == "_"):
+            return value
+        return f"'{value}'"
+    return str(value)
+
+
+def render_atom(atom: Atom) -> str:
+    """Render a relational atom."""
+    return f"{atom.predicate}({', '.join(render_term(t) for t in atom.terms)})"
+
+
+def render_equality(equality: EqualityAtom) -> str:
+    """Render an equality conjunct."""
+    return f"{render_term(equality.left)} = {render_term(equality.right)}"
+
+
+def render_query(query: ConjunctiveQuery) -> str:
+    """Render a conjunctive query in ``Head(...) :- body`` form."""
+    head = f"{query.head_predicate}({', '.join(render_term(t) for t in query.head_terms)})"
+    body = ", ".join(render_atom(a) for a in query.body)
+    return f"{head} :- {body}"
+
+
+def render_aggregate_query(query: AggregateQuery) -> str:
+    """Render an aggregate query, e.g. ``Q(X, sum(Y)) :- r(X, Y)``."""
+    parts = [render_term(t) for t in query.grouping_terms]
+    if query.aggregate.function is AggregateFunction.COUNT_STAR:
+        parts.append("count(*)")
+    else:
+        parts.append(
+            f"{query.aggregate.function.value}({render_term(query.aggregate.argument)})"
+        )
+    head = f"{query.head_predicate}({', '.join(parts)})"
+    body = ", ".join(render_atom(a) for a in query.body)
+    return f"{head} :- {body}"
+
+
+def render_dependency(dependency: Dependency) -> str:
+    """Render a tgd or egd in ``premise -> conclusion`` form."""
+    premise = " & ".join(render_atom(a) for a in dependency.premise)
+    if isinstance(dependency, TGD):
+        conclusion = " & ".join(render_atom(a) for a in dependency.conclusion)
+    else:
+        assert isinstance(dependency, EGD)
+        conclusion = " & ".join(render_equality(eq) for eq in dependency.equalities)
+    return f"{premise} -> {conclusion}"
+
+
+def render_dependency_set(dependencies: DependencySet) -> str:
+    """Render a dependency set, one dependency per line, with a trailing
+    comment recording the set-valued relations."""
+    lines = [render_dependency(d) for d in dependencies]
+    if dependencies.set_valued_predicates:
+        names = ", ".join(sorted(dependencies.set_valued_predicates))
+        lines.append(f"# set-valued relations: {names}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Regularization of tgds (Definition 4.1 of the paper).
+
+A tgd ``φ → ∃Z̄ ψ`` is *regularized* when its conclusion cannot be split into
+two nonempty groups of atoms that share only universally quantified
+variables.  Equivalently: viewing conclusion atoms as nodes and connecting
+two atoms whenever they share an *existential* variable, the conclusion must
+form a single connected component.
+
+Regularizing a non-regular tgd splits its conclusion into those connected
+components, one tgd per component (same premise).  Proposition 4.1: the
+regularized set is satisfied by exactly the same databases, and set-chase
+results are preserved.  Sound chase under bag / bag-set semantics *requires*
+regularized tgds (Examples 4.4–4.5 show what goes wrong otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.atoms import Atom
+from ..core.terms import Variable
+from .base import EGD, TGD, Dependency, DependencySet
+
+
+def _conclusion_components(tgd: TGD) -> list[list[Atom]]:
+    """Connected components of the conclusion under shared existential variables."""
+    existential = set(tgd.existential_variables())
+    atoms = list(tgd.conclusion)
+    parent = list(range(len(atoms)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    variable_to_atoms: dict[Variable, list[int]] = {}
+    for index, atom in enumerate(atoms):
+        for var in atom.variable_set():
+            if var in existential:
+                variable_to_atoms.setdefault(var, []).append(index)
+    for indices in variable_to_atoms.values():
+        for other in indices[1:]:
+            union(indices[0], other)
+
+    groups: dict[int, list[Atom]] = {}
+    for index, atom in enumerate(atoms):
+        groups.setdefault(find(index), []).append(atom)
+    # Preserve the original conclusion order inside and across components.
+    ordered = sorted(groups.values(), key=lambda grp: atoms.index(grp[0]))
+    return ordered
+
+
+def is_regularized(tgd: TGD) -> bool:
+    """True when *tgd* admits no nonshared partition of its conclusion.
+
+    A tgd with a single conclusion atom is trivially regularized.
+    """
+    if len(tgd.conclusion) <= 1:
+        return True
+    return len(_conclusion_components(tgd)) == 1
+
+
+def regularize_tgd(tgd: TGD) -> list[TGD]:
+    """The regularized set Σ_σ of a tgd (Section 4.2.1).
+
+    Returns ``[tgd]`` unchanged when the tgd is already regularized.
+    """
+    components = _conclusion_components(tgd)
+    if len(components) == 1:
+        return [tgd]
+    result = []
+    for index, component in enumerate(components):
+        suffix = chr(ord("a") + index) if index < 26 else str(index)
+        name = f"{tgd.name}_{suffix}" if tgd.name else ""
+        result.append(TGD(tgd.premise, component, name=name))
+    return result
+
+
+def regularize_dependencies(
+    dependencies: Iterable[Dependency],
+) -> list[Dependency]:
+    """The regularized version Σ′ of a set of tgds and egds.
+
+    Egds pass through unchanged; each tgd is replaced by its regularized set.
+    The result is unique (Section 4.2.1).
+    """
+    result: list[Dependency] = []
+    for dependency in dependencies:
+        if isinstance(dependency, TGD):
+            result.extend(regularize_tgd(dependency))
+        else:
+            result.append(dependency)
+    return result
+
+
+def regularize(dependencies: DependencySet | Sequence[Dependency]) -> DependencySet:
+    """Regularize a :class:`DependencySet` (set-valuedness markers preserved)."""
+    if isinstance(dependencies, DependencySet):
+        return DependencySet(
+            regularize_dependencies(dependencies.dependencies),
+            dependencies.set_valued_predicates,
+        )
+    return DependencySet(regularize_dependencies(dependencies))
+
+
+def is_regularized_set(dependencies: DependencySet | Sequence[Dependency]) -> bool:
+    """True when every tgd in the set is regularized (Definition 4.1)."""
+    items: Iterable[Dependency]
+    items = dependencies.dependencies if isinstance(dependencies, DependencySet) else dependencies
+    return all(is_regularized(d) for d in items if isinstance(d, TGD))

@@ -1,0 +1,160 @@
+"""The tuple-ID framework for set-enforcing constraints (Appendix C).
+
+Under bag semantics a stored relation may contain duplicate tuples.  The
+paper shows that the constraint "relation ``R`` is set valued in every
+instance" can be expressed as an ordinary egd *provided* each tuple carries a
+unique tuple ID in an extra, user-invisible attribute: the egd says that two
+tuples agreeing on every ordinary attribute must also agree on the tuple ID,
+hence (IDs being unique) must be the same tuple.
+
+This module provides:
+
+* :func:`augment_relation_with_tuple_id` / :func:`augment_schema_with_tuple_ids`
+  — build the augmented schema D′ of Appendix C;
+* :func:`set_enforcing_egd` — the egd σ_tid^R over the augmented relation;
+* :func:`tid_projection_query` / :func:`tid_attribute_query` — the queries
+  Q^R_vals and Q^R_tid of Definition C.1;
+* :func:`set_enforcing_egds_for` — one egd per relation required to be set
+  valued;
+* :func:`detect_set_enforcing_predicates` — recognise set-enforcing egds in
+  a dependency set (so that chase code can treat them as set-valuedness
+  markers rather than as ordinary egds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.atoms import Atom, EqualityAtom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Variable
+from ..schema.schema import DatabaseSchema, RelationSchema
+from .base import EGD, Dependency, DependencySet
+
+TUPLE_ID_ATTRIBUTE = "tid"
+
+
+def augment_relation_with_tuple_id(relation: RelationSchema) -> RelationSchema:
+    """Return *relation* with a trailing tuple-ID attribute appended."""
+    attributes = relation.attribute_names + (TUPLE_ID_ATTRIBUTE,)
+    return RelationSchema(
+        relation.name, relation.arity + 1, attributes, relation.set_valued
+    )
+
+
+def augment_schema_with_tuple_ids(
+    schema: DatabaseSchema, relations: Iterable[str] | None = None
+) -> DatabaseSchema:
+    """Return the schema D′ of Appendix C.
+
+    Every relation in *relations* (default: all) gets an extra trailing
+    tuple-ID attribute.
+    """
+    target = set(relations) if relations is not None else set(schema.relation_names())
+    augmented = DatabaseSchema()
+    for relation in schema:
+        if relation.name in target:
+            augmented.add_relation(augment_relation_with_tuple_id(relation))
+        else:
+            augmented.add_relation(relation)
+    return augmented
+
+
+def set_enforcing_egd(relation: str, arity: int, name: str = "") -> EGD:
+    """The egd σ_tid^R over the tuple-ID-augmented relation (arity + 1).
+
+    ``R(X1..Xk, T1) ∧ R(X1..Xk, T2) → T1 = T2``: two tuples that agree on all
+    ordinary attributes must share the tuple ID, forcing the projection of R
+    onto its ordinary attributes to be a set.
+    """
+    shared = [Variable(f"X{i + 1}") for i in range(arity)]
+    t1, t2 = Variable("Tid1"), Variable("Tid2")
+    return EGD(
+        [Atom(relation, [*shared, t1]), Atom(relation, [*shared, t2])],
+        [EqualityAtom(t1, t2)],
+        name=name or f"set_enforcing_{relation}",
+    )
+
+
+def set_enforcing_egds_for(
+    schema: DatabaseSchema, relations: Iterable[str] | None = None
+) -> list[EGD]:
+    """Set-enforcing egds for every relation in *relations* (default: the
+    schema's set-valued relations), phrased over the tuple-ID-augmented schema."""
+    if relations is None:
+        relations = sorted(schema.set_valued_relations())
+    return [set_enforcing_egd(name, schema.arity(name)) for name in relations]
+
+
+def tid_attribute_query(relation: str, arity: int) -> ConjunctiveQuery:
+    """Q^R_tid of Definition C.1: project the augmented relation onto the tuple ID."""
+    terms = [Variable(f"X{i + 1}") for i in range(arity + 1)]
+    return ConjunctiveQuery("Q_tid", [terms[-1]], [Atom(relation, terms)])
+
+
+def tid_projection_query(relation: str, arity: int) -> ConjunctiveQuery:
+    """Q^R_vals of Definition C.1: project the augmented relation onto the
+    ordinary attributes (this recovers the user-visible relation under bag
+    semantics)."""
+    terms = [Variable(f"X{i + 1}") for i in range(arity + 1)]
+    return ConjunctiveQuery("Q_vals", terms[:-1], [Atom(relation, terms)])
+
+
+def is_set_enforcing_egd(dependency: Dependency) -> str | None:
+    """If *dependency* is a set-enforcing egd, return the relation it guards.
+
+    A set-enforcing egd has exactly two premise atoms over the same
+    predicate, agreeing (same variable) on every position except the last,
+    and its single equality equates the two last-position variables.
+    Returns None when the dependency does not match the pattern.
+    """
+    if not isinstance(dependency, EGD):
+        return None
+    if len(dependency.premise) != 2 or len(dependency.equalities) != 1:
+        return None
+    first, second = dependency.premise
+    if first.predicate != second.predicate or first.arity != second.arity:
+        return None
+    if first.arity < 2:
+        return None
+    *front1, last1 = first.terms
+    *front2, last2 = second.terms
+    if front1 != front2:
+        return None
+    if last1 == last2:
+        return None
+    equality = dependency.equalities[0]
+    if {equality.left, equality.right} != {last1, last2}:
+        return None
+    return first.predicate
+
+
+def detect_set_enforcing_predicates(dependencies: Iterable[Dependency]) -> set[str]:
+    """Relations guarded by a set-enforcing egd in *dependencies*."""
+    found = set()
+    for dependency in dependencies:
+        relation = is_set_enforcing_egd(dependency)
+        if relation is not None:
+            found.add(relation)
+    return found
+
+
+def dependency_set_with_tuple_ids(
+    dependencies: DependencySet, schema: DatabaseSchema
+) -> DependencySet:
+    """Materialise the set-valuedness markers of *dependencies* as tuple-ID egds.
+
+    The returned dependency set contains the original dependencies plus one
+    set-enforcing egd (over the augmented, arity+1 relation) per marked
+    predicate.  Queries over the original schema remain valid because the
+    tuple-ID attribute is invisible to them; this function exists so users
+    can inspect and chase with the *formal* encoding of Appendix C.
+    """
+    extra = [
+        set_enforcing_egd(name, schema.arity(name))
+        for name in sorted(dependencies.set_valued_predicates)
+        if name in schema
+    ]
+    return DependencySet(
+        list(dependencies) + extra, dependencies.set_valued_predicates
+    )

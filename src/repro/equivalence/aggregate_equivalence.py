@@ -1,0 +1,59 @@
+"""Equivalence of aggregate queries, with and without dependencies.
+
+Theorem 2.3 (dependency free): equivalence of sum- and count-queries reduces
+to bag-set equivalence of their cores; equivalence of max- and min-queries
+reduces to set equivalence of their cores.
+
+Theorem 6.3 (with embedded dependencies): the same reductions hold with the
+dependency-aware tests of Theorems 2.2 / 6.2 applied to the cores, provided
+the set chase of the cores terminates.
+
+Only *compatible* aggregate queries (same grouping terms, same aggregate
+term — Definition 2.1) can be equivalent; incompatible inputs yield False.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.aggregate import AggregateQuery
+from ..core.bag_equivalence import is_bag_set_equivalent
+from ..core.containment import is_set_equivalent
+from ..dependencies.base import Dependency, DependencySet
+from ..chase.set_chase import DEFAULT_MAX_STEPS
+from .under_dependencies import (
+    equivalent_under_dependencies_bag_set,
+    equivalent_under_dependencies_set,
+)
+
+
+def equivalent_aggregate_queries(q1: AggregateQuery, q2: AggregateQuery) -> bool:
+    """Theorem 2.3: dependency-free equivalence of compatible aggregate queries."""
+    if not q1.is_compatible_with(q2):
+        return False
+    core1, core2 = q1.core(), q2.core()
+    if q1.aggregate.function.is_duplicate_sensitive:
+        return is_bag_set_equivalent(core1, core2)
+    return is_set_equivalent(core1, core2)
+
+
+def equivalent_aggregate_queries_under_dependencies(
+    q1: AggregateQuery,
+    q2: AggregateQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Theorem 6.3: equivalence of compatible aggregate queries under Σ.
+
+    sum / count queries reduce to the bag-set test of Theorem 6.2 on their
+    cores; max / min queries reduce to the set test of Theorem 2.2 on their
+    cores.
+    """
+    if not q1.is_compatible_with(q2):
+        return False
+    core1, core2 = q1.core(), q2.core()
+    if q1.aggregate.function.is_duplicate_sensitive:
+        return equivalent_under_dependencies_bag_set(
+            core1, core2, dependencies, max_steps
+        )
+    return equivalent_under_dependencies_set(core1, core2, dependencies, max_steps)

@@ -1,0 +1,86 @@
+"""One-call equivalence façade with explainable verdicts.
+
+``decide_equivalence`` wraps the Σ-aware equivalence tests of Theorems 2.2,
+6.1, and 6.2 and returns an :class:`EquivalenceVerdict` carrying not just the
+boolean answer but also the chased queries it was decided on, so examples,
+benchmarks, and users can see *why* the verdict holds.  ``decide_all``
+evaluates all three semantics at once, which is how the Proposition 6.1
+implication chain (bag ⇒ bag-set ⇒ set) is exercised in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.bag_equivalence import (
+    is_bag_equivalent_with_set_enforced,
+    is_bag_set_equivalent,
+)
+from ..core.containment import is_set_equivalent
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import Dependency, DependencySet
+from ..semantics import Semantics
+from ..chase.set_chase import DEFAULT_MAX_STEPS
+from ..chase.sound_chase import sound_chase
+
+
+@dataclass(frozen=True)
+class EquivalenceVerdict:
+    """The outcome of a Σ-aware equivalence test, with its evidence."""
+
+    equivalent: bool
+    semantics: Semantics
+    chased_left: ConjunctiveQuery
+    chased_right: ConjunctiveQuery
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def __str__(self) -> str:
+        relation = "≡" if self.equivalent else "≢"
+        return (
+            f"[{self.semantics}] {self.chased_left.head_predicate} {relation} "
+            f"{self.chased_right.head_predicate}  "
+            f"(chased: {self.chased_left} | {self.chased_right})"
+        )
+
+
+def decide_equivalence(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency] = (),
+    semantics: Semantics | str = Semantics.BAG_SET,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> EquivalenceVerdict:
+    """Decide ``Q1 ≡Σ,X Q2`` and return the verdict with its chased evidence."""
+    semantics = Semantics.from_name(semantics)
+    if not isinstance(dependencies, DependencySet):
+        dependencies = DependencySet(dependencies)
+    chased1 = sound_chase(q1, dependencies, semantics, max_steps).query
+    chased2 = sound_chase(q2, dependencies, semantics, max_steps).query
+    if semantics is Semantics.SET:
+        equivalent = is_set_equivalent(chased1, chased2)
+    elif semantics is Semantics.BAG:
+        equivalent = is_bag_equivalent_with_set_enforced(
+            chased1, chased2, dependencies.set_valued_predicates
+        )
+    else:
+        equivalent = is_bag_set_equivalent(chased1, chased2)
+    return EquivalenceVerdict(equivalent, semantics, chased1, chased2)
+
+
+def decide_all(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency] = (),
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Mapping[Semantics, EquivalenceVerdict]:
+    """Verdicts under all three semantics.
+
+    By Proposition 6.1 the verdicts always satisfy bag ⇒ bag-set ⇒ set.
+    """
+    return {
+        semantics: decide_equivalence(q1, q2, dependencies, semantics, max_steps)
+        for semantics in (Semantics.BAG, Semantics.BAG_SET, Semantics.SET)
+    }

@@ -1,0 +1,73 @@
+"""Evaluation of aggregate queries (grouping + aggregation, Section 2.5).
+
+The paper defines the answer of an aggregate query ``Q(S̄, α(Y)) :- A`` on a
+set-valued database in three steps:
+
+1. evaluate the core Q̆ under **bag-set** semantics,
+2. group the resulting bag by the values of the grouping arguments,
+3. apply the aggregate function to the bag of aggregated-argument values of
+   each group, returning one tuple per group.
+
+``count(*)`` counts the tuples of the group; ``count(y)`` counts the (non-
+null — nulls do not arise in CQ answers) values of ``y`` including
+duplicates, which over CQ cores coincides with the group size; ``sum``,
+``max``, ``min`` behave as usual.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregate import AggregateFunction, AggregateQuery
+from ..database.instance import DatabaseInstance
+from ..evaluation.bag import Bag
+from ..evaluation.engine import evaluate_bag_set
+from ..exceptions import EvaluationError
+
+
+def _aggregate_values(function: AggregateFunction, values: list[object]) -> object:
+    if function in (AggregateFunction.COUNT, AggregateFunction.COUNT_STAR):
+        return len(values)
+    if not values:
+        raise EvaluationError("aggregate over an empty group")
+    numeric = list(values)
+    if function is AggregateFunction.SUM:
+        return sum(numeric)  # type: ignore[arg-type]
+    if function is AggregateFunction.MAX:
+        return max(numeric)  # type: ignore[type-var]
+    if function is AggregateFunction.MIN:
+        return min(numeric)  # type: ignore[type-var]
+    raise EvaluationError(f"unsupported aggregate function {function}")
+
+
+def evaluate_aggregate(query: AggregateQuery, instance: DatabaseInstance) -> Bag:
+    """Evaluate *query* on *instance*; the answer is a set of one tuple per group.
+
+    Each answer tuple carries the grouping values followed by the aggregated
+    value.  The result is returned as a :class:`Bag` in which every
+    multiplicity is 1 (grouping collapses duplicates by definition).
+    """
+    core = query.core()
+    core_answer = evaluate_bag_set(core, instance)
+
+    group_width = len(query.grouping_terms)
+    groups: dict[tuple, list[object]] = {}
+    for row, multiplicity in core_answer.iter_with_multiplicity():
+        key = row[:group_width]
+        bucket = groups.setdefault(key, [])
+        if query.aggregate.argument is None:
+            # count(*): only the group size matters.
+            bucket.extend([None] * multiplicity)
+        else:
+            bucket.extend([row[group_width]] * multiplicity)
+
+    answer = Bag()
+    for key, values in groups.items():
+        aggregated = _aggregate_values(query.aggregate.function, values)
+        answer.add((*key, aggregated))
+    return answer
+
+
+def aggregate_answers_agree(
+    query1: AggregateQuery, query2: AggregateQuery, instance: DatabaseInstance
+) -> bool:
+    """Do the two aggregate queries return the same relation on *instance*?"""
+    return evaluate_aggregate(query1, instance) == evaluate_aggregate(query2, instance)

@@ -1,0 +1,176 @@
+"""Enumeration of satisfying assignments for a conjunction of atoms.
+
+An *assignment* γ maps the variables of a conjunction of atoms to constants
+(and constants to themselves); it satisfies the conjunction with respect to a
+database when each atom, instantiated by γ, is a tuple of the corresponding
+relation (Section 2.1).  Query evaluation under every semantics, dependency
+satisfaction, and the counterexample constructions all enumerate satisfying
+assignments, so this module implements the enumeration once, as a
+backtracking join:
+
+* relations are indexed per column on demand,
+* at each step the next atom joined is the one with the fewest candidate
+  tuples given the variables bound so far (most-constrained-first),
+* assignments are yielded as plain ``{Variable: value}`` dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..core.atoms import Atom
+from ..core.terms import Constant, Variable
+from ..database.instance import DatabaseInstance, Relation
+
+Assignment = dict[Variable, object]
+
+
+class _RelationIndex:
+    """Per-column hash indexes over a relation's distinct tuples, built lazily."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.tuples = list(relation)
+        self._by_column: dict[int, dict[object, list[tuple]]] = {}
+
+    def column_index(self, position: int) -> dict[object, list[tuple]]:
+        if position not in self._by_column:
+            index: dict[object, list[tuple]] = {}
+            for row in self.tuples:
+                index.setdefault(row[position], []).append(row)
+            self._by_column[position] = index
+        return self._by_column[position]
+
+    def candidates(self, bound: Sequence[tuple[int, object]]) -> list[tuple]:
+        """Distinct tuples compatible with the given (position, value) bindings."""
+        if not bound:
+            return self.tuples
+        # Probe the index of the first bound column, then filter on the rest.
+        first_position, first_value = bound[0]
+        rows = self.column_index(first_position).get(first_value, [])
+        if len(bound) == 1:
+            return rows
+        rest = bound[1:]
+        return [row for row in rows if all(row[p] == v for p, v in rest)]
+
+
+class InstanceIndex:
+    """Indexes for every relation of a database instance, built lazily and shared
+    across multiple evaluations of queries against the same instance."""
+
+    def __init__(self, instance: DatabaseInstance):
+        self.instance = instance
+        self._indexes: dict[str, _RelationIndex] = {}
+
+    def for_predicate(self, predicate: str) -> _RelationIndex | None:
+        if predicate not in self._indexes:
+            if not self.instance.has_relation(predicate):
+                return None
+            self._indexes[predicate] = _RelationIndex(self.instance.relation(predicate))
+        return self._indexes[predicate]
+
+
+def _bound_positions(atom: Atom, assignment: Assignment) -> tuple[list[tuple[int, object]], bool]:
+    """(position, value) pairs fixed by constants / bound variables; also reports
+    whether the atom has repeated variables that must agree."""
+    bound: list[tuple[int, object]] = []
+    has_repeats = len(set(atom.terms)) != len(atom.terms)
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            bound.append((position, term.value))
+        elif term in assignment:
+            bound.append((position, assignment[term]))
+    return bound, has_repeats
+
+
+def _match_atom(atom: Atom, row: tuple, assignment: Assignment) -> Assignment | None:
+    """New bindings needed for *atom* to match *row* under *assignment*, or None."""
+    new_bindings: Assignment = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+            continue
+        bound_value = assignment.get(term, new_bindings.get(term))
+        if bound_value is None and term not in assignment and term not in new_bindings:
+            new_bindings[term] = value
+        elif bound_value != value:
+            return None
+    return new_bindings
+
+
+def iter_satisfying_assignments(
+    atoms: Sequence[Atom],
+    instance: DatabaseInstance,
+    index: InstanceIndex | None = None,
+    fixed: Mapping[Variable, object] | None = None,
+) -> Iterator[Assignment]:
+    """Yield every assignment of the variables of *atoms* satisfied by *instance*.
+
+    ``fixed`` pre-binds some variables (used by tgd-satisfaction checks where
+    the premise assignment is extended over the conclusion).
+    """
+    if index is None:
+        index = InstanceIndex(instance)
+    atom_list = list(atoms)
+    base: Assignment = dict(fixed or {})
+
+    def candidate_rows(atom: Atom, assignment: Assignment) -> list[tuple] | None:
+        relation_index = index.for_predicate(atom.predicate)
+        if relation_index is None:
+            return []
+        if relation_index.relation.arity != atom.arity:
+            return []
+        bound, _ = _bound_positions(atom, assignment)
+        return relation_index.candidates(bound)
+
+    def search(remaining: list[Atom], assignment: Assignment) -> Iterator[Assignment]:
+        if not remaining:
+            yield dict(assignment)
+            return
+        # Most-constrained-first atom selection.
+        best_index = 0
+        best_rows: list[tuple] | None = None
+        for position, atom in enumerate(remaining):
+            rows = candidate_rows(atom, assignment)
+            if best_rows is None or len(rows) < len(best_rows):
+                best_index, best_rows = position, rows
+                if not rows:
+                    return
+        atom = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        assert best_rows is not None
+        for row in best_rows:
+            new_bindings = _match_atom(atom, row, assignment)
+            if new_bindings is None:
+                continue
+            assignment.update(new_bindings)
+            yield from search(rest, assignment)
+            for key in new_bindings:
+                del assignment[key]
+
+    yield from search(atom_list, base)
+
+
+def assignment_satisfies(
+    atoms: Sequence[Atom],
+    instance: DatabaseInstance,
+    fixed: Mapping[Variable, object] | None = None,
+) -> bool:
+    """Is there at least one satisfying assignment extending *fixed*?"""
+    for _ in iter_satisfying_assignments(atoms, instance, fixed=fixed):
+        return True
+    return False
+
+
+def instantiate_terms(
+    terms: Sequence, assignment: Mapping[Variable, object]
+) -> tuple:
+    """Apply an assignment to a term vector, producing a tuple of values."""
+    values = []
+    for term in terms:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        else:
+            values.append(assignment[term])
+    return tuple(values)

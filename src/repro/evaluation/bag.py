@@ -1,0 +1,112 @@
+"""Multisets (bags) of tuples.
+
+Query answers under bag and bag-set semantics are bags of tuples
+(Section 2.2).  :class:`Bag` is a thin, explicit wrapper around
+:class:`collections.Counter` with the vocabulary the paper uses: core set,
+multiplicity, cardinality, bag equality, bag containment (sub-bag), and bag
+projection (Appendix E.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+
+class Bag:
+    """A finite multiset of tuples."""
+
+    def __init__(self, elements: Iterable[Sequence[object]] = ()):
+        self._counts: Counter[tuple] = Counter()
+        for element in elements:
+            self.add(element)
+
+    @classmethod
+    def from_counts(cls, counts: dict[tuple, int]) -> "Bag":
+        """Build a bag from a ``tuple -> multiplicity`` mapping."""
+        bag = cls()
+        for element, count in counts.items():
+            bag.add(element, count)
+        return bag
+
+    # ------------------------------------------------------------------ #
+    def add(self, element: Sequence[object], multiplicity: int = 1) -> None:
+        """Add *multiplicity* copies of *element*."""
+        if multiplicity <= 0:
+            raise ValueError("multiplicity must be positive")
+        self._counts[tuple(element)] += multiplicity
+
+    def multiplicity(self, element: Sequence[object]) -> int:
+        """Number of copies of *element* (0 when absent)."""
+        return self._counts.get(tuple(element), 0)
+
+    def core_set(self) -> set[tuple]:
+        """The set of distinct elements."""
+        return set(self._counts)
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of elements, counting duplicates."""
+        return sum(self._counts.values())
+
+    def is_set(self) -> bool:
+        """True when no element has multiplicity greater than 1."""
+        return all(count == 1 for count in self._counts.values())
+
+    def distinct(self) -> "Bag":
+        """The bag with every multiplicity clamped to 1."""
+        return Bag.from_counts({element: 1 for element in self._counts})
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate over elements, repeating each according to its multiplicity."""
+        return iter(self._counts.elements())
+
+    def iter_with_multiplicity(self) -> Iterator[tuple[tuple, int]]:
+        """Iterate over ``(element, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __contains__(self, element: Sequence[object]) -> bool:
+        return tuple(element) in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bag):
+            return self._counts == other._counts
+        if isinstance(other, (set, frozenset)):
+            return self.is_set() and self.core_set() == {tuple(e) for e in other}
+        return NotImplemented
+
+    def __le__(self, other: "Bag") -> bool:
+        """Sub-bag test: every element's multiplicity here is ≤ its multiplicity in *other*."""
+        return all(count <= other.multiplicity(element) for element, count in self._counts.items())
+
+    def __add__(self, other: "Bag") -> "Bag":
+        """Bag union (multiplicities add)."""
+        result = Bag()
+        for element, count in self._counts.items():
+            result.add(element, count)
+        for element, count in other._counts.items():
+            result.add(element, count)
+        return result
+
+    def project(self, positions: Sequence[int]) -> "Bag":
+        """Bag projection π^bag onto *positions* (Appendix E.1)."""
+        result = Bag()
+        for element, count in self._counts.items():
+            result.add(tuple(element[p] for p in positions), count)
+        return result
+
+    def as_counter(self) -> Counter[tuple]:
+        """A copy of the underlying counter."""
+        return Counter(self._counts)
+
+    def __str__(self) -> str:
+        parts = []
+        for element, count in sorted(self._counts.items(), key=repr):
+            parts.extend([str(element)] * count)
+        return "{{" + ", ".join(parts) + "}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bag({self!s})"

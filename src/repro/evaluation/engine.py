@@ -1,0 +1,133 @@
+"""Evaluation of conjunctive queries under set, bag, and bag-set semantics.
+
+Implements the three query-evaluation semantics of Sections 2.1–2.2 exactly
+as defined in the paper:
+
+* **set** — the answer is the set of tuples γ(X̄) over satisfying
+  assignments γ (evaluated against the core sets of the stored relations);
+* **bag-set** — the stored relations are first deduplicated; every distinct
+  satisfying assignment contributes one copy of γ(X̄);
+* **bag** — every distinct satisfying assignment γ contributes
+  ``Π_i m_i`` copies of γ(X̄), where ``m_i`` is the multiplicity, in the
+  stored bag, of the tuple that γ maps the *i*-th subgoal onto.
+
+All three return a :class:`~repro.evaluation.bag.Bag`; under set semantics
+every multiplicity is 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.query import ConjunctiveQuery
+from ..database.instance import DatabaseInstance
+from ..exceptions import EvaluationError
+from ..semantics import Semantics
+from .assignments import InstanceIndex, instantiate_terms, iter_satisfying_assignments
+from .bag import Bag
+
+
+def _check_relations_exist(query: ConjunctiveQuery, instance: DatabaseInstance) -> None:
+    # A missing relation is treated as empty; mismatched arities are an error.
+    for atom in query.body:
+        if instance.has_relation(atom.predicate):
+            relation = instance.relation(atom.predicate)
+            if relation.arity != atom.arity:
+                raise EvaluationError(
+                    f"atom {atom} has arity {atom.arity} but relation "
+                    f"{atom.predicate} has arity {relation.arity}"
+                )
+
+
+def evaluate_set(query: ConjunctiveQuery, instance: DatabaseInstance) -> Bag:
+    """Answer under set semantics: distinct head tuples, each with multiplicity 1."""
+    _check_relations_exist(query, instance)
+    deduplicated = instance.distinct()
+    index = InstanceIndex(deduplicated)
+    seen: set[tuple] = set()
+    for assignment in iter_satisfying_assignments(query.body, deduplicated, index):
+        seen.add(instantiate_terms(query.head_terms, assignment))
+    return Bag(seen)
+
+
+def evaluate_bag_set(query: ConjunctiveQuery, instance: DatabaseInstance) -> Bag:
+    """Answer under bag-set semantics: one copy of γ(X̄) per distinct assignment γ.
+
+    The stored relations are deduplicated first, matching the paper's setting
+    where bag-set semantics is defined over set-valued databases; evaluating
+    a bag-valued instance under bag-set semantics therefore means "evaluate
+    against its core sets".
+    """
+    _check_relations_exist(query, instance)
+    deduplicated = instance.distinct()
+    index = InstanceIndex(deduplicated)
+    answer = Bag()
+    for assignment in iter_satisfying_assignments(query.body, deduplicated, index):
+        answer.add(instantiate_terms(query.head_terms, assignment))
+    return answer
+
+
+def evaluate_bag(query: ConjunctiveQuery, instance: DatabaseInstance) -> Bag:
+    """Answer under bag semantics (Section 2.2).
+
+    Each distinct satisfying assignment γ contributes ``Π_i m_i`` copies of
+    γ(X̄), where ``m_i`` is the stored multiplicity of the tuple γ maps the
+    i-th subgoal onto.
+    """
+    _check_relations_exist(query, instance)
+    deduplicated = instance.distinct()
+    index = InstanceIndex(deduplicated)
+    answer = Bag()
+    for assignment in iter_satisfying_assignments(query.body, deduplicated, index):
+        multiplicity = 1
+        for atom in query.body:
+            row = instantiate_terms(atom.terms, assignment)
+            if not instance.has_relation(atom.predicate):
+                multiplicity = 0
+                break
+            multiplicity *= instance.relation(atom.predicate).multiplicity(row)
+            if multiplicity == 0:
+                break
+        if multiplicity > 0:
+            answer.add(
+                instantiate_terms(query.head_terms, assignment), multiplicity
+            )
+    return answer
+
+
+_EVALUATORS = {
+    Semantics.SET: evaluate_set,
+    Semantics.BAG: evaluate_bag,
+    Semantics.BAG_SET: evaluate_bag_set,
+}
+
+
+def evaluate(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    semantics: Semantics | str = Semantics.BAG_SET,
+) -> Bag:
+    """Evaluate *query* on *instance* under the chosen semantics."""
+    semantics = Semantics.from_name(semantics)
+    return _EVALUATORS[semantics](query, instance)
+
+
+def answers_agree(
+    query1: ConjunctiveQuery,
+    query2: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    semantics: Semantics | str = Semantics.BAG_SET,
+) -> bool:
+    """Do the two queries produce identical answers (as bags) on *instance*?
+
+    This is the per-database check used by counterexample searches; full
+    equivalence requires the symbolic tests in :mod:`repro.equivalence`.
+    """
+    return evaluate(query1, instance, semantics) == evaluate(query2, instance, semantics)
+
+
+def evaluate_all_semantics(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> Mapping[Semantics, Bag]:
+    """Answers of *query* under all three semantics (handy for examples/benchmarks)."""
+    return {semantics: _EVALUATORS[semantics](query, instance) for semantics in Semantics}

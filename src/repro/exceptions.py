@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate *which*
+stage of the pipeline failed (parsing, schema validation, chase,
+reformulation, evaluation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class QueryError(ReproError):
+    """A conjunctive or aggregate query is malformed (e.g. unsafe head)."""
+
+
+class SchemaError(ReproError):
+    """A database schema, relation schema, or instance violates arity rules."""
+
+
+class DependencyError(ReproError):
+    """An embedded dependency is malformed or cannot be normalised."""
+
+
+class ChaseError(ReproError):
+    """The chase could not be carried out (internal inconsistency)."""
+
+
+class ChaseNonTerminationError(ChaseError):
+    """The chase exceeded its step budget without reaching a terminal result.
+
+    Chase under arbitrary embedded dependencies may not terminate; callers
+    can either supply weakly acyclic dependencies (guaranteed termination,
+    see :mod:`repro.dependencies.weak_acyclicity`) or raise the ``max_steps``
+    budget.
+    """
+
+    def __init__(self, message: str, steps_taken: int):
+        super().__init__(message)
+        self.steps_taken = steps_taken
+
+
+class ParseError(ReproError):
+    """Raised by the SQL and datalog parsers on invalid input."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class TranslationError(ReproError):
+    """SQL could not be translated to a conjunctive / aggregate query."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation against a database instance failed."""
+
+
+class ReformulationError(ReproError):
+    """A reformulation algorithm received inputs it cannot handle."""

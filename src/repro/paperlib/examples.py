@@ -1,0 +1,330 @@
+"""The paper's worked examples as ready-to-use Python objects.
+
+Every example of Chirkova & Genesereth (PODS 2009) that defines concrete
+queries, dependency sets, or counterexample databases is reconstructed here
+so that tests, benchmarks, and users can reproduce the paper's claims
+verbatim:
+
+* Example 4.1 (with Examples 4.4, 4.5, 4.9, D.1, D.2 building on it),
+* Examples 4.2 / 4.3 / 4.7 / 5.1 (assignment-fixing positive & negative),
+* Examples 4.6 / 4.8 (the regularized-but-not-key-based tgd ν1),
+* Examples E.1 / E.2 (unsound key-based steps over bag-valued relations /
+  non-key-based steps under bag-set semantics).
+
+Each example is exposed as a small frozen dataclass bundling its schema,
+dependencies, queries, and counterexample databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..core.query import ConjunctiveQuery
+from ..database.instance import DatabaseInstance
+from ..datalog.parser import parse_dependency, parse_query
+from ..dependencies.base import Dependency, DependencySet
+from ..schema.schema import DatabaseSchema
+
+
+def _dependencies(named: Mapping[str, str], set_valued: tuple[str, ...] = ()) -> DependencySet:
+    parsed: list[Dependency] = []
+    for name, text in named.items():
+        parsed.extend(parse_dependency(text, name=name))
+    return DependencySet(parsed, set_valued_predicates=set_valued)
+
+
+@dataclass(frozen=True)
+class Example41:
+    """Example 4.1 — the paper's motivating example.
+
+    Schema D = {P, R, S, T, U}; Σ contains tgds σ1–σ4, set-enforcing
+    constraints on S and T (σ5, σ6 — represented as set-valuedness markers),
+    and key egds σ7 (first attribute of S) and σ8 (first two attributes of T).
+    Queries Q1–Q4 satisfy:
+
+    * Q1 ≡Σ,S Q4 but Q1 ≢Σ,B Q4 and Q1 ≢Σ,BS Q4;
+    * (Q4)Σ,B ≃ Q3, (Q4)Σ,BS ≃ Q2, (Q4)Σ,S ≡S Q1;
+    * the bag-valued database ``counterexample`` (with U = {(1,5),(1,6)})
+      witnesses the bag inequivalence: Q4 returns {{(1)}} and Q1 returns
+      {{(1),(1)}}.
+    """
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+    q3: ConjunctiveQuery
+    q4: ConjunctiveQuery
+    q5: ConjunctiveQuery
+    q7: ConjunctiveQuery
+    q8: ConjunctiveQuery
+    counterexample: DatabaseInstance
+    counterexample_d1: DatabaseInstance
+    dependencies_without_sigma2: DependencySet = field(default=None)  # type: ignore[assignment]
+
+
+def example_4_1() -> Example41:
+    """Build Example 4.1 (and the queries of Examples 4.9 and D.2)."""
+    schema = DatabaseSchema.from_arities(
+        {"p": 2, "r": 1, "s": 2, "t": 3, "u": 2}, set_valued=("s", "t")
+    )
+    dependencies = _dependencies(
+        {
+            "sigma1": "p(X,Y) -> s(X,Z) & t(X,V,W)",
+            "sigma2": "p(X,Y) -> t(X,Y,W)",
+            "sigma3": "p(X,Y) -> r(X)",
+            "sigma4": "p(X,Y) -> u(X,Z) & t(X,Y,W)",
+            "sigma7": "s(X,Y) & s(X,Z) -> Y = Z",
+            "sigma8": "t(X,Y,Z) & t(X,Y,W) -> Z = W",
+        },
+        set_valued=("s", "t"),
+    )
+    without_sigma2 = DependencySet(
+        [d for d in dependencies if d.name != "sigma2"],
+        dependencies.set_valued_predicates,
+    )
+    q1 = parse_query("Q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)")
+    q2 = parse_query("Q2(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)")
+    q3 = parse_query("Q3(X) :- p(X,Y), t(X,Y,W), s(X,Z)")
+    q4 = parse_query("Q4(X) :- p(X,Y)")
+    # Example 4.9: Q5 duplicates the s-subgoal of Q3.
+    q5 = parse_query("Q5(X) :- p(X,Y), t(X,Y,W), s(X,Z), s(X,Z)")
+    # Example D.2.
+    q7 = parse_query("Q7(X) :- p(X,Y), r(X), r(X)")
+    q8 = parse_query("Q8(X) :- p(X,Y), r(X)")
+    counterexample = DatabaseInstance.from_dict(
+        {
+            "p": [(1, 2)],
+            "r": [(1,)],
+            "s": [(1, 3)],
+            "t": [(1, 2, 4)],
+            "u": [(1, 5), (1, 6)],
+        },
+        schema,
+    )
+    # Example D.1: S is a bag with two copies of (1, 3); R and U are empty.
+    counterexample_d1 = DatabaseInstance.from_dict(
+        {
+            "p": [(1, 2)],
+            "r": [],
+            "s": [(1, 3), (1, 3)],
+            "t": [(1, 2, 5)],
+            "u": [],
+        },
+        schema,
+    )
+    return Example41(
+        schema=schema,
+        dependencies=dependencies,
+        q1=q1,
+        q2=q2,
+        q3=q3,
+        q4=q4,
+        q5=q5,
+        q7=q7,
+        q8=q8,
+        counterexample=counterexample,
+        counterexample_d1=counterexample_d1,
+        dependencies_without_sigma2=without_sigma2,
+    )
+
+
+@dataclass(frozen=True)
+class Example42:
+    """Example 4.2 — σ1 is assignment fixing w.r.t. Q(X) :- p(X,Y)."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    query: ConjunctiveQuery
+    sigma1_name: str = "sigma1"
+
+
+def example_4_2() -> Example42:
+    """Build Example 4.2 (positive assignment-fixing determination)."""
+    schema = DatabaseSchema.from_arities({"p": 2, "r": 2, "s": 2})
+    dependencies = _dependencies(
+        {
+            "sigma1": "p(X,Y) -> r(X,Z) & s(Z,W)",
+            "sigma2": "r(X,Y) & r(X,Z) -> Y = Z",
+            "sigma3": "r(X,Y) & s(Y,T) & r(X,Z) & s(Z,W) -> T = W",
+        }
+    )
+    query = parse_query("Q(X) :- p(X,Y)")
+    return Example42(schema, dependencies, query)
+
+
+@dataclass(frozen=True)
+class Example43:
+    """Examples 4.3 / 4.7 / 5.1 — the paper's negative assignment-fixing example.
+
+    The paper claims σ4 is *not* assignment fixing w.r.t. Q(X) :- p(X,Y)
+    (Example 4.3) and exhibits a counterexample database (Example 4.7).  As
+    printed, however, the example is internally inconsistent: the claimed
+    terminal chase result of the associated test query is not terminal (egd
+    σ5 still applies across the two conclusion copies and identifies W with
+    W1), and the Example 4.7 counterexample database violates σ5 itself —
+    both facts are verified by tests in ``tests/test_paper_examples.py``.
+    Carrying the chase to termination, σ4 *is* assignment fixing w.r.t. Q,
+    and the chase step Q ⇒σ4 Q″ is sound; EXPERIMENTS.md records this
+    deviation.  Example 5.1's claim (σ4 is assignment fixing w.r.t.
+    Q′(X) :- p(X,Y), r(A,X)) is reproduced as stated.
+    """
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    dependencies_47: DependencySet
+    query: ConjunctiveQuery
+    query_prime: ConjunctiveQuery
+    chased_query_47: ConjunctiveQuery
+    counterexample_47: DatabaseInstance
+    sigma4_name: str = "sigma4"
+
+
+def example_4_3() -> Example43:
+    """Build Example 4.3, with Example 4.7's counterexample and Example 5.1's Q′."""
+    schema = DatabaseSchema.from_arities({"p": 2, "r": 2, "s": 2})
+    dependencies = _dependencies(
+        {
+            "sigma2": "r(X,Y) & r(X,Z) -> Y = Z",
+            "sigma4": "p(X,Y) -> r(X,Z) & s(Z,W) & s(X,T)",
+            "sigma5": "r(X,Z) & s(Z,W) & s(X,T) -> W = T",
+            "sigma6": "p(X,Y) & r(A,X) & s(X,T) -> X = T",
+        }
+    )
+    dependencies_47 = DependencySet(
+        [d for d in dependencies if d.name != "sigma6"],
+        dependencies.set_valued_predicates,
+    )
+    query = parse_query("Q(X) :- p(X,Y)")
+    query_prime = parse_query("Qp(X) :- p(X,Y), r(A,X)")
+    chased_query_47 = parse_query("Qpp(X) :- p(X,Y), r(X,Z), s(Z,W), s(X,T)")
+    counterexample_47 = DatabaseInstance.from_dict(
+        {
+            "p": [(1, 2)],
+            "r": [(1, 3)],
+            "s": [(1, 4), (1, 5), (3, 4), (3, 5)],
+        },
+        schema,
+    )
+    return Example43(
+        schema,
+        dependencies,
+        dependencies_47,
+        query,
+        query_prime,
+        chased_query_47,
+        counterexample_47,
+    )
+
+
+@dataclass(frozen=True)
+class Example46:
+    """Examples 4.6 / 4.8 — the regularized, assignment-fixing but not
+    key-based tgd ν1, with the incorrect "modified chase" result Q′ and the
+    correct traditional chase result Q″."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    query: ConjunctiveQuery
+    query_modified_chase: ConjunctiveQuery
+    query_traditional_chase: ConjunctiveQuery
+    counterexample: DatabaseInstance
+    nu1_name: str = "nu1"
+
+
+def example_4_6() -> Example46:
+    """Build Examples 4.6 and 4.8."""
+    schema = DatabaseSchema.from_arities(
+        {"p": 2, "s": 2, "t": 2}, set_valued=("s", "t")
+    )
+    dependencies = _dependencies(
+        {
+            "nu1": "p(X,Y) -> s(X,Z) & t(Z,Y)",
+            "nu2": "t(X,Y) & t(Z,Y) -> X = Z",
+        },
+        set_valued=("s", "t"),
+    )
+    query = parse_query("Q(X) :- p(X,Y), s(X,Z)")
+    query_modified_chase = parse_query("Qp(X) :- p(X,Y), s(X,Z), t(Z,Y)")
+    query_traditional_chase = parse_query(
+        "Qpp(X) :- p(X,Y), s(X,Z), s(X,W), t(W,Y)"
+    )
+    counterexample = DatabaseInstance.from_dict(
+        {"p": [(1, 2)], "s": [(1, 1), (1, 3)], "t": [(3, 2)]}, schema
+    )
+    return Example46(
+        schema,
+        dependencies,
+        query,
+        query_modified_chase,
+        query_traditional_chase,
+        counterexample,
+    )
+
+
+@dataclass(frozen=True)
+class ExampleE1:
+    """Example E.1 — a key-based tgd step is unsound under bag semantics when
+    the conclusion relation is not set valued."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    query: ConjunctiveQuery
+    chased_query: ConjunctiveQuery
+    counterexample: DatabaseInstance
+
+
+def example_e_1() -> ExampleE1:
+    """Build Example E.1."""
+    schema = DatabaseSchema.from_arities({"p": 2, "r": 2})
+    dependencies = _dependencies(
+        {
+            "sigma1": "p(X,Y) & p(X,Z) -> Y = Z",
+            "sigma2": "r(X,Y) -> p(X,Y)",
+        }
+    )
+    query = parse_query("Q(A) :- r(A,B)")
+    chased_query = parse_query("Qp(A) :- r(A,B), p(A,B)")
+    counterexample = DatabaseInstance.from_dict(
+        {"r": [("a", "b")], "p": [("a", "b"), ("a", "b")]}, schema
+    )
+    return ExampleE1(schema, dependencies, query, chased_query, counterexample)
+
+
+@dataclass(frozen=True)
+class ExampleE2:
+    """Example E.2 — a non-key-based tgd step is unsound under bag-set semantics."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    query: ConjunctiveQuery
+    chased_query: ConjunctiveQuery
+    counterexample: DatabaseInstance
+
+
+def example_e_2() -> ExampleE2:
+    """Build Example E.2."""
+    schema = DatabaseSchema.from_arities({"p": 2, "r": 2})
+    dependencies = _dependencies({"sigma": "r(X,Y) -> p(X,Z)"})
+    query = parse_query("Q(A) :- r(A,B)")
+    chased_query = parse_query("Qp(A) :- r(A,B), p(A,C)")
+    counterexample = DatabaseInstance.from_dict(
+        {"r": [("a", "b")], "p": [("a", "c"), ("a", "d")]}, schema
+    )
+    return ExampleE2(schema, dependencies, query, chased_query, counterexample)
+
+
+#: Mapping from example identifiers to their constructors (used by the
+#: benchmark harness to iterate over the whole example suite).
+PAPER_EXAMPLES: Mapping[str, object] = MappingProxyType(
+    {
+        "4.1": example_4_1,
+        "4.2": example_4_2,
+        "4.3": example_4_3,
+        "4.6": example_4_6,
+        "E.1": example_e_1,
+        "E.2": example_e_2,
+    }
+)

@@ -1,0 +1,224 @@
+"""Chase & Backchase (C&B) and its bag / bag-set variants (Section 6.3, Appendix A).
+
+The generic driver :func:`chase_and_backchase` implements the two-phase
+algorithm:
+
+1. **chase phase** — chase the input query under Σ (with the chase that is
+   sound for the chosen semantics) to obtain the *universal plan*;
+2. **backchase phase** — enumerate the safe subqueries of the universal
+   plan, chase each candidate, and keep the candidates whose chase result is
+   equivalent to the universal plan under the dependency-free test matching
+   the semantics (Theorem 2.2 / 6.1 / 6.2).
+
+The result records the universal plan, every equivalent reformulation found,
+and the Σ-minimal ones among them.  ``c_and_b``, ``bag_c_and_b``, and
+``bag_set_c_and_b`` are the paper's named algorithms (Theorem A.1, 6.4, K.1);
+all are sound and complete whenever the set chase of the input terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.bag_equivalence import (
+    is_bag_equivalent_with_set_enforced,
+    is_bag_set_equivalent,
+)
+from ..core.containment import is_set_equivalent
+from ..core.homomorphism import are_isomorphic
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import Dependency, DependencySet
+from ..semantics import Semantics
+from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
+from ..chase.sound_chase import sound_chase
+from .candidates import iter_subqueries
+from .minimality import is_sigma_minimal
+
+
+@dataclass
+class ReformulationResult:
+    """Output of a C&B run."""
+
+    query: ConjunctiveQuery
+    semantics: Semantics
+    universal_plan: ConjunctiveQuery
+    reformulations: list[ConjunctiveQuery] = field(default_factory=list)
+    minimal_reformulations: list[ConjunctiveQuery] = field(default_factory=list)
+    candidates_examined: int = 0
+    chase_result: ChaseResult | None = None
+
+    def __iter__(self):
+        return iter(self.minimal_reformulations)
+
+    def __len__(self) -> int:
+        return len(self.minimal_reformulations)
+
+    def contains_isomorphic(self, query: ConjunctiveQuery, minimal_only: bool = False) -> bool:
+        """Is some (minimal) reformulation isomorphic to *query*?"""
+        pool = self.minimal_reformulations if minimal_only else self.reformulations
+        return any(are_isomorphic(candidate, query) for candidate in pool)
+
+    def __str__(self) -> str:
+        lines = [
+            f"C&B under {self.semantics} for {self.query}",
+            f"  universal plan: {self.universal_plan}",
+            f"  {len(self.reformulations)} equivalent reformulations, "
+            f"{len(self.minimal_reformulations)} Σ-minimal",
+        ]
+        lines.extend(f"    {query}" for query in self.minimal_reformulations)
+        return "\n".join(lines)
+
+
+def _dependency_free_test(
+    semantics: Semantics, set_valued: frozenset[str]
+):
+    if semantics is Semantics.SET:
+        return is_set_equivalent
+    if semantics is Semantics.BAG:
+        return lambda q1, q2: is_bag_equivalent_with_set_enforced(q1, q2, set_valued)
+    return is_bag_set_equivalent
+
+
+def chase_and_backchase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics | str = Semantics.SET,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_candidate_size: int | None = None,
+    check_sigma_minimality: bool = True,
+) -> ReformulationResult:
+    """Run C&B (or its bag / bag-set variant) on *query* under *dependencies*.
+
+    ``max_candidate_size`` caps the body size of backchase candidates (useful
+    on large universal plans); ``check_sigma_minimality`` controls whether
+    the Definition 3.1 Σ-minimality filter is applied to produce
+    ``minimal_reformulations`` (the full list of equivalent reformulations is
+    always reported).
+    """
+    semantics = Semantics.from_name(semantics)
+    if not isinstance(dependencies, DependencySet):
+        dependencies = DependencySet(dependencies)
+
+    chase_result = sound_chase(query, dependencies, semantics, max_steps)
+    universal_plan = chase_result.query
+    equivalence_test = _dependency_free_test(
+        semantics, dependencies.set_valued_predicates
+    )
+
+    reformulations: list[ConjunctiveQuery] = []
+    examined = 0
+    for candidate in iter_subqueries(
+        universal_plan, max_size=max_candidate_size
+    ):
+        examined += 1
+        chased_candidate = sound_chase(candidate, dependencies, semantics, max_steps).query
+        if not equivalence_test(chased_candidate, universal_plan):
+            continue
+        if any(are_isomorphic(candidate, existing) for existing in reformulations):
+            continue
+        reformulations.append(candidate)
+
+    if check_sigma_minimality:
+        minimal = [
+            candidate
+            for candidate in reformulations
+            if is_sigma_minimal(candidate, dependencies, semantics, max_steps)
+        ]
+    else:
+        # Fall back to subset-minimality: keep candidates none of whose
+        # accepted strict sub-bodies is also accepted.
+        minimal = []
+        for candidate in reformulations:
+            has_smaller = any(
+                other is not candidate
+                and len(other.body) < len(candidate.body)
+                and set(other.body) <= set(candidate.body)
+                for other in reformulations
+            )
+            if not has_smaller:
+                minimal.append(candidate)
+
+    return ReformulationResult(
+        query=query,
+        semantics=semantics,
+        universal_plan=universal_plan,
+        reformulations=reformulations,
+        minimal_reformulations=minimal,
+        candidates_examined=examined,
+        chase_result=chase_result,
+    )
+
+
+def c_and_b(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    **kwargs,
+) -> ReformulationResult:
+    """The original set-semantics C&B of Deutsch et al. (Appendix A)."""
+    return chase_and_backchase(query, dependencies, Semantics.SET, max_steps, **kwargs)
+
+
+def bag_c_and_b(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    **kwargs,
+) -> ReformulationResult:
+    """Bag-C&B (Theorem 6.4): Σ-minimal reformulations under bag semantics."""
+    return chase_and_backchase(query, dependencies, Semantics.BAG, max_steps, **kwargs)
+
+
+def bag_set_c_and_b(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    **kwargs,
+) -> ReformulationResult:
+    """Bag-Set-C&B (Theorem K.1): Σ-minimal reformulations under bag-set semantics."""
+    return chase_and_backchase(query, dependencies, Semantics.BAG_SET, max_steps, **kwargs)
+
+
+def naive_bag_c_and_b(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    **kwargs,
+) -> ReformulationResult:
+    """The *unsound* naive extension of C&B discussed in Section 4.1.
+
+    It chases with the ordinary set chase and merely swaps in the
+    dependency-free bag-equivalence test (query isomorphism).  Example 4.1
+    shows this accepts reformulations that are not bag equivalent to the
+    input; it is provided so tests and the E9 benchmark can reproduce that
+    failure mode and contrast it with :func:`bag_c_and_b`.
+    """
+    semantics = Semantics.BAG
+    if not isinstance(dependencies, DependencySet):
+        dependencies = DependencySet(dependencies)
+    chase_result = sound_chase(query, dependencies, Semantics.SET, max_steps)
+    universal_plan = chase_result.query
+    reformulations: list[ConjunctiveQuery] = []
+    examined = 0
+    for candidate in iter_subqueries(universal_plan, max_size=kwargs.get("max_candidate_size")):
+        examined += 1
+        chased_candidate = sound_chase(
+            candidate, dependencies, Semantics.SET, max_steps
+        ).query
+        # The naive test of Section 4.1: plain bag equivalence (isomorphism,
+        # Theorem 2.1) between the set-chase results.
+        if not are_isomorphic(chased_candidate, universal_plan):
+            continue
+        if any(are_isomorphic(candidate, existing) for existing in reformulations):
+            continue
+        reformulations.append(candidate)
+    return ReformulationResult(
+        query=query,
+        semantics=semantics,
+        universal_plan=universal_plan,
+        reformulations=reformulations,
+        minimal_reformulations=list(reformulations),
+        candidates_examined=examined,
+        chase_result=chase_result,
+    )

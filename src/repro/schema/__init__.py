@@ -1,0 +1,24 @@
+"""Database schemas, functional dependencies, and key inference."""
+
+from .keys import (
+    FunctionalDependency,
+    attribute_closure,
+    candidate_keys,
+    implies,
+    is_key,
+    is_superkey,
+    key_positions,
+)
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = [
+    "DatabaseSchema",
+    "FunctionalDependency",
+    "RelationSchema",
+    "attribute_closure",
+    "candidate_keys",
+    "implies",
+    "is_key",
+    "is_superkey",
+    "key_positions",
+]

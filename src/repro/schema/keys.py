@@ -1,0 +1,151 @@
+"""Attribute-level functional dependencies, attribute closure, keys.
+
+Appendix B of the paper defines functional dependencies (fds), implied fds,
+superkeys, and keys of a relation.  This module implements the standard
+machinery over *attribute names*:
+
+* :class:`FunctionalDependency` — ``lhs → rhs`` over the attributes of one
+  relation;
+* :func:`attribute_closure` — the classical closure algorithm;
+* :func:`implies` — whether a set of fds implies another fd
+  (Definition B.1);
+* :func:`is_superkey`, :func:`is_key`, :func:`candidate_keys`
+  (Definitions B.2, B.3).
+
+The egd encodings of fds and keys (used by the chase) are produced by
+:mod:`repro.dependencies.builders`, which builds on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..exceptions import SchemaError
+from .schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``lhs → rhs`` on one relation's attributes."""
+
+    relation: str
+    lhs: frozenset[str]
+    rhs: frozenset[str]
+
+    def __init__(
+        self, relation: str, lhs: Iterable[str], rhs: Iterable[str] | str
+    ):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", frozenset(lhs))
+        if isinstance(rhs, str):
+            rhs = [rhs]
+        object.__setattr__(self, "rhs", frozenset(rhs))
+        if not self.lhs:
+            raise SchemaError("functional dependency needs a nonempty left-hand side")
+        if not self.rhs:
+            raise SchemaError("functional dependency needs a nonempty right-hand side")
+
+    def is_trivial(self) -> bool:
+        """True when rhs ⊆ lhs (holds on every instance)."""
+        return self.rhs <= self.lhs
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(self.lhs))
+        rhs = ", ".join(sorted(self.rhs))
+        return f"{self.relation}: {{{lhs}}} -> {{{rhs}}}"
+
+
+def _check_attributes(relation: RelationSchema, attributes: Iterable[str]) -> None:
+    known = set(relation.attribute_names)
+    unknown = set(attributes) - known
+    if unknown:
+        raise SchemaError(
+            f"attributes {sorted(unknown)} are not attributes of {relation.name}"
+        )
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> frozenset[str]:
+    """The closure of *attributes* under *fds* (standard fixpoint algorithm)."""
+    closure = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= closure and not fd.rhs <= closure:
+                closure |= fd.rhs
+                changed = True
+    return frozenset(closure)
+
+
+def implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Is *candidate* implied by *fds* (Definition B.1)?
+
+    Only fds over the same relation participate; the test is
+    ``candidate.rhs ⊆ closure(candidate.lhs)``.
+    """
+    relevant = [fd for fd in fds if fd.relation == candidate.relation]
+    return candidate.rhs <= attribute_closure(candidate.lhs, relevant)
+
+
+def is_superkey(
+    relation: RelationSchema,
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Definition B.2: *attributes* functionally determine every attribute."""
+    attributes = set(attributes)
+    _check_attributes(relation, attributes)
+    relevant = [fd for fd in fds if fd.relation == relation.name]
+    closure = attribute_closure(attributes, relevant)
+    return set(relation.attribute_names) <= closure
+
+
+def is_key(
+    relation: RelationSchema,
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> bool:
+    """Definition B.3: a minimal superkey."""
+    attributes = set(attributes)
+    if not is_superkey(relation, attributes, fds):
+        return False
+    for size in range(1, len(attributes)):
+        for subset in combinations(sorted(attributes), size):
+            if is_superkey(relation, subset, fds):
+                return False
+    return True
+
+
+def candidate_keys(
+    relation: RelationSchema, fds: Sequence[FunctionalDependency]
+) -> list[frozenset[str]]:
+    """All candidate keys of *relation* under *fds*.
+
+    Exhaustive search over attribute subsets in increasing size order; fine
+    for the small relation arities used in query reformulation workloads.
+    """
+    attributes = list(relation.attribute_names)
+    keys: list[frozenset[str]] = []
+    for size in range(1, len(attributes) + 1):
+        for subset in combinations(attributes, size):
+            subset_set = frozenset(subset)
+            if any(key <= subset_set for key in keys):
+                continue
+            if is_superkey(relation, subset_set, fds):
+                keys.append(subset_set)
+    return keys
+
+
+def key_positions(
+    relation: RelationSchema, attributes: Iterable[str]
+) -> tuple[int, ...]:
+    """0-based positions of *attributes* within the relation, sorted."""
+    _check_attributes(relation, attributes)
+    return tuple(sorted(relation.attribute_position(a) for a in attributes))

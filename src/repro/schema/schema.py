@@ -1,0 +1,141 @@
+"""Database schemas and relation schemas.
+
+A database schema (Section 2.1 / Appendix B of the paper) is a finite set of
+relation symbols with arities.  Each relation may optionally carry attribute
+names (used by the SQL front end and by the attribute-level functional
+dependency machinery in :mod:`repro.schema.keys`) and a ``set_valued`` flag
+recording that the relation is required to be set valued in every instance —
+the constraint the paper encodes with tuple-ID egds (Appendix C) and that
+drives the bag-semantics soundness conditions of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation symbol: name, arity, optional attribute names, set-valuedness."""
+
+    name: str
+    arity: int
+    attributes: tuple[str, ...] = ()
+    set_valued: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arity <= 0:
+            raise SchemaError(f"relation {self.name} must have positive arity")
+        if self.attributes and len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"relation {self.name}: {len(self.attributes)} attribute names "
+                f"given but arity is {self.arity}"
+            )
+        if self.attributes and len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name} has duplicate attribute names")
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names, synthesising ``a1..ak`` when none were declared."""
+        if self.attributes:
+            return self.attributes
+        return tuple(f"a{i + 1}" for i in range(self.arity))
+
+    def attribute_position(self, attribute: str) -> int:
+        """0-based position of *attribute* in the relation."""
+        try:
+            return self.attribute_names.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}"
+            ) from exc
+
+    def as_set_valued(self) -> "RelationSchema":
+        """A copy of the schema marked as set valued."""
+        return RelationSchema(self.name, self.arity, self.attributes, True)
+
+    def __str__(self) -> str:
+        attrs = ", ".join(self.attribute_names)
+        marker = " [set-valued]" if self.set_valued else ""
+        return f"{self.name}({attrs}){marker}"
+
+
+@dataclass
+class DatabaseSchema:
+    """A finite collection of relation schemas indexed by name."""
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+
+    @classmethod
+    def from_arities(
+        cls,
+        arities: Mapping[str, int],
+        set_valued: Iterable[str] = (),
+    ) -> "DatabaseSchema":
+        """Build a schema from a name→arity mapping.
+
+        ``set_valued`` lists the relations required to be set valued in every
+        instance (Theorem 4.1 / Appendix C).
+        """
+        set_valued = set(set_valued)
+        schema = cls()
+        for name, arity in arities.items():
+            schema.add_relation(
+                RelationSchema(name, arity, set_valued=name in set_valued)
+            )
+        return schema
+
+    def add_relation(self, relation: RelationSchema) -> None:
+        """Add (or replace) a relation schema."""
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"schema has no relation named {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def arity(self, name: str) -> int:
+        """Arity of relation *name*."""
+        return self.relation(name).arity
+
+    def relation_names(self) -> list[str]:
+        """All relation names, in insertion order."""
+        return list(self.relations)
+
+    def set_valued_relations(self) -> set[str]:
+        """Names of relations required to be set valued in every instance."""
+        return {rel.name for rel in self if rel.set_valued}
+
+    def mark_set_valued(self, names: Sequence[str] | str) -> "DatabaseSchema":
+        """Return a copy of the schema with *names* marked set valued."""
+        if isinstance(names, str):
+            names = [names]
+        copy = DatabaseSchema(dict(self.relations))
+        for name in names:
+            copy.relations[name] = copy.relation(name).as_set_valued()
+        return copy
+
+    def validate_atom_arity(self, predicate: str, arity: int) -> None:
+        """Raise :class:`SchemaError` when an atom's arity mismatches the schema."""
+        expected = self.arity(predicate)
+        if expected != arity:
+            raise SchemaError(
+                f"atom over {predicate} has arity {arity}, schema says {expected}"
+            )
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(rel) for rel in self) + "}"

@@ -1,0 +1,41 @@
+"""Query-evaluation semantics used throughout the library.
+
+The paper distinguishes three semantics for evaluating conjunctive queries
+(Sections 2.1–2.2):
+
+* **set semantics** — stored relations and query answers are sets;
+* **bag-set semantics** — stored relations are sets, answers are bags
+  (the SQL default without ``DISTINCT``);
+* **bag semantics** — both stored relations and answers are bags
+  (the SQL behaviour when no PRIMARY KEY / UNIQUE constraints force
+  set-valuedness).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Semantics(enum.Enum):
+    """The three query-evaluation semantics of the paper."""
+
+    SET = "set"
+    BAG = "bag"
+    BAG_SET = "bag-set"
+
+    @classmethod
+    def from_name(cls, name: "str | Semantics") -> "Semantics":
+        """Parse a semantics name (``"set"``, ``"bag"``, ``"bag-set"``/``"bagset"``)."""
+        if isinstance(name, Semantics):
+            return name
+        lowered = name.strip().lower().replace("_", "-")
+        if lowered in ("bagset", "bag-set", "bs"):
+            return cls.BAG_SET
+        if lowered in ("bag", "b"):
+            return cls.BAG
+        if lowered in ("set", "s"):
+            return cls.SET
+        raise ValueError(f"unknown semantics {name!r}")
+
+    def __str__(self) -> str:
+        return self.value

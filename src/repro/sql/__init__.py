@@ -1,0 +1,44 @@
+"""SQL front end: parsing, DDL-to-dependency translation, and SQL rendering."""
+
+from .ast import (
+    AggregateExpression,
+    ColumnDefinition,
+    ColumnRef,
+    CreateTableStatement,
+    EqualityCondition,
+    ForeignKeyConstraint,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from .parser import parse_create_table, parse_select, parse_statements
+from .render import aggregate_query_to_sql, query_to_sql
+from .translate import (
+    TranslatedQuery,
+    schema_from_ddl,
+    translate_select,
+    translate_sql,
+)
+
+__all__ = [
+    "AggregateExpression",
+    "ColumnDefinition",
+    "ColumnRef",
+    "CreateTableStatement",
+    "EqualityCondition",
+    "ForeignKeyConstraint",
+    "Literal",
+    "SelectItem",
+    "SelectStatement",
+    "TableRef",
+    "TranslatedQuery",
+    "aggregate_query_to_sql",
+    "parse_create_table",
+    "parse_select",
+    "parse_statements",
+    "query_to_sql",
+    "schema_from_ddl",
+    "translate_select",
+    "translate_sql",
+]

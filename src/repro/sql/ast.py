@@ -1,0 +1,172 @@
+"""Abstract syntax trees for the supported SQL fragment.
+
+Two statement kinds are modelled:
+
+* :class:`SelectStatement` — SPJ queries with equality predicates, optional
+  ``DISTINCT``, optional ``GROUP BY`` and a single aggregate output;
+* :class:`CreateTableStatement` — table definitions with column types and the
+  constraints (``PRIMARY KEY``, ``UNIQUE``, ``FOREIGN KEY``) that become
+  embedded dependencies.
+
+The AST is deliberately small and value-like; translation to the query /
+dependency model lives in :mod:`repro.sql.translate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference ``table_or_alias.column`` (the qualifier is optional)."""
+
+    column: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.column}" if self.qualifier else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string literal."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AggregateExpression:
+    """An aggregate select item, e.g. ``SUM(o.amount)`` or ``COUNT(*)``."""
+
+    function: str  # "sum" | "count" | "max" | "min"
+    argument: ColumnRef | None  # None means COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        return f"{self.function.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list, with an optional output alias."""
+
+    expression: ColumnRef | Literal | AggregateExpression
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        rendered = str(self.expression)
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item ``table [AS] alias``."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.table
+
+    def __str__(self) -> str:
+        return f"{self.table} {self.alias}" if self.alias else self.table
+
+
+@dataclass(frozen=True)
+class EqualityCondition:
+    """An equality in the WHERE clause: column = column or column = literal."""
+
+    left: ColumnRef
+    right: ColumnRef | Literal
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where_conditions: tuple[EqualityCondition, ...] = ()
+    distinct: bool = False
+    group_by: tuple[ColumnRef, ...] = ()
+
+    def has_aggregate(self) -> bool:
+        return any(
+            isinstance(item.expression, AggregateExpression)
+            for item in self.select_items
+        )
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(item) for item in self.select_items))
+        parts.append("FROM " + ", ".join(str(t) for t in self.from_tables))
+        if self.where_conditions:
+            parts.append(
+                "WHERE " + " AND ".join(str(c) for c in self.where_conditions)
+            )
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(c) for c in self.group_by))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """A column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str = "int"
+    primary_key: bool = False
+    unique: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKeyConstraint:
+    """A ``FOREIGN KEY (cols) REFERENCES table (cols)`` table constraint."""
+
+    columns: tuple[str, ...]
+    referenced_table: str
+    referenced_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    """A parsed CREATE TABLE statement."""
+
+    table: str
+    columns: tuple[ColumnDefinition, ...]
+    primary_key: tuple[str, ...] = ()
+    unique_constraints: tuple[tuple[str, ...], ...] = ()
+    foreign_keys: tuple[ForeignKeyConstraint, ...] = field(default_factory=tuple)
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def effective_primary_key(self) -> tuple[str, ...]:
+        """Table-level PRIMARY KEY, falling back to a column-level one."""
+        if self.primary_key:
+            return self.primary_key
+        for column in self.columns:
+            if column.primary_key:
+                return (column.name,)
+        return ()
+
+    def effective_unique_constraints(self) -> tuple[tuple[str, ...], ...]:
+        """Table-level UNIQUE constraints plus column-level UNIQUE markers."""
+        constraints = list(self.unique_constraints)
+        for column in self.columns:
+            if column.unique:
+                constraints.append((column.name,))
+        return tuple(constraints)

@@ -1,0 +1,97 @@
+"""Tokenizer for the SPJ subset of SQL handled by the library.
+
+The SQL front end covers what the paper's title promises: select–project–join
+queries with equality comparisons, optional ``DISTINCT``, optional grouping
+and aggregation, and the DDL constraints (``PRIMARY KEY``, ``UNIQUE``,
+``FOREIGN KEY ... REFERENCES``) that translate into embedded dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..exceptions import ParseError
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "group",
+    "by",
+    "as",
+    "create",
+    "table",
+    "primary",
+    "key",
+    "unique",
+    "foreign",
+    "references",
+    "not",
+    "null",
+    "int",
+    "integer",
+    "text",
+    "varchar",
+    "real",
+    "float",
+    "sum",
+    "count",
+    "max",
+    "min",
+}
+
+_TOKEN_REGEX = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'[^']*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>\(|\)|,|\.|=|;|\*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A SQL token: ``kind`` is one of keyword, ident, number, string, punct."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.kind == "keyword" and self.value in keywords
+
+    def matches_punct(self, *symbols: str) -> bool:
+        return self.kind == "punct" and self.value in symbols
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; raises :class:`ParseError` on unexpected input."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_REGEX.match(sql, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {sql[position]!r} at position {position}",
+                position,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            if kind == "ident" and value.lower() in KEYWORDS:
+                tokens.append(Token("keyword", value.lower(), position))
+            elif kind == "ident":
+                tokens.append(Token("ident", value, position))
+            elif kind == "string":
+                tokens.append(Token("string", value[1:-1], position))
+            else:
+                tokens.append(Token(kind, value, position))
+        position = match.end()
+    return tokens

@@ -1,0 +1,304 @@
+"""Recursive-descent parser for the supported SQL fragment.
+
+``parse_select`` handles SPJ queries with equality WHERE conditions,
+``DISTINCT``, ``GROUP BY``, and the four aggregate functions;
+``parse_create_table`` handles table definitions with PRIMARY KEY, UNIQUE and
+FOREIGN KEY constraints; ``parse_statements`` splits a script on ``;`` and
+parses each statement.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ParseError
+from .ast import (
+    AggregateExpression,
+    ColumnDefinition,
+    ColumnRef,
+    CreateTableStatement,
+    EqualityCondition,
+    ForeignKeyConstraint,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from .lexer import Token, tokenize
+
+_AGGREGATE_KEYWORDS = ("sum", "count", "max", "min")
+_TYPE_KEYWORDS = ("int", "integer", "text", "varchar", "real", "float")
+
+
+class _SqlParser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # ------------------------------------------------------------------ #
+    def peek(self, offset: int = 0) -> Token | None:
+        position = self.index + offset
+        if position < len(self.tokens):
+            return self.tokens[position]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of SQL input in {self.sql!r}")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *keywords: str) -> Token:
+        token = self.advance()
+        if not token.matches_keyword(*keywords):
+            raise ParseError(
+                f"expected {' or '.join(k.upper() for k in keywords)} but found "
+                f"{token.value!r} at position {token.position}",
+                token.position,
+            )
+        return token
+
+    def expect_punct(self, symbol: str) -> Token:
+        token = self.advance()
+        if not token.matches_punct(symbol):
+            raise ParseError(
+                f"expected {symbol!r} but found {token.value!r} at position "
+                f"{token.position}",
+                token.position,
+            )
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.advance()
+        if token.kind not in ("ident", "keyword"):
+            raise ParseError(
+                f"expected an identifier but found {token.value!r} at position "
+                f"{token.position}",
+                token.position,
+            )
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token is not None and token.matches_keyword(*keywords)
+
+    def at_punct(self, symbol: str) -> bool:
+        token = self.peek()
+        return token is not None and token.matches_punct(symbol)
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens) or self.at_punct(";")
+
+    # ------------------------------------------------------------------ #
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.at_punct("."):
+            self.advance()
+            second = self.expect_ident()
+            return ColumnRef(column=second.value, qualifier=first.value)
+        return ColumnRef(column=first.value)
+
+    def parse_value(self) -> ColumnRef | Literal:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of SQL input")
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        return self.parse_column_ref()
+
+    def parse_select_item(self) -> SelectItem:
+        token = self.peek()
+        expression: ColumnRef | Literal | AggregateExpression
+        if token is not None and token.matches_keyword(*_AGGREGATE_KEYWORDS):
+            function = self.advance().value
+            self.expect_punct("(")
+            if self.at_punct("*"):
+                self.advance()
+                argument = None
+            else:
+                argument = self.parse_column_ref()
+            self.expect_punct(")")
+            expression = AggregateExpression(function, argument)
+        else:
+            value = self.parse_value()
+            expression = value
+        alias = None
+        if self.at_keyword("as"):
+            self.advance()
+            alias = self.expect_ident().value
+        return SelectItem(expression, alias)
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = False
+        if self.at_keyword("distinct"):
+            self.advance()
+            distinct = True
+        items = [self.parse_select_item()]
+        while self.at_punct(","):
+            self.advance()
+            items.append(self.parse_select_item())
+        self.expect_keyword("from")
+        tables = [self.parse_table_ref()]
+        while self.at_punct(","):
+            self.advance()
+            tables.append(self.parse_table_ref())
+        conditions: list[EqualityCondition] = []
+        if self.at_keyword("where"):
+            self.advance()
+            conditions.append(self.parse_condition())
+            while self.at_keyword("and"):
+                self.advance()
+                conditions.append(self.parse_condition())
+        group_by: list[ColumnRef] = []
+        if self.at_keyword("group"):
+            self.advance()
+            self.expect_keyword("by")
+            group_by.append(self.parse_column_ref())
+            while self.at_punct(","):
+                self.advance()
+                group_by.append(self.parse_column_ref())
+        if not self.at_end():
+            token = self.peek()
+            raise ParseError(
+                f"unexpected trailing SQL {token.value!r} at position {token.position}",
+                token.position,
+            )
+        return SelectStatement(
+            select_items=tuple(items),
+            from_tables=tuple(tables),
+            where_conditions=tuple(conditions),
+            distinct=distinct,
+            group_by=tuple(group_by),
+        )
+
+    def parse_table_ref(self) -> TableRef:
+        table = self.expect_ident().value
+        alias = None
+        if self.at_keyword("as"):
+            self.advance()
+            alias = self.expect_ident().value
+        elif self.peek() is not None and self.peek().kind == "ident":
+            alias = self.advance().value
+        return TableRef(table, alias)
+
+    def parse_condition(self) -> EqualityCondition:
+        left = self.parse_value()
+        self.expect_punct("=")
+        right = self.parse_value()
+        if isinstance(left, Literal):
+            if isinstance(right, Literal):
+                raise ParseError("conditions between two literals are not supported")
+            left, right = right, left
+        return EqualityCondition(left, right)
+
+    # ------------------------------------------------------------------ #
+    def parse_create_table(self) -> CreateTableStatement:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        table = self.expect_ident().value
+        self.expect_punct("(")
+        columns: list[ColumnDefinition] = []
+        primary_key: tuple[str, ...] = ()
+        uniques: list[tuple[str, ...]] = []
+        foreign_keys: list[ForeignKeyConstraint] = []
+        while True:
+            if self.at_keyword("primary"):
+                self.advance()
+                self.expect_keyword("key")
+                primary_key = self._parse_column_name_list()
+            elif self.at_keyword("unique"):
+                self.advance()
+                uniques.append(self._parse_column_name_list())
+            elif self.at_keyword("foreign"):
+                self.advance()
+                self.expect_keyword("key")
+                local_columns = self._parse_column_name_list()
+                self.expect_keyword("references")
+                referenced_table = self.expect_ident().value
+                referenced_columns = self._parse_column_name_list()
+                foreign_keys.append(
+                    ForeignKeyConstraint(local_columns, referenced_table, referenced_columns)
+                )
+            else:
+                columns.append(self._parse_column_definition())
+            if self.at_punct(","):
+                self.advance()
+                continue
+            self.expect_punct(")")
+            break
+        return CreateTableStatement(
+            table=table,
+            columns=tuple(columns),
+            primary_key=primary_key,
+            unique_constraints=tuple(uniques),
+            foreign_keys=tuple(foreign_keys),
+        )
+
+    def _parse_column_name_list(self) -> tuple[str, ...]:
+        self.expect_punct("(")
+        names = [self.expect_ident().value]
+        while self.at_punct(","):
+            self.advance()
+            names.append(self.expect_ident().value)
+        self.expect_punct(")")
+        return tuple(names)
+
+    def _parse_column_definition(self) -> ColumnDefinition:
+        name = self.expect_ident().value
+        type_name = "int"
+        if self.at_keyword(*_TYPE_KEYWORDS):
+            type_name = self.advance().value
+            # Optional length, e.g. VARCHAR(20).
+            if self.at_punct("("):
+                self.advance()
+                self.advance()
+                self.expect_punct(")")
+        primary = unique = not_null = False
+        while True:
+            if self.at_keyword("primary"):
+                self.advance()
+                self.expect_keyword("key")
+                primary = True
+            elif self.at_keyword("unique"):
+                self.advance()
+                unique = True
+            elif self.at_keyword("not"):
+                self.advance()
+                self.expect_keyword("null")
+                not_null = True
+            else:
+                break
+        return ColumnDefinition(name, type_name, primary, unique, not_null)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _SqlParser(sql).parse_select()
+
+
+def parse_create_table(sql: str) -> CreateTableStatement:
+    """Parse one CREATE TABLE statement."""
+    return _SqlParser(sql).parse_create_table()
+
+
+def parse_statements(sql: str) -> list[SelectStatement | CreateTableStatement]:
+    """Parse a ``;``-separated script of SELECT and CREATE TABLE statements."""
+    statements: list[SelectStatement | CreateTableStatement] = []
+    for chunk in sql.split(";"):
+        stripped = chunk.strip()
+        if not stripped:
+            continue
+        lowered = stripped.lower()
+        if lowered.startswith("create"):
+            statements.append(parse_create_table(stripped))
+        elif lowered.startswith("select"):
+            statements.append(parse_select(stripped))
+        else:
+            raise ParseError(f"unsupported statement: {stripped[:40]!r}...")
+    return statements

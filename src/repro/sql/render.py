@@ -1,0 +1,112 @@
+"""Rendering conjunctive / aggregate queries back to SQL text.
+
+The reformulation algorithms operate on conjunctive queries; rendering their
+outputs back to SQL closes the loop promised by the paper's title — SQL in,
+equivalent (Σ-minimal) SQL out.  Each body atom becomes a FROM item with a
+generated alias; shared variables become equality join predicates; constants
+become equality filters; ``DISTINCT`` is added when the caller evaluates the
+query under set semantics.
+"""
+
+from __future__ import annotations
+
+from ..core.aggregate import AggregateFunction, AggregateQuery
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+from ..exceptions import TranslationError
+from ..schema.schema import DatabaseSchema
+from ..semantics import Semantics
+
+
+def _format_literal(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+class _RenderContext:
+    """Tracks alias assignment and variable occurrences for one query body."""
+
+    def __init__(self, query: ConjunctiveQuery | AggregateQuery, schema: DatabaseSchema):
+        self.schema = schema
+        self.aliases: list[tuple[str, str]] = []  # (alias, table)
+        self.variable_slots: dict[Variable, list[str]] = {}
+        self.filters: list[str] = []
+        self.joins: list[str] = []
+        self._build(query)
+
+    def _build(self, query: ConjunctiveQuery | AggregateQuery) -> None:
+        for index, atom in enumerate(query.body):
+            if atom.predicate not in self.schema:
+                raise TranslationError(
+                    f"cannot render atom over unknown relation {atom.predicate!r}"
+                )
+            relation = self.schema.relation(atom.predicate)
+            if relation.arity != atom.arity:
+                raise TranslationError(
+                    f"atom {atom} arity does not match schema relation {relation}"
+                )
+            alias = f"t{index + 1}"
+            self.aliases.append((alias, atom.predicate))
+            for position, term in enumerate(atom.terms):
+                column = relation.attribute_names[position]
+                slot = f"{alias}.{column}"
+                if isinstance(term, Constant):
+                    self.filters.append(f"{slot} = {_format_literal(term.value)}")
+                else:
+                    occurrences = self.variable_slots.setdefault(term, [])
+                    if occurrences:
+                        self.joins.append(f"{occurrences[0]} = {slot}")
+                    occurrences.append(slot)
+
+    def slot_for(self, term: Term) -> str:
+        if isinstance(term, Constant):
+            return _format_literal(term.value)
+        occurrences = self.variable_slots.get(term)
+        if not occurrences:
+            raise TranslationError(f"head variable {term} does not occur in the body")
+        return occurrences[0]
+
+    def from_clause(self) -> str:
+        return ", ".join(f"{table} {alias}" for alias, table in self.aliases)
+
+    def where_clause(self) -> str:
+        conditions = self.joins + self.filters
+        return " AND ".join(conditions)
+
+
+def query_to_sql(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    semantics: Semantics | str = Semantics.BAG_SET,
+) -> str:
+    """Render a conjunctive query as a SQL SELECT statement."""
+    semantics = Semantics.from_name(semantics)
+    context = _RenderContext(query, schema)
+    select_list = ", ".join(context.slot_for(term) for term in query.head_terms)
+    distinct = "DISTINCT " if semantics is Semantics.SET else ""
+    sql = f"SELECT {distinct}{select_list} FROM {context.from_clause()}"
+    where = context.where_clause()
+    if where:
+        sql += f" WHERE {where}"
+    return sql
+
+
+def aggregate_query_to_sql(query: AggregateQuery, schema: DatabaseSchema) -> str:
+    """Render an aggregate query as a SQL SELECT ... GROUP BY statement."""
+    context = _RenderContext(query, schema)
+    select_parts = [context.slot_for(term) for term in query.grouping_terms]
+    if query.aggregate.function is AggregateFunction.COUNT_STAR:
+        select_parts.append("COUNT(*)")
+    else:
+        argument = context.slot_for(query.aggregate.argument)
+        select_parts.append(f"{query.aggregate.function.value.upper()}({argument})")
+    sql = f"SELECT {', '.join(select_parts)} FROM {context.from_clause()}"
+    where = context.where_clause()
+    if where:
+        sql += f" WHERE {where}"
+    if query.grouping_terms:
+        group_by = ", ".join(context.slot_for(term) for term in query.grouping_terms)
+        sql += f" GROUP BY {group_by}"
+    return sql

@@ -1,0 +1,307 @@
+"""Translation between SQL and the conjunctive-query / dependency model.
+
+Two directions are provided:
+
+* :func:`schema_from_ddl` — turn ``CREATE TABLE`` statements into a
+  :class:`~repro.schema.schema.DatabaseSchema` plus a
+  :class:`~repro.dependencies.base.DependencySet`: PRIMARY KEY and UNIQUE
+  constraints become key egds and mark the relation as set valued (the SQL
+  standard point the paper makes in its introduction: without such
+  constraints a stored relation is a bag), and FOREIGN KEY constraints become
+  inclusion-dependency tgds.
+* :func:`translate_select` — turn a ``SELECT`` statement into a
+  :class:`~repro.core.query.ConjunctiveQuery` or
+  :class:`~repro.core.aggregate.AggregateQuery`, together with the query
+  evaluation semantics the SQL standard assigns to it (set when ``DISTINCT``
+  is present, bag-set when all stored relations are sets, bag otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.aggregate import AggregateFunction, AggregateQuery, AggregateTerm
+from ..core.atoms import Atom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+from ..dependencies.base import Dependency, DependencySet
+from ..dependencies.builders import inclusion_dependency, key_egds
+from ..exceptions import TranslationError
+from ..schema.schema import DatabaseSchema, RelationSchema
+from ..semantics import Semantics
+from .ast import (
+    AggregateExpression,
+    ColumnRef,
+    CreateTableStatement,
+    Literal,
+    SelectStatement,
+)
+from .parser import parse_create_table, parse_select, parse_statements
+
+
+# ---------------------------------------------------------------------- #
+# DDL → schema + dependencies
+# ---------------------------------------------------------------------- #
+def schema_from_ddl(
+    statements: list[CreateTableStatement] | str,
+) -> tuple[DatabaseSchema, DependencySet]:
+    """Build the database schema and embedded dependencies from DDL.
+
+    *statements* may be a SQL script (string) or a list of parsed
+    CREATE TABLE statements.
+    """
+    if isinstance(statements, str):
+        parsed = [s for s in parse_statements(statements) if isinstance(s, CreateTableStatement)]
+    else:
+        parsed = list(statements)
+
+    schema = DatabaseSchema()
+    dependencies: list[Dependency] = []
+    set_valued: set[str] = set()
+
+    for statement in parsed:
+        columns = statement.column_names()
+        relation = RelationSchema(statement.table, len(columns), columns)
+        primary_key = statement.effective_primary_key()
+        uniques = statement.effective_unique_constraints()
+        if primary_key or uniques:
+            # The SQL standard treats a table with a PRIMARY KEY or UNIQUE
+            # constraint as duplicate free.
+            relation = relation.as_set_valued()
+            set_valued.add(statement.table)
+        schema.add_relation(relation)
+
+        for key_columns, label in [(primary_key, "pk")] + [
+            (unique, f"unique{i}") for i, unique in enumerate(uniques)
+        ]:
+            if not key_columns:
+                continue
+            positions = [relation.attribute_position(c) for c in key_columns]
+            dependencies.extend(
+                key_egds(statement.table, relation.arity, positions,
+                         name_prefix=f"{label}_{statement.table}")
+            )
+
+    # Foreign keys need every referenced table's arity, hence the second pass.
+    for statement in parsed:
+        source = schema.relation(statement.table)
+        for constraint in statement.foreign_keys:
+            if constraint.referenced_table not in schema:
+                raise TranslationError(
+                    f"foreign key in {statement.table} references unknown table "
+                    f"{constraint.referenced_table}"
+                )
+            target = schema.relation(constraint.referenced_table)
+            dependencies.append(
+                inclusion_dependency(
+                    source.name,
+                    source.arity,
+                    [source.attribute_position(c) for c in constraint.columns],
+                    target.name,
+                    target.arity,
+                    [target.attribute_position(c) for c in constraint.referenced_columns],
+                    name=f"fk_{source.name}_{target.name}",
+                )
+            )
+
+    return schema, DependencySet(dependencies, set_valued)
+
+
+# ---------------------------------------------------------------------- #
+# SELECT → conjunctive / aggregate query
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TranslatedQuery:
+    """A translated SELECT statement.
+
+    ``semantics`` is the evaluation semantics SQL assigns to the statement on
+    the given schema: set when DISTINCT is present, bag-set when every stored
+    relation is set valued, bag otherwise.
+    """
+
+    query: ConjunctiveQuery | AggregateQuery
+    distinct: bool
+    semantics: Semantics
+    statement: SelectStatement
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.query, AggregateQuery)
+
+
+class _SlotUnionFind:
+    """Union-find over (alias, column) slots driven by WHERE equalities."""
+
+    def __init__(self):
+        self.parent: dict[tuple[str, str], tuple[str, str]] = {}
+        self.constant: dict[tuple[str, str], object] = {}
+
+    def _ensure(self, slot: tuple[str, str]) -> None:
+        self.parent.setdefault(slot, slot)
+
+    def find(self, slot: tuple[str, str]) -> tuple[str, str]:
+        self._ensure(slot)
+        root = slot
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[slot] != root:
+            self.parent[slot], slot = root, self.parent[slot]
+        return root
+
+    def union(self, first: tuple[str, str], second: tuple[str, str]) -> None:
+        root1, root2 = self.find(first), self.find(second)
+        if root1 == root2:
+            return
+        self.parent[root2] = root1
+        if root2 in self.constant:
+            self.assign_constant(root1, self.constant[root2])
+
+    def assign_constant(self, slot: tuple[str, str], value: object) -> None:
+        root = self.find(slot)
+        existing = self.constant.get(root)
+        if existing is not None and existing != value:
+            raise TranslationError(
+                f"conflicting constants {existing!r} and {value!r} for column "
+                f"{slot[0]}.{slot[1]}"
+            )
+        self.constant[root] = value
+
+    def constant_for(self, slot: tuple[str, str]) -> object | None:
+        return self.constant.get(self.find(slot))
+
+
+def _variable_name(alias: str, column: str) -> str:
+    return f"{alias[:1].upper()}{alias[1:]}_{column}"
+
+
+def translate_select(
+    statement: SelectStatement | str, schema: DatabaseSchema,
+    set_valued_predicates: frozenset[str] | None = None,
+) -> TranslatedQuery:
+    """Translate a SELECT statement over *schema* into the query model."""
+    if isinstance(statement, str):
+        statement = parse_select(statement)
+
+    alias_to_table: dict[str, str] = {}
+    for table_ref in statement.from_tables:
+        if table_ref.table not in schema:
+            raise TranslationError(f"unknown table {table_ref.table!r} in FROM clause")
+        alias = table_ref.effective_alias
+        if alias in alias_to_table:
+            raise TranslationError(f"duplicate alias {alias!r} in FROM clause")
+        alias_to_table[alias] = table_ref.table
+
+    def resolve(ref: ColumnRef) -> tuple[str, str]:
+        if ref.qualifier is not None:
+            if ref.qualifier not in alias_to_table:
+                raise TranslationError(f"unknown table alias {ref.qualifier!r}")
+            table = alias_to_table[ref.qualifier]
+            relation = schema.relation(table)
+            if ref.column not in relation.attribute_names:
+                raise TranslationError(
+                    f"table {table} has no column {ref.column!r}"
+                )
+            return ref.qualifier, ref.column
+        owners = [
+            alias
+            for alias, table in alias_to_table.items()
+            if ref.column in schema.relation(table).attribute_names
+        ]
+        if not owners:
+            raise TranslationError(f"column {ref.column!r} not found in FROM tables")
+        if len(owners) > 1:
+            raise TranslationError(
+                f"column {ref.column!r} is ambiguous (tables {sorted(owners)})"
+            )
+        return owners[0], ref.column
+
+    slots = _SlotUnionFind()
+    for condition in statement.where_conditions:
+        left_slot = resolve(condition.left)
+        if isinstance(condition.right, Literal):
+            slots.assign_constant(left_slot, condition.right.value)
+        else:
+            slots.union(left_slot, resolve(condition.right))
+
+    def term_for(slot: tuple[str, str]) -> Term:
+        constant = slots.constant_for(slot)
+        if constant is not None:
+            return Constant(constant)
+        root = slots.find(slot)
+        return Variable(_variable_name(*root))
+
+    body: list[Atom] = []
+    for table_ref in statement.from_tables:
+        alias = table_ref.effective_alias
+        relation = schema.relation(table_ref.table)
+        terms = [term_for((alias, column)) for column in relation.attribute_names]
+        body.append(Atom(relation.name, terms))
+
+    # Determine the evaluation semantics SQL would use.
+    if set_valued_predicates is None:
+        set_valued_predicates = frozenset(schema.set_valued_relations())
+    referenced_tables = {table_ref.table for table_ref in statement.from_tables}
+    if statement.distinct:
+        semantics = Semantics.SET
+    elif referenced_tables <= set_valued_predicates:
+        semantics = Semantics.BAG_SET
+    else:
+        semantics = Semantics.BAG
+
+    aggregate_items = [
+        item for item in statement.select_items
+        if isinstance(item.expression, AggregateExpression)
+    ]
+    plain_items = [
+        item for item in statement.select_items
+        if not isinstance(item.expression, AggregateExpression)
+    ]
+
+    if aggregate_items:
+        if len(aggregate_items) != 1:
+            raise TranslationError(
+                "only a single aggregate output per query is supported "
+                "(as in the paper's aggregate query syntax)"
+            )
+        grouping_terms: list[Term] = []
+        for item in plain_items:
+            if not isinstance(item.expression, ColumnRef):
+                raise TranslationError(
+                    "grouping select items must be column references"
+                )
+            grouping_terms.append(term_for(resolve(item.expression)))
+        expression = aggregate_items[0].expression
+        assert isinstance(expression, AggregateExpression)
+        if expression.argument is None:
+            aggregate_term = AggregateTerm(AggregateFunction.COUNT_STAR)
+        else:
+            argument_term = term_for(resolve(expression.argument))
+            if not isinstance(argument_term, Variable):
+                raise TranslationError(
+                    "the aggregated column must not be bound to a constant"
+                )
+            aggregate_term = AggregateTerm(
+                AggregateFunction.from_name(expression.function), argument_term
+            )
+        query: ConjunctiveQuery | AggregateQuery = AggregateQuery(
+            "Q", grouping_terms, aggregate_term, body
+        )
+    else:
+        head_terms: list[Term] = []
+        for item in statement.select_items:
+            if isinstance(item.expression, ColumnRef):
+                head_terms.append(term_for(resolve(item.expression)))
+            elif isinstance(item.expression, Literal):
+                head_terms.append(Constant(item.expression.value))
+            else:  # pragma: no cover - excluded above
+                raise TranslationError("unexpected select item")
+        query = ConjunctiveQuery("Q", head_terms, body)
+
+    return TranslatedQuery(query, statement.distinct, semantics, statement)
+
+
+def translate_sql(
+    sql: str, schema: DatabaseSchema
+) -> TranslatedQuery:
+    """Parse and translate a single SELECT statement."""
+    return translate_select(parse_select(sql), schema)

@@ -1,0 +1,16 @@
+"""View definitions and view-based query rewriting under the three semantics."""
+
+from .definitions import ViewDefinition, ViewSet
+from .rewriting import (
+    ViewRewritingResult,
+    is_correct_rewriting,
+    rewrite_query_using_views,
+)
+
+__all__ = [
+    "ViewDefinition",
+    "ViewRewritingResult",
+    "ViewSet",
+    "is_correct_rewriting",
+    "rewrite_query_using_views",
+]

@@ -1,0 +1,208 @@
+"""View definitions and their encoding as embedded dependencies.
+
+The paper repeatedly points out (introduction and Section 1) that its
+equivalence framework is what is needed to rewrite queries *using views*
+under bag and bag-set semantics: a candidate rewriting over view predicates
+is correct iff its expansion — the query obtained by replacing each view atom
+by the view's definition — is Σ-equivalent to the original query under the
+chosen semantics.
+
+This module provides the substrate for that application:
+
+* :class:`ViewDefinition` — a named conjunctive view ``V(X̄) :- body``;
+* :class:`ViewSet` — a collection of views over one base schema, able to
+
+  - extend a database schema with the view relations,
+  - produce the *view dependencies* used by the chase-based rewriting
+    algorithm (the standard C&B encoding of exact views): a **forward** full
+    tgd ``body(V) → V(X̄)`` stating that every base match is in the view, and
+    a **backward** tgd ``V(X̄) → ∃Ȳ body(V)`` stating that the view contains
+    nothing else,
+  - expand a query over (a mix of) base and view predicates back into a
+    query over the base schema.
+
+Whether a materialised view is duplicate free depends on how it was defined:
+a view defined with ``DISTINCT`` is set valued, one defined without it is a
+bag (this is exactly the paper's point that bag semantics becomes imperative
+in the presence of materialised views).  :class:`ViewDefinition.distinct`
+records this and :meth:`ViewSet.set_valued_view_names` exposes it to the
+rewriting algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..core.atoms import Atom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import FreshVariableFactory, Term, Variable
+from ..dependencies.base import TGD, Dependency, DependencySet
+from ..exceptions import QueryError, SchemaError
+from ..schema.schema import DatabaseSchema, RelationSchema
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A named conjunctive view ``name(head terms of definition) :- body``."""
+
+    name: str
+    definition: ConjunctiveQuery
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("a view needs a nonempty name")
+
+    @property
+    def arity(self) -> int:
+        """Arity of the view relation (number of head terms of the definition)."""
+        return len(self.definition.head_terms)
+
+    def head_atom(self) -> Atom:
+        """The view atom over the definition's own head terms."""
+        return Atom(self.name, self.definition.head_terms)
+
+    def forward_dependency(self) -> TGD:
+        """``body(V) → V(X̄)``: every base-schema match appears in the view."""
+        return TGD(
+            self.definition.body, [self.head_atom()], name=f"view_{self.name}_fwd"
+        )
+
+    def backward_dependency(self) -> TGD:
+        """``V(X̄) → ∃Ȳ body(V)``: the view contains only base-schema matches."""
+        return TGD(
+            [self.head_atom()], self.definition.body, name=f"view_{self.name}_bwd"
+        )
+
+    def relation_schema(self) -> RelationSchema:
+        """The view's relation schema; DISTINCT views are set valued."""
+        return RelationSchema(self.name, self.arity, set_valued=self.distinct)
+
+    def __str__(self) -> str:
+        marker = " [distinct]" if self.distinct else ""
+        return f"view {self.name}{marker}: {self.definition}"
+
+
+class ViewSet:
+    """A collection of views over one base schema."""
+
+    def __init__(self, views: Iterable[ViewDefinition] = ()):
+        self._views: dict[str, ViewDefinition] = {}
+        for view in views:
+            self.add(view)
+
+    def add(self, view: ViewDefinition) -> None:
+        """Add a view; duplicate names are rejected."""
+        if view.name in self._views:
+            raise SchemaError(f"duplicate view name {view.name!r}")
+        self._views[view.name] = view
+
+    def __iter__(self) -> Iterator[ViewDefinition]:
+        return iter(self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def view(self, name: str) -> ViewDefinition:
+        """Look up a view by name."""
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise SchemaError(f"no view named {name!r}") from exc
+
+    def view_names(self) -> set[str]:
+        """The names of all views."""
+        return set(self._views)
+
+    def set_valued_view_names(self) -> set[str]:
+        """Views that are duplicate free (defined with DISTINCT)."""
+        return {view.name for view in self if view.distinct}
+
+    # ------------------------------------------------------------------ #
+    def extend_schema(self, schema: DatabaseSchema) -> DatabaseSchema:
+        """A copy of *schema* with one relation per view appended."""
+        extended = DatabaseSchema(dict(schema.relations))
+        for view in self:
+            if view.name in extended:
+                raise SchemaError(
+                    f"view name {view.name!r} clashes with a base relation"
+                )
+            extended.add_relation(view.relation_schema())
+        return extended
+
+    def view_dependencies(self) -> list[Dependency]:
+        """Forward + backward tgds for every view (the exact-view encoding)."""
+        dependencies: list[Dependency] = []
+        for view in self:
+            dependencies.append(view.forward_dependency())
+            dependencies.append(view.backward_dependency())
+        return dependencies
+
+    def combined_dependencies(self, base: DependencySet) -> DependencySet:
+        """Base dependencies plus the view dependencies.
+
+        Set-valuedness markers are the base markers plus the DISTINCT views.
+        """
+        return DependencySet(
+            list(base) + self.view_dependencies(),
+            base.set_valued_predicates | frozenset(self.set_valued_view_names()),
+        )
+
+    # ------------------------------------------------------------------ #
+    def expand(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        """Replace every view atom of *query* by the view's definition body.
+
+        Non-head variables of each definition are renamed freshly per
+        occurrence (so two uses of the same view do not share existential
+        witnesses), which is the standard expansion used to test candidate
+        rewritings.  Base-relation atoms pass through unchanged.
+        """
+        used = {v.name for v in query.all_variables()}
+        factory = FreshVariableFactory(used)
+        expanded_body: list[Atom] = []
+        for atom in query.body:
+            if atom.predicate not in self._views:
+                expanded_body.append(atom)
+                continue
+            view = self.view(atom.predicate)
+            if atom.arity != view.arity:
+                raise SchemaError(
+                    f"view atom {atom} has arity {atom.arity}, view {view.name} "
+                    f"has arity {view.arity}"
+                )
+            substitution: dict[Term, Term] = {}
+            # Head terms of the definition are bound by the view atom's arguments.
+            for head_term, argument in zip(view.definition.head_terms, atom.terms):
+                if isinstance(head_term, Variable):
+                    existing = substitution.get(head_term)
+                    if existing is not None and existing != argument:
+                        # The definition repeats a head variable; both view-atom
+                        # arguments must then be equal, which for a symbolic
+                        # query means unifying them — handled by mapping the
+                        # second occurrence onto the first.
+                        continue
+                    substitution[head_term] = argument
+                elif head_term != argument:
+                    raise SchemaError(
+                        f"view {view.name} exports constant {head_term} but the "
+                        f"atom {atom} supplies {argument}"
+                    )
+            # Existential (non-head) variables of the definition get fresh names.
+            for variable in view.definition.body_variables():
+                if variable not in substitution:
+                    substitution[variable] = factory(hint=f"{view.name}_{variable.name}")
+            expanded_body.extend(
+                body_atom.substitute(substitution) for body_atom in view.definition.body
+            )
+        return ConjunctiveQuery(query.head_predicate, query.head_terms, expanded_body)
+
+    def uses_only_views(self, query: ConjunctiveQuery) -> bool:
+        """Does *query* mention view predicates only (a *total* rewriting)?"""
+        return all(atom.predicate in self._views for atom in query.body)
+
+    def __str__(self) -> str:
+        return "\n".join(str(view) for view in self)

@@ -1,0 +1,15 @@
+"""Counterexample-database witnesses for inequivalence verdicts."""
+
+from .counterexamples import (
+    CounterexampleWitness,
+    canonical_candidates,
+    find_counterexample,
+    lemma_d1_counterexample,
+)
+
+__all__ = [
+    "CounterexampleWitness",
+    "canonical_candidates",
+    "find_counterexample",
+    "lemma_d1_counterexample",
+]

@@ -1,0 +1,209 @@
+"""Counterexample databases witnessing query inequivalence.
+
+Every negative claim in the paper is backed by a concrete database on which
+the two queries return different bags (Examples 4.1, 4.5–4.7, 4.9, D.1, D.2,
+E.1, E.2, F).  This module turns those proof techniques into a constructive
+search, so that an inequivalence verdict can be accompanied by a witness the
+user can inspect and replay:
+
+* :func:`lemma_d1_counterexample` — the Appendix D construction: when one
+  query has strictly more subgoals over some not-set-enforced relation than
+  the other, scale that relation of the canonical database by a factor m
+  chosen per Lemma D.1 so that the bag answers must differ.
+* :func:`canonical_candidates` — canonical databases of the two (chased)
+  queries and of the associated test queries of applicable tgds; these are
+  exactly the databases the paper's unsoundness proofs use (Theorem 4.1
+  case 2, Propositions E.2/E.3).
+* :func:`find_counterexample` — evaluate the two queries on the candidate
+  databases (restricted to those satisfying Σ) and return the first that
+  separates them, as a :class:`CounterexampleWitness`.
+
+The search is sound (any returned witness really separates the queries and
+satisfies the dependencies) but not complete: if it returns None the queries
+may still be inequivalent — the symbolic tests in :mod:`repro.equivalence`
+remain the decision procedure; witnesses are the explanation layer on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..chase.set_chase import DEFAULT_MAX_STEPS
+from ..chase.sound_chase import sound_chase
+from ..chase.steps import iter_applicable_tgd_homomorphisms
+from ..chase.test_query import associated_test_query
+from ..core.query import ConjunctiveQuery
+from ..database.canonical import canonical_database
+from ..database.instance import DatabaseInstance
+from ..database.satisfaction import satisfies_all
+from ..dependencies.base import TGD, Dependency, DependencySet
+from ..evaluation.bag import Bag
+from ..evaluation.engine import evaluate
+from ..semantics import Semantics
+
+
+@dataclass
+class CounterexampleWitness:
+    """A database on which the two queries disagree, plus the two answers."""
+
+    database: DatabaseInstance
+    semantics: Semantics
+    left_answer: Bag
+    right_answer: Bag
+    description: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"counterexample ({self.description or 'search'}) under {self.semantics}:\n"
+            f"{self.database}\n"
+            f"  left  answer: {self.left_answer}\n"
+            f"  right answer: {self.right_answer}"
+        )
+
+
+def _scale_relation(
+    instance: DatabaseInstance, relation: str, factor: int
+) -> DatabaseInstance:
+    scaled = instance.copy()
+    if scaled.has_relation(relation) and factor > 1:
+        scaled.relations[relation] = scaled.relation(relation).scaled(factor)
+    return scaled
+
+
+def lemma_d1_counterexample(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    set_valued_predicates: Iterable[str] = (),
+) -> DatabaseInstance | None:
+    """The Lemma D.1 construction separating two queries under bag semantics.
+
+    Applicable when, after dropping duplicate subgoals over set-enforced
+    relations, some relation R that is *not* set enforced has strictly more
+    subgoals in one query than in the other.  Returns the scaled canonical
+    database (m copies of R's canonical tuples, m chosen per Equation 5 of
+    the paper), or None when the precondition does not hold.
+    """
+    set_valued = set(set_valued_predicates)
+    reduced1 = q1.drop_duplicates_for(set_valued)
+    reduced2 = q2.drop_duplicates_for(set_valued)
+    counts1 = reduced1.predicate_counts()
+    counts2 = reduced2.predicate_counts()
+
+    candidates = []
+    for predicate in set(counts1) | set(counts2):
+        if predicate in set_valued:
+            continue
+        n1, n2 = counts1.get(predicate, 0), counts2.get(predicate, 0)
+        if n1 != n2 and min(n1, n2) > 0:
+            candidates.append((predicate, n1, n2))
+    if not candidates:
+        return None
+
+    predicate, n1, n2 = candidates[0]
+    # Work with the query that has MORE subgoals over the chosen relation as
+    # "Q1" of the lemma; build the canonical database of its canonical
+    # representation and scale the chosen relation.
+    rich = q1 if n1 > n2 else q2
+    poor_counts = min(n1, n2)
+    rich_counts = max(n1, n2)
+    other = (q2 if rich is q1 else q1).predicate_counts()
+    n3 = sum(other.values())
+    n4 = sum(
+        count for name, count in rich.predicate_counts().items() if name != predicate
+    )
+    # Equation 5 / 9 of the paper (a safely large multiplicity).
+    if n3 > poor_counts and n4 > 0:
+        m = 1 + rich_counts ** (2 * poor_counts) * n4 ** (n3 - poor_counts)
+    else:
+        m = 1 + rich_counts ** (2 * poor_counts)
+    canonical = canonical_database(rich.canonical_representation()).instance
+    return _scale_relation(canonical, predicate, m)
+
+
+def canonical_candidates(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    dependencies: DependencySet,
+    semantics: Semantics,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Iterator[tuple[str, DatabaseInstance]]:
+    """Candidate counterexample databases drawn from the paper's constructions."""
+    chased1 = sound_chase(q1, dependencies, semantics, max_steps).query
+    chased2 = sound_chase(q2, dependencies, semantics, max_steps).query
+
+    yield "canonical database of the chased left query", canonical_database(chased1).instance
+    yield "canonical database of the chased right query", canonical_database(chased2).instance
+
+    # Canonical databases of associated test queries of applicable tgds
+    # (Theorem 4.1 case 2 / Proposition E.3 style witnesses).
+    for label, chased in (("left", chased1), ("right", chased2)):
+        for dependency in dependencies:
+            if not isinstance(dependency, TGD):
+                continue
+            for homomorphism in iter_applicable_tgd_homomorphisms(chased, dependency):
+                test = associated_test_query(chased, dependency, homomorphism)
+                terminal = sound_chase(
+                    test.query, dependencies, Semantics.SET, max_steps
+                ).query
+                yield (
+                    f"test-query canonical database ({label}, {dependency.name or 'tgd'})",
+                    canonical_database(terminal).instance,
+                )
+                break  # one homomorphism per dependency keeps the pool small
+
+    # Lemma D.1 scaled databases (bag semantics only).
+    if semantics is Semantics.BAG:
+        scaled = lemma_d1_counterexample(
+            chased1, chased2, dependencies.set_valued_predicates
+        )
+        if scaled is not None:
+            yield "Lemma D.1 scaled canonical database", scaled
+
+    # Duplicated-tuple variants of the canonical databases (Proposition E.2
+    # style): under bag semantics a duplicate in a non-set-enforced relation
+    # often separates the queries.
+    if semantics is Semantics.BAG:
+        for label, chased in (("left", chased1), ("right", chased2)):
+            base = canonical_database(chased).instance
+            for relation in base.relation_names():
+                if relation in dependencies.set_valued_predicates:
+                    continue
+                yield (
+                    f"canonical database of {label} with {relation} doubled",
+                    _scale_relation(base, relation, 2),
+                )
+
+
+def find_counterexample(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency] = (),
+    semantics: Semantics | str = Semantics.BAG,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CounterexampleWitness | None:
+    """Search the paper's candidate constructions for a separating database.
+
+    Only candidates that satisfy the dependencies (including set-valuedness
+    of the marked relations) are considered, so a returned witness is a
+    genuine refutation of ``Q1 ≡Σ,X Q2``.  Returns None when no candidate
+    separates the queries — which does *not* prove equivalence.
+    """
+    semantics = Semantics.from_name(semantics)
+    if not isinstance(dependencies, DependencySet):
+        dependencies = DependencySet(dependencies)
+    seen: set[int] = set()
+    for description, database in canonical_candidates(
+        q1, q2, dependencies, semantics, max_steps
+    ):
+        key = hash(str(database))
+        if key in seen:
+            continue
+        seen.add(key)
+        if not satisfies_all(database, dependencies):
+            continue
+        left = evaluate(q1, database, semantics)
+        right = evaluate(q2, database, semantics)
+        if left != right:
+            return CounterexampleWitness(database, semantics, left, right, description)
+    return None

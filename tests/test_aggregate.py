@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.aggregate (AggregateQuery, AggregateTerm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import AggregateFunction, AggregateQuery, AggregateTerm
+from repro.core.atoms import Atom
+from repro.core.terms import Variable
+from repro.exceptions import QueryError
+
+
+def make_aggregate(function="sum") -> AggregateQuery:
+    return AggregateQuery(
+        "Q",
+        ["X"],
+        AggregateTerm(function, "Y"),
+        [Atom("r", ["X", "Y"]), Atom("s", ["Y", "Z"])],
+    )
+
+
+class TestAggregateFunction:
+    def test_from_name(self):
+        assert AggregateFunction.from_name("SUM") is AggregateFunction.SUM
+        assert AggregateFunction.from_name("count(*)") is AggregateFunction.COUNT_STAR
+        with pytest.raises(QueryError):
+            AggregateFunction.from_name("median")
+
+    def test_duplicate_sensitivity(self):
+        assert AggregateFunction.SUM.is_duplicate_sensitive
+        assert AggregateFunction.COUNT.is_duplicate_sensitive
+        assert AggregateFunction.COUNT_STAR.is_duplicate_sensitive
+        assert not AggregateFunction.MAX.is_duplicate_sensitive
+        assert not AggregateFunction.MIN.is_duplicate_sensitive
+
+
+class TestAggregateTerm:
+    def test_requires_argument(self):
+        with pytest.raises(QueryError):
+            AggregateTerm("sum")
+
+    def test_count_star_takes_no_argument(self):
+        with pytest.raises(QueryError):
+            AggregateTerm("count(*)", "Y")
+        term = AggregateTerm("count(*)")
+        assert term.argument is None
+        assert str(term) == "count(*)"
+
+    def test_argument_must_be_variable(self):
+        with pytest.raises(QueryError):
+            AggregateTerm("sum", 5)
+
+    def test_str(self):
+        assert str(AggregateTerm("max", "Y")) == "max(Y)"
+
+
+class TestAggregateQuery:
+    def test_safety_of_grouping_variable(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("Q", ["W"], AggregateTerm("sum", "Y"), [Atom("r", ["X", "Y"])])
+
+    def test_safety_of_aggregated_variable(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("Q", ["X"], AggregateTerm("sum", "W"), [Atom("r", ["X", "Y"])])
+
+    def test_aggregated_variable_not_in_grouping(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("Q", ["Y"], AggregateTerm("sum", "Y"), [Atom("r", ["X", "Y"])])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("Q", [], AggregateTerm("count(*)"), [])
+
+    def test_core_of_unary_aggregate(self):
+        query = make_aggregate()
+        core = query.core()
+        assert core.head_terms == (Variable("X"), Variable("Y"))
+        assert core.body == query.body
+
+    def test_core_of_count_star(self):
+        query = AggregateQuery(
+            "Q", ["X"], AggregateTerm("count(*)"), [Atom("r", ["X", "Y"])]
+        )
+        assert query.core().head_terms == (Variable("X"),)
+
+    def test_with_core_reattaches_head(self):
+        query = make_aggregate()
+        shorter_core = query.core().with_body([Atom("r", ["X", "Y"])])
+        rebuilt = query.with_core(shorter_core)
+        assert rebuilt.aggregate == query.aggregate
+        assert rebuilt.grouping_terms == query.grouping_terms
+        assert rebuilt.body == (Atom("r", ["X", "Y"]),)
+
+    def test_compatibility(self):
+        assert make_aggregate().is_compatible_with(make_aggregate())
+        assert not make_aggregate("sum").is_compatible_with(make_aggregate("count"))
+
+    def test_str(self):
+        assert str(make_aggregate()) == "Q(X, sum(Y)) :- r(X, Y), s(Y, Z)"

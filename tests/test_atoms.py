@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.atoms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import (
+    Atom,
+    EqualityAtom,
+    atoms_constants,
+    atoms_variables,
+    substitute_atoms,
+)
+from repro.core.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_term_coercion(self):
+        atom = Atom("p", ["X", "a", 3])
+        assert atom.terms == (Variable("X"), Constant("a"), Constant(3))
+
+    def test_arity(self):
+        assert Atom("p", ["X", "Y"]).arity == 2
+
+    def test_equality_and_hash(self):
+        assert Atom("p", ["X", 1]) == Atom("p", ["X", 1])
+        assert Atom("p", ["X", 1]) != Atom("p", ["Y", 1])
+        assert Atom("p", ["X"]) != Atom("q", ["X"])
+        assert len({Atom("p", ["X"]), Atom("p", ["X"])}) == 1
+
+    def test_variables_and_constants(self):
+        atom = Atom("p", ["X", 1, "X", "b"])
+        assert list(atom.variables()) == [Variable("X"), Variable("X")]
+        assert atom.variable_set() == {Variable("X")}
+        assert list(atom.constants()) == [Constant(1), Constant("b")]
+
+    def test_substitute(self):
+        atom = Atom("p", ["X", "Y"])
+        replaced = atom.substitute({Variable("X"): Constant(9)})
+        assert replaced == Atom("p", [Constant(9), "Y"])
+        # Original unchanged (immutability).
+        assert atom == Atom("p", ["X", "Y"])
+
+    def test_is_ground_and_to_tuple(self):
+        assert Atom("p", [1, "a"]).is_ground()
+        assert Atom("p", [1, "a"]).to_tuple() == (1, "a")
+        assert not Atom("p", ["X", 1]).is_ground()
+        with pytest.raises(ValueError):
+            Atom("p", ["X"]).to_tuple()
+
+    def test_str(self):
+        assert str(Atom("p", ["X", 1])) == "p(X, 1)"
+
+
+class TestEqualityAtom:
+    def test_construction_and_equality(self):
+        eq = EqualityAtom("X", "Y")
+        assert eq.left == Variable("X") and eq.right == Variable("Y")
+        assert eq == EqualityAtom("X", "Y")
+
+    def test_substitute(self):
+        eq = EqualityAtom("X", "Y").substitute({Variable("X"): Variable("Z")})
+        assert eq == EqualityAtom("Z", "Y")
+
+    def test_is_trivial(self):
+        assert EqualityAtom("X", "X").is_trivial()
+        assert not EqualityAtom("X", "Y").is_trivial()
+
+    def test_variables(self):
+        assert list(EqualityAtom("X", 3).variables()) == [Variable("X")]
+
+    def test_str(self):
+        assert str(EqualityAtom("X", "Y")) == "X = Y"
+
+
+class TestHelpers:
+    def test_atoms_variables_order_and_dedup(self):
+        atoms = [Atom("p", ["X", "Y"]), Atom("q", ["Y", "Z"])]
+        assert atoms_variables(atoms) == [Variable("X"), Variable("Y"), Variable("Z")]
+
+    def test_atoms_constants(self):
+        atoms = [Atom("p", [1, "X"]), Atom("q", ["a", 1])]
+        assert atoms_constants(atoms) == [Constant(1), Constant("a")]
+
+    def test_substitute_atoms(self):
+        atoms = [Atom("p", ["X"]), Atom("q", ["X", "Y"])]
+        result = substitute_atoms(atoms, {Variable("X"): Variable("W")})
+        assert result == (Atom("p", ["W"]), Atom("q", ["W", "Y"]))

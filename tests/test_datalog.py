@@ -1,0 +1,157 @@
+"""Tests for the datalog (rule notation) parser and renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import AggregateFunction
+from repro.core.atoms import Atom
+from repro.core.terms import Constant, Variable
+from repro.datalog import (
+    parse_aggregate_query,
+    parse_dependencies,
+    parse_dependency,
+    parse_egd,
+    parse_query,
+    parse_tgd,
+    render_aggregate_query,
+    render_dependency,
+    render_dependency_set,
+    render_query,
+)
+from repro.dependencies import EGD, TGD
+from repro.exceptions import ParseError
+
+
+class TestParseQuery:
+    def test_basic(self):
+        query = parse_query("Q(X) :- p(X,Y), s(X,Z)")
+        assert query.head_predicate == "Q"
+        assert query.head_terms == (Variable("X"),)
+        assert query.body == (Atom("p", ["X", "Y"]), Atom("s", ["X", "Z"]))
+
+    def test_constants(self):
+        query = parse_query("Q(X) :- p(X, 3), r(X, 'hello'), s(X, abc)")
+        assert Atom("p", ["X", 3]) in query.body
+        assert Atom("r", ["X", Constant("hello")]) in query.body
+        assert Atom("s", ["X", Constant("abc")]) in query.body
+
+    def test_float_constant(self):
+        query = parse_query("Q(X) :- p(X, 3.5)")
+        assert query.body[0].terms[1] == Constant(3.5)
+
+    def test_whitespace_insensitive(self):
+        assert parse_query("Q(X):-p(X,Y)") == parse_query("Q( X ) :-  p( X , Y )")
+
+    def test_ampersand_conjunction(self):
+        query = parse_query("Q(X) :- p(X,Y) & r(Y)")
+        assert len(query.body) == 2
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- ")
+        with pytest.raises(ParseError):
+            parse_query("Q(X) p(X,Y)")
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- p(X,Y) extra")
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- p(X,Y), X = Y")
+
+
+class TestParseDependency:
+    def test_tgd(self):
+        tgd = parse_tgd("p(X,Y) -> s(X,Z) & t(X,V,W)")
+        assert isinstance(tgd, TGD)
+        assert len(tgd.conclusion) == 2
+
+    def test_egd(self):
+        egd = parse_egd("s(X,Y) & s(X,Z) -> Y = Z")
+        assert isinstance(egd, EGD)
+
+    def test_mixed_dependency_normalised(self):
+        deps = parse_dependency("p(X,Y) -> t(X,Y,W) & X = Y")
+        assert {type(d) for d in deps} == {TGD, EGD}
+
+    def test_parse_tgd_rejects_egd(self):
+        with pytest.raises(ParseError):
+            parse_tgd("p(X,Y) -> t(X,Y,W) & X = Y")
+
+    def test_premise_equality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency("p(X,Y) & X = Y -> r(X)")
+
+    def test_unicode_arrow(self):
+        tgd = parse_tgd("p(X,Y) → r(X)")
+        assert tgd.conclusion[0].predicate == "r"
+
+    def test_parse_dependencies_multi_line(self):
+        sigma = parse_dependencies(
+            """
+            # a comment
+            p(X,Y) -> r(X)
+            s(X,Y) & s(X,Z) -> Y = Z
+            """,
+            set_valued=["s"],
+        )
+        assert len(sigma) == 2
+        assert sigma.is_set_valued("s")
+        assert all(d.name for d in sigma)
+
+
+class TestParseAggregateQuery:
+    def test_sum(self):
+        query = parse_aggregate_query("Q(X, sum(Y)) :- r(X,Y)")
+        assert query.aggregate.function is AggregateFunction.SUM
+        assert query.grouping_terms == (Variable("X"),)
+
+    def test_count_star(self):
+        query = parse_aggregate_query("Q(X, count(*)) :- r(X,Y)")
+        assert query.aggregate.function is AggregateFunction.COUNT_STAR
+        assert query.aggregate.argument is None
+
+    def test_no_grouping(self):
+        query = parse_aggregate_query("Q(min(Y)) :- r(X,Y)")
+        assert query.grouping_terms == ()
+
+    def test_missing_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aggregate_query("Q(X, Y) :- r(X,Y)")
+
+
+class TestRendering:
+    def test_query_round_trip(self):
+        text = "Q(X, Y) :- p(X, Z), s(Z, Y), r(X, 3)"
+        query = parse_query(text)
+        assert parse_query(render_query(query)) == query
+
+    def test_string_constant_round_trip(self):
+        query = parse_query("Q(X) :- p(X, 'New York')")
+        assert parse_query(render_query(query)) == query
+
+    def test_dependency_round_trip(self):
+        for text in (
+            "p(X,Y) -> s(X,Z) & t(X,V,W)",
+            "s(X,Y) & s(X,Z) -> Y = Z",
+            "p(X,Y) -> r(X)",
+        ):
+            (dependency,) = parse_dependency(text)
+            (reparsed,) = parse_dependency(render_dependency(dependency))
+            assert reparsed.premise == dependency.premise
+            if isinstance(dependency, TGD):
+                assert reparsed.conclusion == dependency.conclusion
+            else:
+                assert reparsed.equalities == dependency.equalities
+
+    def test_aggregate_round_trip(self):
+        for text in ("Q(X, sum(Y)) :- r(X, Y)", "Q(X, count(*)) :- r(X, Y)"):
+            query = parse_aggregate_query(text)
+            assert parse_aggregate_query(render_aggregate_query(query)) == query
+
+    def test_render_dependency_set_mentions_set_valued(self, ex41):
+        rendered = render_dependency_set(ex41.dependencies)
+        assert "set-valued" in rendered
+        assert rendered.count("->") == len(ex41.dependencies)
+
+    def test_paper_examples_render_and_reparse(self, ex41):
+        for query in (ex41.q1, ex41.q2, ex41.q3, ex41.q4, ex41.q5):
+            assert parse_query(render_query(query)) == query

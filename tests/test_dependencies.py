@@ -1,0 +1,170 @@
+"""Tests for repro.dependencies: TGD/EGD model, builders, normalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import Atom, EqualityAtom
+from repro.core.terms import Variable
+from repro.datalog import parse_dependency, parse_egd, parse_tgd
+from repro.dependencies import (
+    EGD,
+    TGD,
+    DependencySet,
+    fd_to_egd,
+    foreign_key,
+    functional_dependency_egd,
+    inclusion_dependency,
+    key_egds,
+    normalise_embedded_dependency,
+)
+from repro.exceptions import DependencyError
+from repro.schema import FunctionalDependency, RelationSchema
+
+
+class TestTGD:
+    def test_variable_classification(self):
+        tgd = parse_tgd("p(X,Y) -> s(X,Z) & t(Z,W)")
+        assert tgd.universal_variables() == [Variable("X"), Variable("Y")]
+        assert set(tgd.existential_variables()) == {Variable("Z"), Variable("W")}
+        assert tgd.frontier_variables() == [Variable("X")]
+
+    def test_full_and_inclusion_classification(self):
+        assert parse_tgd("p(X,Y) -> r(X)").is_full()
+        assert not parse_tgd("p(X,Y) -> r(X,Z)").is_full()
+        assert parse_tgd("p(X,Y) -> r(Y,X)").is_inclusion_dependency()
+        assert not parse_tgd("p(X,Y) & q(Y) -> r(X)").is_inclusion_dependency()
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD([], [Atom("p", ["X"])])
+        with pytest.raises(DependencyError):
+            TGD([Atom("p", ["X"])], [])
+
+    def test_predicates(self):
+        tgd = parse_tgd("p(X,Y) -> s(X,Z)")
+        assert tgd.predicates() == {"p", "s"}
+
+    def test_rename_and_freshen(self):
+        tgd = parse_tgd("p(X,Y) -> s(X,Z)")
+        renamed = tgd.rename_variables({Variable("X"): Variable("A")})
+        assert Atom("p", ["A", "Y"]) in renamed.premise
+        freshened = tgd.freshen([Variable("X"), Variable("Z")])
+        assert Variable("X") not in freshened.all_variables()
+        assert Variable("Z") not in freshened.all_variables()
+
+    def test_freshen_noop_when_disjoint(self):
+        tgd = parse_tgd("p(X,Y) -> s(X,Z)")
+        assert tgd.freshen([Variable("Q")]) is tgd
+
+
+class TestEGD:
+    def test_construction(self):
+        egd = parse_egd("s(X,Y) & s(X,Z) -> Y = Z")
+        assert isinstance(egd, EGD)
+        assert len(egd.premise) == 2
+        assert egd.equalities == (EqualityAtom("Y", "Z"),)
+
+    def test_equality_variables_must_occur_in_premise(self):
+        with pytest.raises(DependencyError):
+            EGD([Atom("s", ["X", "Y"])], EqualityAtom("Y", "W"))
+
+    def test_rename_and_freshen(self):
+        egd = parse_egd("s(X,Y) & s(X,Z) -> Y = Z")
+        renamed = egd.rename_variables({Variable("Y"): Variable("B")})
+        assert renamed.equalities[0] == EqualityAtom("B", "Z")
+        freshened = egd.freshen([Variable("X")])
+        assert Variable("X") not in freshened.all_variables()
+
+
+class TestNormalisation:
+    def test_mixed_conclusion_splits(self):
+        deps = normalise_embedded_dependency(
+            [Atom("p", ["X", "Y"])],
+            [Atom("t", ["X", "Y", "W"]), EqualityAtom("X", "Y")],
+            name="mixed",
+        )
+        kinds = {type(d) for d in deps}
+        assert kinds == {TGD, EGD}
+
+    def test_empty_conclusion_rejected(self):
+        with pytest.raises(DependencyError):
+            normalise_embedded_dependency([Atom("p", ["X"])], [])
+
+    def test_parse_dependency_normalises(self):
+        deps = parse_dependency("p(X,Y) -> t(X,Y,W) & X = Y")
+        assert len(deps) == 2
+
+
+class TestDependencySet:
+    def test_partition_and_membership(self):
+        tgd = parse_tgd("p(X,Y) -> r(X)")
+        egd = parse_egd("r(X) & r(Y) -> X = Y")
+        sigma = DependencySet([tgd, egd], set_valued_predicates=["r"])
+        assert sigma.tgds() == [tgd]
+        assert sigma.egds() == [egd]
+        assert sigma.is_set_valued("r") and not sigma.is_set_valued("p")
+        assert sigma.predicates() == {"p", "r"}
+        assert tgd in sigma
+        assert len(sigma) == 2
+
+    def test_without_and_restricted_to(self):
+        tgd = parse_tgd("p(X,Y) -> r(X)")
+        egd = parse_egd("r(X) & r(Y) -> X = Y")
+        sigma = DependencySet([tgd, egd], set_valued_predicates=["r"])
+        smaller = sigma.without(tgd)
+        assert len(smaller) == 1 and smaller.set_valued_predicates == {"r"}
+        restricted = sigma.restricted_to([egd])
+        assert list(restricted) == [egd]
+
+    def test_with_set_valued(self):
+        sigma = DependencySet([parse_tgd("p(X,Y) -> r(X)")])
+        extended = sigma.with_set_valued(["p"])
+        assert extended.is_set_valued("p")
+        assert not sigma.is_set_valued("p")
+
+
+class TestBuilders:
+    def test_functional_dependency_egd(self):
+        egd = functional_dependency_egd("s", 2, [0], 1)
+        assert isinstance(egd, EGD)
+        assert len(egd.premise) == 2
+        assert egd.premise[0].terms[0] == egd.premise[1].terms[0]
+        assert egd.premise[0].terms[1] != egd.premise[1].terms[1]
+
+    def test_functional_dependency_validation(self):
+        with pytest.raises(DependencyError):
+            functional_dependency_egd("s", 2, [0], 0)
+        with pytest.raises(DependencyError):
+            functional_dependency_egd("s", 2, [0], 5)
+
+    def test_key_egds_one_per_nonkey_position(self):
+        egds = key_egds("t", 3, [0, 1])
+        assert len(egds) == 1
+        egds = key_egds("t", 4, [0])
+        assert len(egds) == 3
+
+    def test_fd_to_egd(self):
+        relation = RelationSchema("r", 3, ("a", "b", "c"))
+        fd = FunctionalDependency("r", ["a"], ["b", "c"])
+        egds = fd_to_egd(relation, fd)
+        assert len(egds) == 2
+        with pytest.raises(DependencyError):
+            fd_to_egd(relation, FunctionalDependency("other", ["a"], ["b"]))
+
+    def test_inclusion_dependency_shape(self):
+        tgd = inclusion_dependency("orders", 3, [1], "customer", 2, [0])
+        assert tgd.premise[0].predicate == "orders"
+        assert tgd.conclusion[0].predicate == "customer"
+        # The referencing position's variable reappears in the referenced atom.
+        assert tgd.conclusion[0].terms[0] == tgd.premise[0].terms[1]
+        assert len(tgd.existential_variables()) == 1
+
+    def test_inclusion_dependency_validation(self):
+        with pytest.raises(DependencyError):
+            inclusion_dependency("a", 2, [0, 1], "b", 2, [0])
+
+    def test_foreign_key_bundles_inclusion_and_keys(self):
+        deps = foreign_key("orders", 3, [1], "customer", 2, [0])
+        assert any(isinstance(d, TGD) for d in deps)
+        assert any(isinstance(d, EGD) for d in deps)

@@ -1,0 +1,216 @@
+"""Tests for the query-evaluation engine: Bag, assignments, set/bag/bag-set
+semantics (Section 2.2), and aggregate evaluation (Section 2.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import AggregateQuery, AggregateTerm
+from repro.core.atoms import Atom
+from repro.database import DatabaseInstance
+from repro.datalog import parse_aggregate_query, parse_query
+from repro.evaluation import (
+    Bag,
+    aggregate_answers_agree,
+    answers_agree,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_all_semantics,
+    evaluate_bag,
+    evaluate_bag_set,
+    evaluate_set,
+    iter_satisfying_assignments,
+)
+from repro.exceptions import EvaluationError
+from repro.semantics import Semantics
+
+
+class TestBag:
+    def test_add_and_multiplicity(self):
+        bag = Bag([(1,), (1,), (2,)])
+        assert bag.multiplicity((1,)) == 2
+        assert bag.cardinality == 3
+        assert bag.core_set() == {(1,), (2,)}
+        assert not bag.is_set()
+        assert bag.distinct().is_set()
+
+    def test_equality(self):
+        assert Bag([(1,), (2,)]) == Bag([(2,), (1,)])
+        assert Bag([(1,), (1,)]) != Bag([(1,)])
+        assert Bag([(1,), (2,)]) == {(1,), (2,)}
+        assert Bag([(1,), (1,)]) != {(1,)}
+
+    def test_sub_bag_and_union(self):
+        small, large = Bag([(1,)]), Bag([(1,), (1,), (2,)])
+        assert small <= large
+        assert not large <= small
+        assert (small + small).multiplicity((1,)) == 2
+
+    def test_projection(self):
+        bag = Bag([(1, "a"), (1, "b"), (1, "a")])
+        projected = bag.project([0])
+        assert projected.multiplicity((1,)) == 3
+
+    def test_invalid_multiplicity(self):
+        with pytest.raises(ValueError):
+            Bag().add((1,), 0)
+
+    def test_iteration_repeats_duplicates(self):
+        assert sorted(Bag([(1,), (1,)])) == [(1,), (1,)]
+
+
+class TestAssignments:
+    def test_join_enumeration(self, small_instance):
+        atoms = [Atom("p", ["X", "Y"]), Atom("s", ["Y", "Z"])]
+        assignments = list(iter_satisfying_assignments(atoms, small_instance))
+        # p: (1,2),(1,3),(2,3); s: (2,5),(3,5),(3,6) -> joins: (1,2,5),(1,3,5),(1,3,6),(2,3,5),(2,3,6)
+        assert len(assignments) == 5
+
+    def test_constants_in_atoms(self, small_instance):
+        atoms = [Atom("p", [1, "Y"])]
+        assignments = list(iter_satisfying_assignments(atoms, small_instance))
+        assert len(assignments) == 2
+
+    def test_repeated_variables(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 1), (1, 2)]})
+        atoms = [Atom("p", ["X", "X"])]
+        assert len(list(iter_satisfying_assignments(atoms, instance))) == 1
+
+    def test_fixed_bindings(self, small_instance):
+        from repro.core.terms import Variable
+
+        atoms = [Atom("p", ["X", "Y"])]
+        assignments = list(
+            iter_satisfying_assignments(atoms, small_instance, fixed={Variable("X"): 2})
+        )
+        assert len(assignments) == 1 and assignments[0][Variable("Y")] == 3
+
+    def test_missing_relation_is_empty(self, small_instance):
+        atoms = [Atom("zzz", ["X"])]
+        assert list(iter_satisfying_assignments(atoms, small_instance)) == []
+
+
+class TestSemanticsEnum:
+    def test_from_name(self):
+        assert Semantics.from_name("bag") is Semantics.BAG
+        assert Semantics.from_name("BAG_SET") is Semantics.BAG_SET
+        assert Semantics.from_name("set") is Semantics.SET
+        assert Semantics.from_name(Semantics.BAG) is Semantics.BAG
+        with pytest.raises(ValueError):
+            Semantics.from_name("nonsense")
+
+
+class TestEvaluation:
+    def test_set_vs_bag_set_on_projection(self):
+        # Projection creates duplicate answers under bag-set semantics.
+        instance = DatabaseInstance.from_dict({"p": [(1, 2), (1, 3)]})
+        query = parse_query("Q(X) :- p(X,Y)")
+        assert evaluate_set(query, instance) == Bag([(1,)])
+        assert evaluate_bag_set(query, instance) == Bag([(1,), (1,)])
+
+    def test_bag_multiplicities_multiply(self):
+        # Section 2.2: each assignment contributes the product of stored multiplicities.
+        instance = DatabaseInstance.from_dict(
+            {"p": [(1, 2), (1, 2), (1, 2)], "r": [(2,), (2,)]}
+        )
+        query = parse_query("Q(X) :- p(X,Y), r(Y)")
+        assert evaluate_bag(query, instance).multiplicity((1,)) == 6
+        assert evaluate_bag_set(query, instance).multiplicity((1,)) == 1
+
+    def test_self_join_under_bag_semantics(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 2), (1, 2)]})
+        query = parse_query("Q(X) :- p(X,Y), p(X,Z)")
+        # One assignment (Y=Z=2), multiplicity 2*2 = 4.
+        assert evaluate_bag(query, instance).multiplicity((1,)) == 4
+        assert evaluate_bag_set(query, instance).multiplicity((1,)) == 1
+
+    def test_example_4_1_counterexample_multiplicities(self, ex41):
+        # The heart of Example 4.1: Q4(D,B) = {{(1)}} while Q1(D,B) = {{(1),(1)}}.
+        assert evaluate(ex41.q4, ex41.counterexample, "bag") == Bag([(1,)])
+        assert evaluate(ex41.q1, ex41.counterexample, "bag") == Bag([(1,), (1,)])
+        # Same verdict under bag-set semantics (the database is set valued).
+        assert evaluate(ex41.q4, ex41.counterexample, "bag-set") == Bag([(1,)])
+        assert evaluate(ex41.q1, ex41.counterexample, "bag-set") == Bag([(1,), (1,)])
+
+    def test_example_d_1_multiplicities(self, ex41):
+        # Example D.1: Q3(D,B) = {{(1),(1)}} and Q5(D,B) has four copies.
+        assert evaluate(ex41.q3, ex41.counterexample_d1, "bag").multiplicity((1,)) == 2
+        assert evaluate(ex41.q5, ex41.counterexample_d1, "bag").multiplicity((1,)) == 4
+
+    def test_example_e_1_and_e_2(self, exE1, exE2):
+        assert evaluate(exE1.query, exE1.counterexample, "bag") == Bag([("a",)])
+        assert evaluate(exE1.chased_query, exE1.counterexample, "bag") == Bag([("a",), ("a",)])
+        assert evaluate(exE2.query, exE2.counterexample, "bag-set") == Bag([("a",)])
+        assert evaluate(exE2.chased_query, exE2.counterexample, "bag-set") == Bag(
+            [("a",), ("a",)]
+        )
+
+    def test_arity_mismatch_raises(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 2)]})
+        query = parse_query("Q(X) :- p(X,Y,Z)")
+        with pytest.raises(EvaluationError):
+            evaluate(query, instance, "set")
+
+    def test_missing_relation_gives_empty_answer(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 2)]})
+        query = parse_query("Q(X) :- p(X,Y), zzz(Y)")
+        assert evaluate(query, instance, "bag").cardinality == 0
+
+    def test_answers_agree_and_all_semantics(self, ex41):
+        assert not answers_agree(ex41.q1, ex41.q4, ex41.counterexample, "bag")
+        assert answers_agree(ex41.q1, ex41.q4, ex41.counterexample, "set")
+        results = evaluate_all_semantics(ex41.q4, ex41.counterexample)
+        assert set(results) == set(Semantics)
+
+    def test_constants_in_head(self):
+        instance = DatabaseInstance.from_dict({"p": [(1, 2)]})
+        query = parse_query("Q(X, 9) :- p(X,Y)")
+        assert evaluate(query, instance, "set") == Bag([(1, 9)])
+
+
+class TestAggregateEvaluation:
+    instance = DatabaseInstance.from_dict(
+        {"sales": [(1, 10), (1, 20), (2, 5)], "emp": [(1,), (2,), (3,)]}
+    )
+
+    def test_sum(self):
+        query = parse_aggregate_query("Q(X, sum(Y)) :- sales(X,Y)")
+        assert evaluate_aggregate(query, self.instance) == Bag([(1, 30), (2, 5)])
+
+    def test_count(self):
+        query = parse_aggregate_query("Q(X, count(Y)) :- sales(X,Y)")
+        assert evaluate_aggregate(query, self.instance) == Bag([(1, 2), (2, 1)])
+
+    def test_count_star(self):
+        query = parse_aggregate_query("Q(X, count(*)) :- sales(X,Y)")
+        assert evaluate_aggregate(query, self.instance) == Bag([(1, 2), (2, 1)])
+
+    def test_max_and_min(self):
+        maximum = parse_aggregate_query("Q(X, max(Y)) :- sales(X,Y)")
+        minimum = parse_aggregate_query("Q(X, min(Y)) :- sales(X,Y)")
+        assert evaluate_aggregate(maximum, self.instance) == Bag([(1, 20), (2, 5)])
+        assert evaluate_aggregate(minimum, self.instance) == Bag([(1, 10), (2, 5)])
+
+    def test_duplicate_sensitivity_of_sum(self):
+        # A cartesian join with emp (3 tuples) triples every group's
+        # contribution under bag-set core evaluation: sum is sensitive to the
+        # extra assignments, max is not (Theorem 2.3 intuition).
+        base = parse_aggregate_query("Q(X, sum(Y)) :- sales(X,Y)")
+        inflated = parse_aggregate_query("Q(X, sum(Y)) :- sales(X,Y), emp(Z)")
+        assert evaluate_aggregate(inflated, self.instance) == Bag([(1, 90), (2, 15)])
+        assert evaluate_aggregate(base, self.instance) != evaluate_aggregate(
+            inflated, self.instance
+        )
+        base_max = parse_aggregate_query("Q(X, max(Y)) :- sales(X,Y)")
+        inflated_max = parse_aggregate_query("Q(X, max(Y)) :- sales(X,Y), emp(Z)")
+        assert aggregate_answers_agree(base_max, inflated_max, self.instance)
+
+    def test_grouping_on_empty_answer(self):
+        query = parse_aggregate_query("Q(X, sum(Y)) :- sales(X,Y), emp(X), emp(Y)")
+        assert evaluate_aggregate(query, self.instance).cardinality == 0
+
+    def test_no_grouping_attributes(self):
+        query = AggregateQuery(
+            "Q", [], AggregateTerm("sum", "Y"), [Atom("sales", ["X", "Y"])]
+        )
+        assert evaluate_aggregate(query, self.instance) == Bag([(35,)])

@@ -1,0 +1,149 @@
+"""Unit tests for homomorphisms, containment mappings, and isomorphism."""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import (
+    are_isomorphic,
+    can_extend_homomorphism,
+    find_containment_mapping,
+    find_homomorphism,
+    find_isomorphism,
+    iter_containment_mappings,
+    iter_homomorphisms,
+)
+from repro.core.query import cq
+from repro.core.terms import Constant, Variable
+
+
+class TestFindHomomorphism:
+    def test_simple_match(self):
+        source = [Atom("p", ["X", "Y"])]
+        target = [Atom("p", ["A", "B"])]
+        hom = find_homomorphism(source, target)
+        assert hom == {Variable("X"): Variable("A"), Variable("Y"): Variable("B")}
+
+    def test_variable_can_map_to_constant(self):
+        hom = find_homomorphism([Atom("p", ["X"])], [Atom("p", [3])])
+        assert hom == {Variable("X"): Constant(3)}
+
+    def test_constants_must_match(self):
+        assert find_homomorphism([Atom("p", [1])], [Atom("p", [2])]) is None
+        assert find_homomorphism([Atom("p", [1])], [Atom("p", [1])]) == {}
+
+    def test_repeated_variable_must_be_consistent(self):
+        source = [Atom("p", ["X", "X"])]
+        assert find_homomorphism(source, [Atom("p", ["A", "B"])]) is None
+        assert find_homomorphism(source, [Atom("p", ["A", "A"])]) is not None
+
+    def test_two_variables_may_collapse(self):
+        source = [Atom("p", ["X", "Y"])]
+        assert find_homomorphism(source, [Atom("p", ["A", "A"])]) is not None
+
+    def test_predicate_mismatch(self):
+        assert find_homomorphism([Atom("p", ["X"])], [Atom("q", ["A"])]) is None
+
+    def test_arity_mismatch(self):
+        assert find_homomorphism([Atom("p", ["X"])], [Atom("p", ["A", "B"])]) is None
+
+    def test_multi_atom_join(self):
+        source = [Atom("p", ["X", "Y"]), Atom("q", ["Y", "Z"])]
+        target = [Atom("p", ["a", "b"]), Atom("q", ["b", "c"]), Atom("q", ["d", "e"])]
+        hom = find_homomorphism(source, target)
+        assert hom[Variable("Y")] == Constant("b")
+        assert hom[Variable("Z")] == Constant("c")
+
+    def test_fixed_mapping_respected(self):
+        source = [Atom("p", ["X", "Y"])]
+        target = [Atom("p", ["a", "b"]), Atom("p", ["c", "d"])]
+        hom = find_homomorphism(source, target, fixed={Variable("X"): Constant("c")})
+        assert hom[Variable("Y")] == Constant("d")
+
+    def test_fixed_mapping_can_make_it_unsatisfiable(self):
+        source = [Atom("p", ["X"])]
+        target = [Atom("p", ["a"])]
+        assert find_homomorphism(source, target, fixed={Variable("X"): Constant("z")}) is None
+
+    def test_iter_homomorphisms_counts(self):
+        source = [Atom("p", ["X"])]
+        target = [Atom("p", ["a"]), Atom("p", ["b"])]
+        assert len(list(iter_homomorphisms(source, target))) == 2
+
+    def test_can_extend_homomorphism(self):
+        target = [Atom("p", ["a", "b"]), Atom("q", ["b"])]
+        hom = {Variable("X"): Constant("a"), Variable("Y"): Constant("b")}
+        assert can_extend_homomorphism(hom, [Atom("q", ["Y"])], target)
+        assert not can_extend_homomorphism(hom, [Atom("q", ["X"])], target)
+
+
+class TestContainmentMapping:
+    def test_containment_mapping_exists(self):
+        q_small = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        q_large = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("r", ["Y"]))
+        # From the less constrained query into the more constrained one.
+        assert find_containment_mapping(q_small, q_large) is not None
+        assert find_containment_mapping(q_large, q_small) is None
+
+    def test_head_must_map_onto_head(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        q2 = cq("Q", ["Y"], Atom("p", ["X", "Y"]))
+        # q1's head X must map to q2's head Y: p(Y, ...) must exist in q2 - it does not.
+        assert find_containment_mapping(q1, q2) is None
+
+    def test_head_arity_mismatch(self):
+        q1 = cq("Q", ["X", "Y"], Atom("p", ["X", "Y"]))
+        q2 = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        assert find_containment_mapping(q1, q2) is None
+
+    def test_head_constants(self):
+        q1 = cq("Q", [1], Atom("p", ["X"]))
+        q2 = cq("Q", [1], Atom("p", ["X"]))
+        q3 = cq("Q", [2], Atom("p", ["X"]))
+        assert find_containment_mapping(q1, q2) is not None
+        assert find_containment_mapping(q1, q3) is None
+
+    def test_iter_containment_mappings_multiple(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        q2 = cq("Q", ["A"], Atom("p", ["A", "B"]), Atom("p", ["A", "C"]))
+        assert len(list(iter_containment_mappings(q1, q2))) == 2
+
+
+class TestIsomorphism:
+    def test_isomorphic_up_to_renaming(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("s", ["Y", "Z"]))
+        q2 = cq("Q", ["A"], Atom("s", ["B", "C"]), Atom("p", ["A", "B"]))
+        assert are_isomorphic(q1, q2)
+        mapping = find_isomorphism(q1, q2)
+        assert mapping[Variable("X")] == Variable("A")
+
+    def test_duplicate_subgoals_matter(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        q2 = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("p", ["X", "Y"]))
+        assert not are_isomorphic(q1, q2)
+
+    def test_same_counts_but_not_isomorphic(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("p", ["Y", "X"]))
+        q2 = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("p", ["X", "Z"]))
+        assert not are_isomorphic(q1, q2)
+
+    def test_variable_collapse_is_not_isomorphism(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        q2 = cq("Q", ["X"], Atom("p", ["X", "X"]))
+        assert not are_isomorphic(q1, q2)
+        assert not are_isomorphic(q2, q1)
+
+    def test_head_constants_respected(self):
+        q1 = cq("Q", ["X", 1], Atom("p", ["X"]))
+        q2 = cq("Q", ["X", 2], Atom("p", ["X"]))
+        assert not are_isomorphic(q1, q2)
+
+    def test_isomorphism_is_reflexive_and_symmetric(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("p", ["Y", "Z"]))
+        q2 = cq("Q", ["A"], Atom("p", ["A", "B"]), Atom("p", ["B", "C"]))
+        assert are_isomorphic(q1, q1)
+        assert are_isomorphic(q1, q2) and are_isomorphic(q2, q1)
+
+    def test_example_4_1_chase_results(self, ex41):
+        # Q2 and Q3 differ by an r-subgoal: not isomorphic.
+        assert not are_isomorphic(ex41.q2, ex41.q3)
+        assert not are_isomorphic(ex41.q3, ex41.q5)

@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+paper's key invariants.
+
+Strategies generate small random conjunctive queries, dependencies, and
+bag-valued instances; the properties checked are the ones the paper's theory
+rests on:
+
+* homomorphism composition / identity, isomorphism is an equivalence,
+* Proposition 2.1: bag equivalence ⇒ bag-set equivalence ⇒ set equivalence,
+* evaluation semantics relationships (set = support of bag-set; bag over a
+  set-valued instance = bag-set),
+* canonical-database soundness (the frozen head tuple is in the set answer),
+* chase soundness on random weakly-acyclic inputs: the chased query is
+  set-equivalent to the original, and sound bag/bag-set chase preserves
+  answers on random satisfying databases,
+* Bag/Relation behave like multisets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chase import bag_set_chase, set_chase
+from repro.core import (
+    are_isomorphic,
+    is_bag_equivalent,
+    is_bag_set_equivalent,
+    is_set_equivalent,
+    minimize,
+)
+from repro.core.atoms import Atom
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Variable
+from repro.database import DatabaseInstance, canonical_database, satisfies_all
+from repro.dependencies import DependencySet, key_egds
+from repro.evaluation import Bag, evaluate
+from repro.semantics import Semantics
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+_PREDICATES = [("p", 2), ("r", 1), ("s", 2), ("t", 3)]
+_VARIABLES = [Variable(name) for name in "XYZWV"]
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def atoms(draw):
+    predicate, arity = draw(st.sampled_from(_PREDICATES))
+    terms = [
+        draw(st.one_of(st.sampled_from(_VARIABLES), st.integers(min_value=0, max_value=2)))
+        for _ in range(arity)
+    ]
+    return Atom(predicate, terms)
+
+
+@st.composite
+def queries(draw, max_atoms: int = 4):
+    body = draw(st.lists(atoms(), min_size=1, max_size=max_atoms))
+    body_vars = sorted({v for atom in body for v in atom.variables()}, key=str)
+    if body_vars:
+        head_count = draw(st.integers(min_value=1, max_value=min(2, len(body_vars))))
+        head = body_vars[:head_count]
+    else:
+        head = [0]
+    return ConjunctiveQuery("Q", head, body)
+
+
+@st.composite
+def renamings(draw, query: ConjunctiveQuery):
+    fresh = [Variable(f"R{i}") for i in range(10)]
+    variables = query.all_variables()
+    images = draw(
+        st.lists(
+            st.sampled_from(fresh), min_size=len(variables), max_size=len(variables),
+            unique=True,
+        )
+    )
+    return dict(zip(variables, images))
+
+
+@st.composite
+def instances(draw, max_tuples: int = 6):
+    data: dict[str, list[tuple]] = {}
+    for predicate, arity in _PREDICATES:
+        rows = draw(
+            st.lists(
+                st.tuples(*[st.integers(min_value=0, max_value=3)] * arity),
+                min_size=0,
+                max_size=max_tuples,
+            )
+        )
+        if rows:
+            data[predicate] = rows
+    if not data:
+        data = {"p": [(0, 0)]}
+    return DatabaseInstance.from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# Query-model properties
+# --------------------------------------------------------------------------- #
+class TestQueryProperties:
+    @_settings
+    @given(queries())
+    def test_isomorphism_reflexive(self, query):
+        assert are_isomorphic(query, query)
+
+    @_settings
+    @given(st.data())
+    def test_renaming_preserves_all_equivalences(self, data):
+        query = data.draw(queries())
+        renaming = data.draw(renamings(query))
+        renamed = query.rename_variables(renaming)
+        assert are_isomorphic(query, renamed)
+        assert is_bag_equivalent(query, renamed)
+        assert is_bag_set_equivalent(query, renamed)
+        assert is_set_equivalent(query, renamed)
+
+    @_settings
+    @given(queries())
+    def test_proposition_2_1_on_canonical_representation(self, query):
+        # A query and its canonical representation are bag-set equivalent and
+        # hence set equivalent.
+        canonical = query.canonical_representation()
+        assert is_bag_set_equivalent(query, canonical)
+        assert is_set_equivalent(query, canonical)
+
+    @_settings
+    @given(queries(), queries())
+    def test_implication_chain_between_random_queries(self, q1, q2):
+        # Proposition 2.1: ≡B ⇒ ≡BS ⇒ ≡S, on arbitrary pairs.
+        if is_bag_equivalent(q1, q2):
+            assert is_bag_set_equivalent(q1, q2)
+        if is_bag_set_equivalent(q1, q2):
+            assert is_set_equivalent(q1, q2)
+
+    @_settings
+    @given(queries())
+    def test_minimization_preserves_set_equivalence(self, query):
+        minimal = minimize(query)
+        assert is_set_equivalent(minimal, query)
+        assert len(minimal.body) <= len(query.body)
+
+    @_settings
+    @given(queries())
+    def test_duplicate_atom_is_bag_set_neutral(self, query):
+        duplicated = query.add_atoms([query.body[0]])
+        assert is_bag_set_equivalent(query, duplicated)
+
+    @_settings
+    @given(st.data())
+    def test_normal_form_invariant_under_renaming(self, data):
+        query = data.draw(queries())
+        renaming = data.draw(renamings(query))
+        renamed = query.rename_variables(renaming)
+        assert query.normal_form() == renamed.normal_form()
+        assert query.normal_form().normal_form() == query.normal_form()
+
+
+class TestRoundTripProperties:
+    @_settings
+    @given(queries())
+    def test_datalog_round_trip(self, query):
+        from repro.datalog import parse_query, render_query
+
+        assert parse_query(render_query(query)) == query
+
+    @_settings
+    @given(queries())
+    def test_theorem_4_2_duplicate_over_set_enforced_relation(self, query):
+        # Duplicating any subgoal is harmless for the Theorem 4.2 test when its
+        # relation is set enforced, and detected when it is not.
+        from repro.core import is_bag_equivalent_with_set_enforced
+
+        atom = query.body[0]
+        duplicated = query.add_atoms([atom])
+        assert is_bag_equivalent_with_set_enforced(query, duplicated, {atom.predicate})
+        already_duplicated = query.predicate_counts()[atom.predicate] != 1
+        if not already_duplicated:
+            assert not is_bag_equivalent_with_set_enforced(query, duplicated, set())
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation properties
+# --------------------------------------------------------------------------- #
+class TestEvaluationProperties:
+    @_settings
+    @given(queries(), instances())
+    def test_set_answer_is_support_of_bag_set_answer(self, query, instance):
+        set_answer = evaluate(query, instance, Semantics.SET)
+        bag_set_answer = evaluate(query, instance, Semantics.BAG_SET)
+        assert set_answer.core_set() == bag_set_answer.core_set()
+        assert set_answer.is_set()
+
+    @_settings
+    @given(queries(), instances())
+    def test_bag_equals_bag_set_on_set_valued_instances(self, query, instance):
+        deduplicated = instance.distinct()
+        assert evaluate(query, deduplicated, Semantics.BAG) == evaluate(
+            query, deduplicated, Semantics.BAG_SET
+        )
+
+    @_settings
+    @given(queries(), instances())
+    def test_bag_set_answer_dominates_on_duplicated_instance(self, query, instance):
+        # Duplicating stored tuples never changes the bag-set answer but can
+        # only increase the bag answer.
+        doubled = instance.copy()
+        for name in instance.relation_names():
+            for row, count in instance.relation(name).iter_with_multiplicity():
+                doubled.add_tuple(name, row, count)
+        assert evaluate(query, doubled, Semantics.BAG_SET) == evaluate(
+            query, instance, Semantics.BAG_SET
+        )
+        assert evaluate(query, instance, Semantics.BAG) <= evaluate(
+            query, doubled, Semantics.BAG
+        )
+
+    @_settings
+    @given(queries())
+    def test_canonical_database_returns_head_tuple(self, query):
+        canonical = canonical_database(query)
+        answer = evaluate(query, canonical.instance, Semantics.SET)
+        assert canonical.head_tuple() in answer
+
+    @_settings
+    @given(queries(), queries(), instances())
+    def test_isomorphic_queries_have_equal_bag_answers(self, q1, q2, instance):
+        if are_isomorphic(q1, q2):
+            assert evaluate(q1, instance, Semantics.BAG) == evaluate(
+                q2, instance, Semantics.BAG
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Chase properties
+# --------------------------------------------------------------------------- #
+_CHASE_DEPENDENCIES = DependencySet(
+    [
+        *key_egds("s", 2, [0], name_prefix="key_s"),
+        *key_egds("t", 3, [0, 1], name_prefix="key_t"),
+    ],
+    set_valued_predicates=["s", "t"],
+)
+
+
+class TestChaseProperties:
+    @_settings
+    @given(queries())
+    def test_egd_only_chase_never_adds_atoms(self, query):
+        from repro.chase import ChaseFailedError
+
+        try:
+            chased = set_chase(query, _CHASE_DEPENDENCIES).query
+        except ChaseFailedError:
+            # The query forces two distinct constants to be equal under the
+            # key egds; such queries are unsatisfiable under Σ.
+            return
+        assert len(chased.body) <= len(query.body)
+
+    @_settings
+    @given(queries(), instances())
+    def test_sound_bag_set_chase_preserves_answers_on_satisfying_instances(
+        self, query, instance
+    ):
+        from repro.chase import ChaseFailedError
+
+        deduplicated = instance.distinct()
+        if not satisfies_all(deduplicated, _CHASE_DEPENDENCIES, check_set_valuedness=False):
+            return
+        try:
+            chased = bag_set_chase(query, _CHASE_DEPENDENCIES).query
+        except ChaseFailedError:
+            return
+        assert evaluate(query, deduplicated, Semantics.BAG_SET) == evaluate(
+            chased, deduplicated, Semantics.BAG_SET
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Multiset container properties
+# --------------------------------------------------------------------------- #
+class TestBagProperties:
+    @_settings
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10))
+    def test_bag_cardinality_and_core(self, rows):
+        bag = Bag(rows)
+        assert bag.cardinality == len(rows)
+        assert bag.core_set() == set(map(tuple, rows))
+        assert bag.distinct().cardinality == len(bag.core_set())
+
+    @_settings
+    @given(
+        st.lists(st.tuples(st.integers(0, 3)), max_size=8),
+        st.lists(st.tuples(st.integers(0, 3)), max_size=8),
+    )
+    def test_bag_union_is_commutative(self, rows1, rows2):
+        assert Bag(rows1) + Bag(rows2) == Bag(rows2) + Bag(rows1)
+        assert (Bag(rows1) + Bag(rows2)).cardinality == len(rows1) + len(rows2)
+
+    @_settings
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10))
+    def test_projection_preserves_cardinality(self, rows):
+        bag = Bag(rows)
+        assert bag.project([0]).cardinality == bag.cardinality

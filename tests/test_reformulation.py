@@ -1,0 +1,245 @@
+"""Tests for candidate enumeration, Σ-minimality, and the C&B family of
+reformulation algorithms (Section 6.3, Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import are_isomorphic
+from repro.datalog import parse_aggregate_query, parse_dependencies, parse_query
+from repro.equivalence import decide_equivalence
+from repro.paperlib import chain_workload, orders_workload
+from repro.reformulation import (
+    bag_c_and_b,
+    bag_set_c_and_b,
+    c_and_b,
+    chase_and_backchase,
+    count_subquery_candidates,
+    is_sigma_minimal,
+    is_sigma_minimal_aggregate,
+    iter_subqueries,
+    max_min_c_and_b,
+    naive_bag_c_and_b,
+    reformulate_aggregate_query,
+    sum_count_c_and_b,
+)
+from repro.semantics import Semantics
+
+
+class TestCandidates:
+    def test_only_safe_subqueries(self):
+        plan = parse_query("Q(X,Y) :- p(X,Z), r(Z,Y), s(Z)")
+        candidates = list(iter_subqueries(plan))
+        for candidate in candidates:
+            covered = {v for atom in candidate.body for v in atom.variables()}
+            assert set(plan.head_variables()) <= covered
+        # {p, r}, {p, r, s} are the only safe subsets.
+        assert len(candidates) == 2
+
+    def test_sizes_increase(self):
+        plan = parse_query("Q(X) :- p(X,Y), r(X), s(X)")
+        sizes = [len(c.body) for c in iter_subqueries(plan)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1 and sizes[-1] == 3
+
+    def test_exclude_full_and_max_size(self):
+        plan = parse_query("Q(X) :- p(X,Y), r(X), s(X)")
+        assert all(
+            len(c.body) < 3 for c in iter_subqueries(plan, include_full=False)
+        )
+        assert all(len(c.body) <= 2 for c in iter_subqueries(plan, max_size=2))
+
+    def test_count_candidates(self):
+        plan = parse_query("Q(X) :- p(X,Y), r(X), s(X)")
+        assert count_subquery_candidates(plan) == 7
+
+
+class TestSigmaMinimality:
+    def test_single_atom_query_minimal(self, ex41):
+        assert is_sigma_minimal(ex41.q4, ex41.dependencies, Semantics.BAG)
+
+    def test_q3_not_sigma_minimal_under_bag(self, ex41):
+        # Dropping s or t from Q3 keeps bag equivalence under Σ (the chase
+        # regenerates them), so Q3 is not Σ-minimal.
+        assert not is_sigma_minimal(ex41.q3, ex41.dependencies, Semantics.BAG)
+
+    def test_q1_not_sigma_minimal_under_set(self, ex41):
+        assert not is_sigma_minimal(ex41.q1, ex41.dependencies, Semantics.SET)
+
+    def test_minimal_without_dependencies(self):
+        query = parse_query("Q(X) :- p(X,Y), r(Y)")
+        assert is_sigma_minimal(query, [], Semantics.SET)
+        redundant = parse_query("Q(X) :- p(X,Y), p(X,Z)")
+        assert not is_sigma_minimal(redundant, [], Semantics.SET)
+
+    def test_aggregate_minimality_uses_core(self, ex41):
+        minimal = parse_aggregate_query("Q(X, max(Y)) :- p(X,Y)")
+        redundant = parse_aggregate_query("Q(X, max(Y)) :- p(X,Y), r(X)")
+        assert is_sigma_minimal_aggregate(minimal, ex41.dependencies)
+        assert not is_sigma_minimal_aggregate(redundant, ex41.dependencies)
+
+
+class TestCBOnExample41:
+    def test_set_cb_reformulation_space(self, ex41):
+        result = c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        # All four of the paper's queries are equivalent reformulations under set semantics.
+        for query in (ex41.q1, ex41.q2, ex41.q3, ex41.q4):
+            assert result.contains_isomorphic(query)
+
+    def test_bag_cb_excludes_q1_and_q2(self, ex41):
+        result = bag_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        assert result.contains_isomorphic(ex41.q3)
+        assert result.contains_isomorphic(ex41.q4)
+        assert not result.contains_isomorphic(ex41.q1)
+        assert not result.contains_isomorphic(ex41.q2)
+
+    def test_bag_set_cb_excludes_q1_keeps_q2(self, ex41):
+        result = bag_set_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        assert result.contains_isomorphic(ex41.q2)
+        assert result.contains_isomorphic(ex41.q3)
+        assert not result.contains_isomorphic(ex41.q1)
+
+    def test_every_output_is_equivalent(self, ex41):
+        for algorithm, semantics in (
+            (c_and_b, "set"),
+            (bag_c_and_b, "bag"),
+            (bag_set_c_and_b, "bag-set"),
+        ):
+            result = algorithm(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+            for reformulation in result.reformulations:
+                assert decide_equivalence(
+                    reformulation, ex41.q4, ex41.dependencies, semantics
+                ).equivalent
+
+    def test_minimal_reformulations_are_sigma_minimal(self, ex41):
+        result = bag_c_and_b(ex41.q4, ex41.dependencies)
+        assert result.minimal_reformulations
+        for reformulation in result.minimal_reformulations:
+            assert is_sigma_minimal(reformulation, ex41.dependencies, Semantics.BAG)
+
+    def test_naive_bag_cb_is_unsound(self, ex41):
+        # Section 4.1: the naive extension accepts reformulations that are not
+        # bag equivalent to the input query.
+        naive = naive_bag_c_and_b(ex41.q4, ex41.dependencies)
+        unsound = [
+            query
+            for query in naive.reformulations
+            if not decide_equivalence(query, ex41.q4, ex41.dependencies, "bag")
+        ]
+        assert unsound, "the naive algorithm should accept unsound reformulations"
+        # The sound Bag-C&B accepts none of those.
+        sound = bag_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        for query in sound.reformulations:
+            assert decide_equivalence(query, ex41.q4, ex41.dependencies, "bag")
+
+    def test_result_reporting(self, ex41):
+        result = bag_c_and_b(ex41.q4, ex41.dependencies)
+        assert result.candidates_examined > 0
+        assert len(result) == len(result.minimal_reformulations)
+        assert "universal plan" in str(result)
+        assert list(iter(result)) == result.minimal_reformulations
+
+
+class TestCBOnWorkloads:
+    def test_orders_set_cb_removes_foreign_key_joins(self, orders):
+        result = c_and_b(orders.query, orders.dependencies, check_sigma_minimality=False)
+        bodies = sorted(len(q.body) for q in result.reformulations)
+        # The single-subgoal orders-only query is an equivalent reformulation.
+        assert bodies[0] == 1
+        single = next(q for q in result.reformulations if len(q.body) == 1)
+        assert single.body[0].predicate == "orders"
+
+    def test_orders_bag_cb_also_removes_joins(self, orders):
+        # customer and product are set valued with keys, so the lookups are
+        # multiplicity preserving and may be dropped under bag semantics too.
+        result = bag_c_and_b(orders.query, orders.dependencies, check_sigma_minimality=False)
+        assert any(len(q.body) == 1 for q in result.reformulations)
+
+    def test_chain_workload_cb_shortens_query(self, chain3):
+        result = c_and_b(chain3.query, chain3.dependencies, check_sigma_minimality=False)
+        assert any(len(q.body) < len(chain3.query.body) for q in result.reformulations)
+
+    def test_chase_and_backchase_generic_entry(self, orders):
+        result = chase_and_backchase(
+            orders.query, orders.dependencies, Semantics.BAG_SET,
+            check_sigma_minimality=False,
+        )
+        assert result.semantics is Semantics.BAG_SET
+        assert result.reformulations
+
+
+class TestAggregateCB:
+    def test_max_min_cb(self, ex41):
+        query = parse_aggregate_query("Q(X, max(Y)) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)")
+        result = max_min_c_and_b(query, ex41.dependencies, check_sigma_minimality=False)
+        # The core can be reformulated down to p(X,Y) alone under set semantics.
+        assert any(len(q.body) == 1 for q in result.reformulations)
+        assert all(q.aggregate == query.aggregate for q in result.reformulations)
+
+    def test_sum_count_cb(self, ex41):
+        query = parse_aggregate_query("Q(X, sum(Y)) :- p(X,Y), t(X,Y,W), s(X,Z), r(X)")
+        result = sum_count_c_and_b(query, ex41.dependencies, check_sigma_minimality=False)
+        assert any(len(q.body) == 1 for q in result.reformulations)
+        # Every output is equivalent as an aggregate query under Σ.
+        from repro.equivalence import equivalent_aggregate_queries_under_dependencies
+
+        for reformulation in result.reformulations:
+            assert equivalent_aggregate_queries_under_dependencies(
+                reformulation, query, ex41.dependencies
+            )
+
+    def test_dispatch_by_function(self, ex41):
+        sum_query = parse_aggregate_query("Q(X, sum(Y)) :- p(X,Y), t(X,Y,W)")
+        max_query = parse_aggregate_query("Q(X, max(Y)) :- p(X,Y), t(X,Y,W)")
+        assert reformulate_aggregate_query(
+            sum_query, ex41.dependencies
+        ).core_result.semantics is Semantics.BAG_SET
+        assert reformulate_aggregate_query(
+            max_query, ex41.dependencies
+        ).core_result.semantics is Semantics.SET
+
+    def test_result_reporting(self, ex41):
+        query = parse_aggregate_query("Q(X, min(Y)) :- p(X,Y), t(X,Y,W)")
+        result = max_min_c_and_b(query, ex41.dependencies)
+        assert len(result) == len(result.minimal_reformulations)
+        assert "aggregate reformulation" in str(result)
+
+
+class TestSigmaMinimize:
+    """Greedy Σ-minimization (the subgoal-removal half of Definition 3.1)."""
+
+    def test_q1_minimizes_to_q4_under_set_semantics(self, ex41):
+        from repro.reformulation import sigma_minimize
+
+        minimized = sigma_minimize(ex41.q1, ex41.dependencies, Semantics.SET)
+        assert are_isomorphic(minimized, ex41.q4)
+
+    def test_q3_minimizes_to_q4_under_bag_semantics(self, ex41):
+        from repro.reformulation import sigma_minimize
+
+        minimized = sigma_minimize(ex41.q3, ex41.dependencies, Semantics.BAG)
+        assert are_isomorphic(minimized, ex41.q4)
+
+    def test_q1_keeps_u_and_r_under_bag_set_semantics(self, ex41):
+        from repro.reformulation import sigma_minimize
+
+        minimized = sigma_minimize(ex41.q1, ex41.dependencies, Semantics.BAG_SET)
+        # The u-subgoal cannot be dropped (its multiplicity contribution is
+        # unconstrained), so the minimized query still mentions u.
+        assert "u" in minimized.predicates()
+        assert decide_equivalence(
+            minimized, ex41.q1, ex41.dependencies, "bag-set"
+        ).equivalent
+
+    def test_minimized_query_is_sigma_minimal(self, ex41):
+        from repro.reformulation import sigma_minimize
+
+        minimized = sigma_minimize(ex41.q2, ex41.dependencies, Semantics.BAG_SET)
+        assert is_sigma_minimal(minimized, ex41.dependencies, Semantics.BAG_SET)
+
+    def test_no_dependencies_reduces_to_classical_minimization(self):
+        from repro.core import minimize
+        from repro.reformulation import sigma_minimize
+
+        query = parse_query("Q(X) :- p(X,Y), p(X,Z), r(Y)")
+        assert are_isomorphic(sigma_minimize(query, [], Semantics.SET), minimize(query))

@@ -1,0 +1,128 @@
+"""Tests for repro.schema: relation schemas, database schemas, fds, and keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema import (
+    DatabaseSchema,
+    FunctionalDependency,
+    RelationSchema,
+    attribute_closure,
+    candidate_keys,
+    implies,
+    is_key,
+    is_superkey,
+    key_positions,
+)
+
+
+class TestRelationSchema:
+    def test_default_attribute_names(self):
+        relation = RelationSchema("p", 3)
+        assert relation.attribute_names == ("a1", "a2", "a3")
+
+    def test_explicit_attribute_names(self):
+        relation = RelationSchema("p", 2, ("x", "y"))
+        assert relation.attribute_position("y") == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("p", 2, ("x",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("p", 2, ("x", "x"))
+
+    def test_nonpositive_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("p", 0)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("p", 2).attribute_position("zzz")
+
+    def test_as_set_valued(self):
+        relation = RelationSchema("p", 2)
+        assert not relation.set_valued
+        assert relation.as_set_valued().set_valued
+
+
+class TestDatabaseSchema:
+    def test_from_arities(self):
+        schema = DatabaseSchema.from_arities({"p": 2, "r": 1}, set_valued=["p"])
+        assert schema.arity("p") == 2
+        assert "r" in schema and "z" not in schema
+        assert schema.set_valued_relations() == {"p"}
+        assert len(schema) == 2
+
+    def test_unknown_relation(self):
+        schema = DatabaseSchema.from_arities({"p": 2})
+        with pytest.raises(SchemaError):
+            schema.relation("q")
+
+    def test_mark_set_valued_returns_copy(self):
+        schema = DatabaseSchema.from_arities({"p": 2, "r": 1})
+        marked = schema.mark_set_valued("r")
+        assert marked.set_valued_relations() == {"r"}
+        assert schema.set_valued_relations() == set()
+
+    def test_validate_atom_arity(self):
+        schema = DatabaseSchema.from_arities({"p": 2})
+        schema.validate_atom_arity("p", 2)
+        with pytest.raises(SchemaError):
+            schema.validate_atom_arity("p", 3)
+
+
+class TestFunctionalDependencies:
+    relation = RelationSchema("r", 4, ("a", "b", "c", "d"))
+    fds = [
+        FunctionalDependency("r", ["a"], ["b"]),
+        FunctionalDependency("r", ["b"], ["c"]),
+        FunctionalDependency("r", ["a", "d"], ["c"]),
+    ]
+
+    def test_fd_validation(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency("r", [], ["a"])
+        with pytest.raises(SchemaError):
+            FunctionalDependency("r", ["a"], [])
+
+    def test_trivial_fd(self):
+        assert FunctionalDependency("r", ["a", "b"], ["a"]).is_trivial()
+        assert not FunctionalDependency("r", ["a"], ["b"]).is_trivial()
+
+    def test_attribute_closure(self):
+        closure = attribute_closure(["a"], self.fds)
+        assert closure == {"a", "b", "c"}
+
+    def test_implies_transitivity(self):
+        assert implies(self.fds, FunctionalDependency("r", ["a"], ["c"]))
+        assert not implies(self.fds, FunctionalDependency("r", ["a"], ["d"]))
+
+    def test_implies_ignores_other_relations(self):
+        foreign = FunctionalDependency("s", ["a"], ["d"])
+        assert not implies([*self.fds, foreign], FunctionalDependency("r", ["a"], ["d"]))
+
+    def test_superkey_and_key(self):
+        assert is_superkey(self.relation, ["a", "d"], self.fds)
+        assert not is_superkey(self.relation, ["a"], self.fds)
+        assert is_key(self.relation, ["a", "d"], self.fds)
+        assert not is_key(self.relation, ["a", "b", "d"], self.fds)
+
+    def test_full_attribute_set_is_superkey(self):
+        assert is_superkey(self.relation, ["a", "b", "c", "d"], [])
+
+    def test_candidate_keys(self):
+        keys = candidate_keys(self.relation, self.fds)
+        assert frozenset({"a", "d"}) in keys
+        # No candidate key is a superset of another.
+        for key in keys:
+            for other in keys:
+                assert key == other or not key < other
+
+    def test_key_positions(self):
+        assert key_positions(self.relation, ["d", "a"]) == (0, 3)
+        with pytest.raises(SchemaError):
+            key_positions(self.relation, ["zz"])

@@ -1,0 +1,253 @@
+"""Tests for the paper's core contribution: associated test queries
+(Def. 4.2), assignment-fixing tgds (Def. 4.3), sound chase under bag and
+bag-set semantics (Theorems 4.1 / 4.3 / 5.1), and the Σ^max algorithms
+(Theorem 5.3, Algorithms 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import (
+    associated_test_query,
+    bag_chase,
+    bag_set_chase,
+    compare_with_key_based,
+    is_assignment_fixing,
+    is_assignment_fixing_for,
+    is_sound_chase_step,
+    iter_applicable_tgd_homomorphisms,
+    max_bag_set_sigma_subset,
+    max_bag_sigma_subset,
+    set_chase,
+    sound_chase,
+)
+from repro.core import are_isomorphic, is_set_equivalent
+from repro.database import canonical_database, satisfies_all
+from repro.datalog import parse_dependencies, parse_query, parse_tgd
+from repro.dependencies import DependencySet
+from repro.semantics import Semantics
+
+
+def _dependency(dependencies, name):
+    return next(d for d in dependencies if d.name == name)
+
+
+class TestAssociatedTestQuery:
+    def test_two_copies_of_conclusion(self, ex42):
+        sigma1 = _dependency(ex42.dependencies, "sigma1")
+        hom = next(iter_applicable_tgd_homomorphisms(ex42.query, sigma1))
+        test = associated_test_query(ex42.query, sigma1, hom)
+        # Body of Q plus two copies of the 2-atom conclusion.
+        assert len(test.query.body) == 1 + 2 + 2
+        assert len(test.existential_pairs) == 2
+        z_vars = {pair[0] for pair in test.existential_pairs}
+        theta_vars = {pair[1] for pair in test.existential_pairs}
+        assert z_vars.isdisjoint(theta_vars)
+
+    def test_full_tgd_degenerates_to_single_copy(self):
+        tgd = parse_tgd("p(X,Y) -> r(X)")
+        query = parse_query("Q(X) :- p(X,Y)")
+        hom = next(iter_applicable_tgd_homomorphisms(query, tgd))
+        test = associated_test_query(query, tgd, hom)
+        assert test.existential_pairs == ()
+        assert len(test.query.body) == 2
+
+    def test_head_is_preserved(self, ex42):
+        sigma1 = _dependency(ex42.dependencies, "sigma1")
+        hom = next(iter_applicable_tgd_homomorphisms(ex42.query, sigma1))
+        test = associated_test_query(ex42.query, sigma1, hom)
+        assert test.query.head_terms == ex42.query.head_terms
+
+    def test_fresh_variables_do_not_clash_with_query(self, ex42):
+        sigma1 = _dependency(ex42.dependencies, "sigma1")
+        hom = next(iter_applicable_tgd_homomorphisms(ex42.query, sigma1))
+        test = associated_test_query(ex42.query, sigma1, hom)
+        query_vars = set(ex42.query.all_variables())
+        for z_var, theta_var in test.existential_pairs:
+            assert z_var not in query_vars and theta_var not in query_vars
+
+
+class TestAssignmentFixing:
+    def test_example_4_2_positive(self, ex42):
+        sigma1 = _dependency(ex42.dependencies, "sigma1")
+        assert is_assignment_fixing(ex42.query, sigma1, ex42.dependencies)
+
+    def test_example_5_1_query_dependence(self, ex43):
+        sigma4 = _dependency(ex43.dependencies, "sigma4")
+        assert is_assignment_fixing(ex43.query_prime, sigma4, ex43.dependencies)
+
+    def test_example_4_6_nu1_assignment_fixing_but_not_key_based(self, ex46):
+        nu1 = _dependency(ex46.dependencies, "nu1")
+        comparison = compare_with_key_based(ex46.query, nu1, ex46.dependencies)
+        assert comparison["assignment_fixing"] is True
+        assert comparison["key_based"] is False
+
+    def test_full_tgds_are_assignment_fixing(self, ex41):
+        sigma3 = _dependency(ex41.dependencies, "sigma3")
+        assert is_assignment_fixing(ex41.q4, sigma3, ex41.dependencies)
+
+    def test_example_4_1_sigma4a_not_assignment_fixing(self, ex41):
+        # The u-component of σ4 has no constraints pinning down its witness.
+        from repro.dependencies import regularize_tgd
+
+        sigma4 = _dependency(ex41.dependencies, "sigma4")
+        u_part = next(
+            part for part in regularize_tgd(sigma4)
+            if part.conclusion[0].predicate == "u"
+        )
+        assert not is_assignment_fixing(ex41.q4, u_part, ex41.dependencies)
+
+    def test_not_applicable_tgd_is_not_assignment_fixing(self, ex41):
+        sigma2 = _dependency(ex41.dependencies, "sigma2")
+        assert not is_assignment_fixing(ex41.q3, sigma2, ex41.dependencies)
+
+    def test_per_homomorphism_variant(self, ex42):
+        sigma1 = _dependency(ex42.dependencies, "sigma1")
+        hom = next(iter_applicable_tgd_homomorphisms(ex42.query, sigma1))
+        assert is_assignment_fixing_for(ex42.query, sigma1, hom, ex42.dependencies)
+
+
+class TestSoundChaseExample41:
+    def test_bag_chase_gives_q3(self, ex41):
+        result = bag_chase(ex41.q4, ex41.dependencies)
+        assert result.terminated
+        assert are_isomorphic(result.query, ex41.q3)
+
+    def test_bag_set_chase_gives_q2(self, ex41):
+        result = bag_set_chase(ex41.q4, ex41.dependencies)
+        assert are_isomorphic(result.query, ex41.q2)
+
+    def test_set_chase_gives_q1_up_to_equivalence(self, ex41):
+        result = sound_chase(ex41.q4, ex41.dependencies, Semantics.SET)
+        assert is_set_equivalent(result.query, ex41.q1)
+
+    def test_proposition_6_2_containment_chain(self, ex41):
+        from repro.core import is_set_contained
+
+        set_result = sound_chase(ex41.q4, ex41.dependencies, Semantics.SET).query
+        bag_set_result = bag_set_chase(ex41.q4, ex41.dependencies).query
+        bag_result = bag_chase(ex41.q4, ex41.dependencies).query
+        assert is_set_contained(set_result, bag_set_result)
+        assert is_set_contained(bag_set_result, bag_result)
+        assert is_set_contained(bag_result, ex41.q4)
+
+    def test_sound_chase_terminates_when_set_chase_does(self, ex41):
+        # Proposition 5.1 (on this workload).
+        for semantics in (Semantics.BAG, Semantics.BAG_SET):
+            assert sound_chase(ex41.q4, ex41.dependencies, semantics).terminated
+
+    def test_uniqueness_of_sound_chase_results(self, ex41):
+        # Theorem 5.1 (determinism + reshuffled dependency order).
+        reshuffled = DependencySet(
+            list(reversed(ex41.dependencies.dependencies)),
+            ex41.dependencies.set_valued_predicates,
+        )
+        first = bag_chase(ex41.q4, ex41.dependencies).query
+        second = bag_chase(ex41.q4, reshuffled).query
+        assert are_isomorphic(
+            first.drop_duplicates_for({"s", "t"}), second.drop_duplicates_for({"s", "t"})
+        )
+
+    def test_example_4_4_without_sigma2_rewriting_still_found(self, ex41):
+        # Example 4.4/4.5: even without σ2, the regularized σ4 contributes its
+        # t-component, so the bag chase of Q4 still reaches Q3.
+        result = bag_chase(ex41.q4, ex41.dependencies_without_sigma2)
+        assert are_isomorphic(result.query, ex41.q3)
+
+    def test_bag_set_chase_without_sigma2(self, ex41):
+        result = bag_set_chase(ex41.q4, ex41.dependencies_without_sigma2)
+        assert are_isomorphic(result.query, ex41.q2)
+
+
+class TestSoundChaseOtherExamples:
+    def test_example_4_8_traditional_chase_result(self, ex46):
+        # Sound bag-set chase of Q adds a fresh S-subgoal and the T-subgoal.
+        result = bag_set_chase(ex46.query, ex46.dependencies)
+        assert are_isomorphic(result.query, ex46.query_traditional_chase)
+
+    def test_example_4_8_bag_chase_matches_because_s_t_set_valued(self, ex46):
+        result = bag_chase(ex46.query, ex46.dependencies)
+        assert are_isomorphic(result.query, ex46.query_traditional_chase)
+
+    def test_example_e_1_tgd_not_applied_under_bag(self, exE1):
+        # P is not set valued, so the (key-based) tgd σ2 may not fire under bag
+        # semantics; under bag-set semantics it may.
+        bag_result = bag_chase(exE1.query, exE1.dependencies)
+        assert are_isomorphic(bag_result.query, exE1.query)
+        bag_set_result = bag_set_chase(exE1.query, exE1.dependencies)
+        assert are_isomorphic(bag_set_result.query, exE1.chased_query)
+
+    def test_example_e_2_tgd_not_applied_under_bag_set(self, exE2):
+        # No key constraint on P: the step is not assignment fixing, so even
+        # the bag-set chase must not apply it.
+        result = bag_set_chase(exE2.query, exE2.dependencies)
+        assert are_isomorphic(result.query, exE2.query)
+
+    def test_sound_chase_set_semantics_delegates(self, ex41):
+        assert are_isomorphic(
+            sound_chase(ex41.q4, ex41.dependencies, Semantics.SET).query,
+            set_chase(ex41.q4, ex41.dependencies).query,
+        )
+
+    def test_plain_list_of_dependencies_accepted(self, exE2):
+        result = sound_chase(exE2.query, list(exE2.dependencies), Semantics.BAG_SET)
+        assert are_isomorphic(result.query, exE2.query)
+
+
+class TestIsSoundChaseStep:
+    def test_egds_always_sound(self, ex41):
+        sigma7 = _dependency(ex41.dependencies, "sigma7")
+        assert is_sound_chase_step(ex41.q3, sigma7, ex41.dependencies, Semantics.BAG)
+
+    def test_unsound_tgd_detected(self, ex41):
+        sigma3 = _dependency(ex41.dependencies, "sigma3")
+        sigma4 = _dependency(ex41.dependencies, "sigma4")
+        chased = bag_chase(ex41.q4, ex41.dependencies).query
+        assert not is_sound_chase_step(chased, sigma3, ex41.dependencies, Semantics.BAG)
+        assert not is_sound_chase_step(chased, sigma4, ex41.dependencies, Semantics.BAG)
+
+    def test_inapplicable_tgd_vacuously_sound(self, ex41):
+        sigma2 = _dependency(ex41.dependencies, "sigma2")
+        chased = bag_chase(ex41.q4, ex41.dependencies).query
+        assert is_sound_chase_step(chased, sigma2, ex41.dependencies, Semantics.BAG)
+
+    def test_set_semantics_always_sound(self, ex41):
+        sigma4 = _dependency(ex41.dependencies, "sigma4")
+        assert is_sound_chase_step(ex41.q4, sigma4, ex41.dependencies, Semantics.SET)
+
+
+class TestSigmaSubset:
+    def test_example_4_1_bag_subset(self, ex41):
+        result = max_bag_sigma_subset(ex41.q4, ex41.dependencies)
+        removed_names = {d.name for d in result.removed}
+        assert removed_names == {"sigma3", "sigma4"}
+        kept_names = {d.name for d in result.subset}
+        assert {"sigma1", "sigma2", "sigma7", "sigma8"} <= kept_names
+
+    def test_example_4_1_bag_set_subset(self, ex41):
+        result = max_bag_set_sigma_subset(ex41.q4, ex41.dependencies)
+        assert {d.name for d in result.removed} == {"sigma4"}
+
+    def test_proposition_5_2_inclusion(self, ex41):
+        bag = max_bag_sigma_subset(ex41.q4, ex41.dependencies)
+        bag_set = max_bag_set_sigma_subset(ex41.q4, ex41.dependencies)
+        assert set(d.name for d in bag.subset) <= set(d.name for d in bag_set.subset)
+        assert len(bag.subset) < len(bag_set.subset) < len(ex41.dependencies)
+
+    def test_canonical_database_satisfies_subset(self, ex41):
+        result = max_bag_sigma_subset(ex41.q4, ex41.dependencies)
+        canonical = canonical_database(result.chase_result.query).instance
+        assert satisfies_all(canonical, list(result.subset), check_set_valuedness=False)
+
+    def test_subset_is_query_dependent(self, ex41):
+        # Section 5.3: for Q(X) :- p(X,Y), u(X,Z) the canonical database of the
+        # bag-chase result *does* satisfy σ4 (its u-atom is already there).
+        query = parse_query("Q(X) :- p(X,Y), u(X,Z)")
+        result = max_bag_sigma_subset(query, ex41.dependencies)
+        assert "sigma4" not in {d.name for d in result.removed}
+
+    def test_plain_dependency_list_accepted(self):
+        sigma = parse_dependencies("p(X,Y) -> r(X)")
+        query = parse_query("Q(X) :- p(X,Y)")
+        result = max_bag_sigma_subset(query, list(sigma))
+        assert len(result.removed) == 1

@@ -1,0 +1,267 @@
+"""Tests for the SQL front end: lexer, parser, DDL translation, query
+translation, and SQL rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregate import AggregateFunction, AggregateQuery
+from repro.core.atoms import Atom
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+from repro.exceptions import ParseError, TranslationError
+from repro.paperlib import ORDERS_DDL
+from repro.semantics import Semantics
+from repro.sql import (
+    aggregate_query_to_sql,
+    parse_create_table,
+    parse_select,
+    parse_statements,
+    query_to_sql,
+    schema_from_ddl,
+    translate_select,
+    translate_sql,
+)
+from repro.sql.lexer import tokenize
+
+
+@pytest.fixture(scope="module")
+def orders_schema():
+    return schema_from_ddl(ORDERS_DDL)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT distinct FROM")
+        assert [t.kind for t in tokens] == ["keyword"] * 3
+        assert tokens[0].value == "select"
+
+    def test_strings_numbers_punct(self):
+        tokens = tokenize("x = 'abc', 3.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["ident", "punct", "string", "punct", "number"]
+        assert tokens[2].value == "abc"
+
+    def test_comment_skipped(self):
+        tokens = tokenize("select -- nothing\n x")
+        assert len(tokens) == 2
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select @")
+
+
+class TestSelectParser:
+    def test_simple_select(self):
+        stmt = parse_select(
+            "SELECT o.oid FROM orders o, customer c WHERE o.cid = c.cid AND c.cname = 'Ann'"
+        )
+        assert len(stmt.select_items) == 1
+        assert len(stmt.from_tables) == 2
+        assert len(stmt.where_conditions) == 2
+        assert not stmt.distinct
+
+    def test_distinct_and_alias_forms(self):
+        stmt = parse_select("SELECT DISTINCT c.cname AS name FROM customer AS c")
+        assert stmt.distinct
+        assert stmt.select_items[0].alias == "name"
+        assert stmt.from_tables[0].alias == "c"
+
+    def test_aggregate_and_group_by(self):
+        stmt = parse_select(
+            "SELECT c.cid, COUNT(*) FROM customer c GROUP BY c.cid"
+        )
+        assert stmt.has_aggregate()
+        assert len(stmt.group_by) == 1
+
+    def test_literal_flips_to_right(self):
+        stmt = parse_select("SELECT o.oid FROM orders o WHERE 5 = o.cid")
+        condition = stmt.where_conditions[0]
+        assert condition.left.column == "cid"
+
+    def test_literal_equals_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT o.oid FROM orders o WHERE 1 = 2")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t ORDER BY a")
+
+    def test_statement_splitter(self):
+        statements = parse_statements(ORDERS_DDL + "SELECT cid FROM customer;")
+        assert len(statements) == 4
+        with pytest.raises(ParseError):
+            parse_statements("DROP TABLE x;")
+
+
+class TestCreateTableParser:
+    def test_column_and_table_constraints(self):
+        stmt = parse_create_table(
+            """CREATE TABLE t (
+                a INT PRIMARY KEY,
+                b VARCHAR(20) NOT NULL,
+                c INT UNIQUE,
+                UNIQUE (b, c),
+                FOREIGN KEY (c) REFERENCES other (x)
+            )"""
+        )
+        assert stmt.column_names() == ("a", "b", "c")
+        assert stmt.effective_primary_key() == ("a",)
+        assert ("c",) in stmt.effective_unique_constraints()
+        assert ("b", "c") in stmt.effective_unique_constraints()
+        assert stmt.foreign_keys[0].referenced_table == "other"
+
+    def test_table_level_primary_key(self):
+        stmt = parse_create_table("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.effective_primary_key() == ("a", "b")
+
+
+class TestSchemaFromDDL:
+    def test_schema_shape(self, orders_schema):
+        schema, dependencies = orders_schema
+        assert schema.arity("orders") == 3
+        assert schema.relation("customer").attribute_names == ("cid", "cname")
+        # PRIMARY KEY tables are set valued; orders (no key) is not.
+        assert schema.set_valued_relations() == {"customer", "product"}
+        assert dependencies.set_valued_predicates == {"customer", "product"}
+
+    def test_dependencies_generated(self, orders_schema):
+        _, dependencies = orders_schema
+        assert len(dependencies.egds()) == 2  # one key egd per 2-ary keyed table
+        assert len(dependencies.tgds()) == 2  # two foreign keys
+
+    def test_unknown_foreign_key_target(self):
+        with pytest.raises(TranslationError):
+            schema_from_ddl(
+                "CREATE TABLE a (x INT, FOREIGN KEY (x) REFERENCES missing (y));"
+            )
+
+
+class TestTranslateSelect:
+    def test_join_query_translation(self, orders_schema):
+        schema, _ = orders_schema
+        translated = translate_sql(
+            "SELECT o.oid FROM orders o, customer c WHERE o.cid = c.cid",
+            schema,
+        )
+        query = translated.query
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.predicate_counts() == {"orders": 1, "customer": 1}
+        # The join condition produces a shared variable.
+        orders_atom = next(a for a in query.body if a.predicate == "orders")
+        customer_atom = next(a for a in query.body if a.predicate == "customer")
+        assert orders_atom.terms[1] == customer_atom.terms[0]
+
+    def test_semantics_assignment(self, orders_schema):
+        schema, _ = orders_schema
+        bag = translate_sql("SELECT o.oid FROM orders o", schema)
+        assert bag.semantics is Semantics.BAG
+        bag_set = translate_sql("SELECT c.cname FROM customer c", schema)
+        assert bag_set.semantics is Semantics.BAG_SET
+        distinct = translate_sql("SELECT DISTINCT o.oid FROM orders o", schema)
+        assert distinct.semantics is Semantics.SET
+
+    def test_constant_condition(self, orders_schema):
+        schema, _ = orders_schema
+        translated = translate_sql(
+            "SELECT o.oid FROM orders o WHERE o.cid = 7", schema
+        )
+        orders_atom = translated.query.body[0]
+        assert orders_atom.terms[1] == Constant(7)
+
+    def test_unqualified_columns_resolved(self, orders_schema):
+        schema, _ = orders_schema
+        translated = translate_sql(
+            "SELECT oid FROM orders, customer WHERE cname = 'Ann'", schema
+        )
+        customer_atom = next(
+            a for a in translated.query.body if a.predicate == "customer"
+        )
+        assert customer_atom.terms[1] == Constant("Ann")
+        assert len(translated.query.head_terms) == 1
+
+    def test_ambiguous_column_rejected(self, orders_schema):
+        schema, _ = orders_schema
+        with pytest.raises(TranslationError):
+            translate_sql(
+                "SELECT cid FROM orders, customer", schema
+            )
+
+    def test_unknown_table_and_column(self, orders_schema):
+        schema, _ = orders_schema
+        with pytest.raises(TranslationError):
+            translate_sql("SELECT x.a FROM missing x", schema)
+        with pytest.raises(TranslationError):
+            translate_sql("SELECT o.nope FROM orders o", schema)
+
+    def test_duplicate_alias_rejected(self, orders_schema):
+        schema, _ = orders_schema
+        with pytest.raises(TranslationError):
+            translate_sql("SELECT o.oid FROM orders o, customer o", schema)
+
+    def test_aggregate_translation(self, orders_schema):
+        schema, _ = orders_schema
+        translated = translate_sql(
+            "SELECT o.cid, COUNT(*) FROM orders o GROUP BY o.cid", schema
+        )
+        assert isinstance(translated.query, AggregateQuery)
+        assert translated.query.aggregate.function is AggregateFunction.COUNT_STAR
+        assert translated.is_aggregate
+
+    def test_sum_aggregate_argument(self, orders_schema):
+        schema, _ = orders_schema
+        translated = translate_sql(
+            "SELECT o.cid, SUM(o.pid) FROM orders o GROUP BY o.cid", schema
+        )
+        assert translated.query.aggregate.function is AggregateFunction.SUM
+        assert isinstance(translated.query.aggregate.argument, Variable)
+
+    def test_multiple_aggregates_rejected(self, orders_schema):
+        schema, _ = orders_schema
+        with pytest.raises(TranslationError):
+            translate_sql(
+                "SELECT SUM(o.pid), COUNT(*) FROM orders o", schema
+            )
+
+
+class TestRenderSQL:
+    def test_round_trip_join_query(self, orders_schema):
+        schema, _ = orders_schema
+        original = translate_sql(
+            "SELECT o.oid FROM orders o, customer c WHERE o.cid = c.cid", schema
+        ).query
+        sql = query_to_sql(original, schema)
+        assert "FROM orders t1, customer t2" in sql
+        reparsed = translate_sql(sql, schema).query
+        from repro.core import are_isomorphic
+
+        assert are_isomorphic(original, reparsed)
+
+    def test_distinct_added_for_set_semantics(self, orders_schema):
+        schema, _ = orders_schema
+        query = translate_sql("SELECT o.oid FROM orders o", schema).query
+        assert query_to_sql(query, schema, Semantics.SET).startswith("SELECT DISTINCT")
+        assert not query_to_sql(query, schema, Semantics.BAG).startswith("SELECT DISTINCT")
+
+    def test_constants_rendered_as_filters(self, orders_schema):
+        schema, _ = orders_schema
+        query = translate_sql(
+            "SELECT o.oid FROM orders o WHERE o.cid = 7", schema
+        ).query
+        assert "t1.cid = 7" in query_to_sql(query, schema)
+
+    def test_aggregate_rendering_round_trip(self, orders_schema):
+        schema, _ = orders_schema
+        query = translate_sql(
+            "SELECT o.cid, SUM(o.pid) FROM orders o GROUP BY o.cid", schema
+        ).query
+        sql = aggregate_query_to_sql(query, schema)
+        assert "SUM" in sql and "GROUP BY" in sql
+        reparsed = translate_sql(sql, schema).query
+        assert reparsed.aggregate.function is AggregateFunction.SUM
+
+    def test_unknown_relation_rejected(self, orders_schema):
+        schema, _ = orders_schema
+        query = ConjunctiveQuery("Q", ["X"], [Atom("mystery", ["X"])])
+        with pytest.raises(TranslationError):
+            query_to_sql(query, schema)

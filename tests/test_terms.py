@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.terms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    constants_in,
+    fresh_variable,
+    is_constant,
+    is_variable,
+    term_from_value,
+    variables_in,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Xyz")) == "Xyz"
+
+    def test_ordering(self):
+        assert Variable("A") < Variable("B")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("a") != Constant(1)
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant("1")}) == 2
+
+    def test_str_of_string_constant_is_quoted(self):
+        assert str(Constant("abc")) == "'abc'"
+
+    def test_str_of_int_constant(self):
+        assert str(Constant(7)) == "7"
+
+
+class TestTermFromValue:
+    def test_uppercase_string_is_variable(self):
+        assert term_from_value("X") == Variable("X")
+        assert term_from_value("Xyz1") == Variable("Xyz1")
+
+    def test_underscore_string_is_variable(self):
+        assert term_from_value("_tmp") == Variable("_tmp")
+
+    def test_lowercase_string_is_constant(self):
+        assert term_from_value("abc") == Constant("abc")
+
+    def test_number_is_constant(self):
+        assert term_from_value(3) == Constant(3)
+
+    def test_existing_terms_pass_through(self):
+        var = Variable("Q")
+        const = Constant(5)
+        assert term_from_value(var) is var
+        assert term_from_value(const) is const
+
+    def test_predicates(self):
+        assert is_variable(Variable("X")) and not is_variable(Constant(1))
+        assert is_constant(Constant(1)) and not is_constant(Variable("X"))
+
+
+class TestFreshVariableFactory:
+    def test_avoids_used_names(self):
+        factory = FreshVariableFactory(["_v0", "_v1"])
+        assert factory().name == "_v2"
+
+    def test_hint_is_respected(self):
+        factory = FreshVariableFactory(["Z"])
+        assert factory(hint="W").name == "W"
+        assert factory(hint="Z").name == "Z_1"
+
+    def test_never_repeats(self):
+        factory = FreshVariableFactory()
+        names = {factory(hint="X").name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_reserve(self):
+        factory = FreshVariableFactory()
+        factory.reserve(["_v0"])
+        assert factory().name == "_v1"
+
+    def test_fresh_variable_helper(self):
+        fresh = fresh_variable([Variable("X"), "Y"], hint="X")
+        assert fresh.name not in {"X", "Y"}
+
+
+class TestIterators:
+    def test_variables_in(self):
+        terms = [Variable("X"), Constant(1), Variable("X")]
+        assert list(variables_in(terms)) == [Variable("X"), Variable("X")]
+
+    def test_constants_in(self):
+        terms = [Variable("X"), Constant(1), Constant("a")]
+        assert list(constants_in(terms)) == [Constant(1), Constant("a")]

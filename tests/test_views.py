@@ -1,0 +1,207 @@
+"""Tests for view definitions, expansion, and view-based rewriting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import are_isomorphic, is_set_equivalent
+from repro.datalog import parse_dependencies, parse_query
+from repro.dependencies import DependencySet
+from repro.exceptions import ReformulationError, SchemaError
+from repro.schema import DatabaseSchema
+from repro.semantics import Semantics
+from repro.views import (
+    ViewDefinition,
+    ViewSet,
+    is_correct_rewriting,
+    rewrite_query_using_views,
+)
+
+
+@pytest.fixture()
+def order_views() -> ViewSet:
+    """Two views over an orders/customer schema.
+
+    ``v_oc`` joins orders with customers; ``v_orders`` projects orders.
+    """
+    v_oc = ViewDefinition(
+        "v_oc",
+        parse_query("V(O, C) :- orders(O, C, P), customer(C, N)"),
+    )
+    v_orders = ViewDefinition(
+        "v_orders", parse_query("V(O, C) :- orders(O, C, P)"), distinct=True
+    )
+    return ViewSet([v_oc, v_orders])
+
+
+@pytest.fixture()
+def order_dependencies() -> DependencySet:
+    return parse_dependencies(
+        """
+        orders(O, C, P) -> customer(C, N)
+        customer(C, N1) & customer(C, N2) -> N1 = N2
+        """,
+        set_valued=["customer"],
+    )
+
+
+class TestViewDefinition:
+    def test_arity_and_head_atom(self):
+        view = ViewDefinition("v", parse_query("V(X, Y) :- p(X, Z), r(Z, Y)"))
+        assert view.arity == 2
+        assert view.head_atom().predicate == "v"
+
+    def test_forward_and_backward_dependencies(self):
+        view = ViewDefinition("v", parse_query("V(X) :- p(X, Z)"))
+        forward = view.forward_dependency()
+        backward = view.backward_dependency()
+        assert forward.is_full()
+        assert [a.predicate for a in forward.conclusion] == ["v"]
+        assert [a.predicate for a in backward.premise] == ["v"]
+        assert backward.existential_variables()  # Z is existential
+
+    def test_relation_schema_set_valuedness(self):
+        bag_view = ViewDefinition("v1", parse_query("V(X) :- p(X, Z)"))
+        set_view = ViewDefinition("v2", parse_query("V(X) :- p(X, Z)"), distinct=True)
+        assert not bag_view.relation_schema().set_valued
+        assert set_view.relation_schema().set_valued
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(Exception):
+            ViewDefinition("", parse_query("V(X) :- p(X, Z)"))
+
+
+class TestViewSet:
+    def test_membership_and_lookup(self, order_views):
+        assert "v_oc" in order_views and "nope" not in order_views
+        assert order_views.view("v_oc").arity == 2
+        assert len(order_views) == 2
+        with pytest.raises(SchemaError):
+            order_views.view("nope")
+
+    def test_duplicate_names_rejected(self, order_views):
+        with pytest.raises(SchemaError):
+            order_views.add(ViewDefinition("v_oc", parse_query("V(X) :- p(X, Y)")))
+
+    def test_set_valued_view_names(self, order_views):
+        assert order_views.set_valued_view_names() == {"v_orders"}
+
+    def test_extend_schema(self, order_views):
+        schema = DatabaseSchema.from_arities({"orders": 3, "customer": 2})
+        extended = order_views.extend_schema(schema)
+        assert extended.arity("v_oc") == 2
+        assert extended.relation("v_orders").set_valued
+        # Base schema untouched.
+        assert "v_oc" not in schema
+
+    def test_extend_schema_name_clash(self, order_views):
+        schema = DatabaseSchema.from_arities({"v_oc": 1})
+        with pytest.raises(SchemaError):
+            order_views.extend_schema(schema)
+
+    def test_combined_dependencies(self, order_views, order_dependencies):
+        combined = order_views.combined_dependencies(order_dependencies)
+        assert len(combined) == len(order_dependencies) + 4
+        assert combined.is_set_valued("v_orders")
+        assert combined.is_set_valued("customer")
+        assert not combined.is_set_valued("v_oc")
+
+
+class TestExpansion:
+    def test_simple_expansion(self, order_views):
+        rewriting = parse_query("Q(O) :- v_oc(O, C)")
+        expansion = order_views.expand(rewriting)
+        assert expansion.predicate_counts() == {"orders": 1, "customer": 1}
+        # The view's head variables are bound to the rewriting's arguments.
+        orders_atom = next(a for a in expansion.body if a.predicate == "orders")
+        assert str(orders_atom.terms[0]) == "O"
+
+    def test_existentials_are_fresh_per_occurrence(self, order_views):
+        rewriting = parse_query("Q(O1, O2) :- v_orders(O1, C), v_orders(O2, C)")
+        expansion = order_views.expand(rewriting)
+        orders_atoms = [a for a in expansion.body if a.predicate == "orders"]
+        assert len(orders_atoms) == 2
+        # The P-position witnesses must be distinct fresh variables.
+        assert orders_atoms[0].terms[2] != orders_atoms[1].terms[2]
+
+    def test_base_atoms_pass_through(self, order_views):
+        mixed = parse_query("Q(O) :- v_orders(O, C), customer(C, N)")
+        expansion = order_views.expand(mixed)
+        assert expansion.predicate_counts() == {"orders": 1, "customer": 1}
+
+    def test_arity_mismatch_rejected(self, order_views):
+        with pytest.raises(SchemaError):
+            order_views.expand(parse_query("Q(O) :- v_oc(O)"))
+
+    def test_constants_propagate(self, order_views):
+        rewriting = parse_query("Q(O) :- v_oc(O, 7)")
+        expansion = order_views.expand(rewriting)
+        orders_atom = next(a for a in expansion.body if a.predicate == "orders")
+        assert str(orders_atom.terms[1]) == "7"
+
+
+class TestRewriting:
+    def test_set_semantics_rewriting_found(self, order_views, order_dependencies):
+        query = parse_query("Q(O) :- orders(O, C, P), customer(C, N)")
+        result = rewrite_query_using_views(
+            query, order_views, order_dependencies, Semantics.SET
+        )
+        assert result.rewritings
+        # The single-view rewriting over v_oc answers the query.
+        assert result.contains_isomorphic(parse_query("Q(O) :- v_oc(O, C)"))
+        # Every accepted rewriting's expansion is set-equivalent to the query under Σ.
+        for rewriting in result.rewritings:
+            assert is_correct_rewriting(
+                rewriting, query, order_views, order_dependencies, Semantics.SET
+            )
+
+    def test_bag_set_semantics_rejects_multiplicity_changing_rewriting(
+        self, order_views, order_dependencies
+    ):
+        # Under bag-set semantics the customer join multiplies nothing (the
+        # customer key pins it), so v_oc is still a correct rewriting; but the
+        # projection view v_orders alone is also correct for the orders-only query.
+        query = parse_query("Q(O) :- orders(O, C, P), customer(C, N)")
+        result = rewrite_query_using_views(
+            query, order_views, order_dependencies, Semantics.BAG_SET
+        )
+        assert result.contains_isomorphic(parse_query("Q(O) :- v_oc(O, C)"))
+
+    def test_total_only_flag(self, order_views, order_dependencies):
+        query = parse_query("Q(O) :- orders(O, C, P), customer(C, N)")
+        total = rewrite_query_using_views(
+            query, order_views, order_dependencies, Semantics.SET, total_only=True
+        )
+        mixed = rewrite_query_using_views(
+            query, order_views, order_dependencies, Semantics.SET, total_only=False
+        )
+        assert len(mixed.rewritings) >= len(total.rewritings)
+        assert all(order_views.uses_only_views(r) for r in total.rewritings)
+
+    def test_query_over_views_rejected_as_input(self, order_views, order_dependencies):
+        with pytest.raises(ReformulationError):
+            rewrite_query_using_views(
+                parse_query("Q(O) :- v_oc(O, C)"), order_views, order_dependencies
+            )
+
+    def test_expansion_recorded(self, order_views, order_dependencies):
+        query = parse_query("Q(O) :- orders(O, C, P), customer(C, N)")
+        result = rewrite_query_using_views(
+            query, order_views, order_dependencies, Semantics.SET
+        )
+        for rewriting in result.rewritings:
+            expansion = result.expansion_of(rewriting)
+            assert expansion.predicates() <= {"orders", "customer"}
+
+    def test_no_views_usable_yields_empty(self, order_dependencies):
+        views = ViewSet([ViewDefinition("v_other", parse_query("V(X) :- widget(X, Y)"))])
+        query = parse_query("Q(O) :- orders(O, C, P)")
+        result = rewrite_query_using_views(query, views, order_dependencies, "set")
+        assert len(result) == 0
+
+    def test_incorrect_rewriting_detected(self, order_views, order_dependencies):
+        query = parse_query("Q(O) :- orders(O, C, P), customer(C, N)")
+        wrong = parse_query("Q(O) :- v_orders(O, O)")
+        assert not is_correct_rewriting(
+            wrong, query, order_views, order_dependencies, "set"
+        )

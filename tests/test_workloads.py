@@ -1,0 +1,104 @@
+"""Tests for the synthetic benchmark workloads (H family, chains, orders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import bag_chase, bag_set_chase, set_chase
+from repro.core import is_set_equivalent
+from repro.database import canonical_database, satisfies_all
+from repro.dependencies import is_key_based_tgd, is_weakly_acyclic
+from repro.paperlib import ORDERS_DDL, chain_workload, h_family, orders_workload
+from repro.sql import schema_from_ddl
+
+
+class TestHFamily:
+    def test_number_of_dependencies_quadratic(self):
+        workload = h_family(4)
+        tgd_count = len(workload.dependencies.tgds())
+        assert tgd_count == 2 * (3 + 2 + 1)
+        assert len(workload.dependencies.egds()) == 2 * 4
+
+    def test_all_tgds_key_based_in_keyed_variant(self):
+        workload = h_family(3)
+        assert all(
+            is_key_based_tgd(tgd, workload.dependencies)
+            for tgd in workload.dependencies.tgds()
+        )
+
+    def test_weakly_acyclic(self):
+        assert is_weakly_acyclic(h_family(5).dependencies)
+
+    def test_chase_growth_is_exponential_in_m(self):
+        # Example H.1/H.2: the terminal chase has ~2^(i-1) subgoals for p_i.
+        sizes = {}
+        for m in (2, 3, 4):
+            result = set_chase(h_family(m).query, h_family(m).dependencies)
+            sizes[m] = len(result.query.body)
+        assert sizes[3] > sizes[2] and sizes[4] >= 2 * sizes[3] - 2
+        counts = set_chase(h_family(4).query, h_family(4).dependencies).query.predicate_counts()
+        # At least the doubling of Example H.1: ~2^(i-1) subgoals for p_i.
+        assert counts["p1"] == 1 and counts["p2"] == 2
+        assert counts["p3"] >= 4 and counts["p4"] >= 8
+
+    def test_sound_chase_applies_key_based_tgds(self):
+        workload = h_family(3)
+        bag_result = bag_chase(workload.query, workload.dependencies)
+        bag_set_result = bag_set_chase(workload.query, workload.dependencies)
+        set_result = set_chase(workload.query, workload.dependencies)
+        assert len(bag_result.query.body) == len(set_result.query.body)
+        assert len(bag_set_result.query.body) == len(set_result.query.body)
+
+    def test_unkeyed_variant_blocks_sound_chase(self):
+        workload = h_family(3, key_based=False)
+        bag_result = bag_chase(workload.query, workload.dependencies)
+        assert len(bag_result.query.body) == 1
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            h_family(0)
+
+
+class TestChainWorkload:
+    def test_shape(self):
+        workload = chain_workload(4)
+        assert len(workload.query.body) == 4
+        assert len(workload.dependencies.tgds()) == 3
+        assert len(workload.dependencies.egds()) == 4
+        assert is_weakly_acyclic(workload.dependencies)
+
+    def test_chase_terminates_and_satisfies(self, chain3):
+        result = set_chase(chain3.query, chain3.dependencies)
+        canonical = canonical_database(result.query).instance
+        assert satisfies_all(canonical, list(chain3.dependencies), check_set_valuedness=False)
+
+    def test_chase_result_set_equivalent_to_query(self, chain3):
+        chased = set_chase(chain3.query, chain3.dependencies).query
+        assert is_set_equivalent(chased, chain3.query)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_workload(0)
+
+
+class TestOrdersWorkload:
+    def test_dependency_shapes(self, orders):
+        assert len(orders.dependencies.tgds()) == 2
+        assert len(orders.dependencies.egds()) == 2
+        assert orders.dependencies.set_valued_predicates == {"customer", "product"}
+
+    def test_matches_ddl_translation(self, orders):
+        schema, dependencies = schema_from_ddl(ORDERS_DDL)
+        assert schema.arity("orders") == 3
+        assert set(schema.relation_names()) == set(orders.schema.relation_names())
+        assert dependencies.set_valued_predicates == orders.dependencies.set_valued_predicates
+        assert len(dependencies.tgds()) == len(orders.dependencies.tgds())
+
+    def test_bag_chase_of_single_orders_atom_regenerates_lookups(self, orders):
+        single = orders.query.with_body(orders.query.body[:1])
+        result = bag_chase(single, orders.dependencies)
+        assert result.query.predicate_counts() == {
+            "orders": 1,
+            "customer": 1,
+            "product": 1,
+        }
