@@ -1,8 +1,13 @@
 """Experiment E7 — Σ-aware equivalence tests (Theorems 6.1 / 6.2, Prop. 6.1).
 
-Times the three decision procedures on the Example 4.1 query pairs and on
-chain queries of growing size, and records the verdict matrix (which is the
+Times the three decision procedures — dispatched through the unified
+:class:`repro.Session` engine — on the Example 4.1 query pairs and on chain
+queries of growing size, and records the verdict matrix (which is the
 reproduced artefact: who is equivalent to whom under which semantics).
+
+Each timed run builds a fresh Session, so the numbers measure the cold
+(chase-included) decision cost; the warm-cache path is measured separately
+in ``bench_session_cache.py``.
 """
 
 from __future__ import annotations
@@ -10,19 +15,9 @@ from __future__ import annotations
 import pytest
 from _util import record
 
-from repro.equivalence import (
-    equivalent_under_dependencies_bag,
-    equivalent_under_dependencies_bag_set,
-    equivalent_under_dependencies_set,
-)
 from repro.paperlib import chain_workload
 from repro.semantics import Semantics
-
-_TESTS = {
-    Semantics.SET: equivalent_under_dependencies_set,
-    Semantics.BAG_SET: equivalent_under_dependencies_bag_set,
-    Semantics.BAG: equivalent_under_dependencies_bag,
-}
+from repro.session import Session
 
 # Expected verdict matrix for (Qi vs Q4) of Example 4.1 under the three semantics.
 _EXPECTED = {
@@ -32,13 +27,16 @@ _EXPECTED = {
 }
 
 
-@pytest.mark.parametrize("semantics", list(_TESTS))
+@pytest.mark.parametrize(
+    "semantics", (Semantics.SET, Semantics.BAG_SET, Semantics.BAG)
+)
 def bench_verdict_matrix_example_4_1(benchmark, ex41, semantics):
     pairs = {"Q1": ex41.q1, "Q2": ex41.q2, "Q3": ex41.q3}
 
     def verdicts():
+        session = Session(dependencies=ex41.dependencies)
         return {
-            name: _TESTS[semantics](query, ex41.q4, ex41.dependencies)
+            name: bool(session.decide(query, ex41.q4, semantics))
             for name, query in pairs.items()
         }
 
@@ -55,8 +53,10 @@ def bench_equivalence_cost_vs_query_size(benchmark, length):
     workload = chain_workload(length)
     prefix = workload.query.with_body(workload.query.body[:1])
     verdict = benchmark(
-        lambda: equivalent_under_dependencies_bag_set(
-            prefix, workload.query, workload.dependencies
+        lambda: bool(
+            Session(dependencies=workload.dependencies).decide(
+                prefix, workload.query, Semantics.BAG_SET
+            )
         )
     )
     assert verdict is True
@@ -66,7 +66,27 @@ def bench_equivalence_cost_vs_query_size(benchmark, length):
 def bench_negative_case_cost(benchmark, ex41):
     """The typically slower direction: proving *in*equivalence (Q1 vs Q4, bag)."""
     verdict = benchmark(
-        lambda: equivalent_under_dependencies_bag(ex41.q1, ex41.q4, ex41.dependencies)
+        lambda: bool(
+            Session(dependencies=ex41.dependencies).decide(
+                ex41.q1, ex41.q4, Semantics.BAG
+            )
+        )
     )
     assert verdict is False
     record(benchmark, equivalent=verdict, paper_expected=False)
+
+
+def bench_decide_all_shares_chases(benchmark, ex41):
+    """``decide_all`` through the Session cache: 2 queries × 3 semantics =
+    exactly 6 chases, with the Proposition 6.1 chain asserted on the verdicts."""
+
+    def run():
+        session = Session(dependencies=ex41.dependencies)
+        verdicts = session.decide_all(ex41.q1, ex41.q4)
+        stats = session.cache_stats()
+        return {str(k): bool(v) for k, v in verdicts.items()}, stats.misses, stats.hits
+
+    (verdicts, misses, hits) = benchmark(run)
+    assert verdicts == {"bag": False, "bag-set": False, "set": True}
+    assert misses == 6  # each query chased exactly once per semantics
+    record(benchmark, verdicts=verdicts, chases=misses, cache_hits=hits)

@@ -15,9 +15,9 @@ from _util import record
 
 from repro.chase import sound_chase
 from repro.core import are_isomorphic, is_set_equivalent
-from repro.equivalence import decide_equivalence
 from repro.evaluation import evaluate
 from repro.semantics import Semantics
+from repro.session import Session
 
 
 def bench_sound_chase_bag(benchmark, ex41):
@@ -58,12 +58,10 @@ def bench_set_chase(benchmark, ex41):
 
 def bench_equivalence_verdicts(benchmark, ex41):
     def verdicts():
+        session = Session(dependencies=ex41.dependencies)
         return {
-            "set": bool(decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "set")),
-            "bag-set": bool(
-                decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "bag-set")
-            ),
-            "bag": bool(decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "bag")),
+            str(semantics): bool(verdict)
+            for semantics, verdict in session.decide_all(ex41.q1, ex41.q4).items()
         }
 
     result = benchmark(verdicts)

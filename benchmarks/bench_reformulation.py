@@ -14,19 +14,14 @@ from __future__ import annotations
 import pytest
 from _util import record
 
-from repro.equivalence import decide_equivalence
 from repro.paperlib import chain_workload
-from repro.reformulation import (
-    bag_c_and_b,
-    bag_set_c_and_b,
-    c_and_b,
-    naive_bag_c_and_b,
-)
+from repro.reformulation import naive_bag_c_and_b
+from repro.session import Session
 
 _ALGORITHMS = {
-    "set (C&B)": c_and_b,
-    "bag-set (Bag-Set-C&B)": bag_set_c_and_b,
-    "bag (Bag-C&B)": bag_c_and_b,
+    "set (C&B)": "set",
+    "bag-set (Bag-Set-C&B)": "bag-set",
+    "bag (Bag-C&B)": "bag",
 }
 
 _EXPECTED_MEMBERSHIP = {
@@ -38,9 +33,11 @@ _EXPECTED_MEMBERSHIP = {
 
 @pytest.mark.parametrize("name", sorted(_ALGORITHMS))
 def bench_example_4_1_reformulation_space(benchmark, ex41, name):
-    algorithm = _ALGORITHMS[name]
+    semantics = _ALGORITHMS[name]
     result = benchmark(
-        lambda: algorithm(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        lambda: Session(dependencies=ex41.dependencies).reformulate(
+            ex41.q4, semantics, check_sigma_minimality=False
+        )
     )
     membership = {
         "Q1": result.contains_isomorphic(ex41.q1),
@@ -61,17 +58,18 @@ def bench_example_4_1_reformulation_space(benchmark, ex41, name):
 
 def bench_naive_extension_is_unsound(benchmark, ex41):
     def run():
+        session = Session(dependencies=ex41.dependencies)
         naive = naive_bag_c_and_b(ex41.q4, ex41.dependencies)
         unsound = sum(
             1
             for query in naive.reformulations
-            if not decide_equivalence(query, ex41.q4, ex41.dependencies, "bag")
+            if not session.decide(query, ex41.q4, "bag")
         )
-        sound = bag_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+        sound = session.reformulate(ex41.q4, "bag", check_sigma_minimality=False)
         sound_unsound = sum(
             1
             for query in sound.reformulations
-            if not decide_equivalence(query, ex41.q4, ex41.dependencies, "bag")
+            if not session.decide(query, ex41.q4, "bag")
         )
         return {
             "naive_accepted": len(naive.reformulations),
@@ -92,7 +90,9 @@ def bench_naive_extension_is_unsound(benchmark, ex41):
 
 
 def bench_sigma_minimal_outputs(benchmark, ex41):
-    result = benchmark(lambda: bag_c_and_b(ex41.q4, ex41.dependencies))
+    result = benchmark(
+        lambda: Session(dependencies=ex41.dependencies).reformulate(ex41.q4, "bag")
+    )
     assert len(result.minimal_reformulations) >= 1
     assert all(len(q.body) == 1 for q in result.minimal_reformulations)
     record(
@@ -104,8 +104,9 @@ def bench_sigma_minimal_outputs(benchmark, ex41):
 
 def bench_orders_workload_reformulation(benchmark, orders):
     def run():
-        set_result = c_and_b(orders.query, orders.dependencies, check_sigma_minimality=False)
-        bag_result = bag_c_and_b(orders.query, orders.dependencies, check_sigma_minimality=False)
+        session = Session(dependencies=orders.dependencies)
+        set_result = session.reformulate(orders.query, "set", check_sigma_minimality=False)
+        bag_result = session.reformulate(orders.query, "bag", check_sigma_minimality=False)
         return {
             "set_reformulations": len(set_result.reformulations),
             "set_shortest_body": min(len(q.body) for q in set_result.reformulations),
@@ -123,7 +124,9 @@ def bench_orders_workload_reformulation(benchmark, orders):
 def bench_chain_reformulation_scaling(benchmark, length):
     workload = chain_workload(length)
     result = benchmark(
-        lambda: c_and_b(workload.query, workload.dependencies, check_sigma_minimality=False)
+        lambda: Session(dependencies=workload.dependencies).reformulate(
+            workload.query, "set", check_sigma_minimality=False
+        )
     )
     assert any(len(q.body) == 1 for q in result.reformulations)
     record(

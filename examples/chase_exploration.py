@@ -18,12 +18,11 @@ Run with:  python examples/chase_exploration.py
 
 from __future__ import annotations
 
-from repro import parse_query
+from repro import Session, parse_query
 from repro.chase import (
     compare_with_key_based,
     max_bag_set_sigma_subset,
     max_bag_sigma_subset,
-    sound_chase,
 )
 from repro.dependencies import TGD, is_regularized, regularize_tgd
 from repro.paperlib import example_4_1, example_4_6
@@ -60,8 +59,9 @@ def show_assignment_fixing(example, query) -> None:
 
 def show_sound_chase(example, query) -> None:
     print(f"== sound chase of {query} ==")
+    session = Session(dependencies=example.dependencies)
     for semantics in (Semantics.SET, Semantics.BAG_SET, Semantics.BAG):
-        result = sound_chase(query, example.dependencies, semantics)
+        result = session.chase(query, semantics)
         print(f"  [{semantics}] {result.query}")
         for record in result.steps:
             print(f"      {record}")

@@ -1,27 +1,23 @@
 #!/usr/bin/env python3
 """Quickstart: deciding query equivalence under embedded dependencies.
 
-This walks through the paper's motivating Example 4.1 end to end:
+This walks through the paper's motivating Example 4.1 end to end, using the
+unified :class:`repro.Session` engine:
 
 1. declare the dependencies Σ (tgds, key egds, set-enforced relations),
-2. state the queries Q1 and Q4 in rule notation,
-3. ask whether they are equivalent under set, bag-set, and bag semantics,
-4. inspect the sound chase results that the verdicts are based on,
-5. double-check the negative verdicts on the paper's counterexample database.
+2. open a Session over Σ — it owns the semantics registry and chase cache,
+3. state the queries Q1 and Q4 in rule notation,
+4. ask whether they are equivalent under set, bag-set, and bag semantics,
+5. inspect the sound chase results the verdicts are based on (all served
+   from the session cache — nothing is re-chased),
+6. double-check the negative verdicts on the paper's counterexample database.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    DatabaseInstance,
-    decide_all,
-    evaluate,
-    parse_dependencies,
-    parse_query,
-    sound_chase,
-)
+from repro import DatabaseInstance, Session, evaluate, parse_dependencies, parse_query
 from repro.semantics import Semantics
 
 
@@ -44,7 +40,13 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------ #
-    # 2. The queries.
+    # 2. One Session per workload: it binds Σ once and then serves every
+    #    chase, decision, and reformulation through a shared cache.
+    # ------------------------------------------------------------------ #
+    session = Session(dependencies=sigma)
+
+    # ------------------------------------------------------------------ #
+    # 3. The queries.
     # ------------------------------------------------------------------ #
     q4 = parse_query("Q4(X) :- p(X,Y)")
     q1 = parse_query("Q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)")
@@ -54,24 +56,29 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------ #
-    # 3. Equivalence under all three semantics (Theorems 2.2, 6.1, 6.2).
+    # 4. Equivalence under all three semantics (Theorems 2.2, 6.1, 6.2).
+    #    decide_all also asserts the Proposition 6.1 chain on its verdicts.
     # ------------------------------------------------------------------ #
-    verdicts = decide_all(q1, q4, sigma)
+    verdicts = session.decide_all(q1, q4)
     for semantics, verdict in verdicts.items():
         status = "equivalent" if verdict else "NOT equivalent"
         print(f"under {semantics!s:8s}: Q1 and Q4 are {status}")
     print()
 
     # ------------------------------------------------------------------ #
-    # 4. The sound chase results behind those verdicts (Section 4).
+    # 5. The sound chase results behind those verdicts (Section 4).  The
+    #    session already chased these queries for the decisions above, so
+    #    every call below is a cache hit.
     # ------------------------------------------------------------------ #
     for semantics in (Semantics.SET, Semantics.BAG_SET, Semantics.BAG):
-        chased = sound_chase(q4, sigma, semantics)
+        chased = session.chase(q4, semantics)
         print(f"sound {semantics!s:8s} chase of Q4: {chased.query}")
+    stats = session.cache_stats()
+    print(f"(chase cache: {stats.hits} hits, {stats.misses} misses)")
     print()
 
     # ------------------------------------------------------------------ #
-    # 5. The counterexample database of Example 4.1: it satisfies Σ, yet the
+    # 6. The counterexample database of Example 4.1: it satisfies Σ, yet the
     #    two queries return different bags.
     # ------------------------------------------------------------------ #
     database = DatabaseInstance.from_dict(

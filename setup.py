@@ -1,10 +1,14 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so the package can be installed editable in
-offline environments where the ``wheel`` package (needed for PEP 660
-editable installs) is unavailable::
+All project metadata lives in ``pyproject.toml``; this stub is kept
+alongside it so the package can be installed editable in offline
+environments where the ``wheel`` package (which every pip editable-install
+path ultimately needs) is unavailable::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    python setup.py develop          # inside a virtualenv
+    python setup.py develop --user   # system interpreter (no venv)
+
+(or skip installation and run with ``PYTHONPATH=src``).
 """
 
 from setuptools import setup

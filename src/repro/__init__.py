@@ -8,18 +8,25 @@ C&B / Bag-C&B / Bag-Set-C&B / Max-Min-C&B / Sum-Count-C&B reformulation
 algorithms — plus the substrates they need (query model, bag-valued database
 engine, dependency machinery, SQL and datalog front ends).
 
-Typical use::
+Typical use — the :class:`Session` engine binds Σ once and serves chases,
+decisions, and reformulations through a shared cache and semantics
+registry::
 
-    from repro import parse_query, parse_dependencies, decide_equivalence
+    from repro import Session, parse_dependencies, parse_query
 
     sigma = parse_dependencies('''
         p(X,Y) -> t(X,Y,W)
         t(X,Y,Z) & t(X,Y,W) -> Z = W
     ''', set_valued=["t"])
+    session = Session(dependencies=sigma)
     q1 = parse_query("Q1(X) :- p(X,Y)")
     q2 = parse_query("Q2(X) :- p(X,Y), t(X,Y,W)")
-    verdict = decide_equivalence(q1, q2, sigma, semantics="bag")
+    verdict = session.decide(q1, q2, semantics="bag")
     assert verdict.equivalent
+
+The flat functional API (``decide_equivalence``, ``sound_chase``,
+``chase_and_backchase``, ...) remains available and delegates to the same
+engine.
 """
 
 from .core import (
@@ -95,7 +102,9 @@ from .exceptions import (
     ReformulationError,
     ReproError,
     SchemaError,
+    SemanticsError,
     TranslationError,
+    UnknownSemanticsError,
 )
 from .reformulation import (
     ReformulationResult,
@@ -109,6 +118,16 @@ from .reformulation import (
 )
 from .schema import DatabaseSchema, RelationSchema
 from .semantics import Semantics
+from .session import (
+    BatchItem,
+    BatchReport,
+    CacheStats,
+    ChaseCache,
+    SemanticsRegistry,
+    SemanticsStrategy,
+    Session,
+    default_registry,
+)
 from .sql import query_to_sql, schema_from_ddl, translate_sql
 from .views import ViewDefinition, ViewSet, rewrite_query_using_views
 from .witnesses import CounterexampleWitness, find_counterexample
@@ -121,6 +140,10 @@ __all__ = [
     "AggregateTerm",
     "Atom",
     "Bag",
+    "BatchItem",
+    "BatchReport",
+    "CacheStats",
+    "ChaseCache",
     "ChaseError",
     "ChaseNonTerminationError",
     "ChaseResult",
@@ -144,8 +167,13 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "Semantics",
+    "SemanticsError",
+    "SemanticsRegistry",
+    "SemanticsStrategy",
+    "Session",
     "TGD",
     "TranslationError",
+    "UnknownSemanticsError",
     "Variable",
     "ViewDefinition",
     "ViewSet",
@@ -161,6 +189,7 @@ __all__ = [
     "cq",
     "decide_all",
     "decide_equivalence",
+    "default_registry",
     "equivalent_aggregate_queries",
     "equivalent_aggregate_queries_under_dependencies",
     "equivalent_under_dependencies",

@@ -15,10 +15,17 @@ can be used without writing Python::
     python -m repro sql --ddl schema.sql \
         --query "SELECT o.oid FROM orders o, customer c WHERE o.cid = c.cid"
 
+    python -m repro batch --pairs pairs.txt --dependencies deps.txt \
+        --semantics bag --jobs 4
+
+Every command builds a :class:`~repro.session.Session` around the supplied
+dependencies and dispatches through it, so repeated chases within one
+invocation are served from the session's cache.
+
 Dependencies are written in the rule notation accepted by
 :mod:`repro.datalog` (one dependency per line; ``#`` comments); the
-``--dependencies`` / ``--ddl`` arguments accept either a file path or the
-literal text.
+``--dependencies`` / ``--ddl`` / ``--pairs`` arguments accept either a file
+path or the literal text.
 """
 
 from __future__ import annotations
@@ -28,12 +35,10 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .chase import sound_chase
 from .datalog import parse_dependencies, parse_query, render_query
-from .equivalence import decide_all, decide_equivalence
-from .exceptions import ReproError
-from .reformulation import chase_and_backchase
+from .exceptions import ParseError, ReproError
 from .semantics import Semantics
+from .session import Session
 from .sql import query_to_sql, schema_from_ddl, translate_sql
 
 
@@ -56,6 +61,11 @@ def _load_dependencies(args) -> "DependencySet":
         return DependencySet([], set_valued)
     text = _read_text_or_file(args.dependencies)
     return parse_dependencies(text, set_valued=set_valued)
+
+
+def _build_session(args) -> Session:
+    """One Session per CLI invocation: shared cache, registry dispatch."""
+    return Session(dependencies=_load_dependencies(args), max_steps=args.max_steps)
 
 
 def _add_dependency_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,9 +93,9 @@ def _semantics_argument(parser: argparse.ArgumentParser, allow_all: bool = False
 # Subcommands
 # --------------------------------------------------------------------------- #
 def _cmd_chase(args) -> int:
-    dependencies = _load_dependencies(args)
+    session = _build_session(args)
     query = parse_query(args.query)
-    result = sound_chase(query, dependencies, args.semantics, max_steps=args.max_steps)
+    result = session.chase(query, args.semantics)
     print(render_query(result.query))
     if args.show_steps:
         for record in result.steps:
@@ -94,20 +104,18 @@ def _cmd_chase(args) -> int:
 
 
 def _cmd_equivalence(args) -> int:
-    dependencies = _load_dependencies(args)
+    session = _build_session(args)
     query = parse_query(args.query)
     other = parse_query(args.other)
     if args.semantics == "all":
-        verdicts = decide_all(query, other, dependencies, max_steps=args.max_steps)
+        verdicts = session.decide_all(query, other)
         equivalent_somewhere = False
         for semantics, verdict in verdicts.items():
             status = "equivalent" if verdict else "not equivalent"
             print(f"{semantics!s:8s}: {status}")
             equivalent_somewhere |= bool(verdict)
         return 0 if equivalent_somewhere else 1
-    verdict = decide_equivalence(
-        query, other, dependencies, args.semantics, max_steps=args.max_steps
-    )
+    verdict = session.decide(query, other, args.semantics)
     print("equivalent" if verdict else "not equivalent")
     if args.verbose:
         print(f"  chased left : {verdict.chased_left}")
@@ -116,14 +124,10 @@ def _cmd_equivalence(args) -> int:
 
 
 def _cmd_reformulate(args) -> int:
-    dependencies = _load_dependencies(args)
+    session = _build_session(args)
     query = parse_query(args.query)
-    result = chase_and_backchase(
-        query,
-        dependencies,
-        args.semantics,
-        max_steps=args.max_steps,
-        check_sigma_minimality=not args.show_all,
+    result = session.reformulate(
+        query, args.semantics, check_sigma_minimality=not args.show_all
     )
     print(f"universal plan: {render_query(result.universal_plan)}")
     pool = result.reformulations if args.show_all else result.minimal_reformulations
@@ -137,6 +141,7 @@ def _cmd_reformulate(args) -> int:
 def _cmd_sql(args) -> int:
     ddl = _read_text_or_file(args.ddl)
     schema, dependencies = schema_from_ddl(ddl)
+    session = Session(schema=schema, dependencies=dependencies, max_steps=args.max_steps)
     translated = translate_sql(args.query, schema)
     semantics = Semantics.from_name(args.semantics) if args.semantics else translated.semantics
     if translated.is_aggregate:
@@ -147,14 +152,45 @@ def _cmd_sql(args) -> int:
         query = translated.query
     print(f"-- evaluation semantics: {semantics}")
     print(f"-- as conjunctive query: {query}")
-    result = chase_and_backchase(
-        query, dependencies, semantics, check_sigma_minimality=False,
-        max_steps=args.max_steps,
-    )
+    result = session.reformulate(query, semantics, check_sigma_minimality=False)
     print(f"-- {len(result.reformulations)} equivalent reformulations:")
     for reformulation in sorted(result.reformulations, key=lambda q: len(q.body)):
         print(query_to_sql(reformulation, schema, semantics) + ";")
     return 0
+
+
+def _parse_pairs(text: str) -> list[tuple]:
+    """Parse the ``batch`` pair list: one ``Q1 ; Q2`` pair per line."""
+    pairs = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        left, separator, right = line.partition(";")
+        if not separator or not left.strip() or not right.strip():
+            raise ParseError(
+                f"pairs line {lineno}: expected 'QUERY ; QUERY', got {line!r}"
+            )
+        pairs.append((parse_query(left.strip()), parse_query(right.strip())))
+    return pairs
+
+
+def _cmd_batch(args) -> int:
+    session = _build_session(args)
+    pairs = _parse_pairs(_read_text_or_file(args.pairs))
+    report = session.decide_many(
+        pairs, semantics=args.semantics, concurrency=args.jobs
+    )
+    for item in report:
+        q1, q2 = item.input
+        label = f"{q1.head_predicate} vs {q2.head_predicate}"
+        if item.ok:
+            status = "equivalent" if item.result else "not equivalent"
+            print(f"[{item.index}] {label}: {status}")
+        else:
+            print(f"[{item.index}] {label}: error ({item.error_type}: {item.error})")
+    print(f"{report.ok_count} decided, {report.error_count} failed")
+    return 0 if report.error_count == 0 else 1
 
 
 # --------------------------------------------------------------------------- #
@@ -218,6 +254,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the semantics inferred from the statement and schema",
     )
     sql_parser.set_defaults(handler=_cmd_sql)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="decide Σ-equivalence for a whole list of query pairs"
+    )
+    batch_parser.add_argument(
+        "--pairs",
+        required=True,
+        help="pair list (file or text): one 'QUERY ; QUERY' pair per line",
+    )
+    _add_dependency_arguments(batch_parser)
+    _semantics_argument(batch_parser)
+    batch_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="decide pairs in N worker processes (default: in-process, shared cache)",
+    )
+    batch_parser.set_defaults(handler=_cmd_batch)
 
     return parser
 

@@ -21,10 +21,8 @@ from ..core.bag_equivalence import is_bag_set_equivalent
 from ..core.containment import is_set_equivalent
 from ..dependencies.base import Dependency, DependencySet
 from ..chase.set_chase import DEFAULT_MAX_STEPS
-from .under_dependencies import (
-    equivalent_under_dependencies_bag_set,
-    equivalent_under_dependencies_set,
-)
+from ..semantics import Semantics
+from .under_dependencies import equivalent_under_dependencies
 
 
 def equivalent_aggregate_queries(q1: AggregateQuery, q2: AggregateQuery) -> bool:
@@ -52,8 +50,9 @@ def equivalent_aggregate_queries_under_dependencies(
     if not q1.is_compatible_with(q2):
         return False
     core1, core2 = q1.core(), q2.core()
-    if q1.aggregate.function.is_duplicate_sensitive:
-        return equivalent_under_dependencies_bag_set(
-            core1, core2, dependencies, max_steps
-        )
-    return equivalent_under_dependencies_set(core1, core2, dependencies, max_steps)
+    semantics = (
+        Semantics.BAG_SET
+        if q1.aggregate.function.is_duplicate_sensitive
+        else Semantics.SET
+    )
+    return equivalent_under_dependencies(core1, core2, dependencies, semantics, max_steps)

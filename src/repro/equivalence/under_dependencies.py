@@ -15,17 +15,19 @@ the inputs terminates:
 
 Σ-containment under set semantics (used by C&B's backchase) is provided as
 well, via the same chase-then-dependency-free-test route.
+
+The three per-semantics functions are deprecated shims over the unified
+:class:`repro.session.Session` engine (``session.decide(q1, q2,
+semantics=...)``); the generic :func:`equivalent_under_dependencies`
+dispatcher remains the supported functional entry point.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
-from ..core.bag_equivalence import (
-    is_bag_equivalent_with_set_enforced,
-    is_bag_set_equivalent,
-)
-from ..core.containment import is_set_contained, is_set_equivalent
+from ..core.containment import is_set_contained
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
 from ..semantics import Semantics
@@ -41,17 +43,41 @@ def _as_dependency_set(
     return DependencySet(dependencies)
 
 
+def _session_equivalent(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics,
+    max_steps: int,
+    deprecated_name: str,
+) -> bool:
+    """Shared body of the deprecated per-semantics equivalence shims."""
+    warnings.warn(
+        f"{deprecated_name}() is deprecated; use "
+        f"Session(dependencies=...).decide(q1, q2, semantics={semantics.value!r})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from ..session.engine import Session
+
+    session = Session(dependencies=dependencies, max_steps=max_steps)
+    return session.decide(q1, q2, semantics).equivalent
+
+
 def equivalent_under_dependencies_set(
     q1: ConjunctiveQuery,
     q2: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> bool:
-    """Theorem 2.2: decide ``Q1 ≡Σ,S Q2``."""
-    dependencies = _as_dependency_set(dependencies)
-    chased1 = sound_chase(q1, dependencies, Semantics.SET, max_steps).query
-    chased2 = sound_chase(q2, dependencies, Semantics.SET, max_steps).query
-    return is_set_equivalent(chased1, chased2)
+    """Theorem 2.2: decide ``Q1 ≡Σ,S Q2``.
+
+    Deprecated shim: delegates to ``Session.decide(semantics="set")``.
+    """
+    return _session_equivalent(
+        q1, q2, dependencies, Semantics.SET, max_steps,
+        "equivalent_under_dependencies_set",
+    )
 
 
 def contained_under_dependencies_set(
@@ -79,12 +105,12 @@ def equivalent_under_dependencies_bag(
     are compared with the extended bag-equivalence test of Theorem 4.2
     (isomorphism after dropping duplicate subgoals over set-valued
     relations).
+
+    Deprecated shim: delegates to ``Session.decide(semantics="bag")``.
     """
-    dependencies = _as_dependency_set(dependencies)
-    chased1 = sound_chase(q1, dependencies, Semantics.BAG, max_steps).query
-    chased2 = sound_chase(q2, dependencies, Semantics.BAG, max_steps).query
-    return is_bag_equivalent_with_set_enforced(
-        chased1, chased2, dependencies.set_valued_predicates
+    return _session_equivalent(
+        q1, q2, dependencies, Semantics.BAG, max_steps,
+        "equivalent_under_dependencies_bag",
     )
 
 
@@ -94,18 +120,14 @@ def equivalent_under_dependencies_bag_set(
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> bool:
-    """Theorem 6.2: decide ``Q1 ≡Σ,BS Q2``."""
-    dependencies = _as_dependency_set(dependencies)
-    chased1 = sound_chase(q1, dependencies, Semantics.BAG_SET, max_steps).query
-    chased2 = sound_chase(q2, dependencies, Semantics.BAG_SET, max_steps).query
-    return is_bag_set_equivalent(chased1, chased2)
+    """Theorem 6.2: decide ``Q1 ≡Σ,BS Q2``.
 
-
-_TESTS = {
-    Semantics.SET: equivalent_under_dependencies_set,
-    Semantics.BAG: equivalent_under_dependencies_bag,
-    Semantics.BAG_SET: equivalent_under_dependencies_bag_set,
-}
+    Deprecated shim: delegates to ``Session.decide(semantics="bag-set")``.
+    """
+    return _session_equivalent(
+        q1, q2, dependencies, Semantics.BAG_SET, max_steps,
+        "equivalent_under_dependencies_bag_set",
+    )
 
 
 def equivalent_under_dependencies(
@@ -116,5 +138,7 @@ def equivalent_under_dependencies(
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> bool:
     """Decide ``Q1 ≡Σ,X Q2`` for the chosen semantics X."""
-    semantics = Semantics.from_name(semantics)
-    return _TESTS[semantics](q1, q2, dependencies, max_steps)
+    from ..session.engine import Session
+
+    session = Session(dependencies=dependencies, max_steps=max_steps)
+    return session.decide(q1, q2, semantics).equivalent

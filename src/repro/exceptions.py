@@ -61,3 +61,35 @@ class EvaluationError(ReproError):
 
 class ReformulationError(ReproError):
     """A reformulation algorithm received inputs it cannot handle."""
+
+
+class SemanticsError(ReproError):
+    """A problem with a query-evaluation semantics or its strategy."""
+
+
+class UnknownSemanticsError(SemanticsError, KeyError):
+    """A semantics name has no strategy registered for it.
+
+    Raised by :class:`repro.session.SemanticsRegistry` (and therefore by
+    every :class:`repro.session.Session` entry point) when asked to dispatch
+    on a semantics that neither the built-in strategies nor a third-party
+    registration covers.  ``known`` lists the canonical names that *are*
+    registered, so the error message doubles as discovery.
+    """
+
+    def __init__(self, name: object, known: "tuple[str, ...]" = ()):
+        message = f"unknown semantics {name!r}"
+        if known:
+            message += f"; registered semantics: {', '.join(known)}"
+        # Bypass KeyError.__str__'s repr-of-args behaviour.
+        Exception.__init__(self, message)
+        self.name = name
+        self.known = tuple(known)
+
+    def __reduce__(self):
+        # Default pickling would re-run __init__ with the formatted message
+        # as `name`, double-wrapping it after a worker-process round trip.
+        return (type(self), (self.name, self.known))
+
+    def __str__(self) -> str:
+        return self.args[0]

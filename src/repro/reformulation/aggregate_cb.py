@@ -24,7 +24,7 @@ from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
 from ..semantics import Semantics
 from ..chase.set_chase import DEFAULT_MAX_STEPS
-from .cb import ReformulationResult, bag_set_c_and_b, c_and_b
+from .cb import ReformulationResult, chase_and_backchase
 
 
 @dataclass
@@ -77,7 +77,9 @@ def max_min_c_and_b(
     **kwargs,
 ) -> AggregateReformulationResult:
     """Max-Min-C&B: reformulate a max/min query via set-semantics C&B on its core."""
-    core_result = c_and_b(query.core(), dependencies, max_steps, **kwargs)
+    core_result = chase_and_backchase(
+        query.core(), dependencies, Semantics.SET, max_steps, **kwargs
+    )
     return AggregateReformulationResult(
         query=query,
         core_result=core_result,
@@ -94,9 +96,15 @@ def sum_count_c_and_b(
     max_steps: int = DEFAULT_MAX_STEPS,
     **kwargs,
 ) -> AggregateReformulationResult:
-    """Sum-Count-C&B: reformulate a sum/count query via Bag-Set-C&B on its core."""
-    core_result = bag_set_c_and_b(query.core(), dependencies, max_steps, **kwargs)
-    assert core_result.semantics is Semantics.BAG_SET
+    """Sum-Count-C&B: reformulate a sum/count query via Bag-Set-C&B on its core.
+
+    The core's result carries whatever token the engine's "bag-set" strategy
+    stamps — the built-in enum member, or a custom name when a third-party
+    strategy has been registered over that semantics.
+    """
+    core_result = chase_and_backchase(
+        query.core(), dependencies, Semantics.BAG_SET, max_steps, **kwargs
+    )
     return AggregateReformulationResult(
         query=query,
         core_result=core_result,

@@ -18,14 +18,10 @@ all are sound and complete whenever the set chase of the input terminates.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..core.bag_equivalence import (
-    is_bag_equivalent_with_set_enforced,
-    is_bag_set_equivalent,
-)
-from ..core.containment import is_set_equivalent
 from ..core.homomorphism import are_isomorphic
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
@@ -70,16 +66,6 @@ class ReformulationResult:
         return "\n".join(lines)
 
 
-def _dependency_free_test(
-    semantics: Semantics, set_valued: frozenset[str]
-):
-    if semantics is Semantics.SET:
-        return is_set_equivalent
-    if semantics is Semantics.BAG:
-        return lambda q1, q2: is_bag_equivalent_with_set_enforced(q1, q2, set_valued)
-    return is_bag_set_equivalent
-
-
 def chase_and_backchase(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
@@ -87,6 +73,7 @@ def chase_and_backchase(
     max_steps: int = DEFAULT_MAX_STEPS,
     max_candidate_size: int | None = None,
     check_sigma_minimality: bool = True,
+    engine=None,
 ) -> ReformulationResult:
     """Run C&B (or its bag / bag-set variant) on *query* under *dependencies*.
 
@@ -94,17 +81,49 @@ def chase_and_backchase(
     on large universal plans); ``check_sigma_minimality`` controls whether
     the Definition 3.1 Σ-minimality filter is applied to produce
     ``minimal_reformulations`` (the full list of equivalent reformulations is
-    always reported).
+    always reported).  ``engine`` is an optional
+    :class:`~repro.session.Session`: semantics dispatch goes through its
+    registry and every chase — the universal plan, each backchase candidate,
+    and the Σ-minimality probes — is served from its chase cache.  Without
+    one, an ephemeral Session over *dependencies* is built, so direct
+    functional callers get the same candidate-chase caching within the call.
     """
-    semantics = Semantics.from_name(semantics)
     if not isinstance(dependencies, DependencySet):
         dependencies = DependencySet(dependencies)
 
-    chase_result = sound_chase(query, dependencies, semantics, max_steps)
-    universal_plan = chase_result.query
-    equivalence_test = _dependency_free_test(
-        semantics, dependencies.set_valued_predicates
+    if engine is None:
+        from ..session.engine import Session
+
+        engine = Session(dependencies=dependencies)
+        dependencies = engine.dependencies
+    elif engine.dependencies is not dependencies:
+        # The engine chases (and probes minimality) under its own Σ while the
+        # dependency-free test below uses *dependencies*; mixing two Σs would
+        # silently produce reformulations equivalent under neither.  Session
+        # callers pass engine.dependencies itself, so the identity check
+        # avoids fingerprinting Σ twice per call on that hot path.
+        from ..exceptions import ReformulationError
+        from ..session.cache import sigma_fingerprint
+
+        if sigma_fingerprint(engine.dependencies) != sigma_fingerprint(dependencies):
+            raise ReformulationError(
+                "chase_and_backchase was given an engine whose dependency "
+                "set differs from the dependencies argument; use "
+                "Session.reformulate, or pass engine.dependencies"
+            )
+
+    strategy = engine.strategy_for(semantics)
+    semantics_label = strategy.token
+    chase = lambda q: engine.chase(q, strategy.name, max_steps)  # noqa: E731
+    equivalence_test = lambda q1, q2: strategy.equivalent_chased(  # noqa: E731
+        q1, q2, dependencies
     )
+    minimality_equivalent = lambda shortened, original: bool(  # noqa: E731
+        engine.decide(shortened, original, strategy.name, max_steps)
+    )
+
+    chase_result = chase(query)
+    universal_plan = chase_result.query
 
     reformulations: list[ConjunctiveQuery] = []
     examined = 0
@@ -112,7 +131,7 @@ def chase_and_backchase(
         universal_plan, max_size=max_candidate_size
     ):
         examined += 1
-        chased_candidate = sound_chase(candidate, dependencies, semantics, max_steps).query
+        chased_candidate = chase(candidate).query
         if not equivalence_test(chased_candidate, universal_plan):
             continue
         if any(are_isomorphic(candidate, existing) for existing in reformulations):
@@ -123,7 +142,13 @@ def chase_and_backchase(
         minimal = [
             candidate
             for candidate in reformulations
-            if is_sigma_minimal(candidate, dependencies, semantics, max_steps)
+            if is_sigma_minimal(
+                candidate,
+                dependencies,
+                semantics_label,
+                max_steps,
+                equivalent_fn=minimality_equivalent,
+            )
         ]
     else:
         # Fall back to subset-minimality: keep candidates none of whose
@@ -141,12 +166,34 @@ def chase_and_backchase(
 
     return ReformulationResult(
         query=query,
-        semantics=semantics,
+        semantics=semantics_label,
         universal_plan=universal_plan,
         reformulations=reformulations,
         minimal_reformulations=minimal,
         candidates_examined=examined,
         chase_result=chase_result,
+    )
+
+
+def _session_reformulate(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics,
+    max_steps: int,
+    deprecated_name: str,
+    **kwargs,
+) -> ReformulationResult:
+    """Shared body of the deprecated per-semantics C&B wrappers."""
+    warnings.warn(
+        f"{deprecated_name}() is deprecated; use "
+        f"Session(dependencies=...).reformulate(query, semantics={semantics.value!r})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from ..session.engine import Session
+
+    return Session(dependencies=dependencies, max_steps=max_steps).reformulate(
+        query, semantics, **kwargs
     )
 
 
@@ -156,8 +203,11 @@ def c_and_b(
     max_steps: int = DEFAULT_MAX_STEPS,
     **kwargs,
 ) -> ReformulationResult:
-    """The original set-semantics C&B of Deutsch et al. (Appendix A)."""
-    return chase_and_backchase(query, dependencies, Semantics.SET, max_steps, **kwargs)
+    """The original set-semantics C&B of Deutsch et al. (Appendix A).
+
+    Deprecated shim: delegates to ``Session.reformulate(semantics="set")``.
+    """
+    return _session_reformulate(query, dependencies, Semantics.SET, max_steps, "c_and_b", **kwargs)
 
 
 def bag_c_and_b(
@@ -166,8 +216,11 @@ def bag_c_and_b(
     max_steps: int = DEFAULT_MAX_STEPS,
     **kwargs,
 ) -> ReformulationResult:
-    """Bag-C&B (Theorem 6.4): Σ-minimal reformulations under bag semantics."""
-    return chase_and_backchase(query, dependencies, Semantics.BAG, max_steps, **kwargs)
+    """Bag-C&B (Theorem 6.4): Σ-minimal reformulations under bag semantics.
+
+    Deprecated shim: delegates to ``Session.reformulate(semantics="bag")``.
+    """
+    return _session_reformulate(query, dependencies, Semantics.BAG, max_steps, "bag_c_and_b", **kwargs)
 
 
 def bag_set_c_and_b(
@@ -176,8 +229,13 @@ def bag_set_c_and_b(
     max_steps: int = DEFAULT_MAX_STEPS,
     **kwargs,
 ) -> ReformulationResult:
-    """Bag-Set-C&B (Theorem K.1): Σ-minimal reformulations under bag-set semantics."""
-    return chase_and_backchase(query, dependencies, Semantics.BAG_SET, max_steps, **kwargs)
+    """Bag-Set-C&B (Theorem K.1): Σ-minimal reformulations under bag-set semantics.
+
+    Deprecated shim: delegates to ``Session.reformulate(semantics="bag-set")``.
+    """
+    return _session_reformulate(
+        query, dependencies, Semantics.BAG_SET, max_steps, "bag_set_c_and_b", **kwargs
+    )
 
 
 def naive_bag_c_and_b(

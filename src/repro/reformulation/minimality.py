@@ -48,15 +48,23 @@ def is_sigma_minimal(
     dependencies: DependencySet | Sequence[Dependency],
     semantics: Semantics | str = Semantics.SET,
     max_steps: int = DEFAULT_MAX_STEPS,
+    equivalent_fn=None,
 ) -> bool:
     """Definition 3.1: is *query* Σ-minimal under the given semantics?
 
     The search applies each candidate variable substitution (identity and the
     query's head-preserving endomorphisms), then tries to drop each atom of
     the substituted query and asks whether the shortened query is still
-    Σ-equivalent to the original.
+    Σ-equivalent to the original.  ``equivalent_fn(shortened, query) -> bool``
+    overrides the equivalence probe — the Session engine injects its
+    cache-aware decision procedure here.
     """
     from ..core.minimization import drop_atom_if_safe
+
+    if equivalent_fn is None:
+        equivalent_fn = lambda shortened, original: equivalent_under_dependencies(  # noqa: E731
+            shortened, original, dependencies, semantics, max_steps
+        )
 
     for substitution in _candidate_substitutions(query):
         substituted = query.substitute(substitution) if substitution else query
@@ -66,9 +74,7 @@ def is_sigma_minimal(
             shortened = drop_atom_if_safe(substituted, index)
             if shortened is None:
                 continue
-            if equivalent_under_dependencies(
-                shortened, query, dependencies, semantics, max_steps
-            ):
+            if equivalent_fn(shortened, query):
                 return False
     return True
 

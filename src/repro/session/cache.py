@@ -1,0 +1,158 @@
+"""Chase-result caching.
+
+The sound chase dominates the cost of every decision procedure in the
+library: an equivalence test chases both inputs, ``decide_all`` chases them
+under three semantics, and a C&B run chases the input plus every backchase
+candidate.  Across a workload the same (query, Σ, semantics, step-budget)
+combinations recur constantly — C&B candidates are re-decided, dashboards
+re-ask the same pairs — so the Session keeps terminal chase results in a
+bounded LRU cache.
+
+Keys are *canonicalized*: the query contributes its
+:meth:`~repro.core.query.ConjunctiveQuery.structural_key` (deterministic
+variable renaming, so alpha-variant queries share an entry), Σ contributes
+its dependencies in order (chase strategy is order-sensitive) minus their
+display names, plus the set-valued predicate markers.  Cached
+:class:`~repro.chase.set_chase.ChaseResult` objects are immutable in
+practice and shared by reference; the chase result of an alpha-variant hit
+differs from a fresh chase only by a variable renaming, which every
+downstream test (homomorphism, isomorphism, C&B) is invariant under.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+
+
+def sigma_fingerprint(dependencies: DependencySet | Iterable[Dependency]) -> Hashable:
+    """A hashable, name-insensitive fingerprint of a dependency set.
+
+    Dependency order is preserved (the deterministic chase strategy tries
+    dependencies in order, so reordering Σ may legitimately produce a
+    different — equivalent — terminal result); display names are dropped
+    (they never influence chasing).
+    """
+    if isinstance(dependencies, DependencySet):
+        items = dependencies.dependencies
+        set_valued = dependencies.set_valued_predicates
+    else:
+        items = list(dependencies)
+        set_valued = frozenset()
+    parts = []
+    for dependency in items:
+        if isinstance(dependency, TGD):
+            parts.append(("tgd", dependency.premise, dependency.conclusion))
+        elif isinstance(dependency, EGD):
+            parts.append(("egd", dependency.premise, dependency.equalities))
+        else:  # pragma: no cover - future dependency kinds
+            parts.append(("dep", repr(dependency)))
+    return (tuple(parts), set_valued)
+
+
+def chase_cache_key(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Iterable[Dependency],
+    semantics: Hashable,
+    max_steps: int,
+    *,
+    sigma_key: Hashable | None = None,
+) -> Hashable:
+    """The canonical cache key of one chase invocation.
+
+    ``semantics`` is any hashable semantics discriminator — the Session
+    passes a (name, strategy-class) pair so a cache shared across sessions
+    never conflates two strategies bound to the same name.  ``sigma_key``
+    lets callers that already hold ``sigma_fingerprint(Σ)`` (the Session
+    memoizes it per Σ) skip recomputing it.
+    """
+    if sigma_key is None:
+        sigma_key = sigma_fingerprint(dependencies)
+    return (query.structural_key(), sigma_key, semantics, max_steps)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ChaseCache:
+    """A bounded LRU cache for terminal chase results."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable):
+        """The cached value for *key*, or ``None`` (counts a hit/miss)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert *value*, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (counters other than ``invalidations`` survive)."""
+        self._entries.clear()
+        self._invalidations += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats
+        return (
+            f"ChaseCache(size={stats.size}/{stats.maxsize}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

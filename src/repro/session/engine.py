@@ -1,0 +1,357 @@
+"""The :class:`Session` façade — the unified entry point of the engine.
+
+A Session binds a dependency set Σ (and optionally a schema) once and then
+answers every question the library can ask — chase, equivalence, C&B
+reformulation — through three shared components:
+
+* a :class:`~repro.session.registry.SemanticsRegistry` dispatching each
+  semantics name to the strategy bundling its sound chase, equivalence test,
+  and C&B variant (third parties register new semantics without touching
+  core modules);
+* a :class:`~repro.session.cache.ChaseCache` of terminal chase results keyed
+  by canonicalized (query, Σ, semantics, max_steps), so repeated decisions
+  over a workload skip the dominant chase cost entirely;
+* the batch pipelines of :mod:`repro.session.batch`
+  (:meth:`Session.decide_many` / :meth:`Session.reformulate_many`), with
+  optional multiprocessing and per-item error capture.
+
+Typical use::
+
+    from repro import Session, parse_dependencies, parse_query
+
+    session = Session(dependencies=parse_dependencies(SIGMA, set_valued=["t"]))
+    verdict = session.decide(q1, q2, semantics="bag")
+    plans = session.reformulate(q1, semantics="bag-set")
+    report = session.decide_many([(q1, q2), (q1, q3)], semantics="bag")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
+from ..core.aggregate import AggregateQuery
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import Dependency, DependencySet
+from ..equivalence.decision import EquivalenceVerdict
+from ..semantics import Semantics
+from ..exceptions import DependencyError, SchemaError, SemanticsError
+from .cache import CacheStats, ChaseCache, chase_cache_key, sigma_fingerprint
+from .registry import SemanticsRegistry, default_registry, normalize_semantics_name
+from .strategies import SemanticsStrategy
+
+
+class _SessionDependencySet(DependencySet):
+    """A Session-owned Σ that refuses in-place mutation.
+
+    Cache keys memoize Σ's fingerprint, so mutating the session's dependency
+    set in place would silently serve stale chases; Σ changes must go
+    through :meth:`Session.set_dependencies`, which invalidates the cache.
+    The dependency sequence is stored as a tuple so even direct mutation of
+    the ``dependencies`` attribute's contents is impossible.
+    """
+
+    def __init__(self, dependencies=(), set_valued_predicates=()):
+        super().__init__(dependencies, set_valued_predicates)
+        self.dependencies = tuple(self.dependencies)
+
+    def add(self, dependency) -> None:
+        raise DependencyError(
+            "this Session's dependency set is immutable; build a new "
+            "DependencySet and call session.set_dependencies(...) so the "
+            "chase cache is invalidated"
+        )
+
+
+class Session:
+    """A long-lived engine instance owning registries, caches, and pipelines.
+
+    ``dependencies`` may be a :class:`DependencySet` or a plain sequence of
+    dependencies; ``schema`` is optional, and when it marks relations as set
+    valued those markers are folded into Σ (they drive the Theorem 4.1 / 4.2
+    soundness conditions under bag semantics).
+    """
+
+    def __init__(
+        self,
+        schema=None,
+        dependencies: DependencySet | Sequence[Dependency] = (),
+        *,
+        registry: SemanticsRegistry | None = None,
+        cache: ChaseCache | None = None,
+        cache_size: int = 4096,
+        default_semantics: Semantics | str = Semantics.BAG_SET,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        if schema is not None and not hasattr(schema, "set_valued_relations"):
+            # The natural-looking call Session(sigma) would otherwise bind
+            # the dependency set to `schema` and silently decide under an
+            # empty Σ.
+            raise SchemaError(
+                f"Session's first argument is the schema, got {type(schema).__name__}; "
+                "pass the dependency set as Session(dependencies=...)"
+            )
+        self.schema = schema
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache if cache is not None else ChaseCache(cache_size)
+        self.default_semantics = default_semantics
+        self.max_steps = max_steps
+        self._dependencies = self._coerce_dependencies(dependencies)
+        self._sigma_key = None  # computed lazily by _chase_key
+        # Any registration that shadows an existing semantics name — through
+        # this object or the registry directly — must drop cached chases.
+        self.registry.on_shadow(self.cache.invalidate)
+
+    # ------------------------------------------------------------------ #
+    # Dependencies: Σ is session state; changing it invalidates the cache.
+    # ------------------------------------------------------------------ #
+    def _coerce_dependencies(
+        self, dependencies: DependencySet | Sequence[Dependency]
+    ) -> DependencySet:
+        if not isinstance(dependencies, DependencySet):
+            dependencies = DependencySet(dependencies)
+        if self.schema is not None:
+            schema_set_valued = getattr(self.schema, "set_valued_relations", None)
+            if callable(schema_set_valued):
+                marked = schema_set_valued()
+                if marked - set(dependencies.set_valued_predicates):
+                    dependencies = dependencies.with_set_valued(marked)
+        # Own an immutable snapshot: later mutation of the caller's set must
+        # not change Σ behind the memoized fingerprint and cache.
+        return _SessionDependencySet(
+            list(dependencies.dependencies), dependencies.set_valued_predicates
+        )
+
+    @property
+    def dependencies(self) -> DependencySet:
+        """The dependency set Σ every decision in this session is made under."""
+        return self._dependencies
+
+    @dependencies.setter
+    def dependencies(self, dependencies: DependencySet | Sequence[Dependency]) -> None:
+        self.set_dependencies(dependencies)
+
+    def set_dependencies(
+        self, dependencies: DependencySet | Sequence[Dependency]
+    ) -> None:
+        """Replace Σ and invalidate every cached chase result."""
+        self._dependencies = self._coerce_dependencies(dependencies)
+        self._sigma_key = None
+        self.cache.invalidate()
+
+    # ------------------------------------------------------------------ #
+    # Registry surface
+    # ------------------------------------------------------------------ #
+    def register_semantics(
+        self, strategy: SemanticsStrategy, *, replace: bool = False
+    ) -> SemanticsStrategy:
+        """Register a third-party semantics strategy on this session.
+
+        Replacing a strategy whose name (or alias) is already registered
+        invalidates the chase cache (via the registry's shadow listener):
+        cache keys carry only the semantics name, so results chased by the
+        replaced strategy must not be served as the new strategy's.
+        """
+        return self.registry.register(strategy, replace=replace)
+
+    def strategy_for(self, semantics: object | None = None) -> SemanticsStrategy:
+        """Resolve *semantics* (default: the session default) to its strategy."""
+        if semantics is None:
+            semantics = self.default_semantics
+        return self.registry.resolve(semantics)
+
+    def semantics_names(self) -> tuple[str, ...]:
+        """Canonical names of the semantics this session can dispatch on."""
+        return self.registry.names()
+
+    # ------------------------------------------------------------------ #
+    # Chase (cached)
+    # ------------------------------------------------------------------ #
+    def _chase_key(self, query: ConjunctiveQuery, strategy: SemanticsStrategy, max_steps: int):
+        # Σ's fingerprint only changes via set_dependencies (which resets it),
+        # so it is computed once per Σ rather than on every lookup.  The key
+        # carries the strategy's cache token besides its name: a cache shared
+        # between sessions whose registries bind the same name to different
+        # strategies (or differently-configured instances) must not serve
+        # one strategy's chases as the other's.
+        if self._sigma_key is None:
+            self._sigma_key = sigma_fingerprint(self._dependencies)
+        strategy_key = (
+            normalize_semantics_name(strategy.name),
+            strategy.cache_token(),
+        )
+        return chase_cache_key(
+            query, self._dependencies, strategy_key, max_steps,
+            sigma_key=self._sigma_key,
+        )
+
+    def chase(
+        self,
+        query: ConjunctiveQuery,
+        semantics: object | None = None,
+        max_steps: int | None = None,
+    ) -> ChaseResult:
+        """The terminal sound chase of *query* under Σ, served from cache when warm."""
+        strategy = self.strategy_for(semantics)
+        steps = self.max_steps if max_steps is None else max_steps
+        key = self._chase_key(query, strategy, steps)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = strategy.chase(query, self._dependencies, steps)
+        self.cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        semantics: object | None = None,
+        max_steps: int | None = None,
+    ) -> EquivalenceVerdict:
+        """Decide ``Q1 ≡Σ,X Q2`` for semantics X, with chases served from cache."""
+        strategy = self.strategy_for(semantics)
+        chased1 = self.chase(q1, strategy.name, max_steps).query
+        chased2 = self.chase(q2, strategy.name, max_steps).query
+        equivalent = strategy.equivalent_chased(chased1, chased2, self._dependencies)
+        return EquivalenceVerdict(equivalent, strategy.token, chased1, chased2)
+
+    def decide_all(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        max_steps: int | None = None,
+    ) -> Mapping[Semantics, EquivalenceVerdict]:
+        """Verdicts under bag, bag-set, and set semantics (one chase each).
+
+        Each input is chased at most once per semantics — repeated calls on
+        a warm session chase nothing at all — and the Proposition 6.1
+        implication chain (bag ⇒ bag-set ⇒ set) is asserted on the verdicts
+        before they are returned.
+        """
+        verdicts = {
+            semantics: self.decide(q1, q2, semantics, max_steps)
+            for semantics in (Semantics.BAG, Semantics.BAG_SET, Semantics.SET)
+        }
+        assert_proposition_6_1(verdicts)
+        return verdicts
+
+    def reformulate(
+        self,
+        query: ConjunctiveQuery | AggregateQuery,
+        semantics: object | None = None,
+        max_steps: int | None = None,
+        **kwargs,
+    ):
+        """Enumerate Σ-equivalent reformulations via the semantics' C&B variant.
+
+        Aggregate queries dispatch to Max-Min-C&B / Sum-Count-C&B on their
+        cores (Theorem 6.3) — the semantics is determined by the aggregate
+        function, so passing one explicitly is an error rather than being
+        silently ignored.  Plain CQ queries run the strategy's C&B with
+        every chase — universal plan and backchase candidates — routed
+        through this session's cache.
+        """
+        steps = self.max_steps if max_steps is None else max_steps
+        if isinstance(query, AggregateQuery):
+            if semantics is not None:
+                raise SemanticsError(
+                    "aggregate queries choose their semantics from the "
+                    "aggregate function (Theorem 6.3: set for max/min, "
+                    "bag-set for sum/count); call reformulate() without "
+                    "a semantics argument"
+                )
+            from ..reformulation.aggregate_cb import reformulate_aggregate_query
+
+            return reformulate_aggregate_query(
+                query, self._dependencies, steps, engine=self, **kwargs
+            )
+        strategy = self.strategy_for(semantics)
+        return strategy.reformulate(
+            query, self._dependencies, steps, engine=self, **kwargs
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batch pipelines
+    # ------------------------------------------------------------------ #
+    def decide_many(
+        self,
+        pairs: Iterable[tuple[ConjunctiveQuery, ConjunctiveQuery]],
+        semantics: object | None = None,
+        max_steps: int | None = None,
+        concurrency: int | None = None,
+    ):
+        """Decide every (Q1, Q2) pair; see :func:`repro.session.batch.decide_many`."""
+        from .batch import decide_many
+
+        return decide_many(
+            self, pairs, semantics=semantics, max_steps=max_steps, concurrency=concurrency
+        )
+
+    def reformulate_many(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        semantics: object | None = None,
+        max_steps: int | None = None,
+        concurrency: int | None = None,
+        **kwargs,
+    ):
+        """Reformulate every query; see :func:`repro.session.batch.reformulate_many`."""
+        from .batch import reformulate_many
+
+        return reformulate_many(
+            self,
+            queries,
+            semantics=semantics,
+            max_steps=max_steps,
+            concurrency=concurrency,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the chase cache."""
+        return self.cache.stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached chase result (Σ stays untouched)."""
+        self.cache.invalidate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session({len(self._dependencies)} dependencies, "
+            f"semantics={list(self.semantics_names())}, cache={self.cache!r})"
+        )
+
+
+def assert_proposition_6_1(
+    verdicts: Mapping[Semantics, EquivalenceVerdict]
+) -> None:
+    """Assert the Proposition 6.1 implication chain on a verdict triple.
+
+    Bag equivalence implies bag-set equivalence implies set equivalence; a
+    violation means a chase or equivalence test is unsound, so it is raised
+    as an :class:`AssertionError` rather than returned as data.  The check
+    is an explicit raise (not an ``assert`` statement) so it survives
+    ``python -O``.
+    """
+    bag = verdicts.get(Semantics.BAG)
+    bag_set = verdicts.get(Semantics.BAG_SET)
+    set_ = verdicts.get(Semantics.SET)
+    if bag is not None and bag_set is not None:
+        if bag.equivalent and not bag_set.equivalent:
+            raise AssertionError(
+                "Proposition 6.1 violated: equivalent under bag semantics "
+                "but not under bag-set semantics"
+            )
+    if bag_set is not None and set_ is not None:
+        if bag_set.equivalent and not set_.equivalent:
+            raise AssertionError(
+                "Proposition 6.1 violated: equivalent under bag-set semantics "
+                "but not under set semantics"
+            )

@@ -201,6 +201,57 @@ class TestReformulateCommand:
         assert "equivalent reformulations" in output
 
 
+class TestBatchCommand:
+    def test_batch_decides_pairs(self, capsys, deps_file):
+        code = main(
+            [
+                "batch",
+                "--pairs",
+                "Q1(X) :- p(X,Y) ; Q2(X) :- p(X,Y), t(X,Y,W)\n"
+                "Q1(X) :- p(X,Y) ; Q3(X) :- p(X,Y), r(X)",
+                "--dependencies",
+                deps_file,
+                "--set-valued",
+                "t",
+                "--semantics",
+                "bag",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[0] Q1 vs Q2: equivalent" in output
+        assert "[1] Q1 vs Q3: not equivalent" in output
+        assert "2 decided, 0 failed" in output
+
+    @pytest.mark.parametrize(
+        "line", ["Q1(X) :- p(X,Y)", "; Q1(X) :- p(X,Y)", "Q1(X) :- p(X,Y) ;"]
+    )
+    def test_batch_malformed_pair_line(self, capsys, line):
+        code = main(["batch", "--pairs", line])
+        assert code == 2
+        assert "pairs line 1" in capsys.readouterr().err
+
+    def test_batch_jobs(self, capsys, deps_file):
+        code = main(
+            [
+                "batch",
+                "--pairs",
+                "Q1(X) :- p(X,Y) ; Q2(X) :- p(X,Y), t(X,Y,W)\n"
+                "Q1(X) :- p(X,Y) ; Q3(X) :- p(X,Y), r(X)",
+                "--dependencies",
+                deps_file,
+                "--set-valued",
+                "t",
+                "--semantics",
+                "bag",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "2 decided, 0 failed" in capsys.readouterr().out
+
+
 class TestSqlCommand:
     def test_sql_pipeline(self, capsys, ddl_file):
         code = main(

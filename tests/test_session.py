@@ -1,0 +1,563 @@
+"""Tests for the unified Session engine: registry dispatch, chase-result
+caching, batch pipelines, and the deprecation shims over the old flat API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.session.strategies as strategies_module
+from repro import (
+    ChaseNonTerminationError,
+    SemanticsError,
+    Session,
+    UnknownSemanticsError,
+    parse_dependencies,
+    parse_query,
+)
+from repro.equivalence import (
+    decide_all,
+    decide_equivalence,
+    equivalent_under_dependencies_bag,
+    equivalent_under_dependencies_bag_set,
+    equivalent_under_dependencies_set,
+)
+from repro.equivalence.decision import EquivalenceVerdict
+from repro.reformulation import bag_c_and_b, bag_set_c_and_b, c_and_b
+from repro.semantics import Semantics
+from repro.session import (
+    BatchReport,
+    SemanticsRegistry,
+    SetStrategy,
+    assert_proposition_6_1,
+    default_registry,
+)
+
+
+@pytest.fixture()
+def session41(ex41) -> Session:
+    return Session(dependencies=ex41.dependencies)
+
+
+# --------------------------------------------------------------------------- #
+# Registry dispatch
+# --------------------------------------------------------------------------- #
+class TestRegistryDispatch:
+    def test_builtin_names(self):
+        registry = default_registry()
+        assert set(registry.names()) == {"set", "bag", "bag-set"}
+
+    @pytest.mark.parametrize(
+        "spelling", ["bag-set", "bag_set", "bagset", "bs", "BAG-SET", Semantics.BAG_SET]
+    )
+    def test_aliases_resolve_to_bag_set(self, spelling):
+        strategy = default_registry().resolve(spelling)
+        assert strategy.name == "bag-set"
+
+    def test_example_4_1_matrix_through_session(self, ex41, session41):
+        # The Example 4.1 verdict matrix (Qi vs Q4) dispatched by name.
+        expected = {
+            ("Q1", "set"): True, ("Q1", "bag-set"): False, ("Q1", "bag"): False,
+            ("Q2", "set"): True, ("Q2", "bag-set"): True, ("Q2", "bag"): False,
+            ("Q3", "set"): True, ("Q3", "bag-set"): True, ("Q3", "bag"): True,
+        }
+        queries = {"Q1": ex41.q1, "Q2": ex41.q2, "Q3": ex41.q3}
+        for (name, semantics), expected_verdict in expected.items():
+            verdict = session41.decide(queries[name], ex41.q4, semantics)
+            assert bool(verdict) is expected_verdict, (name, semantics)
+
+    def test_unknown_semantics_raises(self, ex41, session41):
+        with pytest.raises(UnknownSemanticsError) as excinfo:
+            session41.decide(ex41.q1, ex41.q4, semantics="probabilistic")
+        message = str(excinfo.value)
+        assert "probabilistic" in message
+        assert "bag-set" in message  # the error lists what *is* registered
+        assert excinfo.value.known == ("bag", "bag-set", "set")
+
+    def test_unknown_semantics_is_repro_and_key_error(self, ex41, session41):
+        from repro import ReproError
+
+        with pytest.raises(ReproError):
+            session41.chase(ex41.q4, semantics="no-such")
+        with pytest.raises(KeyError):
+            session41.chase(ex41.q4, semantics="no-such")
+
+    def test_third_party_strategy_registration(self, ex41, session41):
+        class RenamedSetStrategy(SetStrategy):
+            name = "certain"
+            aliases = ("c",)
+
+        session41.register_semantics(RenamedSetStrategy())
+        verdict = session41.decide(ex41.q1, ex41.q4, semantics="certain")
+        assert verdict.equivalent is True  # behaves like set semantics
+        assert bool(session41.decide(ex41.q1, ex41.q4, "c")) is True
+
+    def test_duplicate_registration_refused_unless_replace(self):
+        registry = default_registry()
+        with pytest.raises(SemanticsError):
+            registry.register(SetStrategy())
+        registry.register(SetStrategy(), replace=True)  # explicit override is fine
+
+    def test_replacing_a_builtin_invalidates_the_cache(self, ex41, session41):
+        verdict = session41.decide(ex41.q1, ex41.q4, "set")
+        assert verdict.equivalent is True and len(session41.cache) == 2
+
+        class InvertedSetStrategy(SetStrategy):
+            aliases = ()
+
+            def equivalent_chased(self, chased1, chased2, dependencies):
+                return not super().equivalent_chased(chased1, chased2, dependencies)
+
+        session41.register_semantics(InvertedSetStrategy(), replace=True)
+        # Chases cached by the replaced strategy must not be served as the
+        # new strategy's results.
+        assert len(session41.cache) == 0
+        assert session41.decide(ex41.q1, ex41.q4, "set").equivalent is False
+
+    def test_registering_a_fresh_name_keeps_the_cache(self, ex41, session41):
+        session41.chase(ex41.q4, "bag")
+
+        class RenamedSetStrategy(SetStrategy):
+            name = "certain"
+            aliases = ()
+
+        session41.register_semantics(RenamedSetStrategy())
+        assert len(session41.cache) == 1  # unrelated registration: no invalidation
+
+    def test_replacement_displaces_stale_aliases(self, ex41, session41):
+        # Replacing "bag" must also drop the old strategy's "b" alias:
+        # a chase via a stale alias would poison the new strategy's cache
+        # entries (keys carry only the canonical name).
+        class CustomBag(SetStrategy):
+            name = "bag"
+            aliases = ()
+
+        session41.register_semantics(CustomBag(), replace=True)
+        assert session41.strategy_for("bag").__class__ is CustomBag
+        with pytest.raises(UnknownSemanticsError):
+            session41.strategy_for("b")
+
+    def test_shared_registry_listeners_are_pruned(self, ex41):
+        import gc
+
+        registry = default_registry()
+        for _ in range(5):
+            Session(dependencies=ex41.dependencies, registry=registry)
+        gc.collect()
+
+        class OtherSet(SetStrategy):
+            aliases = ()
+
+        live = Session(dependencies=ex41.dependencies, registry=registry)
+        live.chase(ex41.q4, "bag")
+        registry.register(OtherSet(), replace=True)  # triggers notification + pruning
+        assert len(live.cache) == 0  # the live session was invalidated
+        # Dead sessions' weak listeners were dropped; only the live one remains.
+        assert len(registry._shadow_listeners) == 1
+
+    def test_direct_registry_replacement_also_invalidates(self, ex41, session41):
+        # The registry is a public attribute; replacing through it directly
+        # must invalidate the session cache just like register_semantics.
+        session41.chase(ex41.q4, "set")
+
+        class OtherSetStrategy(SetStrategy):
+            aliases = ()
+
+        session41.registry.register(OtherSetStrategy(), replace=True)
+        assert len(session41.cache) == 0
+
+    def test_custom_strategy_reformulate_without_engine(self, ex41):
+        from repro.session import BagStrategy
+
+        class RenamedBagStrategy(BagStrategy):
+            name = "my-bag"
+            aliases = ()
+
+            @property
+            def token(self):
+                return self.name
+
+        result = RenamedBagStrategy().reformulate(
+            ex41.q4, ex41.dependencies, check_sigma_minimality=False
+        )
+        # Dispatch went through the strategy itself (custom token preserved)
+        # and produced the Bag-C&B reformulation space.
+        assert result.semantics == "my-bag"
+        assert result.contains_isomorphic(ex41.q3)
+        assert not result.contains_isomorphic(ex41.q1)
+
+    def test_registry_rejects_non_strategy(self):
+        with pytest.raises(SemanticsError):
+            SemanticsRegistry().register("set")  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------- #
+# Chase-result cache
+# --------------------------------------------------------------------------- #
+class TestChaseCache:
+    def test_hit_and_miss_counters(self, ex41, session41):
+        session41.decide(ex41.q1, ex41.q4, "bag")
+        stats = session41.cache_stats()
+        assert (stats.hits, stats.misses) == (0, 2)
+        session41.decide(ex41.q1, ex41.q4, "bag")
+        stats = session41.cache_stats()
+        assert (stats.hits, stats.misses) == (2, 2)
+        assert stats.hit_rate == 0.5
+
+    def test_warm_decide_skips_sound_chase_entirely(self, ex41, session41, monkeypatch):
+        cold = session41.decide(ex41.q1, ex41.q4, "bag")
+
+        def exploding_chase(*args, **kwargs):
+            raise AssertionError("sound_chase must not run on a warm cache")
+
+        monkeypatch.setattr(strategies_module, "sound_chase", exploding_chase)
+        warm = session41.decide(ex41.q1, ex41.q4, "bag")
+        assert warm.equivalent is cold.equivalent
+        assert warm.chased_left == cold.chased_left
+
+    def test_semantics_and_max_steps_are_part_of_the_key(self, ex41, session41):
+        session41.chase(ex41.q4, "bag")
+        session41.chase(ex41.q4, "bag-set")
+        assert session41.cache_stats().misses == 2  # different semantics: no sharing
+        session41.chase(ex41.q4, "bag", max_steps=77)
+        assert session41.cache_stats().misses == 3  # different budget: no sharing
+        session41.chase(ex41.q4, "bag")
+        assert session41.cache_stats().hits == 1
+
+    def test_alpha_variant_queries_share_an_entry(self, session41, ex41):
+        variant = parse_query("Q4(A) :- p(A,B)")
+        session41.chase(ex41.q4, "bag")
+        result = session41.chase(variant, "bag")
+        stats = session41.cache_stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert result.semantics is Semantics.BAG
+
+    def test_sigma_change_invalidates(self, ex41, session41):
+        q1, q4 = ex41.q1, ex41.q4
+        assert bool(session41.decide(q1, q4, "set")) is True
+        assert len(session41.cache) == 2
+
+        # Dropping Σ entirely flips the set-semantics verdict — and must not
+        # be answered from the stale cache.
+        session41.dependencies = ()
+        assert len(session41.cache) == 0
+        assert session41.cache_stats().invalidations == 1
+        assert bool(session41.decide(q1, q4, "set")) is False
+
+        session41.set_dependencies(ex41.dependencies)
+        assert bool(session41.decide(q1, q4, "set")) is True
+
+    def test_clear_cache(self, ex41, session41):
+        session41.chase(ex41.q4, "bag")
+        session41.clear_cache()
+        assert len(session41.cache) == 0
+
+    def test_in_place_sigma_mutation_is_refused(self, ex41, session41):
+        # Mutating Σ behind the memoized fingerprint would serve stale
+        # chases; the session's snapshot refuses and points at the safe path.
+        from repro import DependencyError
+
+        tgd = ex41.dependencies.tgds()[0]
+        with pytest.raises(DependencyError, match="set_dependencies"):
+            session41.dependencies.add(tgd)
+        # The underlying sequence is a tuple, so even direct attribute
+        # mutation (.append/.clear on the list) is impossible.
+        with pytest.raises(AttributeError):
+            session41.dependencies.dependencies.append(tgd)
+        # The caller's own set stays mutable and unaffected.
+        before = len(ex41.dependencies)
+        session41.set_dependencies(ex41.dependencies)
+        assert len(ex41.dependencies) == before
+
+    def test_lru_eviction_bound(self, ex41):
+        session = Session(dependencies=ex41.dependencies, cache_size=2)
+        session.chase(ex41.q1, "bag")
+        session.chase(ex41.q2, "bag")
+        session.chase(ex41.q3, "bag")
+        stats = session.cache_stats()
+        assert stats.size == 2
+        assert stats.evictions == 1
+
+    def test_shared_cache_does_not_conflate_strategies(self, ex41):
+        # Two sessions share one ChaseCache but bind "set" to different
+        # strategies: the key's strategy identity keeps their chases apart.
+        from repro.session import ChaseCache, SemanticsRegistry
+
+        class OtherSetStrategy(SetStrategy):
+            aliases = ()
+
+        shared = ChaseCache()
+        a = Session(dependencies=ex41.dependencies, cache=shared)
+        b = Session(
+            dependencies=ex41.dependencies,
+            cache=shared,
+            registry=SemanticsRegistry([OtherSetStrategy()]),
+        )
+        a.chase(ex41.q4, "set")
+        b.chase(ex41.q4, "set")
+        stats = shared.stats
+        assert (stats.hits, stats.misses) == (0, 2)  # no cross-strategy hit
+        a.chase(ex41.q4, "set")
+        assert shared.stats.hits == 1  # same strategy still shares
+
+    def test_positional_sigma_is_rejected(self, ex41):
+        # Session(sigma) would silently bind Σ to the schema slot and decide
+        # under an empty dependency set.
+        from repro import SchemaError
+
+        with pytest.raises(SchemaError, match="dependencies="):
+            Session(ex41.dependencies)
+
+    def test_unknown_semantics_error_pickles_intact(self):
+        import pickle
+
+        error = UnknownSemanticsError("prob", ("set", "bag"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+        assert clone.name == "prob" and clone.known == ("set", "bag")
+
+    def test_schema_set_valued_markers_are_folded_into_sigma(self, ex41):
+        bare_sigma = parse_dependencies("p(X,Y) -> t(X,Y,W)\nt(X,Y,Z) & t(X,Y,W) -> Z = W")
+        assert not bare_sigma.set_valued_predicates
+        session = Session(schema=ex41.schema, dependencies=bare_sigma)
+        assert session.dependencies.set_valued_predicates == frozenset({"s", "t"})
+
+
+# --------------------------------------------------------------------------- #
+# decide_all and Proposition 6.1
+# --------------------------------------------------------------------------- #
+class TestDecideAll:
+    def test_each_query_chased_once_per_semantics(self, ex41, session41):
+        session41.decide_all(ex41.q1, ex41.q4)
+        stats = session41.cache_stats()
+        assert stats.misses == 6  # 2 queries x 3 semantics, nothing re-chased
+        session41.decide_all(ex41.q1, ex41.q4)
+        assert session41.cache_stats().misses == 6  # warm rerun chases nothing
+
+    def test_verdicts_match_example_4_1(self, ex41, session41):
+        verdicts = session41.decide_all(ex41.q1, ex41.q4)
+        assert {str(k): bool(v) for k, v in verdicts.items()} == {
+            "bag": False, "bag-set": False, "set": True,
+        }
+
+    def test_module_level_decide_all_matches(self, ex41):
+        verdicts = decide_all(ex41.q1, ex41.q4, ex41.dependencies)
+        assert {str(k): bool(v) for k, v in verdicts.items()} == {
+            "bag": False, "bag-set": False, "set": True,
+        }
+
+    def test_proposition_6_1_chain_is_asserted(self, ex41):
+        q = ex41.q4
+
+        def verdict(semantics, equivalent):
+            return EquivalenceVerdict(equivalent, semantics, q, q)
+
+        # bag ⇒ bag-set violated:
+        with pytest.raises(AssertionError):
+            assert_proposition_6_1({
+                Semantics.BAG: verdict(Semantics.BAG, True),
+                Semantics.BAG_SET: verdict(Semantics.BAG_SET, False),
+                Semantics.SET: verdict(Semantics.SET, True),
+            })
+        # bag-set ⇒ set violated:
+        with pytest.raises(AssertionError):
+            assert_proposition_6_1({
+                Semantics.BAG: verdict(Semantics.BAG, False),
+                Semantics.BAG_SET: verdict(Semantics.BAG_SET, True),
+                Semantics.SET: verdict(Semantics.SET, False),
+            })
+        # A legal triple passes.
+        assert_proposition_6_1({
+            Semantics.BAG: verdict(Semantics.BAG, False),
+            Semantics.BAG_SET: verdict(Semantics.BAG_SET, True),
+            Semantics.SET: verdict(Semantics.SET, True),
+        })
+
+
+# --------------------------------------------------------------------------- #
+# Batch pipelines
+# --------------------------------------------------------------------------- #
+class TestBatchPipelines:
+    def test_decide_many_verdicts_in_order(self, ex41, session41):
+        pairs = [(ex41.q1, ex41.q4), (ex41.q3, ex41.q4), (ex41.q2, ex41.q4)]
+        report = session41.decide_many(pairs, semantics="bag")
+        assert isinstance(report, BatchReport)
+        assert [bool(item.result) for item in report] == [False, True, False]
+        assert report.ok_count == 3 and report.error_count == 0
+        assert [item.index for item in report] == [0, 1, 2]
+        # 4 distinct queries -> 4 chases, not 6.
+        assert session41.cache_stats().misses == 4
+
+    def test_decide_many_error_capture(self, ex41, session41):
+        pairs = [(ex41.q3, ex41.q4), (ex41.q1, ex41.q4)]
+        report = session41.decide_many(pairs, semantics="bag", max_steps=1)
+        assert report.error_count == 2
+        failure = report.failures[0]
+        assert failure.error_type == "ChaseNonTerminationError"
+        assert "1 steps" in failure.error
+        with pytest.raises(RuntimeError, match="ChaseNonTerminationError"):
+            report.raise_on_failure()
+
+    def test_decide_many_mixes_errors_and_results(self, ex41, session41):
+        # Per-item budgets are not supported; build the mix from two batches
+        # instead: one failing item must not poison the session for good ones.
+        bad = session41.decide_many([(ex41.q1, ex41.q4)], semantics="bag", max_steps=1)
+        good = session41.decide_many([(ex41.q3, ex41.q4)], semantics="bag")
+        assert bad.error_count == 1 and good.ok_count == 1
+        assert bool(good[0].result) is True
+
+    def test_decide_many_concurrency_matches_sequential(self, ex41, session41):
+        pairs = [
+            (ex41.q1, ex41.q4), (ex41.q2, ex41.q4),
+            (ex41.q3, ex41.q4), (ex41.q3, ex41.q5),
+        ]
+        sequential = session41.decide_many(pairs, semantics="bag")
+        concurrent = session41.decide_many(pairs, semantics="bag", concurrency=2)
+        assert [bool(i.result) for i in concurrent] == [bool(i.result) for i in sequential]
+        assert concurrent.error_count == 0
+
+    def test_decide_many_concurrency_refuses_custom_semantics(self, ex41, session41):
+        class RenamedSetStrategy(SetStrategy):
+            name = "certain"
+            aliases = ()
+
+        session41.register_semantics(RenamedSetStrategy())
+        with pytest.raises(SemanticsError, match="custom"):
+            session41.decide_many(
+                [(ex41.q1, ex41.q4), (ex41.q2, ex41.q4)],
+                semantics="certain",
+                concurrency=2,
+            )
+
+    def test_decide_many_concurrency_refuses_shadowed_builtin_name(self, ex41, session41):
+        # A custom strategy registered *under a built-in name* must not be
+        # silently swapped for the stock built-in in worker processes.
+        class InvertedSetStrategy(SetStrategy):
+            aliases = ()
+
+            def equivalent_chased(self, chased1, chased2, dependencies):
+                return not super().equivalent_chased(chased1, chased2, dependencies)
+
+        session41.register_semantics(InvertedSetStrategy(), replace=True)
+        with pytest.raises(SemanticsError, match="custom"):
+            session41.decide_many(
+                [(ex41.q1, ex41.q4), (ex41.q2, ex41.q4)],
+                semantics="set",
+                concurrency=2,
+            )
+
+    def test_reformulate_many(self, ex41, session41):
+        report = session41.reformulate_many(
+            [ex41.q4, ex41.q3], semantics="bag", check_sigma_minimality=False
+        )
+        assert report.ok_count == 2
+        q4_result, q3_result = report.results
+        assert q4_result.contains_isomorphic(ex41.q3)
+        assert q3_result.contains_isomorphic(ex41.q4)
+
+    def test_empty_batch(self, session41):
+        report = session41.decide_many([], semantics="bag")
+        assert len(report) == 0 and report.ok_count == 0
+
+    def test_malformed_item_is_captured_in_both_modes(self, ex41, session41):
+        # A 1-tuple "pair" and a bare query must become per-item errors, not
+        # sink the batch — sequentially and concurrently alike.
+        pairs = [(ex41.q3, ex41.q4), (ex41.q1,), ex41.q2]
+        for concurrency in (None, 2):
+            report = session41.decide_many(pairs, semantics="bag", concurrency=concurrency)
+            assert [item.ok for item in report] == [True, False, False], concurrency
+            assert bool(report[0].result) is True
+            assert report[1].error_type == "IndexError"
+            assert report[2].error_type == "TypeError"
+
+    def test_reformulate_many_handles_aggregate_queries(self, session41):
+        from repro import parse_aggregate_query
+
+        aggregate = parse_aggregate_query("Q(X, sum(Y)) :- p(X,Y)")
+        report = session41.reformulate_many([aggregate])
+        assert report.ok_count == 1
+        assert report.results[0].core_result.semantics is Semantics.BAG_SET
+
+    def test_reformulate_many_explicit_semantics_fails_aggregates(self, session41):
+        # The direct API rejects an explicit semantics for aggregates; the
+        # batch keeps that contract via per-item error capture.
+        from repro import parse_aggregate_query
+
+        aggregate = parse_aggregate_query("Q(X, sum(Y)) :- p(X,Y)")
+        report = session41.reformulate_many([aggregate], semantics="set")
+        assert report.error_count == 1
+        assert report.failures[0].error_type == "SemanticsError"
+
+
+# --------------------------------------------------------------------------- #
+# Deprecation shims: old flat functions keep their outputs
+# --------------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_equivalence_family_warns_and_matches(self, ex41, session41):
+        shims = {
+            "set": equivalent_under_dependencies_set,
+            "bag": equivalent_under_dependencies_bag,
+            "bag-set": equivalent_under_dependencies_bag_set,
+        }
+        for query in (ex41.q1, ex41.q2, ex41.q3):
+            for semantics, shim in shims.items():
+                with pytest.deprecated_call():
+                    old = shim(query, ex41.q4, ex41.dependencies)
+                assert old is bool(session41.decide(query, ex41.q4, semantics))
+
+    def test_theorem_4_2_fixtures_match(self, ex41, session41):
+        # Q3 vs Q5: duplicate subgoal over the set-valued S is harmless.
+        with pytest.deprecated_call():
+            old = equivalent_under_dependencies_bag(ex41.q3, ex41.q5, ex41.dependencies)
+        assert old is True
+        assert bool(session41.decide(ex41.q3, ex41.q5, "bag")) is True
+        # Q7 vs Q8: duplicate subgoal over possibly-bag R is not (Example D.2).
+        with pytest.deprecated_call():
+            old = equivalent_under_dependencies_bag(ex41.q7, ex41.q8, ex41.dependencies)
+        assert old is False
+        assert bool(session41.decide(ex41.q7, ex41.q8, "bag")) is False
+
+    def test_cb_family_warns_and_matches(self, ex41, session41):
+        shims = {"set": c_and_b, "bag": bag_c_and_b, "bag-set": bag_set_c_and_b}
+        for semantics, shim in shims.items():
+            with pytest.deprecated_call():
+                old = shim(ex41.q4, ex41.dependencies, check_sigma_minimality=False)
+            new = session41.reformulate(
+                ex41.q4, semantics, check_sigma_minimality=False
+            )
+            assert len(old.reformulations) == len(new.reformulations)
+            for query in (ex41.q1, ex41.q2, ex41.q3, ex41.q4):
+                assert old.contains_isomorphic(query) == new.contains_isomorphic(query)
+
+    def test_decide_equivalence_delegates(self, ex41, session41):
+        verdict = decide_equivalence(ex41.q1, ex41.q4, ex41.dependencies, "bag")
+        assert verdict.semantics is Semantics.BAG
+        assert verdict.equivalent is session41.decide(ex41.q1, ex41.q4, "bag").equivalent
+
+    def test_shim_error_propagation(self, ex41):
+        with pytest.deprecated_call():
+            with pytest.raises(ChaseNonTerminationError):
+                equivalent_under_dependencies_bag(
+                    ex41.q1, ex41.q4, ex41.dependencies, max_steps=1
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Engine misuse guards
+# --------------------------------------------------------------------------- #
+class TestEngineGuards:
+    def test_chase_and_backchase_rejects_mismatched_engine_sigma(self, ex41, session41):
+        from repro import ReformulationError
+        from repro.reformulation import chase_and_backchase
+
+        with pytest.raises(ReformulationError, match="differs"):
+            chase_and_backchase(ex41.q4, (), "bag", engine=session41)
+
+    def test_reformulate_rejects_explicit_semantics_for_aggregates(self, session41):
+        from repro import parse_aggregate_query
+
+        aggregate = parse_aggregate_query("Q(X, sum(Y)) :- p(X,Y)")
+        with pytest.raises(SemanticsError, match="aggregate"):
+            session41.reformulate(aggregate, "set")
+        # Without a semantics argument the Theorem 6.3 dispatch applies.
+        result = session41.reformulate(aggregate)
+        assert result.core_result.semantics is Semantics.BAG_SET
