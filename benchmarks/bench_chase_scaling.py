@@ -1,6 +1,6 @@
-"""Experiment E6 — complexity of sound chase (Theorem 5.2, Examples H.1/H.2).
+"""Experiment E6 — complexity of sound chase — plus the acceleration tiers.
 
-Two series are regenerated:
+Two paper series are regenerated:
 
 * **exponential in |Σ| / schema size m** — the H family: the terminal chase
   of ``Q(X,Y) :- p1(X,Y)`` has ≈ 2^(i-1) subgoals per relation p_i, so the
@@ -13,18 +13,47 @@ Two series are regenerated:
 
 Absolute times are machine dependent; the shape (doubling vs linear growth)
 is asserted.
+
+On top of E6, the **scaling tiers** measure the cold-path speedup of the
+indexed/delta chase subsystem against the frozen pre-index implementation
+(:mod:`repro.chase.reference`) on synthetic chain / star / clique workloads
+with growing Σ.  Every tier asserts the two implementations produce
+byte-identical step records; the largest tier additionally asserts the
+aggregate speedup stays ≥ 5x.  Run with ``--benchmark-json
+BENCH_chase_scaling.json`` to persist the speedup trajectory (CI uploads
+the smallest tier's JSON as an artifact on every push).
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 from _util import record
 
-from repro.chase import bag_set_chase, set_chase
-from repro.paperlib import chain_workload, h_family
+from repro.chase import bag_set_chase, set_chase, sound_chase
+from repro.chase.reference import sound_chase_reference
+from repro.paperlib import (
+    chain_workload,
+    clique_workload,
+    h_family,
+    star_workload,
+)
+from repro.semantics import Semantics
 
 H_SIZES = (2, 3, 4, 5)
 CHAIN_LENGTHS = (2, 4, 6, 8)
+
+# Scaling tiers: (chain length, (star spokes, distractors),
+# (clique size, distractors)).  Query size and |Σ| grow together.
+SCALING_TIERS = {
+    "small": {"chain": 12, "star": (8, 8), "clique": (6, 4)},
+    "medium": {"chain": 32, "star": (20, 20), "clique": (9, 8)},
+    "large": {"chain": 64, "star": (40, 40), "clique": (12, 12)},
+}
+#: Minimum aggregate accelerated-vs-reference speedup asserted per tier.
+SCALING_SPEEDUP_FLOOR = {"large": 5.0}
+SCALING_MAX_STEPS = 5000
 
 
 @pytest.mark.parametrize("m", H_SIZES)
@@ -73,6 +102,106 @@ def bench_chain_query_set_chase(benchmark, length):
         "dependency budget (polynomial half of Theorem 5.2)",
     )
     assert len(result.query.body) == length
+
+
+def _scaling_cases(tier: str):
+    """The (label, query, dependencies) triples of one scaling tier.
+
+    The chain query is chased from its first subgoal so the inclusion
+    dependencies regenerate the whole chain (the full query is already
+    chase-terminal); star and clique chase their workload query directly.
+    """
+    parameters = SCALING_TIERS[tier]
+    chain = chain_workload(parameters["chain"])
+    chain_prefix = chain.query.with_body(chain.query.body[:1])
+    star = star_workload(*parameters["star"])
+    clique = clique_workload(*parameters["clique"])
+    return [
+        ("chain", chain_prefix, chain.dependencies),
+        ("star", star.query, star.dependencies),
+        ("clique", clique.query, clique.dependencies),
+    ]
+
+
+def _step_records(result) -> list[str]:
+    return [str(step) for step in result.steps] + [str(result.query)]
+
+
+@pytest.mark.parametrize("tier", list(SCALING_TIERS))
+def bench_scaling_cold_sound_chase(benchmark, tier):
+    """Cold bag-set sound chase: accelerated vs frozen reference, per tier."""
+    cases = _scaling_cases(tier)
+
+    def run_accelerated():
+        return [
+            sound_chase(query, deps, Semantics.BAG_SET, max_steps=SCALING_MAX_STEPS)
+            for _, query, deps in cases
+        ]
+
+    # One manual timing of each implementation for the recorded speedup (the
+    # benchmark fixture may be disabled in smoke runs); byte-identical step
+    # records are asserted on the same pass.
+    per_case = {}
+    accelerated_total = reference_total = 0.0
+    for label, query, deps in cases:
+        started = time.perf_counter()
+        fast = sound_chase(query, deps, Semantics.BAG_SET, max_steps=SCALING_MAX_STEPS)
+        accelerated_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        slow = sound_chase_reference(
+            query, deps, Semantics.BAG_SET, max_steps=SCALING_MAX_STEPS
+        )
+        reference_seconds = time.perf_counter() - started
+        assert _step_records(fast) == _step_records(slow), (
+            f"{tier}/{label}: accelerated chase diverged from the reference"
+        )
+        accelerated_total += accelerated_seconds
+        reference_total += reference_seconds
+        profile = fast.profile
+        per_case[label] = {
+            "accelerated_seconds": round(accelerated_seconds, 6),
+            "reference_seconds": round(reference_seconds, 6),
+            "speedup": round(reference_seconds / accelerated_seconds, 2),
+            "steps": fast.step_count,
+            "index_hit_rate": round(profile.index_hit_rate, 4),
+            "dependency_scans_skipped": profile.dependencies_skipped,
+        }
+
+    speedup = reference_total / accelerated_total
+    benchmark(run_accelerated)
+    record(
+        benchmark,
+        tier=tier,
+        cold_speedup=round(speedup, 2),
+        accelerated_seconds=round(accelerated_total, 6),
+        reference_seconds=round(reference_total, 6),
+        workloads=per_case,
+    )
+    floor = SCALING_SPEEDUP_FLOOR.get(tier)
+    if floor is not None:
+        assert speedup >= floor, (
+            f"{tier} tier cold-chase speedup regressed to {speedup:.1f}x "
+            f"(floor {floor}x)"
+        )
+
+
+def bench_scaling_fixture_records_byte_identical(benchmark, ex41):
+    """The Example 4.1 / Theorem 4.2 fixtures chase identically on both paths."""
+    queries = (ex41.q1, ex41.q2, ex41.q3, ex41.q4, ex41.q5, ex41.q7, ex41.q8)
+
+    def compare_all():
+        matched = 0
+        for semantics in (Semantics.BAG, Semantics.BAG_SET, Semantics.SET):
+            for query in queries:
+                fast = sound_chase(query, ex41.dependencies, semantics)
+                slow = sound_chase_reference(query, ex41.dependencies, semantics)
+                assert _step_records(fast) == _step_records(slow)
+                matched += 1
+        return matched
+
+    matched = benchmark(compare_all)
+    record(benchmark, fixture_chases_compared=matched)
+    assert matched == len(queries) * 3
 
 
 def bench_h_family_growth_curve(benchmark):

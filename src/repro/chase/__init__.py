@@ -5,6 +5,7 @@ from .assignment_fixing import (
     is_assignment_fixing,
     is_assignment_fixing_for,
 )
+from .profile import ChaseProfile
 from .set_chase import ChaseResult, set_chase, set_chase_terminates
 from .sigma_subset import (
     SigmaSubsetResult,
@@ -33,6 +34,7 @@ from .test_query import AssociatedTestQuery, associated_test_query
 __all__ = [
     "AssociatedTestQuery",
     "ChaseFailedError",
+    "ChaseProfile",
     "ChaseResult",
     "ChaseStepRecord",
     "SigmaSubsetResult",

@@ -17,15 +17,41 @@ key-based tgds / UWDs (Definition 5.1, Example 4.8); the comparison helper
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Hashable, Mapping, MutableMapping, Sequence
 
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Term
 from ..dependencies.base import TGD, Dependency, DependencySet
 from ..dependencies.classify import is_key_based_tgd
+from .profile import ChaseProfile
 from .set_chase import DEFAULT_MAX_STEPS, set_chase
 from .steps import iter_applicable_tgd_homomorphisms
-from .test_query import associated_test_query
+from .test_query import AssociatedTestQuery, associated_test_query
+
+
+def _canonical_verdict_key(test: AssociatedTestQuery, max_steps: int) -> Hashable:
+    """A key under which structurally identical Definition 4.3 tests coincide.
+
+    The verdict is a pure function of (test query, monitored pairs, Σ,
+    max_steps).  The query contributes its structural key (a deterministic
+    variable renaming), and each monitored variable is represented by its
+    first-occurrence position in the head-then-body term stream — the same
+    order the renaming canonicalizes on — so two alpha-variant tests that
+    monitor corresponding variables share a key.  Σ is fixed by the memo's
+    owner (one memo per chase run), so it does not appear in the key.
+    """
+    query = test.query
+    positions: dict[Term, int] = {}
+    for term in query.head_terms:
+        positions.setdefault(term, len(positions))
+    for atom in query.body:
+        for term in atom.terms:
+            positions.setdefault(term, len(positions))
+    pair_positions = tuple(
+        (positions.get(z_var, -1), positions.get(theta_var, -1))
+        for z_var, theta_var in test.existential_pairs
+    )
+    return (query.structural_key(), pair_positions, max_steps)
 
 
 def is_assignment_fixing_for(
@@ -34,6 +60,9 @@ def is_assignment_fixing_for(
     homomorphism: Mapping[Term, Term],
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
+    *,
+    memo: MutableMapping[Hashable, bool] | None = None,
+    profile: ChaseProfile | None = None,
 ) -> bool:
     """Is *tgd* assignment fixing w.r.t. (*query*, *homomorphism*)?
 
@@ -46,17 +75,39 @@ def is_assignment_fixing_for(
     σ4 of Example 4.3 (which admits a nonshared partition), so no
     regularization is enforced here.  The *sound chase* always regularizes
     its dependency set first, so soundness is unaffected.
+
+    ``memo`` caches verdicts per canonicalized test query within one chase
+    run (the owner must keep Σ and the step budget fixed for the memo's
+    lifetime); the verdict being a pure function of the canonical test, a
+    hit is exact, not approximate.  ``profile`` receives the test/hit
+    counters and the index counters of the test chase.
     """
     if tgd.is_full():
         # Proposition 4.3.
         return True
     test = associated_test_query(query, tgd, homomorphism)
+    if memo is not None:
+        key = _canonical_verdict_key(test, max_steps)
+        cached = memo.get(key)
+        if cached is not None:
+            if profile is not None:
+                profile.assignment_fixing_cache_hits += 1
+            return cached
     chased = set_chase(test.query, dependencies, max_steps=max_steps)
+    if profile is not None:
+        profile.assignment_fixing_tests += 1
+        if chased.profile is not None:
+            profile.index_lookups += chased.profile.index_lookups
+            profile.index_hits += chased.profile.index_hits
     surviving = {v for atom in chased.query.body for v in atom.variables()}
+    verdict = True
     for z_var, theta_var in test.existential_pairs:
         if z_var in surviving and theta_var in surviving:
-            return False
-    return True
+            verdict = False
+            break
+    if memo is not None:
+        memo[key] = verdict
+    return verdict
 
 
 def is_assignment_fixing(

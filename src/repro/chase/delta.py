@@ -1,0 +1,72 @@
+"""Delta trigger tracking: which dependencies can still fire after a step.
+
+The chase drivers are deterministic first-trigger loops: every round scans
+the dependencies in order and applies the first applicable (sound) step.
+Rescanning every dependency against the whole current query each round is
+what made the cold chase quadratic-and-worse; this module supplies the
+bookkeeping that lets a round skip dependencies *provably* unable to
+produce a new trigger, without changing which trigger fires.
+
+The invariant is exact, not heuristic.  A dependency is marked **clean**
+when a full scan found no applicable step whose absence is *stable under
+adding atoms*:
+
+* an egd scan that found no trigger stays trigger-free while the body only
+  grows with atoms whose predicates miss the premise — the premise
+  homomorphisms are then unchanged, and an egd trigger depends only on the
+  homomorphism (the equality images);
+* a tgd scan that found **no applicable premise homomorphism at all** stays
+  that way under the same condition — extendability of each homomorphism to
+  the conclusion is monotone in the body, so satisfied matches stay
+  satisfied;
+* a tgd scan that found applicable homomorphisms which merely failed the
+  assignment-fixing test is *not* marked clean: Definition 4.3's verdict is
+  computed against the whole current query, and growing the query can flip
+  it from unsound to sound, so such dependencies are re-examined every
+  round (their test chases are what the per-run memo in
+  :mod:`repro.chase.sound_chase` exists for).
+
+After a tgd step, exactly the clean dependencies whose premise mentions a
+predicate of the added atoms are dirtied (:meth:`TriggerIndex.note_added`);
+an egd step rewrites the whole query, so :meth:`TriggerIndex.reset` drops
+every clean mark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dependencies.base import Dependency
+
+
+class TriggerIndex:
+    """Clean/dirty state for one ordered dependency list within a chase run."""
+
+    __slots__ = ("_clean", "_by_predicate")
+
+    def __init__(self, dependencies: Sequence[Dependency]):
+        self._clean = [False] * len(dependencies)
+        self._by_predicate: dict[str, list[int]] = {}
+        for position, dependency in enumerate(dependencies):
+            for predicate in {atom.predicate for atom in dependency.premise}:
+                self._by_predicate.setdefault(predicate, []).append(position)
+
+    def is_clean(self, position: int) -> bool:
+        """Can the dependency at *position* be skipped this round?"""
+        return self._clean[position]
+
+    def mark_clean(self, position: int) -> None:
+        """Record a completed scan whose no-trigger verdict is growth-stable."""
+        self._clean[position] = True
+
+    def note_added(self, predicates) -> None:
+        """A tgd step added atoms over *predicates*: dirty the affected deps."""
+        clean = self._clean
+        for predicate in predicates:
+            for position in self._by_predicate.get(predicate, ()):
+                clean[position] = False
+
+    def reset(self) -> None:
+        """An egd step rewrote the query: every dependency must rescan."""
+        for position in range(len(self._clean)):
+            self._clean[position] = False

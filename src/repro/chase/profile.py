@@ -1,0 +1,105 @@
+"""Chase profiling: what a chase run actually did, and what it skipped.
+
+A :class:`ChaseProfile` is attached to every :class:`~repro.chase.set_chase.
+ChaseResult` produced by the drivers in this package.  It records the work
+visible at the chase level — rounds, steps by kind, candidate triggers
+examined, dependencies skipped by the delta trigger index — plus the
+homomorphism-index counters (lookups and posting-list narrowings) retired
+from every :class:`~repro.core.homomorphism.TargetIndex` the run built,
+including the ones built by nested assignment-fixing test chases.  Wall time
+is measured with :func:`time.perf_counter` around the whole run.
+
+Profiles are plain mutable counters: the Session engine merges the profile
+of every cold chase into a per-session aggregate, and the CLI's
+``chase --profile`` flag prints one run's summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChaseProfile:
+    """Counters describing one chase run (or an aggregate of several)."""
+
+    #: Semantics label the profiled chase ran under ("" for aggregates).
+    semantics: str = ""
+    #: Number of chase runs merged into this profile (1 for a single run).
+    runs: int = 1
+    #: Outer-loop iterations: one per applied step, plus the final
+    #: no-step-found round.
+    rounds: int = 0
+    egd_steps: int = 0
+    tgd_steps: int = 0
+    #: Candidate triggers the driver inspected: applicable egd (hom,
+    #: equality) pairs plus tgd premise homomorphisms tested for soundness.
+    triggers_examined: int = 0
+    #: Dependency scans skipped because the delta trigger index proved no
+    #: new trigger can exist since the dependency's last clean scan.
+    dependencies_skipped: int = 0
+    #: TargetIndex candidate lookups / lookups narrowed by a posting list.
+    index_lookups: int = 0
+    index_hits: int = 0
+    #: Assignment-fixing verdicts computed via a test-query chase vs served
+    #: from the per-run memo (Definition 4.3 work avoided).
+    assignment_fixing_tests: int = 0
+    assignment_fixing_cache_hits: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def steps(self) -> int:
+        """Total applied chase steps."""
+        return self.egd_steps + self.tgd_steps
+
+    @property
+    def index_hit_rate(self) -> float:
+        """Fraction of index lookups a posting list narrowed (0.0 when unused)."""
+        return self.index_hits / self.index_lookups if self.index_lookups else 0.0
+
+    # ------------------------------------------------------------------ #
+    def retire_index(self, index) -> None:
+        """Fold a :class:`TargetIndex`'s counters in and zero them out."""
+        self.index_lookups += index.lookups
+        self.index_hits += index.narrowed
+        index.lookups = 0
+        index.narrowed = 0
+
+    def merge(self, other: "ChaseProfile") -> None:
+        """Accumulate *other* into this profile (used for aggregates)."""
+        if self.runs == 0:
+            self.semantics = other.semantics
+        elif self.semantics != other.semantics:
+            self.semantics = ""  # mixed-semantics aggregate
+        self.runs += other.runs
+        self.rounds += other.rounds
+        self.egd_steps += other.egd_steps
+        self.tgd_steps += other.tgd_steps
+        self.triggers_examined += other.triggers_examined
+        self.dependencies_skipped += other.dependencies_skipped
+        self.index_lookups += other.index_lookups
+        self.index_hits += other.index_hits
+        self.assignment_fixing_tests += other.assignment_fixing_tests
+        self.assignment_fixing_cache_hits += other.assignment_fixing_cache_hits
+        self.wall_time += other.wall_time
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary, one counter per line (used by the CLI)."""
+        label = self.semantics or "mixed"
+        lines = [
+            f"chase profile ({label}, {self.runs} run{'s' if self.runs != 1 else ''}):",
+            f"  steps            : {self.steps} ({self.tgd_steps} tgd, {self.egd_steps} egd) in {self.rounds} rounds",
+            f"  triggers examined: {self.triggers_examined} "
+            f"({self.dependencies_skipped} dependency scans delta-skipped)",
+            f"  index lookups    : {self.index_lookups} ({self.index_hit_rate:.1%} narrowed by postings)",
+        ]
+        if self.assignment_fixing_tests or self.assignment_fixing_cache_hits:
+            lines.append(
+                f"  assignment-fixing: {self.assignment_fixing_tests} test chases, "
+                f"{self.assignment_fixing_cache_hits} memo hits"
+            )
+        lines.append(f"  wall time        : {self.wall_time * 1000:.2f} ms")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())

@@ -1,0 +1,178 @@
+"""Frozen pre-delta chase loops, kept as a correctness and speed baseline.
+
+These are the round-based chase drivers as they existed before the indexed
+homomorphism engine and the delta trigger index: every round re-enumerates
+every dependency's homomorphisms against the entire current query with the
+plain backtracking search of :mod:`repro.core.reference`, and every
+assignment-fixing verdict re-chases its Definition 4.3 test query from
+scratch.
+
+They exist so that
+
+* tests can assert the accelerated drivers produce *byte-identical step
+  records* (``sound_chase`` / ``set_chase`` vs their ``_reference``
+  counterparts) on the paper fixtures and on randomized workloads, and
+* ``benchmarks/bench_chase_scaling.py`` can measure the cold-path speedup
+  of the accelerated chase against the pre-PR behaviour.
+
+Like :mod:`repro.core.reference`, this module is deliberately frozen — it
+must keep the old behaviour *and the old cost profile*, so do not "fix" it
+to use indexes, delta tracking, or memoization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..core.query import ConjunctiveQuery
+from ..core.reference import find_homomorphism_reference, iter_homomorphisms_reference
+from ..core.terms import Term
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..dependencies.regularize import regularize_dependencies
+from ..exceptions import ChaseNonTerminationError
+from ..semantics import Semantics
+from .set_chase import DEFAULT_MAX_STEPS, ChaseResult
+from .sound_chase import _split
+from .steps import ChaseStepRecord, apply_egd_step, apply_tgd_step, deduplicate_body
+from .test_query import associated_test_query
+
+
+def _iter_applicable_tgd_homomorphisms(query: ConjunctiveQuery, tgd: TGD):
+    for hom in iter_homomorphisms_reference(tgd.premise, query.body):
+        if find_homomorphism_reference(tgd.conclusion, query.body, fixed=hom) is None:
+            yield hom
+
+
+def _iter_applicable_egd_homomorphisms(query: ConjunctiveQuery, egd: EGD):
+    for hom in iter_homomorphisms_reference(egd.premise, query.body):
+        for equality in egd.equalities:
+            left = hom.get(equality.left, equality.left)
+            right = hom.get(equality.right, equality.right)
+            if left != right:
+                yield hom, left, right
+
+
+def _first_applicable_egd_step(query: ConjunctiveQuery, egds: Sequence[EGD]):
+    for egd in egds:
+        for hom, left, right in _iter_applicable_egd_homomorphisms(query, egd):
+            return egd, hom, left, right
+    return None
+
+
+def _is_assignment_fixing_for(
+    query: ConjunctiveQuery,
+    tgd: TGD,
+    homomorphism: Mapping[Term, Term],
+    dependencies: Sequence[Dependency],
+    max_steps: int,
+) -> bool:
+    if tgd.is_full():
+        return True
+    test = associated_test_query(query, tgd, homomorphism)
+    chased = set_chase_reference(test.query, dependencies, max_steps=max_steps)
+    surviving = {v for atom in chased.query.body for v in atom.variables()}
+    for z_var, theta_var in test.existential_pairs:
+        if z_var in surviving and theta_var in surviving:
+            return False
+    return True
+
+
+def set_chase_reference(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    regularize: bool = True,
+    deduplicate: bool = True,
+) -> ChaseResult:
+    """The pre-delta set chase: full rescan of Σ against Q every round."""
+    items, _ = _split(dependencies)
+    if regularize:
+        items = regularize_dependencies(items)
+    egds = [d for d in items if isinstance(d, EGD)]
+    tgds = [d for d in items if isinstance(d, TGD)]
+
+    current = query
+    records: list[ChaseStepRecord] = []
+    used_names = {v.name for v in query.all_variables()}
+    for _ in range(max_steps):
+        egd_step = _first_applicable_egd_step(current, egds)
+        if egd_step is not None:
+            egd, hom, left, right = egd_step
+            current, record = apply_egd_step(current, egd, hom, left, right)
+            if deduplicate:
+                current = deduplicate_body(current)
+            records.append(record)
+            continue
+        tgd_step = None
+        for tgd in tgds:
+            for hom in _iter_applicable_tgd_homomorphisms(current, tgd):
+                tgd_step = (tgd, hom)
+                break
+            if tgd_step is not None:
+                break
+        if tgd_step is not None:
+            tgd, hom = tgd_step
+            current, record = apply_tgd_step(current, tgd, hom, used_names)
+            records.append(record)
+            continue
+        return ChaseResult(current, records, Semantics.SET, terminated=True)
+    raise ChaseNonTerminationError(
+        f"set chase did not terminate within {max_steps} steps",
+        steps_taken=len(records),
+    )
+
+
+def sound_chase_reference(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics | str = Semantics.BAG,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """The pre-delta sound chase (Section 4): full rescans, no memoization."""
+    semantics = Semantics.from_name(semantics)
+    if semantics is Semantics.SET:
+        return set_chase_reference(query, dependencies, max_steps=max_steps)
+
+    items, set_valued = _split(dependencies)
+    items = regularize_dependencies(items)
+    egds = [d for d in items if isinstance(d, EGD)]
+    tgds = [d for d in items if isinstance(d, TGD)]
+    dedup_predicates: set[str] | None
+    if semantics is Semantics.BAG:
+        dedup_predicates = set(set_valued)
+    else:
+        dedup_predicates = None
+
+    current = query
+    records: list[ChaseStepRecord] = []
+    used_names = {v.name for v in query.all_variables()}
+    for _ in range(max_steps):
+        egd_step = _first_applicable_egd_step(current, egds)
+        if egd_step is not None:
+            egd, hom, left, right = egd_step
+            current, record = apply_egd_step(current, egd, hom, left, right)
+            current = deduplicate_body(current, dedup_predicates)
+            records.append(record)
+            continue
+        tgd_step = None
+        for tgd in tgds:
+            if semantics is Semantics.BAG and not all(
+                atom.predicate in set_valued for atom in tgd.conclusion
+            ):
+                continue
+            for hom in _iter_applicable_tgd_homomorphisms(current, tgd):
+                if _is_assignment_fixing_for(current, tgd, hom, items, max_steps):
+                    tgd_step = (tgd, hom)
+                    break
+            if tgd_step is not None:
+                break
+        if tgd_step is not None:
+            tgd, hom = tgd_step
+            current, record = apply_tgd_step(current, tgd, hom, used_names)
+            records.append(record)
+            continue
+        return ChaseResult(current, records, semantics, terminated=True)
+    raise ChaseNonTerminationError(
+        f"sound chase under {semantics} did not terminate within {max_steps} steps",
+        steps_taken=len(records),
+    )

@@ -18,14 +18,18 @@ budget runs out.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..core.homomorphism import TargetIndex
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
 from ..dependencies.regularize import regularize_dependencies
 from ..exceptions import ChaseNonTerminationError
 from ..semantics import Semantics
+from .delta import TriggerIndex
+from .profile import ChaseProfile
 from .steps import (
     ChaseStepRecord,
     apply_egd_step,
@@ -46,6 +50,8 @@ class ChaseResult:
     steps: list[ChaseStepRecord] = field(default_factory=list)
     semantics: Semantics = Semantics.SET
     terminated: bool = True
+    #: What the run did and skipped; ``None`` only for results built by hand.
+    profile: ChaseProfile | None = None
 
     @property
     def step_count(self) -> int:
@@ -66,17 +72,54 @@ def _as_dependency_list(
     return list(dependencies)
 
 
-def _first_applicable_egd_step(query: ConjunctiveQuery, egds: Sequence[EGD]):
-    for egd in egds:
-        for hom, left, right in iter_applicable_egd_homomorphisms(query, egd):
+def _first_applicable_egd_step(
+    query: ConjunctiveQuery,
+    egds: Sequence[EGD],
+    index: TargetIndex,
+    state: TriggerIndex,
+    profile: ChaseProfile,
+):
+    """First applicable egd trigger in Σ order, delta-skipping clean egds.
+
+    Every egd scanned to exhaustion without a trigger is marked clean: its
+    no-trigger verdict is stable until an added atom matches its premise or
+    an egd step rewrites the query (see :mod:`repro.chase.delta`).
+    """
+    for position, egd in enumerate(egds):
+        if state.is_clean(position):
+            profile.dependencies_skipped += 1
+            continue
+        for hom, left, right in iter_applicable_egd_homomorphisms(
+            query, egd, index=index
+        ):
+            profile.triggers_examined += 1
             return egd, hom, left, right
+        state.mark_clean(position)
     return None
 
 
-def _first_applicable_tgd_step(query: ConjunctiveQuery, tgds: Sequence[TGD]):
-    for tgd in tgds:
-        for hom in iter_applicable_tgd_homomorphisms(query, tgd):
+def _first_applicable_tgd_step(
+    query: ConjunctiveQuery,
+    tgds: Sequence[TGD],
+    index: TargetIndex,
+    state: TriggerIndex,
+    profile: ChaseProfile,
+):
+    """First applicable tgd trigger in Σ order, delta-skipping clean tgds.
+
+    Under set semantics every applicable homomorphism fires, so a completed
+    scan means the tgd has no applicable homomorphism at all — a verdict
+    stable under growth (extendability to the conclusion is monotone) and
+    therefore always safe to mark clean.
+    """
+    for position, tgd in enumerate(tgds):
+        if state.is_clean(position):
+            profile.dependencies_skipped += 1
+            continue
+        for hom in iter_applicable_tgd_homomorphisms(query, tgd, index=index):
+            profile.triggers_examined += 1
             return tgd, hom
+        state.mark_clean(position)
     return None
 
 
@@ -93,6 +136,12 @@ def set_chase(
     (Proposition 4.1 guarantees this does not change the result up to
     equivalence); ``deduplicate`` drops duplicate subgoals after egd steps,
     which is always harmless under set semantics.
+
+    The loop is delta-driven: one :class:`TargetIndex` over the current body
+    is shared by every dependency probe of a round, and a
+    :class:`TriggerIndex` per dependency kind skips dependencies that
+    provably cannot have gained a trigger since their last clean scan.  The
+    applied step sequence is identical to a full rescan every round.
     """
     items = _as_dependency_list(dependencies)
     if regularize:
@@ -100,27 +149,45 @@ def set_chase(
     egds = [d for d in items if isinstance(d, EGD)]
     tgds = [d for d in items if isinstance(d, TGD)]
 
+    profile = ChaseProfile(semantics=str(Semantics.SET))
+    started = time.perf_counter()
     current = query
     records: list[ChaseStepRecord] = []
     # Names of every variable ever used in this chase run, so fresh variables
     # never reuse a name eliminated by an earlier egd step.
     used_names = {v.name for v in query.all_variables()}
+    egd_state, tgd_state = TriggerIndex(egds), TriggerIndex(tgds)
+    index = TargetIndex(current.body)
     for _ in range(max_steps):
-        egd_step = _first_applicable_egd_step(current, egds)
+        profile.rounds += 1
+        egd_step = _first_applicable_egd_step(current, egds, index, egd_state, profile)
         if egd_step is not None:
             egd, hom, left, right = egd_step
             current, record = apply_egd_step(current, egd, hom, left, right)
             if deduplicate:
                 current = deduplicate_body(current)
             records.append(record)
+            profile.egd_steps += 1
+            egd_state.reset()
+            tgd_state.reset()
+            profile.retire_index(index)
+            index = TargetIndex(current.body)
             continue
-        tgd_step = _first_applicable_tgd_step(current, tgds)
+        tgd_step = _first_applicable_tgd_step(current, tgds, index, tgd_state, profile)
         if tgd_step is not None:
             tgd, hom = tgd_step
             current, record = apply_tgd_step(current, tgd, hom, used_names)
             records.append(record)
+            profile.tgd_steps += 1
+            added = {atom.predicate for atom in record.added_atoms}
+            egd_state.note_added(added)
+            tgd_state.note_added(added)
+            profile.retire_index(index)
+            index = TargetIndex(current.body)
             continue
-        return ChaseResult(current, records, Semantics.SET, terminated=True)
+        profile.retire_index(index)
+        profile.wall_time = time.perf_counter() - started
+        return ChaseResult(current, records, Semantics.SET, terminated=True, profile=profile)
     raise ChaseNonTerminationError(
         f"set chase did not terminate within {max_steps} steps "
         f"(query {query.head_predicate}, {len(items)} dependencies); "

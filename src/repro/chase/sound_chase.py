@@ -20,19 +20,32 @@ Theorem 5.1 (and its bag-set analogue, Theorem G.1) the result is unique up
 to bag equivalence (modulo duplicate subgoals over set-valued relations).
 Every tgd is regularized before chasing — Theorem 4.1/4.3 require it, and
 Examples 4.4–4.5 show the failure modes otherwise.
+
+The loop is delta-driven (see :mod:`repro.chase.delta`): one
+:class:`~repro.core.homomorphism.TargetIndex` over the current body serves
+every dependency probe of a round, a :class:`~repro.chase.delta.TriggerIndex`
+skips dependencies that provably cannot have gained a trigger, and
+Definition 4.3 verdicts are memoized per canonicalized test query within the
+run.  The applied step sequence is byte-identical to the pre-index
+implementation (frozen in :mod:`repro.chase.reference`); each result carries
+a :class:`~repro.chase.profile.ChaseProfile` of the work done and skipped.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import time
+from typing import Hashable, Iterable, Sequence
 
+from ..core.homomorphism import TargetIndex
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
 from ..dependencies.regularize import regularize_dependencies
 from ..exceptions import ChaseError, ChaseNonTerminationError
 from ..semantics import Semantics
 from .assignment_fixing import is_assignment_fixing_for
-from .set_chase import DEFAULT_MAX_STEPS, ChaseResult, set_chase
+from .delta import TriggerIndex
+from .profile import ChaseProfile
+from .set_chase import DEFAULT_MAX_STEPS, ChaseResult, _first_applicable_egd_step, set_chase
 from .steps import (
     ChaseStepRecord,
     apply_egd_step,
@@ -58,17 +71,42 @@ def _first_sound_tgd_step(
     semantics: Semantics,
     set_valued: frozenset[str],
     max_steps: int,
+    index: TargetIndex | None = None,
+    state: TriggerIndex | None = None,
+    profile: ChaseProfile | None = None,
+    memo: dict[Hashable, bool] | None = None,
 ):
-    for tgd in tgds:
+    """First sound tgd trigger in Σ order, delta-skipping where exact.
+
+    A tgd is only marked clean when its scan found *no applicable
+    homomorphism at all*: that verdict is stable while added atoms miss the
+    premise.  A scan that found applicable-but-not-assignment-fixing
+    homomorphisms is left dirty — Definition 4.3's verdict is taken against
+    the whole current query and can flip to sound as the query grows, so the
+    old full-rescan behaviour is preserved exactly for those tgds (the
+    per-run ``memo`` absorbs the repeated test chases instead).
+    """
+    for position, tgd in enumerate(tgds):
         if semantics is Semantics.BAG:
             # Theorem 4.1(1): every added subgoal must be over a set-valued relation.
             if not all(atom.predicate in set_valued for atom in tgd.conclusion):
                 continue
-        for homomorphism in iter_applicable_tgd_homomorphisms(query, tgd):
+        if state is not None and state.is_clean(position):
+            if profile is not None:
+                profile.dependencies_skipped += 1
+            continue
+        applicable = False
+        for homomorphism in iter_applicable_tgd_homomorphisms(query, tgd, index=index):
+            applicable = True
+            if profile is not None:
+                profile.triggers_examined += 1
             if is_assignment_fixing_for(
-                query, tgd, homomorphism, all_dependencies, max_steps
+                query, tgd, homomorphism, all_dependencies, max_steps,
+                memo=memo, profile=profile,
             ):
                 return tgd, homomorphism
+        if state is not None and not applicable:
+            state.mark_clean(position)
     return None
 
 
@@ -100,35 +138,62 @@ def sound_chase(
     else:
         dedup_predicates = None  # bag-set: all duplicates may be dropped
 
+    profile = ChaseProfile(semantics=str(semantics))
+    started = time.perf_counter()
     current = query
     records: list[ChaseStepRecord] = []
     # Forbid reuse of any variable name ever produced in this chase run.
     used_names = {v.name for v in query.all_variables()}
+    # Per-run state of the acceleration layers: body index, delta trigger
+    # tracking, and the Definition 4.3 verdict memo (Σ and the step budget
+    # are fixed for the whole run, as the memo requires).
+    egd_state, tgd_state = TriggerIndex(egds), TriggerIndex(tgds)
+    index = TargetIndex(current.body)
+    af_memo: dict[Hashable, bool] = {}
     for _ in range(max_steps):
+        profile.rounds += 1
         # Egd steps are always sound under both semantics (Theorems 4.1/4.3 item 2).
-        egd_step = None
-        for egd in egds:
-            for hom, left, right in iter_applicable_egd_homomorphisms(current, egd):
-                egd_step = (egd, hom, left, right)
-                break
-            if egd_step is not None:
-                break
+        egd_step = _first_applicable_egd_step(current, egds, index, egd_state, profile)
         if egd_step is not None:
             egd, hom, left, right = egd_step
             current, record = apply_egd_step(current, egd, hom, left, right)
             current = deduplicate_body(current, dedup_predicates)
             records.append(record)
+            profile.egd_steps += 1
+            egd_state.reset()
+            tgd_state.reset()
+            profile.retire_index(index)
+            index = TargetIndex(current.body)
             continue
 
         tgd_step = _first_sound_tgd_step(
-            current, tgds, items, semantics, set_valued, max_steps
+            current, tgds, items, semantics, set_valued, max_steps,
+            index=index, state=tgd_state, profile=profile, memo=af_memo,
         )
         if tgd_step is not None:
             tgd, hom = tgd_step
             current, record = apply_tgd_step(current, tgd, hom, used_names)
+            # No deduplication here, unlike the egd branch: a regularized tgd
+            # step cannot duplicate an existing subgoal — every conclusion
+            # atom of a regularized non-full tgd carries at least one
+            # existential variable, instantiated fresh (regularized full tgds
+            # are single-atom and applicability means that atom is absent).
+            # Duplicates *among* the added atoms require syntactically
+            # duplicated conclusion atoms and are harmless: the Theorem 6.2
+            # bag-set test compares canonical representations, and under bag
+            # semantics Theorem 4.2 only licenses dropping set-valued
+            # duplicates anyway.  tests/test_sound_chase.py pins this down.
             records.append(record)
+            profile.tgd_steps += 1
+            added = {atom.predicate for atom in record.added_atoms}
+            egd_state.note_added(added)
+            tgd_state.note_added(added)
+            profile.retire_index(index)
+            index = TargetIndex(current.body)
             continue
-        return ChaseResult(current, records, semantics, terminated=True)
+        profile.retire_index(index)
+        profile.wall_time = time.perf_counter() - started
+        return ChaseResult(current, records, semantics, terminated=True, profile=profile)
     raise ChaseNonTerminationError(
         f"sound chase under {semantics} did not terminate within {max_steps} steps",
         steps_taken=len(records),
@@ -176,9 +241,10 @@ def is_sound_chase_step(
         raise ChaseError(f"unsupported dependency {dependency!r}")
 
     components = regularize_dependencies([dependency])
+    index = TargetIndex(query.body)
     for component in components:
         assert isinstance(component, TGD)
-        for homomorphism in iter_applicable_tgd_homomorphisms(query, component):
+        for homomorphism in iter_applicable_tgd_homomorphisms(query, component, index=index):
             if semantics is Semantics.BAG and not all(
                 atom.predicate in set_valued for atom in component.conclusion
             ):

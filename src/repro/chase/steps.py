@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from ..core.atoms import Atom
-from ..core.homomorphism import Homomorphism, find_homomorphism, iter_homomorphisms
+from ..core.homomorphism import (
+    Homomorphism,
+    TargetIndex,
+    find_homomorphism,
+    iter_homomorphisms,
+)
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, FreshVariableFactory, Term, Variable
 from ..dependencies.base import EGD, TGD, Dependency
@@ -56,16 +61,20 @@ class ChaseStepRecord:
 # TGD steps
 # ---------------------------------------------------------------------- #
 def iter_applicable_tgd_homomorphisms(
-    query: ConjunctiveQuery, tgd: TGD
+    query: ConjunctiveQuery, tgd: TGD, *, index: TargetIndex | None = None
 ) -> Iterator[Homomorphism]:
     """Yield the homomorphisms from the tgd's premise that make a step applicable.
 
     A homomorphism h from the premise to the query body triggers a step only
     when it cannot be extended to also cover the conclusion (otherwise the
-    dependency is already satisfied for this match).
+    dependency is already satisfied for this match).  ``index`` lets a chase
+    driver share one :class:`TargetIndex` over the query body across every
+    dependency probe of a round.
     """
-    for hom in iter_homomorphisms(tgd.premise, query.body):
-        if find_homomorphism(tgd.conclusion, query.body, fixed=hom) is None:
+    if index is None:
+        index = TargetIndex(query.body)
+    for hom in iter_homomorphisms(tgd.premise, query.body, index=index):
+        if find_homomorphism(tgd.conclusion, query.body, fixed=hom, index=index) is None:
             yield hom
 
 
@@ -135,14 +144,15 @@ def apply_tgd_step(
 # EGD steps
 # ---------------------------------------------------------------------- #
 def iter_applicable_egd_homomorphisms(
-    query: ConjunctiveQuery, egd: EGD
+    query: ConjunctiveQuery, egd: EGD, *, index: TargetIndex | None = None
 ) -> Iterator[tuple[Homomorphism, Term, Term]]:
     """Yield ``(h, image_left, image_right)`` for applicable egd steps.
 
     Applicable means the two images differ; the caller decides how to unify
-    them (or to fail when both are constants).
+    them (or to fail when both are constants).  ``index`` plays the same
+    body-index-sharing role as in :func:`iter_applicable_tgd_homomorphisms`.
     """
-    for hom in iter_homomorphisms(egd.premise, query.body):
+    for hom in iter_homomorphisms(egd.premise, query.body, index=index):
         for equality in egd.equalities:
             left = hom.get(equality.left, equality.left)
             right = hom.get(equality.right, equality.right)

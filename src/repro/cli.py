@@ -100,6 +100,9 @@ def _cmd_chase(args) -> int:
     if args.show_steps:
         for record in result.steps:
             print(f"  {record}")
+    if args.profile and result.profile is not None:
+        for line in result.profile.summary_lines():
+            print(line)
     return 0
 
 
@@ -114,12 +117,18 @@ def _cmd_equivalence(args) -> int:
             status = "equivalent" if verdict else "not equivalent"
             print(f"{semantics!s:8s}: {status}")
             equivalent_somewhere |= bool(verdict)
+        if args.profile:
+            for line in session.chase_profile().summary_lines():
+                print(line)
         return 0 if equivalent_somewhere else 1
     verdict = session.decide(query, other, args.semantics)
     print("equivalent" if verdict else "not equivalent")
     if args.verbose:
         print(f"  chased left : {verdict.chased_left}")
         print(f"  chased right: {verdict.chased_right}")
+    if args.profile:
+        for line in session.chase_profile().summary_lines():
+            print(line)
     return 0 if verdict else 1
 
 
@@ -218,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     chase_parser.add_argument(
         "--show-steps", action="store_true", help="print the applied chase steps"
     )
+    chase_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the chase profile (steps by kind, triggers examined, "
+        "index hit rate, wall time)",
+    )
     chase_parser.set_defaults(handler=_cmd_chase)
 
     equivalence_parser = subparsers.add_parser(
@@ -228,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dependency_arguments(equivalence_parser)
     _semantics_argument(equivalence_parser, allow_all=True)
     equivalence_parser.add_argument("--verbose", action="store_true")
+    equivalence_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the session's aggregate cold-chase profile",
+    )
     equivalence_parser.set_defaults(handler=_cmd_equivalence)
 
     reformulate_parser = subparsers.add_parser(

@@ -11,6 +11,7 @@ from .bag_equivalence import (
 )
 from .containment import is_set_contained, is_set_equivalent
 from .homomorphism import (
+    TargetIndex,
     are_isomorphic,
     find_containment_mapping,
     find_homomorphism,
@@ -30,6 +31,7 @@ __all__ = [
     "Constant",
     "ConjunctiveQuery",
     "FreshVariableFactory",
+    "TargetIndex",
     "Term",
     "Variable",
     "cq",

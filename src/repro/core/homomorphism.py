@@ -14,16 +14,29 @@ These are the workhorse procedures of the whole library:
   the two queries' subgoal occurrences compatible with a variable renaming;
   isomorphism characterises bag equivalence (Theorem 2.1(1)).
 
-The search is plain backtracking with a most-constrained-atom-first
-heuristic: at every step the next source atom chosen is the one with the
-fewest compatible target atoms under the current partial mapping.  That
-keeps the (NP-complete in general) search fast on the query sizes the chase
-produces.
+The search is backtracking with a most-constrained-atom-first heuristic
+backed by a :class:`TargetIndex`: target atoms are indexed per (predicate,
+arity) and additionally per (position, term), so a source atom whose
+position is a constant or an already-bound variable is only checked against
+the posting list of that position instead of every atom of its predicate.
+Selecting the atom with the fewest verified candidates doubles as forward
+checking — a remaining atom with no candidate prunes the branch
+immediately.  The enumeration order is *identical* to the plain
+backtracking search this replaced (preserved verbatim in
+:mod:`repro.core.reference`): candidates are verified in target-body order
+and ties in the selection break toward the earlier source atom, so every
+chase strategy built on top keeps its deterministic step sequence.
+
+A ``TargetIndex`` can be built once and passed to many searches against the
+same target conjunction (``iter_homomorphisms(..., index=...)``); the chase
+drivers do exactly that — inside one chase round every dependency probe hits
+the same query body, so the index is built once per round instead of once
+per probe.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Iterator, Mapping, Sequence
 
 from .atoms import Atom
@@ -59,47 +72,135 @@ def _compatible(
     return new_bindings
 
 
-def _candidate_index(target: Sequence[Atom]) -> dict[str, list[Atom]]:
-    index: dict[str, list[Atom]] = defaultdict(list)
-    for atom in target:
-        index[atom.predicate].append(atom)
-    return index
+_EMPTY_IDS: tuple[int, ...] = ()
+
+
+class TargetIndex:
+    """Posting-list index over one target conjunction of atoms.
+
+    Two layers are kept, both storing atom positions (indexes into the
+    target sequence) in increasing order, so that any candidate list derived
+    from them enumerates atoms in target-body order:
+
+    * ``(predicate, arity) → [ids]`` — the full group a source atom could in
+      principle map onto;
+    * ``(predicate, arity, position, term) → [ids]`` — atoms carrying *term*
+      at *position*, used to narrow the group through the source atom's
+      constants and already-bound variables.
+
+    The index is immutable with respect to its atoms and reusable across any
+    number of searches against the same target; ``lookups`` / ``narrowed``
+    count how often a candidate lookup happened and how often a posting list
+    strictly narrowed (or emptied) the predicate group — the chase profiler
+    reports their ratio as the index hit rate.
+    """
+
+    __slots__ = ("atoms", "_groups", "_postings", "lookups", "narrowed")
+
+    def __init__(self, atoms: Sequence[Atom]):
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        self._groups: dict[tuple[str, int], list[int]] = {}
+        self._postings: dict[tuple[str, int, int, Term], list[int]] = {}
+        groups, postings = self._groups, self._postings
+        for atom_id, atom in enumerate(self.atoms):
+            signature = (atom.predicate, atom.arity)
+            group = groups.get(signature)
+            if group is None:
+                groups[signature] = [atom_id]
+            else:
+                group.append(atom_id)
+            for position, term in enumerate(atom.terms):
+                key = (atom.predicate, atom.arity, position, term)
+                posting = postings.get(key)
+                if posting is None:
+                    postings[key] = [atom_id]
+                else:
+                    posting.append(atom_id)
+        self.lookups = 0
+        self.narrowed = 0
+
+    def candidate_ids(
+        self, atom: Atom, mapping: Mapping[Term, Term]
+    ) -> Sequence[int]:
+        """Ids of target atoms *atom* could map onto under *mapping*.
+
+        A superset of the true candidates (within-atom repeated variables are
+        left to :func:`_compatible`), narrowed through the most selective
+        constant or bound position, in target-body order.
+        """
+        self.lookups += 1
+        best = self._groups.get((atom.predicate, atom.arity))
+        if best is None:
+            return _EMPTY_IDS
+        group_size = len(best)
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                image = term
+            else:
+                image = mapping.get(term)
+                if image is None:
+                    continue
+            posting = self._postings.get(
+                (atom.predicate, atom.arity, position, image)
+            )
+            if posting is None:
+                self.narrowed += 1
+                return _EMPTY_IDS
+            if len(posting) < len(best):
+                best = posting
+        if len(best) < group_size:
+            self.narrowed += 1
+        return best
+
+    def candidates(
+        self, atom: Atom, mapping: Homomorphism
+    ) -> list[Homomorphism]:
+        """Verified candidate extensions for *atom*, in target-body order."""
+        atoms = self.atoms
+        found = []
+        for atom_id in self.candidate_ids(atom, mapping):
+            extension = _compatible(atom, atoms[atom_id], mapping)
+            if extension is not None:
+                found.append(extension)
+        return found
+
+    def __len__(self) -> int:
+        return len(self.atoms)
 
 
 def iter_homomorphisms(
     source: Sequence[Atom],
     target: Sequence[Atom],
     fixed: Mapping[Term, Term] | None = None,
+    *,
+    index: TargetIndex | None = None,
 ) -> Iterator[Homomorphism]:
     """Yield every homomorphism from *source* to *target* extending *fixed*.
 
     The yielded dictionaries map variables of *source* (and the keys of
     *fixed*) to terms of *target*.  Constants are required to be preserved
-    but are not recorded in the mapping.
+    but are not recorded in the mapping.  ``index`` lets callers that probe
+    the same target repeatedly (the chase) reuse one :class:`TargetIndex`
+    instead of rebuilding it per call; when given it must index exactly
+    *target*.
     """
-    index = _candidate_index(target)
+    if index is None:
+        index = TargetIndex(target)
     base: Homomorphism = dict(fixed or {})
     # Constants in the fixed mapping must be identity (defensive check).
     for key, value in base.items():
         if isinstance(key, Constant) and key != value:
             return
 
-    source_atoms = list(source)
-
-    def candidates(atom: Atom, mapping: Homomorphism) -> list[Homomorphism]:
-        found = []
-        for target_atom in index.get(atom.predicate, ()):
-            extension = _compatible(atom, target_atom, mapping)
-            if extension is not None:
-                found.append(extension)
-        return found
+    candidates = index.candidates
 
     def search(remaining: list[Atom], mapping: Homomorphism) -> Iterator[Homomorphism]:
         if not remaining:
             yield dict(mapping)
             return
-        # Most-constrained-first: pick the remaining atom with the fewest
-        # compatible target atoms under the current mapping.
+        # Most-constrained-first with forward checking: pick the remaining
+        # atom with the fewest verified candidates under the current mapping;
+        # an atom with none prunes the branch outright.
         best_idx = 0
         best_candidates: list[Homomorphism] | None = None
         for idx, atom in enumerate(remaining):
@@ -108,25 +209,27 @@ def iter_homomorphisms(
                 best_idx, best_candidates = idx, cands
                 if not cands:
                     return
-        atom = remaining[best_idx]
-        rest = remaining[:best_idx] + remaining[best_idx + 1 :]
+        atom = remaining.pop(best_idx)
         assert best_candidates is not None
         for extension in best_candidates:
             mapping.update(extension)
-            yield from search(rest, mapping)
+            yield from search(remaining, mapping)
             for key in extension:
                 del mapping[key]
+        remaining.insert(best_idx, atom)
 
-    yield from search(source_atoms, base)
+    yield from search(list(source), base)
 
 
 def find_homomorphism(
     source: Sequence[Atom],
     target: Sequence[Atom],
     fixed: Mapping[Term, Term] | None = None,
+    *,
+    index: TargetIndex | None = None,
 ) -> Homomorphism | None:
     """Return one homomorphism from *source* to *target*, or None."""
-    for hom in iter_homomorphisms(source, target, fixed):
+    for hom in iter_homomorphisms(source, target, fixed, index=index):
         return hom
     return None
 
@@ -135,6 +238,8 @@ def can_extend_homomorphism(
     mapping: Mapping[Term, Term],
     extra_source: Sequence[Atom],
     target: Sequence[Atom],
+    *,
+    index: TargetIndex | None = None,
 ) -> bool:
     """Can *mapping* be extended to also cover *extra_source* atoms?
 
@@ -142,7 +247,7 @@ def can_extend_homomorphism(
     (Section 2.4): the chase with ``φ → ∃V̄ ψ`` applies when a homomorphism
     from φ exists that can *not* be extended to φ ∧ ψ.
     """
-    return find_homomorphism(extra_source, target, fixed=mapping) is not None
+    return find_homomorphism(extra_source, target, fixed=mapping, index=index) is not None
 
 
 def _head_fixed_mapping(

@@ -1,0 +1,101 @@
+"""Frozen pre-index homomorphism search, kept as a differential baseline.
+
+This module preserves, verbatim, the plain backtracking homomorphism search
+that :mod:`repro.core.homomorphism` shipped with before the indexed engine
+replaced it: a per-predicate candidate list, a most-constrained-atom-first
+selection loop, and no constant- or binding-position filtering.
+
+It exists for two reasons and must not grow features:
+
+* the randomized differential tests assert that the indexed engine yields
+  *exactly* the same homomorphisms in *exactly* the same order as this
+  implementation, on generated inputs covering constants, repeated
+  variables, and repeated predicates;
+* the chase scaling benchmark (``benchmarks/bench_chase_scaling.py``)
+  measures the cold-path speedup of the indexed/delta chase against the
+  pre-PR behaviour, which needs the old search to stay runnable.
+
+The deterministic enumeration order of this search is the order every chase
+strategy's step records are pinned to, so any change here would silently
+move the goalposts of the equivalence tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .homomorphism import Homomorphism, _compatible
+from .terms import Constant, Term
+
+
+def _candidate_index_reference(target: Sequence[Atom]) -> dict[str, list[Atom]]:
+    index: dict[str, list[Atom]] = defaultdict(list)
+    for atom in target:
+        index[atom.predicate].append(atom)
+    return index
+
+
+def iter_homomorphisms_reference(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    fixed: Mapping[Term, Term] | None = None,
+) -> Iterator[Homomorphism]:
+    """Yield every homomorphism from *source* to *target* extending *fixed*.
+
+    Byte-for-byte the pre-index implementation of
+    :func:`repro.core.homomorphism.iter_homomorphisms`.
+    """
+    index = _candidate_index_reference(target)
+    base: Homomorphism = dict(fixed or {})
+    # Constants in the fixed mapping must be identity (defensive check).
+    for key, value in base.items():
+        if isinstance(key, Constant) and key != value:
+            return
+
+    source_atoms = list(source)
+
+    def candidates(atom: Atom, mapping: Homomorphism) -> list[Homomorphism]:
+        found = []
+        for target_atom in index.get(atom.predicate, ()):
+            extension = _compatible(atom, target_atom, mapping)
+            if extension is not None:
+                found.append(extension)
+        return found
+
+    def search(remaining: list[Atom], mapping: Homomorphism) -> Iterator[Homomorphism]:
+        if not remaining:
+            yield dict(mapping)
+            return
+        # Most-constrained-first: pick the remaining atom with the fewest
+        # compatible target atoms under the current mapping.
+        best_idx = 0
+        best_candidates: list[Homomorphism] | None = None
+        for idx, atom in enumerate(remaining):
+            cands = candidates(atom, mapping)
+            if best_candidates is None or len(cands) < len(best_candidates):
+                best_idx, best_candidates = idx, cands
+                if not cands:
+                    return
+        atom = remaining[best_idx]
+        rest = remaining[:best_idx] + remaining[best_idx + 1 :]
+        assert best_candidates is not None
+        for extension in best_candidates:
+            mapping.update(extension)
+            yield from search(rest, mapping)
+            for key in extension:
+                del mapping[key]
+
+    yield from search(source_atoms, base)
+
+
+def find_homomorphism_reference(
+    source: Sequence[Atom],
+    target: Sequence[Atom],
+    fixed: Mapping[Term, Term] | None = None,
+) -> Homomorphism | None:
+    """Return one homomorphism from *source* to *target*, or None."""
+    for hom in iter_homomorphisms_reference(source, target, fixed):
+        return hom
+    return None

@@ -43,21 +43,27 @@ def _as_dependency_set(
     return DependencySet(dependencies)
 
 
+def _deprecation_message(deprecated_name: str, semantics: Semantics) -> str:
+    return (
+        f"{deprecated_name}() is deprecated; use "
+        f"Session(dependencies=...).decide(q1, q2, semantics={semantics.value!r})"
+    )
+
+
 def _session_equivalent(
     q1: ConjunctiveQuery,
     q2: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     semantics: Semantics,
     max_steps: int,
-    deprecated_name: str,
 ) -> bool:
-    """Shared body of the deprecated per-semantics equivalence shims."""
-    warnings.warn(
-        f"{deprecated_name}() is deprecated; use "
-        f"Session(dependencies=...).decide(q1, q2, semantics={semantics.value!r})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+    """Shared body of the deprecated per-semantics equivalence shims.
+
+    The :class:`DeprecationWarning` is emitted by each shim itself with
+    ``stacklevel=2`` (not from here), so the warning is attributed to the
+    shim's *caller* — the code that needs migrating — rather than to this
+    module.
+    """
     from ..session.engine import Session
 
     session = Session(dependencies=dependencies, max_steps=max_steps)
@@ -74,10 +80,12 @@ def equivalent_under_dependencies_set(
 
     Deprecated shim: delegates to ``Session.decide(semantics="set")``.
     """
-    return _session_equivalent(
-        q1, q2, dependencies, Semantics.SET, max_steps,
-        "equivalent_under_dependencies_set",
+    warnings.warn(
+        _deprecation_message("equivalent_under_dependencies_set", Semantics.SET),
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _session_equivalent(q1, q2, dependencies, Semantics.SET, max_steps)
 
 
 def contained_under_dependencies_set(
@@ -108,10 +116,12 @@ def equivalent_under_dependencies_bag(
 
     Deprecated shim: delegates to ``Session.decide(semantics="bag")``.
     """
-    return _session_equivalent(
-        q1, q2, dependencies, Semantics.BAG, max_steps,
-        "equivalent_under_dependencies_bag",
+    warnings.warn(
+        _deprecation_message("equivalent_under_dependencies_bag", Semantics.BAG),
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _session_equivalent(q1, q2, dependencies, Semantics.BAG, max_steps)
 
 
 def equivalent_under_dependencies_bag_set(
@@ -124,10 +134,12 @@ def equivalent_under_dependencies_bag_set(
 
     Deprecated shim: delegates to ``Session.decide(semantics="bag-set")``.
     """
-    return _session_equivalent(
-        q1, q2, dependencies, Semantics.BAG_SET, max_steps,
-        "equivalent_under_dependencies_bag_set",
+    warnings.warn(
+        _deprecation_message("equivalent_under_dependencies_bag_set", Semantics.BAG_SET),
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _session_equivalent(q1, q2, dependencies, Semantics.BAG_SET, max_steps)
 
 
 def equivalent_under_dependencies(

@@ -15,7 +15,15 @@ from .examples import (
     example_e_1,
     example_e_2,
 )
-from .workloads import ORDERS_DDL, Workload, chain_workload, h_family, orders_workload
+from .workloads import (
+    ORDERS_DDL,
+    Workload,
+    chain_workload,
+    clique_workload,
+    h_family,
+    orders_workload,
+    star_workload,
+)
 
 __all__ = [
     "ORDERS_DDL",
@@ -28,6 +36,7 @@ __all__ = [
     "ExampleE2",
     "Workload",
     "chain_workload",
+    "clique_workload",
     "example_4_1",
     "example_4_2",
     "example_4_3",
@@ -36,4 +45,5 @@ __all__ = [
     "example_e_2",
     "h_family",
     "orders_workload",
+    "star_workload",
 ]

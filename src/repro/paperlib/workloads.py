@@ -148,6 +148,103 @@ def chain_workload(length: int, with_keys: bool = True) -> Workload:
     )
 
 
+def star_workload(spokes: int, distractors: int = 0) -> Workload:
+    """A hub relation fanning out to *spokes* distinct spoke relations.
+
+    Query: ``Q(X) :- hub(X)``.  Dependencies: for every spoke relation
+    ``s_i``, a tgd ``hub(X) → ∃Y s_i(X, Y)`` plus the fd ``s_i[0] → s_i[1]``
+    that makes the tgd assignment fixing (the key forces the witness to be
+    unique), with every spoke set valued.  The sound chase applies each tgd
+    exactly once, so the chase takes ``spokes`` tgd steps while Σ holds
+    ``2·spokes`` dependencies — a worst case for drivers that rescan all of
+    Σ every round and the best case for the delta trigger index.
+
+    ``distractors`` appends inert inclusion dependencies over relations the
+    query never mentions, growing Σ without changing the chase — the
+    "growing Σ" axis of the scaling benchmark.
+    """
+    if spokes < 1:
+        raise ValueError("the star needs at least one spoke")
+    spoke_names = [f"s{i}" for i in range(1, spokes + 1)]
+    arities = {"hub": 1}
+    arities.update({name: 2 for name in spoke_names})
+    dependencies: list[Dependency] = []
+    x, y = Variable("X"), Variable("Y")
+    for name in spoke_names:
+        dependencies.append(
+            _tgd_from_atoms([Atom("hub", [x])], [Atom(name, [x, y])], name=f"spoke_{name}")
+        )
+        dependencies.append(
+            functional_dependency_egd(name, 2, [0], 1, name=f"fd_{name}")
+        )
+    distractor_names = [f"d{i}" for i in range(1, distractors + 1)]
+    for index, name in enumerate(distractor_names):
+        arities[name] = 2
+        dependencies.append(
+            inclusion_dependency(name, 2, [1], name, 2, [0], name=f"inert_{index + 1}")
+        )
+    schema = DatabaseSchema.from_arities(arities, set_valued=spoke_names)
+    query = ConjunctiveQuery("Q", [x], [Atom("hub", [x])])
+    return Workload(
+        name=f"star(spokes={spokes}, distractors={distractors})",
+        schema=schema,
+        dependencies=DependencySet(dependencies, set_valued_predicates=spoke_names),
+        query=query,
+        parameters={"spokes": spokes, "distractors": distractors},
+    )
+
+
+def clique_workload(size: int, distractors: int = 0) -> Workload:
+    """A clique query over one edge relation, saturated by a triangle tgd.
+
+    Query: ``Q(X1) :- e(Xi, Xj)`` for every ``i < j`` — ``size·(size-1)/2``
+    subgoals over a *single* predicate, the worst case for homomorphism
+    search without per-position filtering.  The full tgd
+    ``e(X,Y) ∧ e(Y,Z) ∧ e(X,Z) → t(X,Y,Z)`` materialises one triangle per
+    step (``C(size, 3)`` steps in total; full tgds are assignment fixing by
+    Proposition 4.3, so every step is sound under bag and bag-set
+    semantics).  Each round re-matches the three-atom premise and checks
+    conclusion extendability against a body that keeps growing with
+    ``t``-atoms: the indexed engine narrows both through bound positions,
+    where the old search scanned every same-predicate atom.
+
+    ``distractors`` adds inert dependencies exactly as in
+    :func:`star_workload`.
+    """
+    if size < 3:
+        raise ValueError("the clique needs at least three nodes")
+    variables = [Variable(f"X{i}") for i in range(1, size + 1)]
+    body = [
+        Atom("e", [variables[i], variables[j]])
+        for i in range(size)
+        for j in range(i + 1, size)
+    ]
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    dependencies: list[Dependency] = [
+        _tgd_from_atoms(
+            [Atom("e", [x, y]), Atom("e", [y, z]), Atom("e", [x, z])],
+            [Atom("t", [x, y, z])],
+            name="triangle",
+        )
+    ]
+    arities = {"e": 2, "t": 3}
+    distractor_names = [f"d{i}" for i in range(1, distractors + 1)]
+    for index, name in enumerate(distractor_names):
+        arities[name] = 2
+        dependencies.append(
+            inclusion_dependency(name, 2, [1], name, 2, [0], name=f"inert_{index + 1}")
+        )
+    schema = DatabaseSchema.from_arities(arities, set_valued=("e", "t"))
+    query = ConjunctiveQuery("Q", [variables[0]], body)
+    return Workload(
+        name=f"clique(size={size}, distractors={distractors})",
+        schema=schema,
+        dependencies=DependencySet(dependencies, set_valued_predicates=("e", "t")),
+        query=query,
+        parameters={"size": size, "distractors": distractors},
+    )
+
+
 def orders_workload() -> Workload:
     """An orders/customer/product schema with PK + FK constraints.
 

@@ -175,21 +175,25 @@ def chase_and_backchase(
     )
 
 
+def _cb_deprecation_message(deprecated_name: str, semantics: Semantics) -> str:
+    return (
+        f"{deprecated_name}() is deprecated; use "
+        f"Session(dependencies=...).reformulate(query, semantics={semantics.value!r})"
+    )
+
+
 def _session_reformulate(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     semantics: Semantics,
     max_steps: int,
-    deprecated_name: str,
     **kwargs,
 ) -> ReformulationResult:
-    """Shared body of the deprecated per-semantics C&B wrappers."""
-    warnings.warn(
-        f"{deprecated_name}() is deprecated; use "
-        f"Session(dependencies=...).reformulate(query, semantics={semantics.value!r})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+    """Shared body of the deprecated per-semantics C&B wrappers.
+
+    The :class:`DeprecationWarning` is emitted by each wrapper itself with
+    ``stacklevel=2`` (not from here), so it points at the wrapper's caller.
+    """
     from ..session.engine import Session
 
     return Session(dependencies=dependencies, max_steps=max_steps).reformulate(
@@ -207,7 +211,12 @@ def c_and_b(
 
     Deprecated shim: delegates to ``Session.reformulate(semantics="set")``.
     """
-    return _session_reformulate(query, dependencies, Semantics.SET, max_steps, "c_and_b", **kwargs)
+    warnings.warn(
+        _cb_deprecation_message("c_and_b", Semantics.SET),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _session_reformulate(query, dependencies, Semantics.SET, max_steps, **kwargs)
 
 
 def bag_c_and_b(
@@ -220,7 +229,12 @@ def bag_c_and_b(
 
     Deprecated shim: delegates to ``Session.reformulate(semantics="bag")``.
     """
-    return _session_reformulate(query, dependencies, Semantics.BAG, max_steps, "bag_c_and_b", **kwargs)
+    warnings.warn(
+        _cb_deprecation_message("bag_c_and_b", Semantics.BAG),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _session_reformulate(query, dependencies, Semantics.BAG, max_steps, **kwargs)
 
 
 def bag_set_c_and_b(
@@ -233,9 +247,12 @@ def bag_set_c_and_b(
 
     Deprecated shim: delegates to ``Session.reformulate(semantics="bag-set")``.
     """
-    return _session_reformulate(
-        query, dependencies, Semantics.BAG_SET, max_steps, "bag_set_c_and_b", **kwargs
+    warnings.warn(
+        _cb_deprecation_message("bag_set_c_and_b", Semantics.BAG_SET),
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _session_reformulate(query, dependencies, Semantics.BAG_SET, max_steps, **kwargs)
 
 
 def naive_bag_c_and_b(

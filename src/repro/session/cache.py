@@ -29,6 +29,23 @@ from ..core.query import ConjunctiveQuery
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
 
 
+class _Missing:
+    """Sentinel type for :data:`MISSING`; never stored as a cache value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<cache MISSING>"
+
+
+#: Returned by :meth:`ChaseCache.get` on a miss.  A dedicated sentinel rather
+#: than ``None`` so legitimately cached falsy values (``None``, ``False``,
+#: ``0``, empty containers) are distinguishable from absence — comparing the
+#: result against ``None`` would silently recompute them and double-count the
+#: lookup as a miss.
+MISSING = _Missing()
+
+
 def sigma_fingerprint(dependencies: DependencySet | Iterable[Dependency]) -> Hashable:
     """A hashable, name-insensitive fingerprint of a dependency set.
 
@@ -108,12 +125,16 @@ class ChaseCache:
 
     # ------------------------------------------------------------------ #
     def get(self, key: Hashable):
-        """The cached value for *key*, or ``None`` (counts a hit/miss)."""
+        """The cached value for *key*, or :data:`MISSING` (counts a hit/miss).
+
+        Compare the result against ``MISSING`` (by identity), never against
+        ``None``: falsy values are valid cache entries and count as hits.
+        """
         try:
             value = self._entries[key]
         except KeyError:
             self._misses += 1
-            return None
+            return MISSING
         self._entries.move_to_end(key)
         self._hits += 1
         return value

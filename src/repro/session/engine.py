@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from ..chase.profile import ChaseProfile
 from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
 from ..core.aggregate import AggregateQuery
 from ..core.query import ConjunctiveQuery
@@ -36,7 +37,7 @@ from ..dependencies.base import Dependency, DependencySet
 from ..equivalence.decision import EquivalenceVerdict
 from ..semantics import Semantics
 from ..exceptions import DependencyError, SchemaError, SemanticsError
-from .cache import CacheStats, ChaseCache, chase_cache_key, sigma_fingerprint
+from .cache import MISSING, CacheStats, ChaseCache, chase_cache_key, sigma_fingerprint
 from .registry import SemanticsRegistry, default_registry, normalize_semantics_name
 from .strategies import SemanticsStrategy
 
@@ -98,6 +99,9 @@ class Session:
         self.max_steps = max_steps
         self._dependencies = self._coerce_dependencies(dependencies)
         self._sigma_key = None  # computed lazily by _chase_key
+        # Aggregate of every *cold* chase's profile (cache hits add nothing:
+        # the work they saved is exactly what the aggregate measures).
+        self._profile = ChaseProfile(runs=0)
         # Any registration that shadows an existing semantics name — through
         # this object or the registry directly — must drop cached chases.
         self.registry.on_shadow(self.cache.invalidate)
@@ -196,9 +200,12 @@ class Session:
         steps = self.max_steps if max_steps is None else max_steps
         key = self._chase_key(query, strategy, steps)
         cached = self.cache.get(key)
-        if cached is not None:
+        if cached is not MISSING:
             return cached
         result = strategy.chase(query, self._dependencies, steps)
+        profile = getattr(result, "profile", None)
+        if profile is not None:
+            self._profile.merge(profile)
         self.cache.put(key, result)
         return result
 
@@ -317,6 +324,17 @@ class Session:
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the chase cache."""
         return self.cache.stats
+
+    def chase_profile(self) -> ChaseProfile:
+        """Aggregated :class:`ChaseProfile` over this session's cold chases.
+
+        Warm (cached) chases contribute nothing — their saved work is the
+        point — so reading this alongside :meth:`cache_stats` gives the full
+        picture: what the cold path did, and how often the cache skipped it.
+        """
+        snapshot = ChaseProfile(runs=0)
+        snapshot.merge(self._profile)
+        return snapshot
 
     def clear_cache(self) -> None:
         """Drop every cached chase result (Σ stays untouched)."""

@@ -1,0 +1,107 @@
+"""Differential tests: indexed homomorphism engine vs the frozen reference.
+
+The indexed engine of :mod:`repro.core.homomorphism` must be *extensionally
+identical* to the plain backtracking search it replaced (kept verbatim in
+:mod:`repro.core.reference`): same homomorphisms, in the same order — the
+deterministic chase step sequences, and therefore every pinned fixture in
+this repository, depend on that order.
+
+The generator is seeded and covers the hard spots deliberately: constants
+(matching and clashing), repeated variables within and across atoms,
+repeated predicates (many candidate atoms per predicate), mixed arities on
+one predicate name, and non-empty ``fixed`` mappings.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import TargetIndex, find_homomorphism, iter_homomorphisms
+from repro.core.reference import (
+    find_homomorphism_reference,
+    iter_homomorphisms_reference,
+)
+from repro.core.terms import Constant, Variable
+
+CASES = 200
+PREDICATES = ("p", "q", "r")  # few names → plenty of repeated predicates
+VARIABLES = tuple(Variable(f"X{i}") for i in range(5))
+CONSTANTS = tuple(Constant(value) for value in (0, 1, "a"))
+
+
+def _random_term(rng: random.Random, constant_bias: float):
+    if rng.random() < constant_bias:
+        return rng.choice(CONSTANTS)
+    return rng.choice(VARIABLES)
+
+
+def _random_atoms(rng: random.Random, count: int, constant_bias: float) -> list[Atom]:
+    atoms = []
+    for _ in range(count):
+        predicate = rng.choice(PREDICATES)
+        arity = rng.randint(1, 3)
+        atoms.append(
+            Atom(predicate, [_random_term(rng, constant_bias) for _ in range(arity)])
+        )
+    return atoms
+
+
+def _random_case(rng: random.Random):
+    constant_bias = rng.choice((0.0, 0.2, 0.4))
+    source = _random_atoms(rng, rng.randint(1, 4), constant_bias)
+    target = _random_atoms(rng, rng.randint(1, 6), constant_bias)
+    fixed = None
+    if rng.random() < 0.3:
+        # Pre-bind a source variable to a target term (possibly one that
+        # makes the search unsatisfiable — both engines must agree there too).
+        source_vars = [t for atom in source for t in atom.terms if isinstance(t, Variable)]
+        target_terms = [t for atom in target for t in atom.terms]
+        if source_vars and target_terms:
+            fixed = {rng.choice(source_vars): rng.choice(target_terms)}
+    return source, target, fixed
+
+
+@pytest.mark.parametrize("seed", range(CASES))
+def test_indexed_engine_matches_reference(seed):
+    rng = random.Random(0xC0FFEE + seed)
+    source, target, fixed = _random_case(rng)
+
+    expected = list(iter_homomorphisms_reference(source, target, fixed))
+    actual = list(iter_homomorphisms(source, target, fixed))
+    assert actual == expected  # same mappings, same order
+
+    # find-one agrees with iterate-all (and with the reference find-one).
+    assert find_homomorphism(source, target, fixed) == (
+        expected[0] if expected else None
+    )
+    assert find_homomorphism_reference(source, target, fixed) == (
+        expected[0] if expected else None
+    )
+
+
+def test_reusable_index_is_equivalent_to_fresh_builds():
+    rng = random.Random(0xBEEF)
+    for _ in range(40):
+        source_a, target, _ = _random_case(rng)
+        source_b, _, _ = _random_case(rng)
+        index = TargetIndex(target)
+        for source in (source_a, source_b, source_a):
+            with_index = list(iter_homomorphisms(source, target, index=index))
+            fresh = list(iter_homomorphisms(source, target))
+            assert with_index == fresh
+
+
+def test_index_counters_track_narrowing():
+    target = [Atom("p", [Constant(i), Variable("Y")]) for i in range(10)]
+    index = TargetIndex(target)
+    # A constant-position probe must narrow to a single posting list.
+    assert index.candidate_ids(Atom("p", [Constant(3), Variable("Z")]), {}) == [2 + 1]
+    assert index.lookups == 1
+    assert index.narrowed == 1
+    # An unconstrained probe scans the whole predicate group: no narrowing.
+    assert len(index.candidate_ids(Atom("p", [Variable("A"), Variable("B")]), {})) == 10
+    assert index.lookups == 2
+    assert index.narrowed == 1

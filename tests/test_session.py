@@ -251,6 +251,44 @@ class TestChaseCache:
         session41.clear_cache()
         assert len(session41.cache) == 0
 
+    def test_cached_falsy_values_are_hits_not_misses(self):
+        # Regression: get() used to return None on a miss, so a legitimately
+        # cached falsy value was indistinguishable from a miss — it was
+        # recomputed by the caller and the lookup double-counted as a miss.
+        from repro.session.cache import MISSING, ChaseCache
+
+        cache = ChaseCache(maxsize=8)
+        for key, falsy in (("a", None), ("b", False), ("c", 0), ("d", [])):
+            cache.put(key, falsy)
+        for key, falsy in (("a", None), ("b", False), ("c", 0), ("d", [])):
+            value = cache.get(key)
+            assert value is not MISSING
+            assert value == falsy
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (4, 0)
+        assert cache.get("absent") is MISSING
+        assert cache.stats.misses == 1
+
+    def test_missing_sentinel_is_identity_checked(self):
+        from repro.session.cache import MISSING, ChaseCache
+
+        cache = ChaseCache(maxsize=2)
+        # The sentinel is falsy-agnostic: it is its own type, not None.
+        assert MISSING is not None
+        assert cache.get("nope") is MISSING
+
+    def test_session_profile_aggregates_cold_chases_only(self, ex41, session41):
+        cold = session41.chase(ex41.q4, "bag")
+        profile = session41.chase_profile()
+        assert profile.runs == 1
+        assert profile.steps == cold.step_count
+        session41.chase(ex41.q4, "bag")  # warm: served from cache
+        assert session41.chase_profile().runs == 1
+        session41.chase(ex41.q4, "bag-set")  # cold again under other semantics
+        after = session41.chase_profile()
+        assert after.runs == 2
+        assert after.wall_time >= profile.wall_time
+
     def test_in_place_sigma_mutation_is_refused(self, ex41, session41):
         # Mutating Σ behind the memoized fingerprint would serve stale
         # chases; the session's snapshot refuses and points at the safe path.
@@ -539,6 +577,28 @@ class TestDeprecationShims:
                 equivalent_under_dependencies_bag(
                     ex41.q1, ex41.q4, ex41.dependencies, max_steps=1
                 )
+
+    def test_warning_location_is_the_caller(self, ex41):
+        # All six shims must attribute their DeprecationWarning to the
+        # calling frame (stacklevel=2), i.e. to this test file — not to the
+        # module the shim lives in.
+        import warnings
+
+        shim_calls = [
+            lambda: equivalent_under_dependencies_set(ex41.q1, ex41.q4, ex41.dependencies),
+            lambda: equivalent_under_dependencies_bag(ex41.q1, ex41.q4, ex41.dependencies),
+            lambda: equivalent_under_dependencies_bag_set(ex41.q1, ex41.q4, ex41.dependencies),
+            lambda: c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False),
+            lambda: bag_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False),
+            lambda: bag_set_c_and_b(ex41.q4, ex41.dependencies, check_sigma_minimality=False),
+        ]
+        for call in shim_calls:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                call()
+            deprecations = [w for w in caught if w.category is DeprecationWarning]
+            assert len(deprecations) == 1
+            assert deprecations[0].filename == __file__
 
 
 # --------------------------------------------------------------------------- #
