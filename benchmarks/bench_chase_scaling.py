@@ -52,7 +52,11 @@ SCALING_TIERS = {
     "large": {"chain": 64, "star": (40, 40), "clique": (12, 12)},
 }
 #: Minimum aggregate accelerated-vs-reference speedup asserted per tier.
-SCALING_SPEEDUP_FLOOR = {"large": 5.0}
+#: The medium floor is deliberately loose (≈3.5x measured on a quiet
+#: machine): it runs on nightly shared runners and exists to catch the
+#: acceleration collapsing entirely, not a few percent of drift.  The
+#: large tier keeps the paper-grade 5x bar for manual runs.
+SCALING_SPEEDUP_FLOOR = {"medium": 2.0, "large": 5.0}
 SCALING_MAX_STEPS = 5000
 
 

@@ -1,0 +1,62 @@
+"""Experiment E13 — differential fuzz campaign throughput.
+
+The fuzz oracle is the scenario-diversity gate of the repository: every
+generated case pays for six chases (three semantics × accelerated and
+reference engines), the Proposition 6.1 verdict chain through a Session,
+and both front-end round trips.  This benchmark pins the campaign's
+throughput (cases/second) and its health — zero mismatches on the fixed
+seed, and a verdict mix that is neither all-equivalent nor all-inequivalent
+(a generator drifting to one extreme stops testing the decision procedures).
+"""
+
+from __future__ import annotations
+
+from _util import record
+
+from repro.fuzz import generate_cases, run_campaign, run_oracle
+
+_CASES = 60
+_SEED = 0
+
+
+def bench_fuzz_campaign_small(benchmark):
+    """A 60-case campaign, batch pipeline included, must stay mismatch free."""
+    result = benchmark(lambda: run_campaign(_SEED, _CASES))
+    assert result.ok, [failure.summary() for failure in result.failures]
+    assert result.passed == _CASES
+    equivalents = sum(
+        count for key, count in result.verdict_counts.items() if key.endswith("=eq")
+    )
+    inequivalents = sum(
+        count for key, count in result.verdict_counts.items() if key.endswith("=ne")
+    )
+    assert equivalents > 0 and inequivalents > 0  # generator health
+    throughput = _CASES / result.wall_time if result.wall_time else float("inf")
+    record(
+        benchmark,
+        cases=_CASES,
+        seed=_SEED,
+        cases_per_second=round(throughput, 1),
+        budget_exhausted=result.budget_exhausted,
+        verdict_counts=dict(sorted(result.verdict_counts.items())),
+    )
+
+
+def bench_fuzz_oracle_single_case(benchmark):
+    """Per-case oracle cost: the unit the soak multiplies by 5000."""
+    cases = generate_cases(_SEED, 10)
+
+    def oracle_pass():
+        return [run_oracle(case) for case in cases]
+
+    reports = benchmark(oracle_pass)
+    assert all(report.ok for report in reports)
+    record(benchmark, cases_per_call=len(cases))
+
+
+def bench_fuzz_generation_only(benchmark):
+    """Generation cost alone (no oracle): the ceiling on campaign throughput."""
+    cases = benchmark(lambda: generate_cases(_SEED, 200))
+    assert len(cases) == 200
+    assert all(case.has_consistent_arities() for case in cases)
+    record(benchmark, cases_per_call=200)

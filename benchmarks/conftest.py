@@ -11,6 +11,16 @@ saved JSON (``--benchmark-json``).
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make `pytest benchmarks -q` work from a plain checkout: put src/ on the
+# path before the repro imports below run.  Kept ahead of any environment
+# entry so an installed (possibly stale) repro never shadows the checkout.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import pytest
 
 from repro.paperlib import (

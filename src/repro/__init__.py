@@ -106,6 +106,14 @@ from .exceptions import (
     TranslationError,
     UnknownSemanticsError,
 )
+from .fuzz import (
+    CampaignResult,
+    FuzzCase,
+    GeneratorConfig,
+    generate_case,
+    run_campaign,
+    run_oracle,
+)
 from .reformulation import (
     ReformulationResult,
     bag_c_and_b,
@@ -143,6 +151,9 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "CacheStats",
+    "CampaignResult",
+    "FuzzCase",
+    "GeneratorConfig",
     "ChaseCache",
     "ChaseError",
     "ChaseNonTerminationError",
@@ -199,6 +210,7 @@ __all__ = [
     "evaluate",
     "evaluate_aggregate",
     "find_counterexample",
+    "generate_case",
     "is_assignment_fixing",
     "is_bag_equivalent",
     "is_bag_equivalent_with_set_enforced",
@@ -220,6 +232,8 @@ __all__ = [
     "rewrite_query_using_views",
     "render_dependency",
     "render_query",
+    "run_campaign",
+    "run_oracle",
     "satisfies",
     "satisfies_all",
     "schema_from_ddl",

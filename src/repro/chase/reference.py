@@ -22,7 +22,7 @@ to use indexes, delta tracking, or memoization.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from ..core.query import ConjunctiveQuery
 from ..core.reference import find_homomorphism_reference, iter_homomorphisms_reference

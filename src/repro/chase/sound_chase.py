@@ -34,7 +34,7 @@ a :class:`~repro.chase.profile.ChaseProfile` of the work done and skipped.
 from __future__ import annotations
 
 import time
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 from ..core.homomorphism import TargetIndex
 from ..core.query import ConjunctiveQuery
@@ -51,7 +51,6 @@ from .steps import (
     apply_egd_step,
     apply_tgd_step,
     deduplicate_body,
-    iter_applicable_egd_homomorphisms,
     iter_applicable_tgd_homomorphisms,
 )
 

@@ -18,6 +18,8 @@ can be used without writing Python::
     python -m repro batch --pairs pairs.txt --dependencies deps.txt \
         --semantics bag --jobs 4
 
+    python -m repro fuzz --cases 500 --seed 0 --shrink
+
 Every command builds a :class:`~repro.session.Session` around the supplied
 dependencies and dispatches through it, so repeated chases within one
 invocation are served from the session's cache.
@@ -184,6 +186,64 @@ def _parse_pairs(text: str) -> list[tuple]:
     return pairs
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import load_corpus, load_corpus_file, replay_cases, run_campaign
+
+    if args.replay:
+        replay_path = Path(args.replay)
+        if replay_path.is_dir():
+            corpus = load_corpus(replay_path)
+        else:
+            corpus = [load_corpus_file(replay_path)]
+        if not corpus:
+            print(f"error: no corpus cases under {args.replay}", file=sys.stderr)
+            return 2
+        for entry in corpus:
+            print(f"replaying {entry.name}: {entry.case}")
+        result = replay_cases(
+            [entry.case for entry in corpus],
+            shrink=args.shrink,
+            failure_dir=args.failure_dir,
+        )
+    else:
+        result = run_campaign(
+            args.seed,
+            args.cases,
+            jobs=args.jobs,
+            shrink=args.shrink,
+            failure_dir=args.failure_dir,
+        )
+    import json as json_module
+
+    from .fuzz import case_to_dict
+
+    for failure in result.failures:
+        print(f"FAIL {failure.summary()}")
+        for mismatch in failure.report.mismatches:
+            print(f"  {mismatch}")
+        # The full reproduction JSON goes to the log itself: a CI job's
+        # artifacts may be gone when someone reads the failure, the log is not.
+        shrunk = failure.shrunk if failure.shrunk is not None else failure.case
+        print("  reproduce (save as a corpus .json and --replay it):")
+        print(
+            "    "
+            + json_module.dumps(case_to_dict(shrunk), sort_keys=False)
+        )
+        if failure.case.seed is not None and failure.case.index is not None:
+            print(
+                f"  regenerate: repro fuzz --seed {failure.case.seed} "
+                f"--cases {failure.case.index + 1}"
+            )
+    for line in result.summary_lines():
+        print(line)
+    if result.failure_reports:
+        print(
+            f"{len(result.failure_reports)} failure reports written under "
+            f"{args.failure_dir}"
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_batch(args) -> int:
     session = _build_session(args)
     pairs = _parse_pairs(_read_text_or_file(args.pairs))
@@ -292,6 +352,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="decide pairs in N worker processes (default: in-process, shared cache)",
     )
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: random queries and Σ, accelerated vs "
+        "reference engines, Proposition 6.1, front-end round trips",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    fuzz_parser.add_argument(
+        "--cases", type=int, default=200, help="number of cases (default: 200)"
+    )
+    fuzz_parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="greedily 1-minimize every failing case before reporting it",
+    )
+    fuzz_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run oracle passes in N worker processes (the first block's "
+        "decisions also exercise the batch multiprocessing pipeline)",
+    )
+    fuzz_parser.add_argument(
+        "--replay",
+        help="replay a corpus case (JSON file) or a whole corpus directory "
+        "instead of generating cases",
+    )
+    fuzz_parser.add_argument(
+        "--failure-dir",
+        default="fuzz-failures",
+        help="directory for per-failure reproduction JSON (default: fuzz-failures)",
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     return parser
 

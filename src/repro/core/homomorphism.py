@@ -41,7 +41,7 @@ from typing import Iterator, Mapping, Sequence
 
 from .atoms import Atom
 from .query import ConjunctiveQuery
-from .terms import Constant, Term, Variable
+from .terms import Constant, Term
 
 Homomorphism = dict[Term, Term]
 

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 from ..core.atoms import Atom
 from ..core.terms import Variable
-from .base import EGD, TGD, Dependency, DependencySet
+from .base import TGD, Dependency, DependencySet
 
 
 def _conclusion_components(tgd: TGD) -> list[list[Atom]]:

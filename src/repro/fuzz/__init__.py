@@ -1,0 +1,72 @@
+"""Randomized workload generation and differential fuzzing.
+
+The scenario-diversity layer of the repository: a seeded generator of random
+conjunctive-query pairs and weakly-acyclic dependency sets
+(:mod:`~repro.fuzz.generator`), a differential oracle checking the
+accelerated engines against the frozen references plus the Proposition 6.1
+chain and both front-end round trips (:mod:`~repro.fuzz.oracle`), greedy
+failure shrinking (:mod:`~repro.fuzz.shrink`), a JSON regression corpus
+(:mod:`~repro.fuzz.corpus`), and the campaign runner behind the ``repro
+fuzz`` CLI command (:mod:`~repro.fuzz.runner`).
+"""
+
+from .corpus import (
+    CorpusCase,
+    CorpusError,
+    DEFAULT_CORPUS_DIR,
+    case_from_dict,
+    case_to_dict,
+    iter_corpus_paths,
+    load_corpus,
+    load_corpus_file,
+    save_case,
+)
+from .generator import (
+    DEFAULT_CONFIG,
+    FuzzCase,
+    GeneratorConfig,
+    generate_block,
+    generate_case,
+    generate_cases,
+    generate_dependencies,
+    with_max_steps,
+)
+from .oracle import ALL_SEMANTICS, CaseReport, OracleMismatch, run_oracle
+from .runner import (
+    CampaignResult,
+    FuzzFailure,
+    replay_cases,
+    run_campaign,
+)
+from .shrink import check_family, fails_like, shrink_case
+
+__all__ = [
+    "ALL_SEMANTICS",
+    "CampaignResult",
+    "CaseReport",
+    "CorpusCase",
+    "CorpusError",
+    "DEFAULT_CONFIG",
+    "DEFAULT_CORPUS_DIR",
+    "FuzzCase",
+    "FuzzFailure",
+    "GeneratorConfig",
+    "OracleMismatch",
+    "case_from_dict",
+    "case_to_dict",
+    "check_family",
+    "fails_like",
+    "generate_block",
+    "generate_case",
+    "generate_cases",
+    "generate_dependencies",
+    "iter_corpus_paths",
+    "load_corpus",
+    "load_corpus_file",
+    "replay_cases",
+    "run_campaign",
+    "run_oracle",
+    "save_case",
+    "shrink_case",
+    "with_max_steps",
+]

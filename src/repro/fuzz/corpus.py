@@ -1,0 +1,160 @@
+"""JSON serialization of fuzz cases: the regression corpus and failure reports.
+
+Two kinds of files share one format:
+
+* **corpus cases** (``tests/corpus/*.json``) — previously found failures and
+  deliberately nasty shapes, committed to the repository and replayed as
+  named pytest parametrizations on every run;
+* **failure reports** — written by a campaign for every failing case,
+  carrying the exact ``seed``/``index`` that reproduces it plus the shrunk
+  case, so a nightly soak failure is a one-command replay.
+
+The textual encoding is the rule notation of :mod:`repro.datalog` (queries
+and dependencies render/parse losslessly), which keeps corpus files humanly
+editable::
+
+    {
+      "name": "self-join-under-fd",
+      "description": "why this case exists",
+      "query": "Q(X) :- p0(X, Y), p0(Y, Y)",
+      "other": "Q2(X) :- p0(X, Y), p0(Y, Y), p0(X, Y)",
+      "dependencies": ["p0(K, A1) & p0(K, B1) -> A1 = B1"],
+      "set_valued": ["p0"],
+      "max_steps": 80
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..datalog import (
+    parse_dependency,
+    parse_query,
+    render_dependency,
+    render_query,
+)
+from ..dependencies.base import Dependency, DependencySet
+from ..exceptions import ReproError
+from .generator import DEFAULT_CONFIG, FuzzCase
+
+#: Directory of the committed regression corpus, relative to the repo root.
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+class CorpusError(ReproError):
+    """A corpus file is missing required fields or fails to parse."""
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """A named, documented fuzz case loaded from (or bound for) a JSON file."""
+
+    name: str
+    description: str
+    case: FuzzCase
+
+
+def case_to_dict(
+    case: FuzzCase, *, name: str = "", description: str = ""
+) -> dict:
+    """Serialize a case (plus optional corpus metadata) to a JSON-able dict."""
+    payload: dict = {}
+    if name:
+        payload["name"] = name
+    if description:
+        payload["description"] = description
+    payload.update(
+        {
+            "query": render_query(case.query),
+            "other": render_query(case.other),
+            "dependencies": [
+                render_dependency(d) for d in case.dependencies
+            ],
+            "set_valued": sorted(case.dependencies.set_valued_predicates),
+            "max_steps": case.max_steps,
+        }
+    )
+    if case.seed is not None:
+        payload["seed"] = case.seed
+    if case.index is not None:
+        payload["index"] = case.index
+    return payload
+
+
+def case_from_dict(payload: dict, *, origin: str = "<corpus>") -> FuzzCase:
+    """Deserialize a case; raises :class:`CorpusError` on malformed input."""
+    try:
+        query = parse_query(payload["query"])
+        other = parse_query(payload["other"])
+        dependencies: list[Dependency] = []
+        for line in payload.get("dependencies", []):
+            dependencies.extend(parse_dependency(line))
+    except KeyError as error:
+        raise CorpusError(f"{origin}: missing field {error}") from error
+    except ReproError as error:
+        raise CorpusError(f"{origin}: {error}") from error
+    return FuzzCase(
+        query=query,
+        other=other,
+        dependencies=DependencySet(
+            dependencies, payload.get("set_valued", [])
+        ),
+        max_steps=int(payload.get("max_steps", DEFAULT_CONFIG.max_steps)),
+        origin=origin,
+        seed=payload.get("seed"),
+        index=payload.get("index"),
+    )
+
+
+def load_corpus_file(path: str | Path) -> CorpusCase:
+    """Load one corpus JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CorpusError(f"{path}: {error}") from error
+    case = case_from_dict(payload, origin=path.name)
+    return CorpusCase(
+        name=payload.get("name", path.stem),
+        description=payload.get("description", ""),
+        case=case,
+    )
+
+
+def load_corpus(directory: str | Path = DEFAULT_CORPUS_DIR) -> list[CorpusCase]:
+    """Load every ``*.json`` corpus case under *directory*, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        load_corpus_file(path) for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def iter_corpus_paths(
+    directory: str | Path = DEFAULT_CORPUS_DIR,
+) -> Iterable[Path]:
+    """The corpus file paths, for pytest parametrization ids."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def save_case(
+    case: FuzzCase,
+    path: str | Path,
+    *,
+    name: str = "",
+    description: str = "",
+) -> Path:
+    """Write a case to *path* as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = case_to_dict(case, name=name, description=description)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path

@@ -1,0 +1,471 @@
+"""Seeded random generation of fuzz cases: query pairs plus a dependency set.
+
+Every hand-written fixture in this repository replays a paper example or one
+of three structured workload families; the decision procedures, however, are
+exactly the kind of code where *rare shapes* hide bugs — self-joins, repeated
+variables within one atom, constants in dependency conclusions, egd/tgd
+interleavings, duplicate subgoals.  This module generates those shapes on
+purpose, deterministically from a seed:
+
+* random conjunctive queries with controlled body size, self-join density,
+  constant bias, and repeated-variable bias (a small variable pool makes
+  repetitions the norm, not the exception);
+* a *mutated partner query* per case — duplicated subgoal, dropped subgoal,
+  variable renaming, extra subgoal, or shuffled body — so the equivalence
+  verdicts of a campaign are a healthy mix of positives and negatives under
+  the three semantics;
+* random weakly-acyclic Σ of tgds and egds, routed through
+  :func:`repro.dependencies.regularize.regularize` (the sound chase requires
+  regularized tgds) and filtered through
+  :func:`repro.dependencies.weak_acyclicity.is_weakly_acyclic` (so every set
+  chase, and by Proposition 5.1 every sound chase, terminates).
+
+Determinism contract: ``generate_case(seed, index)`` depends only on its
+arguments and the :class:`GeneratorConfig` — the RNG is seeded with the
+string ``"{seed}:{index}"``, whose expansion is stable across Python
+versions and platforms.  Cases whose ``index // sigma_block_size`` agree
+share a dependency set, so campaign runners can batch their decisions
+through one :class:`~repro.session.Session` (shared chase cache, optional
+multiprocessing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..core.atoms import Atom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..dependencies.regularize import regularize
+from ..dependencies.weak_acyclicity import is_weakly_acyclic
+from ..exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable shape parameters of the generator.
+
+    The defaults are small on purpose: the differential oracle runs six
+    chases per case (three semantics, two engines — one of them the frozen,
+    deliberately slow reference), so case size is the campaign's throughput
+    knob.
+    """
+
+    #: Number of distinct relation names available to one case.
+    predicates: int = 3
+    #: Maximum relation arity (arity is drawn per predicate, 1..max_arity).
+    max_arity: int = 3
+    #: Maximum number of body atoms per generated query.
+    max_body_atoms: int = 4
+    #: Maximum number of head terms (at least 1, so SQL rendering works).
+    max_head_terms: int = 3
+    #: Maximum tgds / egds per dependency set.
+    max_tgds: int = 3
+    max_egds: int = 2
+    #: Probability that a query term position holds a constant.
+    constant_bias: float = 0.15
+    #: Probability that an atom repeats the previous atom's predicate.
+    self_join_bias: float = 0.35
+    #: Probability that a head position holds a constant.
+    head_constant_bias: float = 0.1
+    #: Probability that a tgd-conclusion position holds a constant
+    #: ("constants in dependency heads" — a classically under-tested shape).
+    conclusion_constant_bias: float = 0.15
+    #: Probability that a predicate is required to be set valued.
+    set_valued_bias: float = 0.5
+    #: Chase step budget per case; cases exceeding it are recorded as
+    #: budget-exhausted (both engines must still agree on that outcome).
+    max_steps: int = 80
+    #: Consecutive cases sharing one Σ (campaigns batch them per Session).
+    sigma_block_size: int = 10
+    #: Constant pool (ints and lowercase strings survive the SQL round trip).
+    constant_pool: tuple[object, ...] = (0, 1, 7, "a", "b")
+
+
+DEFAULT_CONFIG = GeneratorConfig()
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential-testing case: a query pair and the Σ they live under.
+
+    ``origin`` records where the case came from (``"seed0:17"`` for
+    generated cases, a file name for corpus replays) so every failure report
+    can name the exact reproduction recipe.
+    """
+
+    query: ConjunctiveQuery
+    other: ConjunctiveQuery
+    dependencies: DependencySet
+    max_steps: int = DEFAULT_CONFIG.max_steps
+    origin: str = "<handmade>"
+    seed: int | None = None
+    index: int | None = None
+
+    def arities(self) -> dict[str, int]:
+        """Predicate → arity over every atom of the case (queries and Σ).
+
+        Generated cases use each predicate at a single arity, which is what
+        the SQL round trip needs; hand-made corpus cases are free to violate
+        that, in which case the oracle skips the SQL check for them.
+        """
+        seen: dict[str, int] = {}
+        for atom in self._all_atoms():
+            seen.setdefault(atom.predicate, atom.arity)
+        return seen
+
+    def has_consistent_arities(self) -> bool:
+        """True when no predicate is used at two different arities."""
+        seen: dict[str, int] = {}
+        for atom in self._all_atoms():
+            if seen.setdefault(atom.predicate, atom.arity) != atom.arity:
+                return False
+        return True
+
+    def _all_atoms(self):
+        yield from self.query.body
+        yield from self.other.body
+        for dependency in self.dependencies:
+            yield from dependency.premise
+            if isinstance(dependency, TGD):
+                yield from dependency.conclusion
+
+    def __str__(self) -> str:
+        return (
+            f"FuzzCase[{self.origin}]: {self.query} | {self.other} | "
+            f"{len(self.dependencies)} dependencies"
+        )
+
+
+@dataclass(frozen=True)
+class _Vocabulary:
+    """The relation names and arities one dependency-set block draws from."""
+
+    arities: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.arities)
+
+
+def _rng(seed: int, label: object) -> random.Random:
+    # String seeds hash via a version-stable path in CPython's Random,
+    # unlike tuples (which go through PYTHONHASHSEED-dependent hash()).
+    return random.Random(f"{seed}:{label}")
+
+
+def _vocabulary(rng: random.Random, config: GeneratorConfig) -> _Vocabulary:
+    count = rng.randint(2, max(2, config.predicates))
+    return _Vocabulary(
+        {f"p{i}": rng.randint(1, config.max_arity) for i in range(count)}
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Queries
+# --------------------------------------------------------------------------- #
+def _random_term(
+    rng: random.Random,
+    pool: list[Variable],
+    config: GeneratorConfig,
+    constant_bias: float,
+) -> Term:
+    if rng.random() < constant_bias:
+        return Constant(rng.choice(config.constant_pool))
+    return rng.choice(pool)
+
+
+def _random_body(
+    rng: random.Random, vocab: _Vocabulary, config: GeneratorConfig
+) -> list[Atom]:
+    n_atoms = rng.randint(1, config.max_body_atoms)
+    # A pool barely larger than the atom count forces repeated variables,
+    # both across atoms (joins) and within one atom (diagonal subgoals).
+    pool = [Variable(f"X{i}") for i in range(rng.randint(1, n_atoms + 2))]
+    body: list[Atom] = []
+    for position in range(n_atoms):
+        if body and rng.random() < config.self_join_bias:
+            predicate = body[-1].predicate  # deliberate self-join
+        else:
+            predicate = rng.choice(vocab.names)
+        arity = vocab.arities[predicate]
+        terms = [
+            _random_term(rng, pool, config, config.constant_bias)
+            for _ in range(arity)
+        ]
+        body.append(Atom(predicate, terms))
+    return body
+
+
+def _random_query(
+    rng: random.Random,
+    vocab: _Vocabulary,
+    config: GeneratorConfig,
+    head_predicate: str = "Q",
+) -> ConjunctiveQuery:
+    body = _random_body(rng, vocab, config)
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+    )
+    head_terms: list[Term] = []
+    for _ in range(rng.randint(1, config.max_head_terms)):
+        if not body_vars or rng.random() < config.head_constant_bias:
+            head_terms.append(Constant(rng.choice(config.constant_pool)))
+        else:
+            head_terms.append(rng.choice(body_vars))
+    return ConjunctiveQuery(head_predicate, head_terms, body)
+
+
+#: The mutation kinds `_mutate` draws from; each yields a partner query whose
+#: equivalence to the original is *interestingly undetermined* — isomorphic
+#: renamings and body shuffles must come out equivalent under all semantics,
+#: duplicated subgoals split bag from bag-set, dropped/added subgoals are
+#: usually inequivalent unless Σ makes the subgoal redundant.
+MUTATIONS = ("rename", "shuffle", "duplicate-atom", "drop-atom", "add-atom")
+
+
+def _mutate(
+    rng: random.Random,
+    query: ConjunctiveQuery,
+    vocab: _Vocabulary,
+    config: GeneratorConfig,
+) -> ConjunctiveQuery:
+    kind = rng.choice(MUTATIONS)
+    body = list(query.body)
+    if kind == "rename":
+        renaming = {
+            v: Variable(f"Y{i}") for i, v in enumerate(query.all_variables())
+        }
+        return ConjunctiveQuery(
+            "Q2",
+            [renaming.get(t, t) for t in query.head_terms],
+            [atom.substitute(dict(renaming)) for atom in body],
+        )
+    if kind == "shuffle":
+        rng.shuffle(body)
+        return ConjunctiveQuery("Q2", query.head_terms, body)
+    if kind == "duplicate-atom":
+        body.append(rng.choice(body))
+        return ConjunctiveQuery("Q2", query.head_terms, body)
+    if kind == "drop-atom" and len(body) > 1:
+        victim = rng.randrange(len(body))
+        try:
+            return ConjunctiveQuery(
+                "Q2", query.head_terms, body[:victim] + body[victim + 1 :]
+            )
+        except QueryError:
+            pass  # dropping the atom would orphan a head variable
+    # "add-atom", and the fallback for an unsafe drop.
+    pool = query.all_variables() or [Variable("X0")]
+    predicate = rng.choice(vocab.names)
+    extra = Atom(
+        predicate,
+        [
+            _random_term(rng, pool, config, config.constant_bias)
+            for _ in range(vocab.arities[predicate])
+        ],
+    )
+    return ConjunctiveQuery("Q2", query.head_terms, body + [extra])
+
+
+# --------------------------------------------------------------------------- #
+# Dependencies
+# --------------------------------------------------------------------------- #
+def _dependency_atom(
+    rng: random.Random,
+    vocab: _Vocabulary,
+    pool: list[Variable],
+    config: GeneratorConfig,
+    constant_bias: float,
+) -> Atom:
+    predicate = rng.choice(vocab.names)
+    return Atom(
+        predicate,
+        [
+            _random_term(rng, pool, config, constant_bias)
+            for _ in range(vocab.arities[predicate])
+        ],
+    )
+
+
+def _random_tgd(
+    rng: random.Random, vocab: _Vocabulary, config: GeneratorConfig, name: str
+) -> TGD | None:
+    universal = [Variable(f"U{i}") for i in range(rng.randint(1, 3))]
+    premise = [
+        _dependency_atom(rng, vocab, universal, config, constant_bias=0.0)
+        for _ in range(rng.randint(1, 2))
+    ]
+    # The conclusion pool mixes premise variables (frontier) with fresh ones
+    # (implicitly existentially quantified by the TGD model).
+    premise_vars = sorted(
+        {v for atom in premise for v in atom.variables()}, key=lambda v: v.name
+    )
+    conclusion_pool = premise_vars + [
+        Variable(f"V{i}") for i in range(rng.randint(1, 2))
+    ]
+    conclusion = [
+        _dependency_atom(
+            rng, vocab, conclusion_pool, config, config.conclusion_constant_bias
+        )
+        for _ in range(rng.randint(1, 2))
+    ]
+    return TGD(premise, conclusion, name=name)
+
+
+def _random_egd(
+    rng: random.Random, vocab: _Vocabulary, config: GeneratorConfig, name: str
+) -> EGD | None:
+    wide = [p for p in vocab.names if vocab.arities[p] >= 2]
+    if wide and rng.random() < 0.7:
+        # A functional dependency: two atoms of one predicate agreeing on a
+        # key position force agreement on a value position — the shape that
+        # interleaves with tgd steps via assignment fixing.
+        predicate = rng.choice(wide)
+        arity = vocab.arities[predicate]
+        key = rng.randrange(arity)
+        value = rng.choice([i for i in range(arity) if i != key])
+        shared = Variable("K")
+        left = [
+            shared if i == key else Variable(f"A{i}") for i in range(arity)
+        ]
+        right = [
+            shared if i == key else Variable(f"B{i}") for i in range(arity)
+        ]
+        return EGD(
+            [Atom(predicate, left), Atom(predicate, right)],
+            _equality(left[value], right[value]),
+            name=name,
+        )
+    # A generic egd: random premise, equality between two of its variables.
+    pool = [Variable(f"U{i}") for i in range(rng.randint(2, 4))]
+    premise = [
+        _dependency_atom(rng, vocab, pool, config, constant_bias=0.0)
+        for _ in range(rng.randint(1, 2))
+    ]
+    premise_vars = sorted(
+        {v for atom in premise for v in atom.variables()}, key=lambda v: v.name
+    )
+    if len(premise_vars) < 2:
+        return None
+    left, right = rng.sample(premise_vars, 2)
+    return EGD(premise, _equality(left, right), name=name)
+
+
+def _equality(left: Term, right: Term):
+    from ..core.atoms import EqualityAtom
+
+    return EqualityAtom(left, right)
+
+
+def generate_dependencies(
+    seed: int, block: int, config: GeneratorConfig = DEFAULT_CONFIG
+) -> tuple[DependencySet, _Vocabulary]:
+    """The regularized, weakly acyclic Σ shared by one block of cases."""
+    rng = _rng(seed, f"sigma:{block}")
+    vocab = _vocabulary(rng, config)
+    dependencies: list[Dependency] = []
+    for i in range(rng.randint(0, config.max_tgds)):
+        tgd = _random_tgd(rng, vocab, config, name=f"t{i + 1}")
+        if tgd is not None:
+            dependencies.append(tgd)
+    for i in range(rng.randint(0, config.max_egds)):
+        egd = _random_egd(rng, vocab, config, name=f"e{i + 1}")
+        if egd is not None:
+            dependencies.append(egd)
+    set_valued = [
+        name for name in vocab.names if rng.random() < config.set_valued_bias
+    ]
+    sigma = regularize(DependencySet(dependencies, set_valued))
+    # Weak acyclicity guarantees chase termination (Appendix H.1); greedily
+    # drop tgds — most recently generated first, so the survivor prefix stays
+    # stable — until the remainder is weakly acyclic.
+    while not is_weakly_acyclic(sigma):
+        tgds = [d for d in sigma.dependencies if isinstance(d, TGD)]
+        sigma = sigma.without(tgds[-1])
+    return sigma, vocab
+
+
+def _case_with_sigma(
+    seed: int,
+    index: int,
+    config: GeneratorConfig,
+    sigma: DependencySet,
+    vocab: _Vocabulary,
+) -> FuzzCase:
+    rng = _rng(seed, f"case:{index}")
+    query = _random_query(rng, vocab, config)
+    other = _mutate(rng, query, vocab, config)
+    return FuzzCase(
+        query=query,
+        other=other,
+        dependencies=sigma,
+        max_steps=config.max_steps,
+        origin=f"seed{seed}:{index}",
+        seed=seed,
+        index=index,
+    )
+
+
+def _block_size(config: GeneratorConfig) -> int:
+    # Clamped once here so every caller agrees: sigma_block_size <= 1 means
+    # "fresh Σ per case" rather than a ZeroDivisionError.
+    return max(1, config.sigma_block_size)
+
+
+def generate_case(
+    seed: int, index: int, config: GeneratorConfig = DEFAULT_CONFIG
+) -> FuzzCase:
+    """The *index*-th case of the campaign seeded with *seed*.
+
+    Pure function of its arguments: campaigns, replays, and shrinking all
+    reconstruct identical cases from ``(seed, index)``.
+    """
+    sigma, vocab = generate_dependencies(
+        seed, index // _block_size(config), config
+    )
+    return _case_with_sigma(seed, index, config, sigma, vocab)
+
+
+def generate_block(
+    seed: int,
+    block: int,
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    *,
+    stop: int | None = None,
+) -> list[FuzzCase]:
+    """Every case of Σ-block *block*, truncated at global case index *stop*.
+
+    Identical to calling :func:`generate_case` per index, but Σ — whose
+    construction pays for regularization and a weak-acyclicity SCC pass —
+    is built once for the whole block.
+    """
+    block_size = _block_size(config)
+    start = block * block_size
+    end = start + block_size if stop is None else min(start + block_size, stop)
+    if end <= start:
+        return []
+    sigma, vocab = generate_dependencies(seed, block, config)
+    return [
+        _case_with_sigma(seed, index, config, sigma, vocab)
+        for index in range(start, end)
+    ]
+
+
+def generate_cases(
+    seed: int, count: int, config: GeneratorConfig = DEFAULT_CONFIG
+) -> list[FuzzCase]:
+    """The first *count* cases of the campaign seeded with *seed*."""
+    cases: list[FuzzCase] = []
+    block = 0
+    while len(cases) < count:
+        cases.extend(generate_block(seed, block, config, stop=count))
+        block += 1
+    return cases
+
+
+def with_max_steps(case: FuzzCase, max_steps: int) -> FuzzCase:
+    """A copy of *case* with a different chase budget."""
+    return replace(case, max_steps=max_steps)

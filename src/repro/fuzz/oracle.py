@@ -1,0 +1,361 @@
+"""The differential oracle: every cheap invariant this repository can check.
+
+Given a :class:`~repro.fuzz.generator.FuzzCase` (a query pair plus Σ), the
+oracle runs four independent families of checks and reports every mismatch:
+
+1. **Engine differential** — the accelerated chase drivers
+   (:func:`repro.chase.sound_chase.sound_chase`, delta-driven, indexed) must
+   reproduce the frozen reference drivers
+   (:mod:`repro.chase.reference`) *step for step*: same step records, same
+   terminal query, and the same outcome kind when the chase fails or runs
+   out of budget.  The homomorphism engines are compared the same way.
+2. **Proposition 6.1** — the bag ⇒ bag-set ⇒ set implication chain must hold
+   across the three verdicts of a :class:`~repro.session.Session`; each
+   verdict is additionally recomputed from the *reference* chase results, so
+   a chase divergence that happens to produce a plausible query still trips
+   the oracle.
+3. **Datalog round trip** — rendering a query or dependency and parsing it
+   back must reproduce the object (dependency names are rendering-invisible
+   and are compared structurally).
+4. **SQL round trip** — rendering a query to SQL against the case's derived
+   schema and translating it back must yield an isomorphic query.
+
+Every check is pure: the oracle never mutates the case and builds a fresh
+:class:`Session` per report, so corpus replays and shrink probes are
+hermetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chase.reference import sound_chase_reference
+from ..chase.sound_chase import sound_chase
+from ..chase.steps import ChaseFailedError
+from ..core.homomorphism import find_isomorphism, iter_homomorphisms
+from ..core.query import ConjunctiveQuery
+from ..core.reference import iter_homomorphisms_reference
+from ..dependencies.base import EGD, TGD, Dependency
+from ..datalog import parse_dependency, parse_query, render_dependency, render_query
+from ..equivalence.decision import EquivalenceVerdict
+from ..exceptions import ChaseNonTerminationError, ReproError
+from ..schema.schema import DatabaseSchema
+from ..semantics import Semantics
+from ..session.engine import Session, assert_proposition_6_1
+from ..sql import query_to_sql, translate_sql
+from .generator import FuzzCase
+
+#: Order matters: Proposition 6.1 reads bag ⇒ bag-set ⇒ set.
+ALL_SEMANTICS = (Semantics.BAG, Semantics.BAG_SET, Semantics.SET)
+
+
+@dataclass(frozen=True)
+class OracleMismatch:
+    """One invariant violation: which check tripped, and the evidence."""
+
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.detail}"
+
+
+@dataclass
+class CaseReport:
+    """Everything one oracle pass over one case produced."""
+
+    case: FuzzCase
+    mismatches: list[OracleMismatch] = field(default_factory=list)
+    #: Verdicts per semantics, for campaign statistics; absent when a chase
+    #: failed or exhausted its budget.
+    verdicts: dict[Semantics, bool] = field(default_factory=dict)
+    #: True when some chase of the case ran out of its step budget (the
+    #: engines still had to agree on that outcome for the case to pass).
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def failed_checks(self) -> list[str]:
+        return [mismatch.check for mismatch in self.mismatches]
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "; ".join(map(str, self.mismatches))
+        return f"{self.case.origin}: {status}"
+
+
+# --------------------------------------------------------------------------- #
+# Chase outcomes
+# --------------------------------------------------------------------------- #
+def _chase_outcome(chase_fn, query, dependencies, semantics, max_steps):
+    """Normalize a chase run into a comparable (kind, payload) pair."""
+    try:
+        result = chase_fn(query, dependencies, semantics, max_steps)
+    except ChaseNonTerminationError:
+        return ("budget-exhausted", None)
+    except ChaseFailedError:
+        return ("chase-failed", None)
+    return ("terminated", result)
+
+
+def _describe(outcome) -> str:
+    kind, result = outcome
+    if result is None:
+        return kind
+    return f"{kind}: {result.query} after {result.step_count} steps"
+
+
+def _compare_chases(case: FuzzCase, report: CaseReport) -> dict:
+    """Run both engines on both queries under all semantics; return the
+    reference outcomes keyed by (which-query, semantics) for reuse."""
+    reference_outcomes: dict[tuple[str, Semantics], tuple] = {}
+    for label, query in (("query", case.query), ("other", case.other)):
+        for semantics in ALL_SEMANTICS:
+            fast = _chase_outcome(
+                sound_chase, query, case.dependencies, semantics, case.max_steps
+            )
+            slow = _chase_outcome(
+                sound_chase_reference,
+                query,
+                case.dependencies,
+                semantics,
+                case.max_steps,
+            )
+            reference_outcomes[(label, semantics)] = slow
+            if slow[0] == "budget-exhausted":
+                report.budget_exhausted = True
+            if fast[0] != slow[0]:
+                report.mismatches.append(
+                    OracleMismatch(
+                        f"chase-differential[{semantics}]",
+                        f"{label}: accelerated {_describe(fast)} vs "
+                        f"reference {_describe(slow)}",
+                    )
+                )
+                continue
+            if fast[0] != "terminated":
+                continue
+            fast_result, slow_result = fast[1], slow[1]
+            if fast_result.query != slow_result.query:
+                report.mismatches.append(
+                    OracleMismatch(
+                        f"chase-differential[{semantics}]",
+                        f"{label}: terminal queries differ — accelerated "
+                        f"{fast_result.query} vs reference {slow_result.query}",
+                    )
+                )
+            elif fast_result.steps != slow_result.steps:
+                report.mismatches.append(
+                    OracleMismatch(
+                        f"chase-differential[{semantics}]",
+                        f"{label}: step records diverge at step "
+                        f"{_first_divergence(fast_result.steps, slow_result.steps)}",
+                    )
+                )
+    return reference_outcomes
+
+
+def _first_divergence(left: list, right: list) -> int:
+    for position, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            return position
+    return min(len(left), len(right))
+
+
+def _compare_homomorphism_engines(case: FuzzCase, report: CaseReport) -> None:
+    """Indexed vs reference homomorphism search between the two bodies."""
+    fast = list(iter_homomorphisms(case.query.body, case.other.body))
+    slow = list(iter_homomorphisms_reference(case.query.body, case.other.body))
+    if fast != slow:
+        report.mismatches.append(
+            OracleMismatch(
+                "homomorphism-differential",
+                f"{len(fast)} indexed vs {len(slow)} reference homomorphisms "
+                "(or a different enumeration order)",
+            )
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Proposition 6.1 and verdict differentials
+# --------------------------------------------------------------------------- #
+def _check_verdicts(
+    case: FuzzCase,
+    report: CaseReport,
+    reference_outcomes: dict,
+    session: Session | None,
+    precomputed: dict[Semantics, EquivalenceVerdict] | None = None,
+) -> None:
+    """Session verdicts: Proposition 6.1 chain + reference-chase recomputation.
+
+    ``precomputed`` lets a campaign runner supply verdicts it already
+    obtained through ``Session.decide_many`` (exercising the batch
+    pipelines); otherwise a session is consulted directly.
+    """
+    if session is None:
+        session = Session(
+            dependencies=case.dependencies, max_steps=case.max_steps
+        )
+    verdicts: dict[Semantics, EquivalenceVerdict] = {}
+    for semantics in ALL_SEMANTICS:
+        if precomputed is not None and semantics in precomputed:
+            verdicts[semantics] = precomputed[semantics]
+            continue
+        try:
+            verdicts[semantics] = session.decide(
+                case.query, case.other, semantics, case.max_steps
+            )
+        except (ChaseNonTerminationError, ChaseFailedError):
+            continue  # outcome-kind agreement was already checked above
+    report.verdicts = {
+        semantics: bool(verdict) for semantics, verdict in verdicts.items()
+    }
+    try:
+        assert_proposition_6_1(verdicts)
+    except AssertionError as error:
+        report.mismatches.append(OracleMismatch("proposition-6.1", str(error)))
+
+    # Recompute each verdict from the *reference* chase results: the session
+    # must agree with the decision the frozen engines would have made.
+    for semantics, verdict in verdicts.items():
+        left = reference_outcomes.get(("query", semantics))
+        right = reference_outcomes.get(("other", semantics))
+        if not left or not right:
+            continue
+        if left[0] != "terminated" or right[0] != "terminated":
+            continue
+        strategy = session.strategy_for(semantics)
+        expected = strategy.equivalent_chased(
+            left[1].query, right[1].query, session.dependencies
+        )
+        if bool(verdict) != bool(expected):
+            report.mismatches.append(
+                OracleMismatch(
+                    f"verdict-differential[{semantics}]",
+                    f"session decided {bool(verdict)} but the reference "
+                    f"chases decide {expected}",
+                )
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------------- #
+def _dependency_signature(dependency: Dependency) -> tuple:
+    """Structural identity of a dependency, ignoring its (unrendered) name."""
+    if isinstance(dependency, TGD):
+        return ("tgd", dependency.premise, dependency.conclusion)
+    assert isinstance(dependency, EGD)
+    return ("egd", dependency.premise, dependency.equalities)
+
+
+def _check_datalog_round_trip(case: FuzzCase, report: CaseReport) -> None:
+    for label, query in (("query", case.query), ("other", case.other)):
+        rendered = render_query(query)
+        try:
+            parsed = parse_query(rendered)
+        except ReproError as error:
+            report.mismatches.append(
+                OracleMismatch(
+                    "datalog-roundtrip",
+                    f"{label}: {rendered!r} failed to parse back: {error}",
+                )
+            )
+            continue
+        if parsed != query:
+            report.mismatches.append(
+                OracleMismatch(
+                    "datalog-roundtrip",
+                    f"{label}: {rendered!r} parsed back as {parsed}",
+                )
+            )
+    for dependency in case.dependencies:
+        rendered = render_dependency(dependency)
+        try:
+            parsed = parse_dependency(rendered)
+        except ReproError as error:
+            report.mismatches.append(
+                OracleMismatch(
+                    "datalog-roundtrip",
+                    f"dependency {rendered!r} failed to parse back: {error}",
+                )
+            )
+            continue
+        if len(parsed) != 1 or _dependency_signature(
+            parsed[0]
+        ) != _dependency_signature(dependency):
+            report.mismatches.append(
+                OracleMismatch(
+                    "datalog-roundtrip",
+                    f"dependency {rendered!r} parsed back as "
+                    f"{[str(d) for d in parsed]}",
+                )
+            )
+
+
+def _check_sql_round_trip(case: FuzzCase, report: CaseReport) -> None:
+    if not case.has_consistent_arities():
+        return  # hand-made corpus cases may overload a predicate name
+    schema = DatabaseSchema.from_arities(
+        case.arities(), set_valued=case.dependencies.set_valued_predicates
+    )
+    for label, query in (("query", case.query), ("other", case.other)):
+        if not query.head_terms:
+            continue  # SELECT needs at least one output column
+        try:
+            sql = query_to_sql(query, schema, Semantics.BAG_SET)
+            translated = translate_sql(sql, schema).query
+        except ReproError as error:
+            report.mismatches.append(
+                OracleMismatch(
+                    "sql-roundtrip", f"{label}: round trip raised {error}"
+                )
+            )
+            continue
+        if not isinstance(translated, ConjunctiveQuery):
+            report.mismatches.append(
+                OracleMismatch(
+                    "sql-roundtrip",
+                    f"{label}: {sql!r} translated back as a non-CQ query",
+                )
+            )
+            continue
+        # The translator names every query "Q" and invents variable names;
+        # isomorphism (head-respecting bijection of subgoal occurrences) is
+        # the right notion of "came back unchanged".
+        renamed = ConjunctiveQuery(
+            query.head_predicate, translated.head_terms, translated.body
+        )
+        if find_isomorphism(query, renamed) is None:
+            report.mismatches.append(
+                OracleMismatch(
+                    "sql-roundtrip",
+                    f"{label}: {sql!r} translated back as non-isomorphic "
+                    f"{translated}",
+                )
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def run_oracle(
+    case: FuzzCase,
+    *,
+    session: Session | None = None,
+    precomputed_verdicts: dict[Semantics, EquivalenceVerdict] | None = None,
+) -> CaseReport:
+    """Run every check on *case* and return the full report.
+
+    ``session`` (optional) lets a campaign reuse one Session — and hence one
+    chase cache — across a block of cases sharing Σ; ``precomputed_verdicts``
+    lets it feed in verdicts obtained through the batch pipelines.
+    """
+    report = CaseReport(case=case)
+    reference_outcomes = _compare_chases(case, report)
+    _compare_homomorphism_engines(case, report)
+    _check_verdicts(case, report, reference_outcomes, session, precomputed_verdicts)
+    _check_datalog_round_trip(case, report)
+    _check_sql_round_trip(case, report)
+    return report

@@ -1,0 +1,343 @@
+"""Campaign driver: generate, batch-decide, oracle-check, shrink, report.
+
+A campaign of N cases is organized around the generator's Σ blocks: all
+cases of a block share one dependency set, so the runner builds one
+:class:`~repro.session.Session` per block and routes the block's equivalence
+decisions through :meth:`Session.decide_many` — the same batch pipeline the
+``batch`` CLI command uses.  Sequentially that exercises the shared chase
+cache (a block's pairs overlap heavily); with ``jobs=N`` it fans the
+decisions out over worker processes, so large soaks exercise the
+multiprocessing pipeline too.  The per-case oracle then reuses those
+verdicts instead of re-deciding.
+
+Failures are optionally shrunk (:mod:`repro.fuzz.shrink`) and serialized
+(:mod:`repro.fuzz.corpus`) with the exact ``seed``/``index`` that
+regenerates them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..equivalence.decision import EquivalenceVerdict
+from ..semantics import Semantics
+from ..session.engine import Session
+from .corpus import save_case
+from .generator import (
+    DEFAULT_CONFIG,
+    FuzzCase,
+    GeneratorConfig,
+    generate_block,
+)
+from .oracle import ALL_SEMANTICS, CaseReport, OracleMismatch, run_oracle
+from .shrink import shrink_case
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, its mismatches, and (optionally) its shrunk form."""
+
+    report: CaseReport
+    shrunk: FuzzCase | None = None
+
+    @property
+    def case(self) -> FuzzCase:
+        return self.report.case
+
+    def summary(self) -> str:
+        checks = ", ".join(sorted(set(self.report.failed_checks())))
+        return f"{self.case.origin}: {checks}"
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one fuzz campaign."""
+
+    seed: int
+    cases: int
+    passed: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    budget_exhausted: int = 0
+    #: How often each (semantics, verdict) combination occurred — campaign
+    #: health telemetry: a generator drifting into all-inequivalent (or
+    #: all-equivalent) pairs stops testing anything interesting.
+    verdict_counts: dict[str, int] = field(default_factory=dict)
+    #: Reproduction files actually written (empty when nothing was written —
+    #: e.g. failures that only carry campaign-level batch-pipeline faults).
+    failure_reports: list[Path] = field(default_factory=list)
+    #: How often the oracle worker pool failed and a block fell back to the
+    #: serial path — nonzero means ``--jobs`` silently stopped parallelizing.
+    oracle_pool_fallbacks: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"fuzz: seed {self.seed}, {self.cases} cases — "
+            f"{self.passed} passed, {self.failed} failed, "
+            f"{self.budget_exhausted} hit the chase budget "
+            f"({self.wall_time:.1f}s)"
+        ]
+        for key in sorted(self.verdict_counts):
+            lines.append(f"  verdicts {key}: {self.verdict_counts[key]}")
+        if self.oracle_pool_fallbacks:
+            lines.append(
+                f"  WARNING: oracle worker pool failed on "
+                f"{self.oracle_pool_fallbacks} blocks (ran serially)"
+            )
+        return lines
+
+
+def _block_verdicts(
+    session: Session,
+    block: list[FuzzCase],
+    jobs: int | None,
+) -> list[dict[Semantics, EquivalenceVerdict]]:
+    """Decide every pair of the block per semantics via the batch pipeline.
+
+    Returns one semantics→verdict mapping per case; pairs whose chase failed
+    or exhausted the budget are simply absent from their mapping (the oracle
+    has already checked that both engines agree on that outcome).
+    """
+    pairs = [(case.query, case.other) for case in block]
+    max_steps = block[0].max_steps
+    verdicts: list[dict[Semantics, EquivalenceVerdict]] = [
+        {} for _ in block
+    ]
+    for semantics in ALL_SEMANTICS:
+        report = session.decide_many(
+            pairs,
+            semantics=semantics,
+            max_steps=max_steps,
+            concurrency=jobs,
+        )
+        for item in report:
+            if item.ok:
+                verdicts[item.index][semantics] = item.result
+    return verdicts
+
+
+def run_campaign(
+    seed: int,
+    cases: int,
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    *,
+    jobs: int | None = None,
+    shrink: bool = False,
+    failure_dir: str | Path | None = None,
+    on_progress: Callable[[int, CaseReport], None] | None = None,
+) -> CampaignResult:
+    """Run a fuzz campaign of *cases* cases from *seed*.
+
+    ``jobs`` parallelizes the oracle passes over a per-campaign worker pool
+    (and routes the first block's decisions through ``decide_many``'s
+    multiprocessing path, so every campaign exercises that pipeline);
+    ``shrink`` 1-minimizes every failure before reporting; ``failure_dir``
+    writes one JSON reproduction file per failure (shrunk when shrinking is
+    on).  ``on_progress`` is called with every finished case report.
+    """
+    started = time.perf_counter()
+    result = CampaignResult(seed=seed, cases=cases)
+    # One worker pool for the whole campaign: the oracle passes are the
+    # dominant cost and are pure, so they fan out with a per-campaign pool
+    # (a per-block pool would pay the spawn cost hundreds of times over).
+    pool = None
+    if jobs is not None and jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        block_number = 0
+        while True:
+            block = generate_block(seed, block_number, config, stop=cases)
+            block_number += 1
+            if not block:
+                break
+            session = Session(
+                dependencies=block[0].dependencies, max_steps=block[0].max_steps
+            )
+            block_verdicts: list[dict[Semantics, EquivalenceVerdict] | None]
+            pipeline_error: Exception | None = None
+            # decide_many spawns a fresh worker pool per call (one Session
+            # per process, by design); paying that three times per block
+            # would dwarf the decisions themselves.  The first block runs
+            # with ``concurrency=jobs`` so every campaign exercises the
+            # batch multiprocessing pipeline end to end; later blocks decide
+            # in-process, where the shared session cache makes the
+            # decisions nearly free, and the per-campaign oracle pool below
+            # carries the actual parallelism.
+            decide_jobs = jobs if block_number == 1 else None
+            try:
+                block_verdicts = list(
+                    _block_verdicts(session, block, decide_jobs)
+                )
+            except Exception as error:  # a pipeline-level crash fails the block
+                block_verdicts = [None] * len(block)
+                pipeline_error = error
+            reports = _oracle_reports(
+                session, block, block_verdicts, pool, result
+            )
+            for case, report in zip(block, reports):
+                if pipeline_error is not None:
+                    report.mismatches.append(_pipeline_mismatch(pipeline_error))
+                _tally(result, report)
+                if not report.ok:
+                    _handle_failure(result, case, report, shrink, failure_dir)
+                else:
+                    result.passed += 1
+                if on_progress is not None:
+                    on_progress(
+                        case.index if case.index is not None else 0, report
+                    )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    result.wall_time = time.perf_counter() - started
+    return result
+
+
+def _pipeline_mismatch(error: Exception) -> OracleMismatch:
+    return OracleMismatch("batch-pipeline", str(error))
+
+
+def _oracle_worker(payload: tuple) -> CaseReport:
+    case, precomputed = payload
+    return _guarded_oracle(case, None, precomputed)
+
+
+def _oracle_reports(
+    session: Session,
+    block: list[FuzzCase],
+    block_verdicts: list,
+    pool,
+    result: CampaignResult | None = None,
+) -> list[CaseReport]:
+    """One oracle report per case — fanned out over *pool* when one is given.
+
+    The oracle dominates a campaign's wall time (six chases per case, one
+    engine deliberately slow), and each pass is pure and independent, so
+    ``jobs`` parallelizes it too — not just the ``decide_many`` verdicts.
+    Worker reports lose nothing: the precomputed verdicts travel with the
+    payload, and a worker rebuilds its own Session (caches are per-process
+    anyway).  A pool-level fault falls back to the serial path — the oracle
+    is pure, so re-running a case is harmless — but the fallback is counted
+    on the campaign result so silently-broken parallelism stays visible.
+    """
+    if pool is not None and len(block) > 1:
+        try:
+            return list(
+                pool.map(
+                    _oracle_worker, list(zip(block, block_verdicts)), chunksize=2
+                )
+            )
+        except Exception:
+            if result is not None:
+                result.oracle_pool_fallbacks += 1
+    return [
+        _guarded_oracle(case, session, precomputed)
+        for case, precomputed in zip(block, block_verdicts)
+    ]
+
+
+def _guarded_oracle(case, session, precomputed) -> CaseReport:
+    """Run the oracle, converting an unexpected crash into a failing report.
+
+    The oracle handles the *expected* chase exceptions itself; anything else
+    (a KeyError in an engine, a RecursionError, a renderer blowing up) is
+    exactly the kind of find a soak exists to capture — it must fail this
+    one case with its seed/index intact, not abort the whole campaign.
+    """
+    try:
+        return run_oracle(case, session=session, precomputed_verdicts=precomputed)
+    except Exception as error:
+        return CaseReport(
+            case=case,
+            mismatches=[
+                OracleMismatch(
+                    "oracle-crash", f"{type(error).__name__}: {error}"
+                )
+            ],
+        )
+
+
+def _handle_failure(
+    result: CampaignResult,
+    case: FuzzCase,
+    report: CaseReport,
+    shrink: bool,
+    failure_dir: str | Path | None,
+) -> None:
+    failure = FuzzFailure(report=report)
+    # A batch-pipeline crash is a campaign-level fault, not a property of
+    # any one case: replaying the case would pass, so shrinking can never
+    # preserve the failure and a per-case reproduction file would only
+    # mislead.  An oracle crash *is* case-reproducible, but re-running the
+    # crashing oracle per shrink probe is not — write its artifact unshrunk.
+    oracle_mismatches = [
+        m for m in report.mismatches if m.check != "batch-pipeline"
+    ]
+    shrinkable = [m for m in oracle_mismatches if m.check != "oracle-crash"]
+    if oracle_mismatches:
+        if shrink and shrinkable:
+            failure.shrunk = shrink_case(case, shrinkable[0].check)
+        if failure_dir is not None:
+            result.failure_reports.append(_write_failure(failure, failure_dir))
+    result.failures.append(failure)
+
+
+def _tally(result: CampaignResult, report: CaseReport) -> None:
+    if report.budget_exhausted:
+        result.budget_exhausted += 1
+    for semantics, verdict in report.verdicts.items():
+        key = f"{semantics}={'eq' if verdict else 'ne'}"
+        result.verdict_counts[key] = result.verdict_counts.get(key, 0) + 1
+
+
+def _write_failure(failure: FuzzFailure, directory: str | Path) -> Path:
+    directory = Path(directory)
+    case = failure.shrunk if failure.shrunk is not None else failure.case
+    if failure.case.seed is not None and failure.case.index is not None:
+        stem = f"seed{failure.case.seed}_case{failure.case.index}"
+    else:
+        # Origins of replayed corpus files carry their file name; strip the
+        # extension so the report is "one.json", not "one.json.json".
+        stem = failure.case.origin.replace(":", "_").replace("/", "_")
+        stem = stem.removesuffix(".json")
+    checks = ", ".join(sorted(set(failure.report.failed_checks())))
+    return save_case(
+        case,
+        directory / f"{stem}.json",
+        name=stem,
+        description=f"fuzz failure ({checks}); "
+        f"original case {failure.case.origin}",
+    )
+
+
+def replay_cases(
+    cases: list[FuzzCase],
+    *,
+    shrink: bool = False,
+    failure_dir: str | Path | None = None,
+) -> CampaignResult:
+    """Replay explicit cases (corpus files, failure reports) through the oracle."""
+    started = time.perf_counter()
+    result = CampaignResult(seed=-1, cases=len(cases))
+    for case in cases:
+        report = _guarded_oracle(case, None, None)
+        _tally(result, report)
+        if report.ok:
+            result.passed += 1
+            continue
+        _handle_failure(result, case, report, shrink, failure_dir)
+    result.wall_time = time.perf_counter() - started
+    return result

@@ -1,0 +1,113 @@
+"""Greedy shrinking of failing fuzz cases.
+
+A failure found on a four-atom query under seven dependencies is a chore to
+debug; the same failure on one atom under one dependency is a unit test.
+:func:`shrink_case` repeatedly tries every single deletion — a body atom of
+either query, a dependency of Σ, a set-valuedness marker — and keeps the
+first deletion under which the case *still fails the same check*, until no
+single deletion preserves the failure.  The result is 1-minimal: removing
+any one remaining component makes the failure disappear.
+
+The failure predicate is "same check family still trips" (e.g. any
+``chase-differential[...]`` mismatch), not "any mismatch at all": shrinking
+must not wander from the bug being reported to a different one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from ..core.query import ConjunctiveQuery
+from ..dependencies.base import DependencySet
+from ..exceptions import QueryError
+from .generator import FuzzCase
+from .oracle import run_oracle
+
+#: Upper bound on oracle probes per shrink, a safety valve against
+#: pathologically large hand-made cases (generated ones sit far below it).
+MAX_PROBES = 400
+
+
+def check_family(check: str) -> str:
+    """The family of a check name: ``chase-differential[bag]`` → ``chase-differential``."""
+    return check.split("[", 1)[0]
+
+
+def fails_like(case: FuzzCase, family: str) -> bool:
+    """Does *case* still trip a check of the given family?"""
+    report = run_oracle(case)
+    return any(check_family(m.check) == family for m in report.mismatches)
+
+
+def _query_deletions(query: ConjunctiveQuery) -> Iterator[ConjunctiveQuery]:
+    if len(query.body) <= 1:
+        return
+    for index in range(len(query.body)):
+        try:
+            yield query.drop_atom_at(index)
+        except QueryError:
+            continue  # dropping this atom would orphan a head variable
+
+
+def _deletion_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Every case reachable from *case* by one deletion, most valuable first.
+
+    Dependencies go first — dropping one usually removes whole chase
+    branches — then body atoms, then set-valuedness markers.
+    """
+    for dependency in list(case.dependencies):
+        yield replace(
+            case, dependencies=case.dependencies.without(dependency)
+        )
+    for smaller in _query_deletions(case.query):
+        yield replace(case, query=smaller)
+    for smaller in _query_deletions(case.other):
+        yield replace(case, other=smaller)
+    for name in sorted(case.dependencies.set_valued_predicates):
+        remaining = case.dependencies.set_valued_predicates - {name}
+        yield replace(
+            case,
+            dependencies=DependencySet(list(case.dependencies), remaining),
+        )
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing_check: str,
+    *,
+    still_fails: Callable[[FuzzCase], bool] | None = None,
+    max_probes: int = MAX_PROBES,
+) -> FuzzCase:
+    """Greedily 1-minimize *case* while it keeps failing like *failing_check*.
+
+    ``still_fails`` overrides the oracle-based predicate (the tests use this
+    to shrink against synthetic failures); the default re-runs
+    :func:`~repro.fuzz.oracle.run_oracle` per probe and asks whether any
+    mismatch of the same family remains.
+    """
+    family = check_family(failing_check)
+    predicate = still_fails or (lambda candidate: fails_like(candidate, family))
+    current = case
+    probes = 0
+    progress = True
+    while progress and probes < max_probes:
+        progress = False
+        for candidate in _deletion_candidates(current):
+            probes += 1
+            if predicate(candidate):
+                # The shrunk case is *not* what (seed, index) regenerates —
+                # drop the generator coordinates so a serialized shrunk case
+                # never advertises a reproduction recipe that yields
+                # different contents; the origin string keeps the provenance.
+                current = replace(
+                    candidate,
+                    origin=f"{case.origin} (shrunk)",
+                    seed=None,
+                    index=None,
+                )
+                progress = True
+                break
+            if probes >= max_probes:
+                break
+    return current

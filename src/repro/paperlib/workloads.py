@@ -245,6 +245,32 @@ def clique_workload(size: int, distractors: int = 0) -> Workload:
     )
 
 
+def random_workload(seed: int, index: int = 0, config=None) -> Workload:
+    """A random (but deterministic) workload drawn from the fuzz generator.
+
+    Bridges the structured families above and the scenario-diversity layer of
+    :mod:`repro.fuzz`: benchmarks and experiments can sample arbitrary
+    weakly-acyclic shapes — self-joins, constants in dependency conclusions,
+    egd/tgd interleavings — with the exact reproduction recipe (``seed``,
+    ``index``) carried in the workload parameters.
+    """
+    from ..fuzz.generator import DEFAULT_CONFIG, generate_case
+
+    case = generate_case(seed, index, config or DEFAULT_CONFIG)
+    schema = DatabaseSchema.from_arities(
+        case.arities(),
+        set_valued=case.dependencies.set_valued_predicates
+        & set(case.arities()),
+    )
+    return Workload(
+        name=f"random(seed={seed}, index={index})",
+        schema=schema,
+        dependencies=case.dependencies,
+        query=case.query,
+        parameters={"seed": seed, "index": index, "other": case.other},
+    )
+
+
 def orders_workload() -> Workload:
     """An orders/customer/product schema with PK + FK constraints.
 

@@ -36,7 +36,7 @@ from .ast import (
     Literal,
     SelectStatement,
 )
-from .parser import parse_create_table, parse_select, parse_statements
+from .parser import parse_select, parse_statements
 
 
 # ---------------------------------------------------------------------- #

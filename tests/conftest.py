@@ -7,6 +7,16 @@ modules.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make `pytest tests -q` work from a plain checkout without PYTHONPATH=src.
+# Kept ahead of any environment entry so an installed (possibly stale)
+# repro never shadows the checkout.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import pytest
 
 from repro.database import DatabaseInstance

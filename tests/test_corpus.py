@@ -1,0 +1,35 @@
+"""Replay of the committed regression corpus (``tests/corpus/*.json``).
+
+Every corpus case is a previously interesting shape — a found failure, or a
+deliberately nasty configuration worth pinning — and replays through the full
+differential oracle as its own named pytest parametrization, so a regression
+names the exact corpus file that caught it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus_file, run_oracle
+from repro.fuzz.corpus import iter_corpus_paths
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_PATHS = list(iter_corpus_paths(CORPUS_DIR))
+
+
+def test_corpus_is_not_empty():
+    """The corpus directory must keep existing and keep holding cases."""
+    assert CORPUS_PATHS, f"no corpus cases under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_PATHS, ids=[path.stem for path in CORPUS_PATHS]
+)
+def test_corpus_case_replays_clean(path):
+    entry = load_corpus_file(path)
+    assert entry.name, f"{path.name}: corpus cases must be named"
+    assert entry.description, f"{path.name}: corpus cases must say why they exist"
+    report = run_oracle(entry.case)
+    assert report.ok, f"{entry.name}: {[str(m) for m in report.mismatches]}"
