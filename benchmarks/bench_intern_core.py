@@ -1,0 +1,115 @@
+"""Experiment E14 — throughput of the interned hash-consed core representation.
+
+Measures the three operations the representation refactor targets, on a
+synthetic bulk workload shaped like what the fuzz generator and the front
+ends produce (many atoms over a small vocabulary of predicates, variables,
+and constants):
+
+* **construction** — building terms, atoms, and queries; interned terms are
+  dictionary hits, atom signatures/hashes are precomputed once;
+* **hashing** — hashing atoms and full queries (every canonicalization,
+  posting list, and cache key bottoms out here); hashes are cached, so a
+  re-hash is a slot read;
+* **structural keys** — ``structural_key()`` throughput split cold (fresh
+  query objects, the full normal-form renaming) vs warm (memoized per query
+  object — the chase-cache lookup path).
+
+Deterministic sanity assertions (equality ⇔ identity, memo identity) ride
+along so the benchmark doubles as a smoke test under ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+from _util import record
+
+from repro.core.atoms import Atom
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+
+_PREDICATES = [f"p{i}" for i in range(8)]
+_VARIABLE_NAMES = [f"X{i}" for i in range(12)]
+_CONSTANT_VALUES = [f"c{i}" for i in range(6)] + list(range(6))
+_ATOMS_PER_QUERY = 10
+_QUERIES_PER_ROUND = 50
+
+
+def _build_queries() -> list[ConjunctiveQuery]:
+    """Fresh query objects over the shared vocabulary (terms re-intern)."""
+    queries = []
+    for q in range(_QUERIES_PER_ROUND):
+        body = []
+        for i in range(_ATOMS_PER_QUERY):
+            predicate = _PREDICATES[(q + i) % len(_PREDICATES)]
+            terms = [
+                _VARIABLE_NAMES[(q + i + k) % len(_VARIABLE_NAMES)]
+                if (i + k) % 3 else _CONSTANT_VALUES[(q + k) % len(_CONSTANT_VALUES)]
+                for k in range(3)
+            ]
+            body.append(Atom(predicate, terms))
+        head_variable = _VARIABLE_NAMES[(q + 1) % len(_VARIABLE_NAMES)]
+        queries.append(ConjunctiveQuery(f"Q{q % 5}", [head_variable], body))
+    return queries
+
+
+def bench_construction_throughput(benchmark):
+    """Bulk construction: 50 queries × 10 atoms × 3 terms per round."""
+    queries = benchmark(_build_queries)
+    assert len(queries) == _QUERIES_PER_ROUND
+    # Interning invariant: the whole workload's terms collapsed to the
+    # vocabulary's singletons.
+    for atom in queries[0].body:
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                assert Variable(term.name) is term
+            else:
+                assert Constant(term.value) is term
+    total_atoms = sum(len(q.body) for q in queries)
+    record(
+        benchmark,
+        queries=len(queries),
+        atoms=total_atoms,
+        terms=3 * total_atoms,
+    )
+
+
+def bench_hashing_throughput(benchmark):
+    """Hashing every atom and query of the workload (hashes are cached)."""
+    queries = _build_queries()
+    atoms = [atom for query in queries for atom in query.body]
+
+    def hash_everything():
+        total = 0
+        for atom in atoms:
+            total ^= hash(atom)
+        for query in queries:
+            total ^= hash(query)
+        return total
+
+    first = hash_everything()
+    assert benchmark(hash_everything) == first  # hashes are stable
+    record(benchmark, atoms=len(atoms), queries=len(queries))
+
+
+def bench_structural_key_cold(benchmark):
+    """Cold structural keys: fresh query objects each round (full renaming)."""
+
+    def cold_keys():
+        return [query.structural_key() for query in _build_queries()]
+
+    keys = benchmark(cold_keys)
+    assert len(keys) == _QUERIES_PER_ROUND
+    record(benchmark, queries=_QUERIES_PER_ROUND)
+
+
+def bench_structural_key_warm(benchmark):
+    """Warm structural keys: the per-query memo (the cache-lookup path)."""
+    queries = _build_queries()
+    expected = [query.structural_key() for query in queries]
+
+    def warm_keys():
+        return [query.structural_key() for query in queries]
+
+    keys = benchmark(warm_keys)
+    # The memo returns the very same tuple objects on every call.
+    assert all(key is first for key, first in zip(keys, expected))
+    record(benchmark, queries=_QUERIES_PER_ROUND)

@@ -18,6 +18,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.query import CANONICALIZATION_STATS
+from ..core.terms import INTERN_STATS
+
+#: ``((intern hits, intern misses), (structural-key hits, misses))``.
+CoreStatsSnapshot = tuple[tuple[int, int], tuple[int, int]]
+
+
+def snapshot_core_stats() -> CoreStatsSnapshot:
+    """Snapshot the process-wide interning / canonicalization counters.
+
+    Chase drivers take one at run start and fold the delta into their
+    profile via :meth:`ChaseProfile.record_core_stats`.
+    """
+    return (INTERN_STATS.snapshot(), CANONICALIZATION_STATS.snapshot())
+
 
 @dataclass
 class ChaseProfile:
@@ -45,6 +60,20 @@ class ChaseProfile:
     #: from the per-run memo (Definition 4.3 work avoided).
     assignment_fixing_tests: int = 0
     assignment_fixing_cache_hits: int = 0
+    #: Term intern-table hits / misses (Variable + Constant constructions
+    #: served from / added to the per-process intern tables) during the run.
+    intern_hits: int = 0
+    intern_misses: int = 0
+    #: ``structural_key()`` calls served from the per-query memo vs computed
+    #: (a miss runs the full normal-form renaming once per query object).
+    structural_key_hits: int = 0
+    structural_key_misses: int = 0
+    #: Chase-cache keys assembled vs reused from the Session's per-query
+    #: memo, and the wall time spent assembling them (Session-level: cold
+    #: chase runs leave these at zero).
+    cache_keys_built: int = 0
+    cache_keys_reused: int = 0
+    key_build_time: float = 0.0
     wall_time: float = 0.0
 
     @property
@@ -58,6 +87,19 @@ class ChaseProfile:
         return self.index_hits / self.index_lookups if self.index_lookups else 0.0
 
     # ------------------------------------------------------------------ #
+    def record_core_stats(self, baseline: CoreStatsSnapshot) -> None:
+        """Fold in the interning / structural-key activity since *baseline*.
+
+        The counters are process-global, so the delta attributes to this
+        profile everything the run did — including nested test chases, whose
+        construction work genuinely belongs to the outer run.
+        """
+        (intern_hits, intern_misses), (key_hits, key_misses) = baseline
+        self.intern_hits += INTERN_STATS.hits - intern_hits
+        self.intern_misses += INTERN_STATS.misses - intern_misses
+        self.structural_key_hits += CANONICALIZATION_STATS.hits - key_hits
+        self.structural_key_misses += CANONICALIZATION_STATS.misses - key_misses
+
     def retire_index(self, index) -> None:
         """Fold a :class:`TargetIndex`'s counters in and zero them out."""
         self.index_lookups += index.lookups
@@ -81,6 +123,13 @@ class ChaseProfile:
         self.index_hits += other.index_hits
         self.assignment_fixing_tests += other.assignment_fixing_tests
         self.assignment_fixing_cache_hits += other.assignment_fixing_cache_hits
+        self.intern_hits += other.intern_hits
+        self.intern_misses += other.intern_misses
+        self.structural_key_hits += other.structural_key_hits
+        self.structural_key_misses += other.structural_key_misses
+        self.cache_keys_built += other.cache_keys_built
+        self.cache_keys_reused += other.cache_keys_reused
+        self.key_build_time += other.key_build_time
         self.wall_time += other.wall_time
 
     def summary_lines(self) -> list[str]:
@@ -97,6 +146,22 @@ class ChaseProfile:
             lines.append(
                 f"  assignment-fixing: {self.assignment_fixing_tests} test chases, "
                 f"{self.assignment_fixing_cache_hits} memo hits"
+            )
+        if self.intern_hits or self.intern_misses:
+            lines.append(
+                f"  term interning   : {self.intern_hits} hits, "
+                f"{self.intern_misses} new terms"
+            )
+        if self.structural_key_hits or self.structural_key_misses:
+            lines.append(
+                f"  structural keys  : {self.structural_key_hits} memo hits, "
+                f"{self.structural_key_misses} computed"
+            )
+        if self.cache_keys_built or self.cache_keys_reused:
+            lines.append(
+                f"  cache keys       : {self.cache_keys_built} built, "
+                f"{self.cache_keys_reused} reused "
+                f"({self.key_build_time * 1000:.2f} ms building)"
             )
         lines.append(f"  wall time        : {self.wall_time * 1000:.2f} ms")
         return lines

@@ -29,7 +29,7 @@ from ..dependencies.regularize import regularize_dependencies
 from ..exceptions import ChaseNonTerminationError
 from ..semantics import Semantics
 from .delta import TriggerIndex
-from .profile import ChaseProfile
+from .profile import ChaseProfile, snapshot_core_stats
 from .steps import (
     ChaseStepRecord,
     apply_egd_step,
@@ -151,11 +151,12 @@ def set_chase(
 
     profile = ChaseProfile(semantics=str(Semantics.SET))
     started = time.perf_counter()
+    core_stats = snapshot_core_stats()
     current = query
     records: list[ChaseStepRecord] = []
     # Names of every variable ever used in this chase run, so fresh variables
     # never reuse a name eliminated by an earlier egd step.
-    used_names = {v.name for v in query.all_variables()}
+    used_names = set(query.variable_names())
     egd_state, tgd_state = TriggerIndex(egds), TriggerIndex(tgds)
     index = TargetIndex(current.body)
     for _ in range(max_steps):
@@ -186,6 +187,7 @@ def set_chase(
             index = TargetIndex(current.body)
             continue
         profile.retire_index(index)
+        profile.record_core_stats(core_stats)
         profile.wall_time = time.perf_counter() - started
         return ChaseResult(current, records, Semantics.SET, terminated=True, profile=profile)
     raise ChaseNonTerminationError(

@@ -44,7 +44,7 @@ from ..exceptions import ChaseError, ChaseNonTerminationError
 from ..semantics import Semantics
 from .assignment_fixing import is_assignment_fixing_for
 from .delta import TriggerIndex
-from .profile import ChaseProfile
+from .profile import ChaseProfile, snapshot_core_stats
 from .set_chase import DEFAULT_MAX_STEPS, ChaseResult, _first_applicable_egd_step, set_chase
 from .steps import (
     ChaseStepRecord,
@@ -139,10 +139,11 @@ def sound_chase(
 
     profile = ChaseProfile(semantics=str(semantics))
     started = time.perf_counter()
+    core_stats = snapshot_core_stats()
     current = query
     records: list[ChaseStepRecord] = []
     # Forbid reuse of any variable name ever produced in this chase run.
-    used_names = {v.name for v in query.all_variables()}
+    used_names = set(query.variable_names())
     # Per-run state of the acceleration layers: body index, delta trigger
     # tracking, and the Definition 4.3 verdict memo (Σ and the step budget
     # are fixed for the whole run, as the memo requires).
@@ -191,6 +192,7 @@ def sound_chase(
             index = TargetIndex(current.body)
             continue
         profile.retire_index(index)
+        profile.record_core_stats(core_stats)
         profile.wall_time = time.perf_counter() - started
         return ChaseResult(current, records, semantics, terminated=True, profile=profile)
     raise ChaseNonTerminationError(

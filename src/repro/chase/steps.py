@@ -106,7 +106,7 @@ def conclusion_instantiation(
     in place with the names generated here.
     """
     existential = tgd.existential_variables()
-    forbidden = {v.name for v in query.all_variables()}
+    forbidden = set(query.variable_names())
     forbidden |= {v.name for v in tgd.all_variables()}
     if used_names is not None:
         forbidden |= used_names

@@ -1,4 +1,4 @@
-"""Relational and equality atoms.
+"""Relational and equality atoms, with precomputed signatures.
 
 An :class:`Atom` is a relational atom ``p(t1, ..., tk)`` — the building block
 of conjunctive-query bodies, dependency premises, and dependency conclusions.
@@ -8,29 +8,102 @@ before normalisation (Section 2.4 of the paper).
 
 Atoms are immutable and hashable so that query bodies can be treated both as
 sequences (bag semantics cares about duplicate subgoals) and as sets
-(canonical representations drop duplicates).
+(canonical representations drop duplicates).  On top of the interned terms of
+:mod:`repro.core.terms`, every atom precomputes at construction:
+
+* its hash (atoms are dictionary keys in every canonicalization and
+  deduplication path);
+* its ``signature`` — the ``(predicate, arity)`` pair — and ``sig_id``, a
+  process-unique small int interned per signature
+  (:func:`signature_id`), which the
+  :class:`~repro.core.homomorphism.TargetIndex` uses as an integer group
+  key instead of hashing a ``(str, int)`` tuple per probe;
+* ``term_ids`` — the tuple of its terms' intern ``uid`` ints, the raw
+  material of integer posting-list keys.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+import threading
+from typing import Dict, Iterator, Mapping, Sequence
 
 from .terms import Constant, Term, Variable, term_from_value
 
+#: Intern table for atom signatures: ``(predicate, arity) → small int``.
+_SIGNATURE_IDS: Dict[tuple[str, int], int] = {}
+#: Guards id assignment: unlike the term tables (where a lost race merely
+#: discards the loser), two *different* signatures racing on
+#: ``len(_SIGNATURE_IDS)`` would permanently share one id and merge their
+#: TargetIndex groups.  The lock is only taken on a table miss — once per
+#: distinct signature per process.
+_SIGNATURE_LOCK = threading.Lock()
 
-@dataclass(frozen=True)
+
+def signature_id(predicate: str, arity: int) -> int:
+    """The process-unique small int interned for ``(predicate, arity)``.
+
+    Ids are assigned densely in first-interning order, so they double as
+    array indexes where needed.
+    """
+    key = (predicate, arity)
+    sig = _SIGNATURE_IDS.get(key)
+    if sig is None:
+        with _SIGNATURE_LOCK:
+            sig = _SIGNATURE_IDS.setdefault(key, len(_SIGNATURE_IDS))
+    return sig
+
+
 class Atom:
     """A relational atom ``predicate(terms...)``."""
 
+    __slots__ = ("predicate", "terms", "signature", "sig_id", "term_ids", "_hash")
+
     predicate: str
     terms: tuple[Term, ...]
+    #: The ``(predicate, arity)`` pair, precomputed.
+    signature: tuple[str, int]
+    #: Interned int for :attr:`signature` (see :func:`signature_id`).
+    sig_id: int
+    #: The terms' intern uids, in position order.
+    term_ids: tuple[int, ...]
+    _hash: int
 
     def __init__(self, predicate: str, terms: Sequence[object]):
         object.__setattr__(self, "predicate", predicate)
-        object.__setattr__(
-            self, "terms", tuple(term_from_value(t) for t in terms)
-        )
+        interned = tuple(term_from_value(t) for t in terms)
+        object.__setattr__(self, "terms", interned)
+        object.__setattr__(self, "signature", (predicate, len(interned)))
+        object.__setattr__(self, "sig_id", signature_id(predicate, len(interned)))
+        object.__setattr__(self, "term_ids", tuple(t.uid for t in interned))
+        # Same formula as the frozen dataclass this replaced; term hashes are
+        # cached, so hashing the tuple is a handful of int mixes.
+        object.__setattr__(self, "_hash", hash((predicate, interned)))
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError(f"Atom is immutable; cannot set {attr!r}")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"Atom is immutable; cannot delete {attr!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Atom):
+            # Interned terms make the tuple comparison mostly identity checks.
+            return (
+                self._hash == other._hash
+                and self.predicate == other.predicate
+                and self.terms == other.terms
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple[type["Atom"], tuple[str, tuple[Term, ...]]]:
+        # Reconstruct through the constructor so terms re-intern and the
+        # cached signature/hash fields are rebuilt in the receiving process.
+        return (Atom, (self.predicate, self.terms))
 
     @property
     def arity(self) -> int:
@@ -75,16 +148,40 @@ class Atom:
         return f"Atom({self.predicate!r}, {list(self.terms)!r})"
 
 
-@dataclass(frozen=True)
 class EqualityAtom:
     """An equality ``left = right`` between two terms."""
 
+    __slots__ = ("left", "right", "_hash")
+
     left: Term
     right: Term
+    _hash: int
 
     def __init__(self, left: object, right: object):
-        object.__setattr__(self, "left", term_from_value(left))
-        object.__setattr__(self, "right", term_from_value(right))
+        interned_left = term_from_value(left)
+        interned_right = term_from_value(right)
+        object.__setattr__(self, "left", interned_left)
+        object.__setattr__(self, "right", interned_right)
+        object.__setattr__(self, "_hash", hash((interned_left, interned_right)))
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError(f"EqualityAtom is immutable; cannot set {attr!r}")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"EqualityAtom is immutable; cannot delete {attr!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, EqualityAtom):
+            return self.left == other.left and self.right == other.right
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple[type["EqualityAtom"], tuple[Term, Term]]:
+        return (EqualityAtom, (self.left, self.right))
 
     def substitute(self, mapping: Mapping[Term, Term]) -> "EqualityAtom":
         """Apply *mapping* to both sides."""
@@ -105,13 +202,17 @@ class EqualityAtom:
     def __str__(self) -> str:
         return f"{self.left} = {self.right}"
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EqualityAtom({self.left!r}, {self.right!r})"
+
 
 def atoms_variables(atoms: Sequence[Atom]) -> list[Variable]:
     """Distinct variables of a conjunction of atoms, in first-occurrence order."""
     seen: dict[Variable, None] = {}
     for atom in atoms:
-        for var in atom.variables():
-            seen.setdefault(var, None)
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term, None)
     return list(seen)
 
 
@@ -119,8 +220,9 @@ def atoms_constants(atoms: Sequence[Atom]) -> list[Constant]:
     """Distinct constants of a conjunction of atoms, in first-occurrence order."""
     seen: dict[Constant, None] = {}
     for atom in atoms:
-        for const in atom.constants():
-            seen.setdefault(const, None)
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                seen.setdefault(term, None)
     return list(seen)
 
 

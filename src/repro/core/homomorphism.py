@@ -19,6 +19,11 @@ backed by a :class:`TargetIndex`: target atoms are indexed per (predicate,
 arity) and additionally per (position, term), so a source atom whose
 position is a constant or an already-bound variable is only checked against
 the posting list of that position instead of every atom of its predicate.
+Index keys are pure ints built from the interned core representation — the
+``(predicate, arity)`` group key is the atom's precomputed
+:attr:`~repro.core.atoms.Atom.sig_id` and a posting key is the
+``(sig_id, position, term uid)`` int triple — so a probe hashes a few small
+ints instead of strings and term objects.
 Selecting the atom with the fewest verified candidates doubles as forward
 checking — a remaining atom with no candidate prunes the branch
 immediately.  The enumeration order is *identical* to the plain
@@ -82,11 +87,11 @@ class TargetIndex:
     target sequence) in increasing order, so that any candidate list derived
     from them enumerates atoms in target-body order:
 
-    * ``(predicate, arity) → [ids]`` — the full group a source atom could in
-      principle map onto;
-    * ``(predicate, arity, position, term) → [ids]`` — atoms carrying *term*
-      at *position*, used to narrow the group through the source atom's
-      constants and already-bound variables.
+    * ``sig_id → [ids]`` — the full group a source atom could in principle
+      map onto, keyed by the interned ``(predicate, arity)`` signature int;
+    * ``(sig_id, position, term uid) → [ids]`` — atoms carrying the term
+      with that intern uid at *position*, used to narrow the group through
+      the source atom's constants and already-bound variables.
 
     The index is immutable with respect to its atoms and reusable across any
     number of searches against the same target; ``lookups`` / ``narrowed``
@@ -99,18 +104,18 @@ class TargetIndex:
 
     def __init__(self, atoms: Sequence[Atom]):
         self.atoms: tuple[Atom, ...] = tuple(atoms)
-        self._groups: dict[tuple[str, int], list[int]] = {}
-        self._postings: dict[tuple[str, int, int, Term], list[int]] = {}
+        self._groups: dict[int, list[int]] = {}
+        self._postings: dict[tuple[int, int, int], list[int]] = {}
         groups, postings = self._groups, self._postings
         for atom_id, atom in enumerate(self.atoms):
-            signature = (atom.predicate, atom.arity)
-            group = groups.get(signature)
+            sig_id = atom.sig_id
+            group = groups.get(sig_id)
             if group is None:
-                groups[signature] = [atom_id]
+                groups[sig_id] = [atom_id]
             else:
                 group.append(atom_id)
-            for position, term in enumerate(atom.terms):
-                key = (atom.predicate, atom.arity, position, term)
+            for position, term_uid in enumerate(atom.term_ids):
+                key = (sig_id, position, term_uid)
                 posting = postings.get(key)
                 if posting is None:
                     postings[key] = [atom_id]
@@ -129,20 +134,20 @@ class TargetIndex:
         constant or bound position, in target-body order.
         """
         self.lookups += 1
-        best = self._groups.get((atom.predicate, atom.arity))
+        best = self._groups.get(atom.sig_id)
         if best is None:
             return _EMPTY_IDS
         group_size = len(best)
+        sig_id = atom.sig_id
         for position, term in enumerate(atom.terms):
             if isinstance(term, Constant):
-                image = term
+                image: Term = term
             else:
-                image = mapping.get(term)
-                if image is None:
+                bound = mapping.get(term)
+                if bound is None:
                     continue
-            posting = self._postings.get(
-                (atom.predicate, atom.arity, position, image)
-            )
+                image = bound
+            posting = self._postings.get((sig_id, position, image.uid))
             if posting is None:
                 self.narrowed += 1
                 return _EMPTY_IDS

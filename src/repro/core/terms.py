@@ -1,29 +1,150 @@
-"""Terms: variables and constants.
+"""Terms: interned, hash-consed variables and constants.
 
 The paper's queries and dependencies are built from *terms*: variables
 (implicitly universally or existentially quantified, depending on position)
-and constants.  Both are small immutable value objects so they can be used as
-dictionary keys, set members, and members of frozen atoms.
+and constants.  Every decision procedure in the library bottoms out in
+hashing and comparing terms — homomorphism posting lists, chase-cache keys,
+canonicalization — so terms are **hash consed**: constructing a
+:class:`Variable` or :class:`Constant` returns a canonical per-process
+singleton from an intern table, equality of interned terms is (almost
+always) a pointer comparison, and the hash is computed once and cached.
 
-A :class:`Variable` is identified by its name; a :class:`Constant` by its
-value (any hashable Python object — ints and strings in practice).  Two
-helper functions, :func:`fresh_variable` and :func:`FreshVariableFactory`,
-generate names guaranteed not to collide with a given set of used names;
-the chase and the associated-test-query construction (Definition 4.2 of the
-paper) rely on this.
+Each interned term also carries a small process-unique integer ``uid``,
+assigned at intern time; index structures such as
+:class:`~repro.core.homomorphism.TargetIndex` key their posting lists on
+these ints instead of on the terms themselves.
+
+Interning is an implementation detail, not a semantic change:
+
+* ``__eq__`` keeps the value-based fallback (two ``Variable`` objects with
+  the same name are equal even if, through some exotic path, they are not
+  the same object), with an identity fast path that interning makes hit
+  nearly always;
+* pickling round-trips through ``__reduce__``, which re-interns on
+  unpickling — terms sent to ``decide_many(..., concurrency=N)`` worker
+  processes come back as the parent process's canonical singletons;
+* the intern tables live for the process lifetime and are never pruned.
+  Terms are tiny (a name/value, an int, and a cached hash), so the tables
+  grow with the number of *distinct* names ever used, not with the number
+  of construction calls.
+
+``INTERN_STATS`` counts intern-table hits and misses; the chase drivers
+snapshot it around a run and report the delta in their
+:class:`~repro.chase.profile.ChaseProfile`.
+
+Two helper functions, :func:`fresh_variable` and
+:class:`FreshVariableFactory`, generate names guaranteed not to collide
+with a given set of used names; the chase and the associated-test-query
+construction (Definition 4.2 of the paper) rely on this.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Union
+import itertools
+from typing import ClassVar, Dict, Hashable, Iterable, Iterator, Union
 
 
-@dataclass(frozen=True, order=True)
+class HitMissStats:
+    """A process-wide hit/miss counter pair.
+
+    Instantiated here as :data:`INTERN_STATS` and in
+    :mod:`repro.core.query` as the structural-key memo counters.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        """The current ``(hits, misses)`` pair, for delta accounting."""
+        return (self.hits, self.misses)
+
+
+#: Global intern counters, shared by :class:`Variable` and :class:`Constant`.
+INTERN_STATS = HitMissStats()
+
+#: Process-wide allocator of term ``uid`` ints (shared across both kinds so a
+#: uid identifies a term, not a (kind, uid) pair).
+_NEXT_UID = itertools.count()
+
+
 class Variable:
-    """A query / dependency variable, identified by name."""
+    """A query / dependency variable, identified by name.
+
+    Interned: ``Variable("X") is Variable("X")`` within one process.
+    """
+
+    __slots__ = ("name", "uid", "_hash")
 
     name: str
+    uid: int
+    _hash: int
+
+    _intern: ClassVar[Dict[str, "Variable"]] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        table = cls._intern
+        self = table.get(name)
+        if self is not None:
+            INTERN_STATS.hits += 1
+            return self
+        INTERN_STATS.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "uid", next(_NEXT_UID))
+        # Same formula as the frozen-dataclass representation this replaced,
+        # so hashes are stable across the refactor within a process.
+        object.__setattr__(self, "_hash", hash((name,)))
+        # setdefault, not assignment: if another thread interned the same
+        # name between the get above and here, exactly one object wins the
+        # table and both constructions return it — no distinct-uid duplicate
+        # can escape into uid-keyed index structures.
+        return table.setdefault(name, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError(f"Variable is immutable; cannot set {attr!r}")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"Variable is immutable; cannot delete {attr!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Variable):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Total order by name (the pre-intern dataclass carried order=True).
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return self.name < other.name
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return self.name <= other.name
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return self.name > other.name
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, Variable):
+            return self.name >= other.name
+        return NotImplemented
+
+    def __reduce__(self) -> tuple[type["Variable"], tuple[str]]:
+        # Re-intern on unpickling: a term crossing a process boundary (the
+        # decide_many multiprocessing pipeline) lands back in the canonical
+        # singleton of the receiving process.
+        return (Variable, (self.name,))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Variable({self.name!r})"
@@ -32,11 +153,66 @@ class Variable:
         return self.name
 
 
-@dataclass(frozen=True)
 class Constant:
-    """A constant value appearing in a query, dependency, or database tuple."""
+    """A constant value appearing in a query, dependency, or database tuple.
+
+    Interned by value: ``Constant(1) is Constant(1)``.  The value must be
+    hashable (ints and strings in practice); unhashable values are rejected
+    at construction time rather than at first hash, which the intern lookup
+    makes unavoidable anyway.
+
+    Cross-type-equal values (``1`` / ``True`` / ``1.0``) intern to one
+    singleton — whichever was constructed first in the process — because
+    they always *compared* equal (``Constant(1) == Constant(True)`` held in
+    the pre-interning representation too) and index structures key on the
+    term's ``uid``, so splitting them by type would wrongly separate equal
+    terms in posting lists.  The observable consequence is that ``.value``
+    (and therefore rendering) of such a constant reflects the
+    first-constructed representative; schemas mixing bools or floats with
+    equal ints in the same vocabulary should normalize at the boundary.
+    """
+
+    __slots__ = ("value", "uid", "_hash")
 
     value: Hashable
+    uid: int
+    _hash: int
+
+    _intern: ClassVar[Dict[Hashable, "Constant"]] = {}
+
+    def __new__(cls, value: Hashable) -> "Constant":
+        table = cls._intern
+        self = table.get(value)
+        if self is not None:
+            INTERN_STATS.hits += 1
+            return self
+        INTERN_STATS.misses += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "uid", next(_NEXT_UID))
+        object.__setattr__(self, "_hash", hash((value,)))
+        # See Variable.__new__: setdefault keeps concurrent constructions
+        # from leaking a duplicate with a distinct uid.
+        return table.setdefault(value, self)
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError(f"Constant is immutable; cannot set {attr!r}")
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError(f"Constant is immutable; cannot delete {attr!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Constant):
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self) -> tuple[type["Constant"], tuple[Hashable]]:
+        return (Constant, (self.value,))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Constant({self.value!r})"
@@ -46,6 +222,11 @@ class Constant:
 
 
 Term = Union[Variable, Constant]
+
+
+def intern_table_sizes() -> tuple[int, int]:
+    """Current ``(variables, constants)`` intern-table sizes (observability)."""
+    return (len(Variable._intern), len(Constant._intern))
 
 
 def is_variable(term: Term) -> bool:

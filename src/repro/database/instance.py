@@ -16,6 +16,7 @@ from collections import Counter
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..core.atoms import Atom
+from ..core.terms import Constant
 from ..exceptions import SchemaError
 from ..schema.schema import DatabaseSchema
 
@@ -223,12 +224,21 @@ class DatabaseInstance:
 
         Used by homomorphism-based dependency checks; multiplicities are not
         represented because dependency satisfaction only depends on the core
-        sets.
+        sets.  Every term is wrapped as a :class:`~repro.core.terms.Constant`
+        explicitly — tuples of a database are ground by definition, and the
+        explicit wrap (besides being correct for uppercase string values,
+        which the name-based coercion would misread as variables) feeds the
+        values straight through the constant intern table.
         """
         atoms = []
         for relation in self.relations.values():
             for row in relation:
-                atoms.append(Atom(relation.name, [*row]))
+                atoms.append(
+                    Atom(
+                        relation.name,
+                        [v if isinstance(v, Constant) else Constant(v) for v in row],
+                    )
+                )
         return atoms
 
     def __eq__(self, other: object) -> bool:

@@ -16,7 +16,7 @@ egds, Appendix C, and which drives Theorem 4.1's soundness conditions).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence, Union
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence, Union
 
 from ..core.atoms import Atom, EqualityAtom, atoms_variables
 from ..core.terms import FreshVariableFactory, Term, Variable
@@ -245,6 +245,58 @@ class DependencySet:
     ):
         self.dependencies = list(dependencies)
         self.set_valued_predicates = frozenset(set_valued_predicates)
+        # Memoized fingerprint, stored with the exact inputs it was computed
+        # over — the tuple of dependencies and the set-valued markers — so
+        # any mutation of the public attributes (list append/remove/replace,
+        # with or without add(), or reassigning set_valued_predicates) is
+        # detected and triggers a recompute.
+        self._fingerprint: (
+            tuple[tuple[tuple[Dependency, ...], frozenset[str]], Hashable] | None
+        ) = None
+
+    @classmethod
+    def coerce(
+        cls, dependencies: "DependencySet | Iterable[Dependency]"
+    ) -> "DependencySet":
+        """*dependencies* as a :class:`DependencySet` (pass-through when it is one).
+
+        The single coercion point for every module that accepts either a
+        dependency set or a plain sequence of dependencies.
+        """
+        if isinstance(dependencies, DependencySet):
+            return dependencies
+        return cls(dependencies)
+
+    @property
+    def fingerprint(self) -> Hashable:
+        """A hashable, name-insensitive fingerprint of the set, computed once.
+
+        Dependency order is preserved (the deterministic chase strategy tries
+        dependencies in order, so reordering Σ may legitimately produce a
+        different — equivalent — terminal result); display names are dropped
+        (they never influence chasing).  The value is memoized on the
+        instance, guarded by the exact inputs it was computed over (the
+        dependency sequence and the set-valued markers): any mutation of the
+        public attributes — through :meth:`add` or directly — is observed on
+        the next access and recomputes.  A warm access therefore costs one
+        tuple build and an elementwise identity comparison, not the full
+        fingerprint walk.
+        """
+        guard = (tuple(self.dependencies), self.set_valued_predicates)
+        cached = self._fingerprint
+        if cached is not None and cached[0] == guard:
+            return cached[1]
+        parts: list[Hashable] = []
+        for dependency in guard[0]:
+            if isinstance(dependency, TGD):
+                parts.append(("tgd", dependency.premise, dependency.conclusion))
+            elif isinstance(dependency, EGD):
+                parts.append(("egd", dependency.premise, dependency.equalities))
+            else:  # pragma: no cover - future dependency kinds
+                parts.append(("dep", repr(dependency)))
+        value: Hashable = (tuple(parts), guard[1])
+        self._fingerprint = (guard, value)
+        return value
 
     def __iter__(self) -> Iterator[Dependency]:
         return iter(self.dependencies)
@@ -275,8 +327,9 @@ class DependencySet:
         return predicate in self.set_valued_predicates
 
     def add(self, dependency: Dependency) -> None:
-        """Append a dependency."""
+        """Append a dependency (invalidates the memoized fingerprint)."""
         self.dependencies.append(dependency)
+        self._fingerprint = None
 
     def without(self, dependency: Dependency) -> "DependencySet":
         """A copy of the set with one dependency removed."""

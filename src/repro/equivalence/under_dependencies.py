@@ -35,14 +35,6 @@ from ..chase.set_chase import DEFAULT_MAX_STEPS
 from ..chase.sound_chase import sound_chase
 
 
-def _as_dependency_set(
-    dependencies: DependencySet | Sequence[Dependency],
-) -> DependencySet:
-    if isinstance(dependencies, DependencySet):
-        return dependencies
-    return DependencySet(dependencies)
-
-
 def _deprecation_message(deprecated_name: str, semantics: Semantics) -> str:
     return (
         f"{deprecated_name}() is deprecated; use "
@@ -95,7 +87,7 @@ def contained_under_dependencies_set(
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> bool:
     """Decide ``Q1 ⊑Σ,S Q2`` by chasing both sides and testing set containment."""
-    dependencies = _as_dependency_set(dependencies)
+    dependencies = DependencySet.coerce(dependencies)
     chased1 = sound_chase(q1, dependencies, Semantics.SET, max_steps).query
     chased2 = sound_chase(q2, dependencies, Semantics.SET, max_steps).query
     return is_set_contained(chased1, chased2)

@@ -88,8 +88,7 @@ def chase_and_backchase(
     one, an ephemeral Session over *dependencies* is built, so direct
     functional callers get the same candidate-chase caching within the call.
     """
-    if not isinstance(dependencies, DependencySet):
-        dependencies = DependencySet(dependencies)
+    dependencies = DependencySet.coerce(dependencies)
 
     if engine is None:
         from ..session.engine import Session
@@ -101,11 +100,10 @@ def chase_and_backchase(
         # dependency-free test below uses *dependencies*; mixing two Σs would
         # silently produce reformulations equivalent under neither.  Session
         # callers pass engine.dependencies itself, so the identity check
-        # avoids fingerprinting Σ twice per call on that hot path.
+        # skips even the (memoized) fingerprint comparison on that hot path.
         from ..exceptions import ReformulationError
-        from ..session.cache import sigma_fingerprint
 
-        if sigma_fingerprint(engine.dependencies) != sigma_fingerprint(dependencies):
+        if engine.dependencies.fingerprint != dependencies.fingerprint:
             raise ReformulationError(
                 "chase_and_backchase was given an engine whose dependency "
                 "set differs from the dependencies argument; use "
@@ -270,8 +268,7 @@ def naive_bag_c_and_b(
     failure mode and contrast it with :func:`bag_c_and_b`.
     """
     semantics = Semantics.BAG
-    if not isinstance(dependencies, DependencySet):
-        dependencies = DependencySet(dependencies)
+    dependencies = DependencySet.coerce(dependencies)
     chase_result = sound_chase(query, dependencies, Semantics.SET, max_steps)
     universal_plan = chase_result.query
     reformulations: list[ConjunctiveQuery] = []

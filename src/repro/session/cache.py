@@ -12,7 +12,11 @@ Keys are *canonicalized*: the query contributes its
 :meth:`~repro.core.query.ConjunctiveQuery.structural_key` (deterministic
 variable renaming, so alpha-variant queries share an entry), Σ contributes
 its dependencies in order (chase strategy is order-sensitive) minus their
-display names, plus the set-valued predicate markers.  Cached
+display names, plus the set-valued predicate markers.  Both parts are
+memoized at their source — the structural key on the query object, the Σ
+fingerprint on the :class:`~repro.dependencies.base.DependencySet` — and the
+assembled :class:`ChaseKey` caches its own hash, so a warm lookup hashes one
+precomputed int instead of re-walking the query and Σ.  Cached
 :class:`~repro.chase.set_chase.ChaseResult` objects are immutable in
 practice and shared by reference; the chase result of an alpha-variant hit
 differs from a fresh chase only by a variable renaming, which every
@@ -26,7 +30,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 from ..core.query import ConjunctiveQuery
-from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..dependencies.base import Dependency, DependencySet
 
 
 class _Missing:
@@ -49,26 +53,41 @@ MISSING = _Missing()
 def sigma_fingerprint(dependencies: DependencySet | Iterable[Dependency]) -> Hashable:
     """A hashable, name-insensitive fingerprint of a dependency set.
 
-    Dependency order is preserved (the deterministic chase strategy tries
-    dependencies in order, so reordering Σ may legitimately produce a
-    different — equivalent — terminal result); display names are dropped
-    (they never influence chasing).
+    Delegates to :attr:`~repro.dependencies.base.DependencySet.fingerprint`,
+    which memoizes the value per set object; a plain iterable of
+    dependencies is coerced (and fingerprinted with no set-valued markers).
     """
-    if isinstance(dependencies, DependencySet):
-        items = dependencies.dependencies
-        set_valued = dependencies.set_valued_predicates
-    else:
-        items = list(dependencies)
-        set_valued = frozenset()
-    parts = []
-    for dependency in items:
-        if isinstance(dependency, TGD):
-            parts.append(("tgd", dependency.premise, dependency.conclusion))
-        elif isinstance(dependency, EGD):
-            parts.append(("egd", dependency.premise, dependency.equalities))
-        else:  # pragma: no cover - future dependency kinds
-            parts.append(("dep", repr(dependency)))
-    return (tuple(parts), set_valued)
+    return DependencySet.coerce(dependencies).fingerprint
+
+
+class ChaseKey:
+    """An assembled chase-cache key with its hash computed exactly once.
+
+    A key tuple's hash is recomputed by the dict on *every* ``get`` and
+    ``move_to_end``, walking the whole structural key and Σ fingerprint.
+    Wrapping the tuple caches that hash; equality keeps the full value
+    comparison (identical parts compare by pointer, so a warm hit is cheap),
+    making the wrapper safe to mix with arbitrary keys in one cache.
+    """
+
+    __slots__ = ("parts", "_hash")
+
+    def __init__(self, parts: tuple):
+        self.parts = parts
+        self._hash = hash(parts)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, ChaseKey):
+            return self._hash == other._hash and self.parts == other.parts
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChaseKey({self.parts!r})"
 
 
 def chase_cache_key(
@@ -85,11 +104,13 @@ def chase_cache_key(
     passes a (name, strategy-class) pair so a cache shared across sessions
     never conflates two strategies bound to the same name.  ``sigma_key``
     lets callers that already hold ``sigma_fingerprint(Σ)`` (the Session
-    memoizes it per Σ) skip recomputing it.
+    memoizes it per Σ) skip recomputing it.  The Session additionally
+    memoizes the returned :class:`ChaseKey` per live query object, so on a
+    warm session this function is not even called.
     """
     if sigma_key is None:
         sigma_key = sigma_fingerprint(dependencies)
-    return (query.structural_key(), sigma_key, semantics, max_steps)
+    return ChaseKey((query.structural_key(), sigma_key, semantics, max_steps))
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,9 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import time
+from typing import Hashable, Iterable, Mapping, Sequence
+from weakref import WeakKeyDictionary
 
 from ..chase.profile import ChaseProfile
 from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
@@ -99,6 +101,14 @@ class Session:
         self.max_steps = max_steps
         self._dependencies = self._coerce_dependencies(dependencies)
         self._sigma_key = None  # computed lazily by _chase_key
+        # Assembled cache keys, memoized per live query object (satellite of
+        # the hash-consing refactor): repeated decisions on the same query
+        # objects — every C&B run, every warm dashboard — reuse the exact
+        # ChaseKey instance, whose hash is already computed.  Weak keys keep
+        # the memo from pinning queries a caller has dropped.
+        self._key_memo: WeakKeyDictionary[ConjunctiveQuery, dict[Hashable, Hashable]] = (
+            WeakKeyDictionary()
+        )
         # Aggregate of every *cold* chase's profile (cache hits add nothing:
         # the work they saved is exactly what the aggregate measures).
         self._profile = ChaseProfile(runs=0)
@@ -141,6 +151,7 @@ class Session:
         """Replace Σ and invalidate every cached chase result."""
         self._dependencies = self._coerce_dependencies(dependencies)
         self._sigma_key = None
+        self._key_memo.clear()  # memoized keys embed the old Σ fingerprint
         self.cache.invalidate()
 
     # ------------------------------------------------------------------ #
@@ -177,17 +188,33 @@ class Session:
         # carries the strategy's cache token besides its name: a cache shared
         # between sessions whose registries bind the same name to different
         # strategies (or differently-configured instances) must not serve
-        # one strategy's chases as the other's.
-        if self._sigma_key is None:
-            self._sigma_key = sigma_fingerprint(self._dependencies)
+        # one strategy's chases as the other's.  Assembled keys are memoized
+        # per live query object (keyed by strategy and budget), so a repeat
+        # lookup reuses the hash-cached ChaseKey without rebuilding anything.
         strategy_key = (
             normalize_semantics_name(strategy.name),
             strategy.cache_token(),
         )
-        return chase_cache_key(
+        per_query = self._key_memo.get(query)
+        if per_query is None:
+            per_query = {}
+            self._key_memo[query] = per_query
+        memo_key = (strategy_key, max_steps)
+        key = per_query.get(memo_key)
+        if key is not None:
+            self._profile.cache_keys_reused += 1
+            return key
+        started = time.perf_counter()
+        if self._sigma_key is None:
+            self._sigma_key = sigma_fingerprint(self._dependencies)
+        key = chase_cache_key(
             query, self._dependencies, strategy_key, max_steps,
             sigma_key=self._sigma_key,
         )
+        per_query[memo_key] = key
+        self._profile.cache_keys_built += 1
+        self._profile.key_build_time += time.perf_counter() - started
+        return key
 
     def chase(
         self,

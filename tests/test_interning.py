@@ -1,0 +1,284 @@
+"""Interning / hash-consing invariants of the core representation.
+
+The interned core (``repro.core.terms`` / ``atoms`` / ``query``) promises:
+
+* equality ⇔ identity for interned terms within one process;
+* hashes identical to the frozen-dataclass representation it replaced,
+  computed once and cached;
+* pickling re-interns, so terms survive the ``decide_many`` multiprocessing
+  round trip as canonical singletons;
+* derived forms (structural key, canonical representation, dedup) are
+  computed once per query object — asserted here through the new profile
+  counters — and chase-cache keys are built once per query object per
+  (strategy, budget) and reused;
+* the refactor is behaviour-preserving, pinned by a seeded 300-case
+  differential fuzz campaign against the frozen reference engines.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.atoms import Atom, EqualityAtom, signature_id
+from repro.core.query import CANONICALIZATION_STATS, cq
+from repro.core.terms import (
+    INTERN_STATS,
+    Constant,
+    Variable,
+    intern_table_sizes,
+    term_from_value,
+)
+from repro.fuzz.runner import run_campaign
+from repro.paperlib.examples import example_4_1
+from repro.session import Session
+
+
+class TestTermInterning:
+    def test_equality_is_identity_for_variables(self):
+        assert Variable("X") is Variable("X")
+        assert Variable("X") == Variable("X")
+        assert Variable("X") is not Variable("Y")
+
+    def test_equality_is_identity_for_constants(self):
+        assert Constant(1) is Constant(1)
+        assert Constant("a") is Constant("a")
+        assert Constant(1) is not Constant("1")
+
+    def test_terms_coerced_through_atoms_are_interned(self):
+        atom = Atom("p", ["X", "a", 3])
+        assert atom.terms[0] is Variable("X")
+        assert atom.terms[1] is Constant("a")
+        assert atom.terms[2] is Constant(3)
+
+    def test_term_from_value_returns_singletons(self):
+        assert term_from_value("X") is Variable("X")
+        assert term_from_value("abc") is Constant("abc")
+
+    def test_hash_is_stable_and_cached(self):
+        var = Variable("X_hash_stability")
+        assert hash(var) == hash(var) == hash(Variable("X_hash_stability"))
+        const = Constant("c_hash_stability")
+        assert hash(const) == hash(Constant("c_hash_stability"))
+
+    def test_uids_are_distinct_and_stable(self):
+        a, b = Variable("UidA"), Constant("uid_b")
+        assert a.uid != b.uid
+        assert Variable("UidA").uid == a.uid
+
+    def test_variables_and_constants_never_compare_equal(self):
+        assert Variable("X") != Constant("X")
+        assert Constant("X") != Variable("X")
+
+    def test_terms_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("X").name = "Y"
+        with pytest.raises(AttributeError):
+            Constant(1).value = 2
+
+    def test_intern_stats_count_hits_and_misses(self):
+        before = INTERN_STATS.snapshot()
+        Variable("BrandNewInternStatVariable")
+        Variable("BrandNewInternStatVariable")
+        hits, misses = INTERN_STATS.snapshot()
+        assert misses - before[1] == 1
+        assert hits - before[0] == 1
+
+    def test_intern_table_sizes_reports_both_tables(self):
+        variables_before, constants_before = intern_table_sizes()
+        Variable("BrandNewTableSizeVariable")
+        Constant("brand-new-table-size-constant")
+        variables_after, constants_after = intern_table_sizes()
+        assert variables_after == variables_before + 1
+        assert constants_after == constants_before + 1
+
+
+class TestAtomPrecomputation:
+    def test_signature_and_sig_id(self):
+        atom = Atom("p", ["X", "Y"])
+        assert atom.signature == ("p", 2)
+        assert atom.sig_id == signature_id("p", 2)
+        assert Atom("p", ["A", "B"]).sig_id == atom.sig_id
+        assert Atom("p", ["A"]).sig_id != atom.sig_id  # arity distinguishes
+
+    def test_term_ids_match_terms(self):
+        atom = Atom("p", ["X", 1])
+        assert atom.term_ids == (Variable("X").uid, Constant(1).uid)
+
+    def test_atoms_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Atom("p", ["X"]).predicate = "q"
+        with pytest.raises(AttributeError):
+            EqualityAtom("X", "Y").left = Variable("Z")
+
+    def test_atom_hash_matches_value_equality(self):
+        assert hash(Atom("p", ["X", 1])) == hash(Atom("p", ["X", 1]))
+        assert Atom("p", ["X", 1]) == Atom("p", ["X", 1])
+
+
+class TestQueryMemoization:
+    def test_structural_key_is_computed_once_per_object(self):
+        query = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        before = CANONICALIZATION_STATS.snapshot()
+        first = query.structural_key()
+        second = query.structural_key()
+        hits, misses = CANONICALIZATION_STATS.snapshot()
+        assert first is second  # the very same tuple object
+        assert misses - before[1] == 1
+        assert hits - before[0] == 1
+
+    def test_alpha_variants_share_structural_keys(self):
+        q1 = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        q2 = cq("Q", ["A"], Atom("p", ["A", "B"]))
+        assert q1.structural_key() == q2.structural_key()
+
+    def test_canonical_representation_memoized_and_identity_when_duplicate_free(self):
+        query = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        assert query.canonical_representation() is query
+        duplicated = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("p", ["X", "Y"]))
+        canonical = duplicated.canonical_representation()
+        assert canonical is duplicated.canonical_representation()
+        assert len(canonical.body) == 1
+
+    def test_drop_duplicates_memoized_per_predicate_set(self):
+        query = cq("Q", ["X"], Atom("p", ["X", "Y"]), Atom("p", ["X", "Y"]))
+        reduced = query.drop_duplicates_for({"p"})
+        assert reduced is query.drop_duplicates_for(frozenset({"p"}))
+        assert query.drop_duplicates_for({"r"}) is query  # nothing droppable
+
+    def test_queries_are_immutable(self):
+        query = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        with pytest.raises(AttributeError):
+            query.head_predicate = "R"
+
+    def test_normal_form_is_idempotent_and_memoized(self):
+        query = cq("Q", ["X"], Atom("p", ["X", "Y"]))
+        nf = query.normal_form()
+        assert nf.normal_form() is nf
+        assert query.normal_form() is nf
+
+
+class TestPickleRoundTrip:
+    def test_terms_reintern_on_unpickle(self):
+        for term in (Variable("PickleVar"), Constant("pickle-const"), Constant(17)):
+            clone = pickle.loads(pickle.dumps(term))
+            assert clone is term
+
+    def test_atoms_and_queries_roundtrip_with_interned_terms(self):
+        query = cq("Q", ["X", 1], Atom("p", ["X", "Y"]), Atom("r", ["Y", "abc"]))
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone == query
+        for original, copied in zip(query.body, clone.body):
+            for term_a, term_b in zip(original.terms, copied.terms):
+                assert term_a is term_b
+
+    def test_equality_atom_roundtrip(self):
+        eq = EqualityAtom("X", 3)
+        clone = pickle.loads(pickle.dumps(eq))
+        assert clone == eq
+        assert clone.left is eq.left and clone.right is eq.right
+
+
+class TestSessionKeyReuse:
+    """Satellite: chase-cache keys are built once per query object and reused."""
+
+    def test_warm_decides_reuse_cache_keys(self):
+        ex41 = example_4_1()
+        session = Session(dependencies=ex41.dependencies)
+        session.decide(ex41.q1, ex41.q4, "bag")
+        built_after_cold = session.chase_profile().cache_keys_built
+        assert built_after_cold == 2  # one key per distinct query object
+        session.decide(ex41.q1, ex41.q4, "bag")
+        profile = session.chase_profile()
+        assert profile.cache_keys_built == built_after_cold  # nothing rebuilt
+        assert profile.cache_keys_reused >= 2
+
+    def test_structural_keys_not_recomputed_on_warm_decides(self):
+        ex41 = example_4_1()
+        session = Session(dependencies=ex41.dependencies)
+        session.decide(ex41.q1, ex41.q4, "bag")
+        before = CANONICALIZATION_STATS.snapshot()
+        for _ in range(5):
+            session.decide(ex41.q1, ex41.q4, "bag")
+        hits, misses = CANONICALIZATION_STATS.snapshot()
+        # Warm decides reuse the memoized ChaseKey: not even a structural-key
+        # *hit* is recorded, and certainly nothing is recomputed.
+        assert misses == before[1]
+
+    def test_changing_sigma_resets_key_memo(self):
+        ex41 = example_4_1()
+        session = Session(dependencies=ex41.dependencies)
+        session.decide(ex41.q1, ex41.q4, "bag")
+        built = session.chase_profile().cache_keys_built
+        session.set_dependencies(ex41.dependencies)
+        session.decide(ex41.q1, ex41.q4, "bag")
+        assert session.chase_profile().cache_keys_built == built + 2
+
+
+class TestMultiprocessingRoundTrip:
+    """Satellite: pickle/unpickle re-interns across a decide_many --jobs 2 run."""
+
+    def test_decide_many_with_two_jobs_matches_serial(self):
+        ex41 = example_4_1()
+        pairs = [(ex41.q1, ex41.q4), (ex41.q3, ex41.q4), (ex41.q1, ex41.q2)]
+        session = Session(dependencies=ex41.dependencies)
+        serial = session.decide_many(pairs, semantics="bag")
+        parallel = Session(dependencies=ex41.dependencies).decide_many(
+            pairs, semantics="bag", concurrency=2
+        )
+        assert [bool(item.result) for item in serial] == [
+            bool(item.result) for item in parallel
+        ]
+        # Verdict queries crossed two process boundaries; their terms must be
+        # the parent process's canonical singletons again.
+        for item in parallel:
+            for chased in (item.result.chased_left, item.result.chased_right):
+                for atom in chased.body:
+                    for term in atom.terms:
+                        assert term_from_value(term) is term
+                        if isinstance(term, Variable):
+                            assert Variable(term.name) is term
+                        else:
+                            assert Constant(term.value) is term
+
+
+class TestReviewRegressions:
+    def test_ground_atoms_pass_existing_constants_through(self):
+        from repro.database.instance import DatabaseInstance
+
+        instance = DatabaseInstance.from_dict({"p": [(Constant(1), 2)]})
+        (atom,) = instance.ground_atoms()
+        assert atom.terms == (Constant(1), Constant(2))  # no double wrapping
+
+    def test_fingerprint_detects_direct_list_mutation(self):
+        from repro.dependencies.base import DependencySet
+
+        source = example_4_1().dependencies
+        mutable = DependencySet(list(source.dependencies))
+        first = mutable.fingerprint
+        assert mutable.fingerprint is first  # warm access returns the memo
+        mutable.dependencies.append(mutable.dependencies[0])  # bypasses add()
+        assert mutable.fingerprint != first
+        # Same-length, in-place element replacement must be observed too.
+        shuffled = DependencySet(list(source.dependencies))
+        before = shuffled.fingerprint
+        shuffled.dependencies[0], shuffled.dependencies[-1] = (
+            shuffled.dependencies[-1],
+            shuffled.dependencies[0],
+        )
+        assert shuffled.fingerprint != before  # order matters for the chase
+        # Reassigning the set-valued markers must be observed too.
+        remarked = DependencySet(list(source.dependencies))
+        unmarked = remarked.fingerprint
+        remarked.set_valued_predicates = frozenset({"brand_new_marker"})
+        assert remarked.fingerprint != unmarked
+
+
+class TestDifferentialPin:
+    """Satellite: 300 seeded cases comparing new core vs frozen references."""
+
+    def test_seeded_300_case_campaign_is_clean(self):
+        result = run_campaign(0, 300)
+        assert result.ok, [failure.summary() for failure in result.failures]
+        assert result.cases == 300
