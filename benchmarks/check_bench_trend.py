@@ -1,0 +1,135 @@
+"""Diff a pytest-benchmark JSON against a committed baseline and gate CI.
+
+Usage::
+
+    python benchmarks/check_bench_trend.py \
+        --current BENCH_chase_scaling.json \
+        --baseline benchmarks/baselines/BENCH_chase_scaling.json
+
+The baseline file pins, per benchmark name, a set of metrics with the value
+recorded when the baseline was committed, the direction in which the metric
+is good (``higher`` or ``lower``), and optionally a per-metric tolerance.
+A run **fails** (exit code 1) when any pinned metric regresses by more than
+the tolerance (default 25%) against its baseline value, and when a pinned
+benchmark or metric is missing from the current JSON — silent disappearance
+of a metric is itself a regression.
+
+Metrics are looked up by dotted path inside each benchmark entry
+(``extra_info.cold_speedup``, ``stats.mean``, ...).  Only *pinned* metrics
+are compared: the pinned set is deliberately dominated by ratios and counts
+(speedups, steps, coverage counters) rather than absolute seconds, so the
+gate stays meaningful on noisy shared CI runners; the absolute-time floors
+live in the benchmarks' own assertions.
+
+Baseline format::
+
+    {
+      "pinned": {
+        "<benchmark name>": {
+          "<dotted.metric.path>": {"value": 8.0, "direction": "higher"},
+          "<other.metric>": {"value": 21, "direction": "higher", "tolerance": 0.0}
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_benchmarks(path: Path) -> dict[str, dict[str, Any]]:
+    """The benchmark entries of a pytest-benchmark JSON, keyed by name."""
+    data = json.loads(path.read_text())
+    return {bench["name"]: bench for bench in data.get("benchmarks", [])}
+
+
+def metric_value(bench: dict[str, Any], dotted_path: str) -> Any:
+    """Resolve ``extra_info.cold_speedup``-style paths; None when absent."""
+    node: Any = bench
+    for part in dotted_path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_metric(
+    name: str,
+    path: str,
+    pin: dict[str, Any],
+    current: Any,
+) -> str | None:
+    """One pinned metric's verdict: None when fine, a message when failing."""
+    label = f"{name} :: {path}"
+    if current is None:
+        return f"{label}: metric missing from the current run"
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        return f"{label}: current value {current!r} is not numeric"
+    baseline = float(pin["value"])
+    direction = pin.get("direction", "higher")
+    tolerance = float(pin.get("tolerance", DEFAULT_TOLERANCE))
+    if direction == "higher":
+        floor = baseline * (1.0 - tolerance)
+        if current < floor:
+            return (
+                f"{label}: {current} regressed more than {tolerance:.0%} below "
+                f"baseline {baseline} (floor {floor:.6g})"
+            )
+    elif direction == "lower":
+        ceiling = baseline * (1.0 + tolerance)
+        if current > ceiling:
+            return (
+                f"{label}: {current} regressed more than {tolerance:.0%} above "
+                f"baseline {baseline} (ceiling {ceiling:.6g})"
+            )
+    else:
+        return f"{label}: unknown direction {direction!r} in the baseline"
+    return None
+
+
+def check(current_path: Path, baseline_path: Path) -> list[str]:
+    """Every pinned-metric failure of *current* against *baseline*."""
+    baseline = json.loads(baseline_path.read_text())
+    benchmarks = load_benchmarks(current_path)
+    failures: list[str] = []
+    pinned = baseline.get("pinned", {})
+    if not pinned:
+        failures.append(f"{baseline_path}: no pinned metrics — baseline is empty")
+    for name, metrics in pinned.items():
+        bench = benchmarks.get(name)
+        if bench is None:
+            failures.append(f"{name}: benchmark missing from the current run")
+            continue
+        for path, pin in metrics.items():
+            message = check_metric(name, path, pin, metric_value(bench, path))
+            if message is not None:
+                failures.append(message)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, type=Path,
+                        help="benchmark JSON produced by this run")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed baseline JSON with pinned metrics")
+    args = parser.parse_args(argv)
+    failures = check(args.current, args.baseline)
+    if failures:
+        print(f"benchmark trend check FAILED ({args.current} vs {args.baseline}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"benchmark trend check OK ({args.current} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

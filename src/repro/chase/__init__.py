@@ -5,6 +5,7 @@ from .assignment_fixing import (
     is_assignment_fixing,
     is_assignment_fixing_for,
 )
+from .plans import EGDPlan, PlanCache, SigmaPlans, TGDPlan, default_plan_cache
 from .profile import ChaseProfile
 from .set_chase import ChaseResult, set_chase, set_chase_terminates
 from .sigma_subset import (
@@ -37,7 +38,11 @@ __all__ = [
     "ChaseProfile",
     "ChaseResult",
     "ChaseStepRecord",
+    "EGDPlan",
+    "PlanCache",
+    "SigmaPlans",
     "SigmaSubsetResult",
+    "TGDPlan",
     "apply_egd_step",
     "apply_tgd_step",
     "associated_test_query",
@@ -45,6 +50,7 @@ __all__ = [
     "bag_set_chase",
     "chase",
     "compare_with_key_based",
+    "default_plan_cache",
     "is_assignment_fixing",
     "is_assignment_fixing_for",
     "is_egd_applicable",

@@ -23,6 +23,7 @@ from ..core.query import ConjunctiveQuery
 from ..core.terms import Term
 from ..dependencies.base import TGD, Dependency, DependencySet
 from ..dependencies.classify import is_key_based_tgd
+from .plans import PlanCache
 from .profile import ChaseProfile
 from .set_chase import DEFAULT_MAX_STEPS, set_chase
 from .steps import iter_applicable_tgd_homomorphisms
@@ -63,6 +64,7 @@ def is_assignment_fixing_for(
     *,
     memo: MutableMapping[Hashable, bool] | None = None,
     profile: ChaseProfile | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> bool:
     """Is *tgd* assignment fixing w.r.t. (*query*, *homomorphism*)?
 
@@ -80,7 +82,8 @@ def is_assignment_fixing_for(
     run (the owner must keep Σ and the step budget fixed for the memo's
     lifetime); the verdict being a pure function of the canonical test, a
     hit is exact, not approximate.  ``profile`` receives the test/hit
-    counters and the index counters of the test chase.
+    counters and the index counters of the test chase; ``plan_cache`` is
+    handed to the test chase so it reuses the caller's compiled plans.
     """
     if tgd.is_full():
         # Proposition 4.3.
@@ -93,12 +96,16 @@ def is_assignment_fixing_for(
             if profile is not None:
                 profile.assignment_fixing_cache_hits += 1
             return cached
-    chased = set_chase(test.query, dependencies, max_steps=max_steps)
+    chased = set_chase(test.query, dependencies, max_steps=max_steps, plan_cache=plan_cache)
     if profile is not None:
         profile.assignment_fixing_tests += 1
         if chased.profile is not None:
             profile.index_lookups += chased.profile.index_lookups
             profile.index_hits += chased.profile.index_hits
+            # Keep the kernel counter consistent with the index counters it
+            # is read against: every lookup happens inside a kernel search,
+            # so the nested chase's searches belong to this profile too.
+            profile.kernel_searches += chased.profile.kernel_searches
     surviving = {v for atom in chased.query.body for v in atom.variables()}
     verdict = True
     for z_var, theta_var in test.existential_pairs:

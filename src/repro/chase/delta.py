@@ -34,22 +34,44 @@ every clean mark.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..dependencies.base import Dependency
 
 
 class TriggerIndex:
-    """Clean/dirty state for one ordered dependency list within a chase run."""
+    """Clean/dirty state for one ordered dependency list within a chase run.
+
+    The predicate → dependency-positions map is per-Σ, not per-run: drivers
+    holding a compiled :class:`~repro.chase.plans.SigmaPlans` construct the
+    index through :meth:`from_trigger_map`, sharing the plans' precomputed
+    map read-only across runs; only the clean/dirty bit vector is allocated
+    per run.
+    """
 
     __slots__ = ("_clean", "_by_predicate")
 
     def __init__(self, dependencies: Sequence[Dependency]):
         self._clean = [False] * len(dependencies)
-        self._by_predicate: dict[str, list[int]] = {}
+        by_predicate: dict[str, list[int]] = {}
         for position, dependency in enumerate(dependencies):
             for predicate in {atom.predicate for atom in dependency.premise}:
-                self._by_predicate.setdefault(predicate, []).append(position)
+                by_predicate.setdefault(predicate, []).append(position)
+        self._by_predicate: Mapping[str, Sequence[int]] = by_predicate
+
+    @classmethod
+    def from_trigger_map(
+        cls, count: int, by_predicate: Mapping[str, Sequence[int]]
+    ) -> "TriggerIndex":
+        """A fresh all-dirty index over *count* dependencies sharing *by_predicate*.
+
+        The map is borrowed, never mutated; the caller (a
+        :class:`~repro.chase.plans.SigmaPlans`) owns it.
+        """
+        self = cls.__new__(cls)
+        self._clean = [False] * count
+        self._by_predicate = by_predicate
+        return self
 
     def is_clean(self, position: int) -> bool:
         """Can the dependency at *position* be skipped this round?"""
@@ -59,7 +81,7 @@ class TriggerIndex:
         """Record a completed scan whose no-trigger verdict is growth-stable."""
         self._clean[position] = True
 
-    def note_added(self, predicates) -> None:
+    def note_added(self, predicates: Iterable[str]) -> None:
         """A tgd step added atoms over *predicates*: dirty the affected deps."""
         clean = self._clean
         for predicate in predicates:

@@ -1,0 +1,181 @@
+"""Per-Σ compiled match plans, cached across chase runs.
+
+A chase run probes the same dependency premises and conclusions against the
+evolving query body every round, and the same Σ is typically chased many
+times — every equivalence decision chases both inputs, a C&B run chases
+dozens of candidates, and every assignment-fixing verdict (Definition 4.3)
+runs a nested set chase under the same regularized Σ.  This module compiles
+each dependency's atoms into :class:`~repro.core.plan.MatchPlan` int plans
+**once per Σ** and caches the result:
+
+* :class:`TGDPlan` / :class:`EGDPlan` — one dependency's compiled premise
+  (and, for tgds, conclusion) plus its premise predicate set (consumed by
+  the :class:`~repro.chase.delta.TriggerIndex`);
+* :class:`SigmaPlans` — one regularized dependency list's plans, split by
+  kind exactly the way the drivers split dependencies, plus the
+  premise-predicate trigger maps shared by every run's ``TriggerIndex``;
+* :class:`PlanCache` — a bounded LRU keyed by the
+  :attr:`~repro.dependencies.base.DependencySet.fingerprint` of Σ (plus the
+  dependency display names, which the fingerprint deliberately drops but
+  which appear verbatim in step records, and the ``regularize`` flag).
+
+The cache also amortizes regularization itself: a hit returns the already
+regularized dependency list, so the nested Definition 4.3 test chases stop
+re-regularizing Σ on every verdict.  Regularization is deterministic, so a
+cached entry is interchangeable with a fresh one — the applied step
+sequences stay byte-identical to the frozen reference drivers.
+
+A process-wide default cache (:func:`default_plan_cache`) serves module
+level chase calls; a :class:`~repro.session.Session` owns a reference to it
+(or to an injected instance) and surfaces its hit/miss statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+from ..core.plan import MatchPlan
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
+from ..dependencies.regularize import regularize_dependencies
+
+
+class TGDPlan:
+    """Compiled premise and conclusion plans of one tgd."""
+
+    __slots__ = ("tgd", "premise", "conclusion", "premise_predicates")
+
+    def __init__(self, tgd: TGD):
+        self.tgd = tgd
+        self.premise = MatchPlan(tgd.premise)
+        self.conclusion = MatchPlan(tgd.conclusion)
+        self.premise_predicates = frozenset(a.predicate for a in tgd.premise)
+
+
+class EGDPlan:
+    """Compiled premise plan of one egd."""
+
+    __slots__ = ("egd", "premise", "premise_predicates")
+
+    def __init__(self, egd: EGD):
+        self.egd = egd
+        self.premise = MatchPlan(egd.premise)
+        self.premise_predicates = frozenset(a.predicate for a in egd.premise)
+
+
+def _trigger_map(
+    plans: "list[EGDPlan] | list[TGDPlan]",
+) -> dict[str, tuple[int, ...]]:
+    """Premise predicate → positions of the dependencies mentioning it.
+
+    The per-run :class:`~repro.chase.delta.TriggerIndex` shares this map
+    read-only across every run under the same Σ.
+    """
+    by_predicate: dict[str, list[int]] = {}
+    for position, plan in enumerate(plans):
+        for predicate in plan.premise_predicates:
+            by_predicate.setdefault(predicate, []).append(position)
+    return {predicate: tuple(ids) for predicate, ids in by_predicate.items()}
+
+
+class SigmaPlans:
+    """Compiled plans for one (optionally regularized) dependency list."""
+
+    __slots__ = (
+        "items",
+        "egds",
+        "tgds",
+        "egd_plans",
+        "tgd_plans",
+        "egd_trigger_map",
+        "tgd_trigger_map",
+    )
+
+    def __init__(self, dependencies: Iterable[Dependency], *, regularize: bool = True):
+        items = list(dependencies)
+        if regularize:
+            items = regularize_dependencies(items)
+        self.items: list[Dependency] = items
+        self.egds: list[EGD] = [d for d in items if isinstance(d, EGD)]
+        self.tgds: list[TGD] = [d for d in items if isinstance(d, TGD)]
+        self.egd_plans: list[EGDPlan] = [EGDPlan(egd) for egd in self.egds]
+        self.tgd_plans: list[TGDPlan] = [TGDPlan(tgd) for tgd in self.tgds]
+        self.egd_trigger_map = _trigger_map(self.egd_plans)
+        self.tgd_trigger_map = _trigger_map(self.tgd_plans)
+
+
+class PlanCache:
+    """A bounded LRU of :class:`SigmaPlans` per dependency set.
+
+    Keys combine Σ's memoized fingerprint with the dependency display names
+    (two Σs equal up to names must not share plans — step records print the
+    names) and the driver's ``regularize`` flag.  ``hits`` / ``misses`` /
+    ``evictions`` mirror the chase cache's counters; the chase drivers fold
+    the per-run deltas into their :class:`~repro.chase.profile.ChaseProfile`
+    as ``plans_reused`` / ``plans_compiled``.
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"plan cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, SigmaPlans] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def plans_for(
+        self,
+        dependencies: DependencySet | Iterable[Dependency],
+        *,
+        regularize: bool = True,
+    ) -> SigmaPlans:
+        """The compiled plans of *dependencies*, compiling on first use."""
+        sigma = DependencySet.coerce(dependencies)
+        key = (
+            sigma.fingerprint,
+            tuple(d.name for d in sigma.dependencies),
+            regularize,
+        )
+        entries = self._entries
+        plans = entries.get(key)
+        if plans is not None:
+            entries.move_to_end(key)
+            self.hits += 1
+            return plans
+        self.misses += 1
+        plans = SigmaPlans(sigma.dependencies, regularize=regularize)
+        entries[key] = plans
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+        return plans
+
+    def snapshot(self) -> tuple[int, int]:
+        """The current ``(hits, misses)`` pair, for per-run delta accounting."""
+        return (self.hits, self.misses)
+
+    def invalidate(self) -> None:
+        """Drop every compiled plan (counters survive)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlanCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: The process-wide cache used when a caller does not supply one — plans,
+#: like the term intern tables, are process-level state.
+_DEFAULT_PLAN_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide :class:`PlanCache` shared by the chase drivers."""
+    return _DEFAULT_PLAN_CACHE

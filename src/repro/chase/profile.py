@@ -17,9 +17,14 @@ of every cold chase into a per-session aggregate, and the CLI's
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.query import CANONICALIZATION_STATS
 from ..core.terms import INTERN_STATS
+
+if TYPE_CHECKING:  # imported for annotations only (profile sits below both)
+    from ..core.homomorphism import TargetIndex
+    from .plans import PlanCache
 
 #: ``((intern hits, intern misses), (structural-key hits, misses))``.
 CoreStatsSnapshot = tuple[tuple[int, int], tuple[int, int]]
@@ -56,6 +61,14 @@ class ChaseProfile:
     #: TargetIndex candidate lookups / lookups narrowed by a posting list.
     index_lookups: int = 0
     index_hits: int = 0
+    #: Compiled-match-kernel searches run (one per premise / conclusion /
+    #: containment probe against a TargetIndex).
+    kernel_searches: int = 0
+    #: Per-Σ plan sets compiled vs served from the PlanCache during the run
+    #: (the nested Definition 4.3 test chases consult the cache too, so a
+    #: single run typically records many reuses).
+    plans_compiled: int = 0
+    plans_reused: int = 0
     #: Assignment-fixing verdicts computed via a test-query chase vs served
     #: from the per-run memo (Definition 4.3 work avoided).
     assignment_fixing_tests: int = 0
@@ -100,12 +113,27 @@ class ChaseProfile:
         self.structural_key_hits += CANONICALIZATION_STATS.hits - key_hits
         self.structural_key_misses += CANONICALIZATION_STATS.misses - key_misses
 
-    def retire_index(self, index) -> None:
+    def retire_index(self, index: "TargetIndex") -> None:
         """Fold a :class:`TargetIndex`'s counters in and zero them out."""
         self.index_lookups += index.lookups
         self.index_hits += index.narrowed
+        self.kernel_searches += index.searches
         index.lookups = 0
         index.narrowed = 0
+        index.searches = 0
+
+    def record_plan_stats(
+        self, baseline: tuple[int, int], cache: "PlanCache"
+    ) -> None:
+        """Fold in the plan-cache activity since *baseline* (a cache snapshot).
+
+        Like :meth:`record_core_stats`, the delta attributes to this profile
+        everything the run did, including the plan lookups of nested
+        assignment-fixing test chases that used the same cache.
+        """
+        hits, misses = baseline
+        self.plans_reused += cache.hits - hits
+        self.plans_compiled += cache.misses - misses
 
     def merge(self, other: "ChaseProfile") -> None:
         """Accumulate *other* into this profile (used for aggregates)."""
@@ -121,6 +149,9 @@ class ChaseProfile:
         self.dependencies_skipped += other.dependencies_skipped
         self.index_lookups += other.index_lookups
         self.index_hits += other.index_hits
+        self.kernel_searches += other.kernel_searches
+        self.plans_compiled += other.plans_compiled
+        self.plans_reused += other.plans_reused
         self.assignment_fixing_tests += other.assignment_fixing_tests
         self.assignment_fixing_cache_hits += other.assignment_fixing_cache_hits
         self.intern_hits += other.intern_hits
@@ -142,6 +173,13 @@ class ChaseProfile:
             f"({self.dependencies_skipped} dependency scans delta-skipped)",
             f"  index lookups    : {self.index_lookups} ({self.index_hit_rate:.1%} narrowed by postings)",
         ]
+        if self.kernel_searches:
+            lines.append(f"  kernel searches  : {self.kernel_searches}")
+        if self.plans_compiled or self.plans_reused:
+            lines.append(
+                f"  match plans      : {self.plans_reused} reused, "
+                f"{self.plans_compiled} compiled"
+            )
         if self.assignment_fixing_tests or self.assignment_fixing_cache_hits:
             lines.append(
                 f"  assignment-fixing: {self.assignment_fixing_tests} test chases, "

@@ -20,15 +20,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from ..core.homomorphism import TargetIndex
+from ..core.homomorphism import Homomorphism, TargetIndex
 from ..core.query import ConjunctiveQuery
+from ..core.terms import Term
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
-from ..dependencies.regularize import regularize_dependencies
 from ..exceptions import ChaseNonTerminationError
 from ..semantics import Semantics
 from .delta import TriggerIndex
+from .plans import EGDPlan, PlanCache, TGDPlan, default_plan_cache
 from .profile import ChaseProfile, snapshot_core_stats
 from .steps import (
     ChaseStepRecord,
@@ -64,21 +65,14 @@ class ChaseResult:
         return "\n".join(lines)
 
 
-def _as_dependency_list(
-    dependencies: DependencySet | Sequence[Dependency] | Iterable[Dependency],
-) -> list[Dependency]:
-    if isinstance(dependencies, DependencySet):
-        return list(dependencies.dependencies)
-    return list(dependencies)
-
-
 def _first_applicable_egd_step(
     query: ConjunctiveQuery,
     egds: Sequence[EGD],
     index: TargetIndex,
     state: TriggerIndex,
     profile: ChaseProfile,
-):
+    plans: Sequence[EGDPlan],
+) -> tuple[EGD, Homomorphism, Term, Term] | None:
     """First applicable egd trigger in Σ order, delta-skipping clean egds.
 
     Every egd scanned to exhaustion without a trigger is marked clean: its
@@ -90,7 +84,7 @@ def _first_applicable_egd_step(
             profile.dependencies_skipped += 1
             continue
         for hom, left, right in iter_applicable_egd_homomorphisms(
-            query, egd, index=index
+            query, egd, index=index, plan=plans[position]
         ):
             profile.triggers_examined += 1
             return egd, hom, left, right
@@ -104,7 +98,8 @@ def _first_applicable_tgd_step(
     index: TargetIndex,
     state: TriggerIndex,
     profile: ChaseProfile,
-):
+    plans: Sequence[TGDPlan],
+) -> tuple[TGD, Homomorphism] | None:
     """First applicable tgd trigger in Σ order, delta-skipping clean tgds.
 
     Under set semantics every applicable homomorphism fires, so a completed
@@ -116,7 +111,9 @@ def _first_applicable_tgd_step(
         if state.is_clean(position):
             profile.dependencies_skipped += 1
             continue
-        for hom in iter_applicable_tgd_homomorphisms(query, tgd, index=index):
+        for hom in iter_applicable_tgd_homomorphisms(
+            query, tgd, index=index, plan=plans[position]
+        ):
             profile.triggers_examined += 1
             return tgd, hom
         state.mark_clean(position)
@@ -129,6 +126,8 @@ def set_chase(
     max_steps: int = DEFAULT_MAX_STEPS,
     regularize: bool = True,
     deduplicate: bool = True,
+    *,
+    plan_cache: PlanCache | None = None,
 ) -> ChaseResult:
     """Chase *query* with *dependencies* under set semantics to termination.
 
@@ -138,16 +137,17 @@ def set_chase(
     which is always harmless under set semantics.
 
     The loop is delta-driven: one :class:`TargetIndex` over the current body
-    is shared by every dependency probe of a round, and a
-    :class:`TriggerIndex` per dependency kind skips dependencies that
-    provably cannot have gained a trigger since their last clean scan.  The
-    applied step sequence is identical to a full rescan every round.
+    is shared by every dependency probe of a round, a :class:`TriggerIndex`
+    per dependency kind skips dependencies that provably cannot have gained
+    a trigger since their last clean scan, and each dependency's compiled
+    match plans are served per Σ from ``plan_cache`` (default: the
+    process-wide cache) and reused across rounds and runs.  The applied step
+    sequence is identical to a full rescan every round.
     """
-    items = _as_dependency_list(dependencies)
-    if regularize:
-        items = regularize_dependencies(items)
-    egds = [d for d in items if isinstance(d, EGD)]
-    tgds = [d for d in items if isinstance(d, TGD)]
+    cache = plan_cache if plan_cache is not None else default_plan_cache()
+    plan_stats = cache.snapshot()
+    plans = cache.plans_for(dependencies, regularize=regularize)
+    items, egds, tgds = plans.items, plans.egds, plans.tgds
 
     profile = ChaseProfile(semantics=str(Semantics.SET))
     started = time.perf_counter()
@@ -157,11 +157,14 @@ def set_chase(
     # Names of every variable ever used in this chase run, so fresh variables
     # never reuse a name eliminated by an earlier egd step.
     used_names = set(query.variable_names())
-    egd_state, tgd_state = TriggerIndex(egds), TriggerIndex(tgds)
+    egd_state = TriggerIndex.from_trigger_map(len(egds), plans.egd_trigger_map)
+    tgd_state = TriggerIndex.from_trigger_map(len(tgds), plans.tgd_trigger_map)
     index = TargetIndex(current.body)
     for _ in range(max_steps):
         profile.rounds += 1
-        egd_step = _first_applicable_egd_step(current, egds, index, egd_state, profile)
+        egd_step = _first_applicable_egd_step(
+            current, egds, index, egd_state, profile, plans.egd_plans
+        )
         if egd_step is not None:
             egd, hom, left, right = egd_step
             current, record = apply_egd_step(current, egd, hom, left, right)
@@ -174,7 +177,9 @@ def set_chase(
             profile.retire_index(index)
             index = TargetIndex(current.body)
             continue
-        tgd_step = _first_applicable_tgd_step(current, tgds, index, tgd_state, profile)
+        tgd_step = _first_applicable_tgd_step(
+            current, tgds, index, tgd_state, profile, plans.tgd_plans
+        )
         if tgd_step is not None:
             tgd, hom = tgd_step
             current, record = apply_tgd_step(current, tgd, hom, used_names)
@@ -188,6 +193,7 @@ def set_chase(
             continue
         profile.retire_index(index)
         profile.record_core_stats(core_stats)
+        profile.record_plan_stats(plan_stats, cache)
         profile.wall_time = time.perf_counter() - started
         return ChaseResult(current, records, Semantics.SET, terminated=True, profile=profile)
     raise ChaseNonTerminationError(

@@ -25,13 +25,14 @@ from ..core.atoms import Atom
 from ..core.homomorphism import (
     Homomorphism,
     TargetIndex,
-    find_homomorphism,
-    iter_homomorphisms,
+    find_match,
+    iter_matches,
 )
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, FreshVariableFactory, Term, Variable
 from ..dependencies.base import EGD, TGD, Dependency
 from ..exceptions import ChaseError
+from .plans import EGDPlan, TGDPlan
 
 
 class ChaseFailedError(ChaseError):
@@ -61,7 +62,11 @@ class ChaseStepRecord:
 # TGD steps
 # ---------------------------------------------------------------------- #
 def iter_applicable_tgd_homomorphisms(
-    query: ConjunctiveQuery, tgd: TGD, *, index: TargetIndex | None = None
+    query: ConjunctiveQuery,
+    tgd: TGD,
+    *,
+    index: TargetIndex | None = None,
+    plan: TGDPlan | None = None,
 ) -> Iterator[Homomorphism]:
     """Yield the homomorphisms from the tgd's premise that make a step applicable.
 
@@ -69,12 +74,16 @@ def iter_applicable_tgd_homomorphisms(
     when it cannot be extended to also cover the conclusion (otherwise the
     dependency is already satisfied for this match).  ``index`` lets a chase
     driver share one :class:`TargetIndex` over the query body across every
-    dependency probe of a round.
+    dependency probe of a round; ``plan`` lets it reuse the tgd's compiled
+    premise/conclusion :class:`~repro.chase.plans.TGDPlan` across rounds
+    (when given it must be compiled from exactly *tgd*).
     """
     if index is None:
         index = TargetIndex(query.body)
-    for hom in iter_homomorphisms(tgd.premise, query.body, index=index):
-        if find_homomorphism(tgd.conclusion, query.body, fixed=hom, index=index) is None:
+    if plan is None:
+        plan = TGDPlan(tgd)
+    for hom in iter_matches(plan.premise, index):
+        if find_match(plan.conclusion, index, fixed=hom) is None:
             yield hom
 
 
@@ -117,7 +126,7 @@ def conclusion_instantiation(
     if used_names is not None:
         used_names.update(v.name for v in fresh.values())
     substitution: dict[Term, Term] = dict(homomorphism)
-    substitution.update(fresh)
+    substitution.update(fresh.items())
     atoms = tuple(atom.substitute(substitution) for atom in tgd.conclusion)
     return atoms, fresh
 
@@ -144,15 +153,23 @@ def apply_tgd_step(
 # EGD steps
 # ---------------------------------------------------------------------- #
 def iter_applicable_egd_homomorphisms(
-    query: ConjunctiveQuery, egd: EGD, *, index: TargetIndex | None = None
+    query: ConjunctiveQuery,
+    egd: EGD,
+    *,
+    index: TargetIndex | None = None,
+    plan: EGDPlan | None = None,
 ) -> Iterator[tuple[Homomorphism, Term, Term]]:
     """Yield ``(h, image_left, image_right)`` for applicable egd steps.
 
     Applicable means the two images differ; the caller decides how to unify
-    them (or to fail when both are constants).  ``index`` plays the same
-    body-index-sharing role as in :func:`iter_applicable_tgd_homomorphisms`.
+    them (or to fail when both are constants).  ``index`` and ``plan`` play
+    the same sharing roles as in :func:`iter_applicable_tgd_homomorphisms`.
     """
-    for hom in iter_homomorphisms(egd.premise, query.body, index=index):
+    if index is None:
+        index = TargetIndex(query.body)
+    if plan is None:
+        plan = EGDPlan(egd)
+    for hom in iter_matches(plan.premise, index):
         for equality in egd.equalities:
             left = hom.get(equality.left, equality.left)
             right = hom.get(equality.right, equality.right)

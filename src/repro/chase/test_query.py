@@ -59,9 +59,9 @@ def associated_test_query(
 
     base_substitution: dict[Term, Term] = dict(homomorphism)
     first_substitution = dict(base_substitution)
-    first_substitution.update(z_vars)
+    first_substitution.update(z_vars.items())
     second_substitution = dict(base_substitution)
-    second_substitution.update(theta_vars)
+    second_substitution.update(theta_vars.items())
 
     first_copy = tuple(atom.substitute(first_substitution) for atom in tgd.conclusion)
     second_copy = tuple(atom.substitute(second_substitution) for atom in tgd.conclusion)

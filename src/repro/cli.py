@@ -91,6 +91,17 @@ def _semantics_argument(parser: argparse.ArgumentParser, allow_all: bool = False
     )
 
 
+def _print_plan_cache_line(session: Session) -> None:
+    """One ``--profile`` line for the compiled-plan cache state.
+
+    The cache is process-wide by default, so the counters cover every chase
+    of this CLI invocation (per-run compile/reuse deltas are on the profile
+    lines above).
+    """
+    hits, misses, evictions = session.plan_cache_stats()
+    print(f"  plan cache       : {hits} hits, {misses} misses, {evictions} evictions")
+
+
 # --------------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------------- #
@@ -105,6 +116,7 @@ def _cmd_chase(args) -> int:
     if args.profile and result.profile is not None:
         for line in result.profile.summary_lines():
             print(line)
+        _print_plan_cache_line(session)
     return 0
 
 
@@ -122,6 +134,7 @@ def _cmd_equivalence(args) -> int:
         if args.profile:
             for line in session.chase_profile().summary_lines():
                 print(line)
+            _print_plan_cache_line(session)
         return 0 if equivalent_somewhere else 1
     verdict = session.decide(query, other, args.semantics)
     print("equivalent" if verdict else "not equivalent")
@@ -131,6 +144,7 @@ def _cmd_equivalence(args) -> int:
     if args.profile:
         for line in session.chase_profile().summary_lines():
             print(line)
+        _print_plan_cache_line(session)
     return 0 if verdict else 1
 
 

@@ -16,8 +16,11 @@ from .homomorphism import (
     find_containment_mapping,
     find_homomorphism,
     find_isomorphism,
+    find_match,
     iter_homomorphisms,
+    iter_matches,
 )
+from .plan import MatchPlan
 from .minimization import is_minimal, minimize
 from .query import ConjunctiveQuery, cq
 from .terms import Constant, FreshVariableFactory, Term, Variable
@@ -31,6 +34,7 @@ __all__ = [
     "Constant",
     "ConjunctiveQuery",
     "FreshVariableFactory",
+    "MatchPlan",
     "TargetIndex",
     "Term",
     "Variable",
@@ -39,7 +43,9 @@ __all__ = [
     "find_containment_mapping",
     "find_homomorphism",
     "find_isomorphism",
+    "find_match",
     "iter_homomorphisms",
+    "iter_matches",
     "is_bag_equivalent",
     "is_bag_equivalent_with_set_enforced",
     "is_bag_set_equivalent",

@@ -14,39 +14,58 @@ These are the workhorse procedures of the whole library:
   the two queries' subgoal occurrences compatible with a variable renaming;
   isomorphism characterises bag equivalence (Theorem 2.1(1)).
 
-The search is backtracking with a most-constrained-atom-first heuristic
-backed by a :class:`TargetIndex`: target atoms are indexed per (predicate,
-arity) and additionally per (position, term), so a source atom whose
-position is a constant or an already-bound variable is only checked against
-the posting list of that position instead of every atom of its predicate.
-Index keys are pure ints built from the interned core representation — the
-``(predicate, arity)`` group key is the atom's precomputed
-:attr:`~repro.core.atoms.Atom.sig_id` and a posting key is the
-``(sig_id, position, term uid)`` int triple — so a probe hashes a few small
-ints instead of strings and term objects.
+The search is backtracking with a most-constrained-atom-first heuristic,
+run entirely over ints by :func:`iter_matches` — the **compiled match
+kernel**:
+
+* the source conjunction is compiled once into a
+  :class:`~repro.core.plan.MatchPlan` (per-atom ``sig_id``, per-position
+  slot/constant-uid codes, one dense *slot* per distinct variable);
+* the working mapping is a preallocated int array indexed by slot — binding
+  a variable writes a target term's intern ``uid`` into its slot, undoing a
+  binding writes ``-1`` back — so the inner loops compare and assign small
+  ints instead of hashing term objects into dictionaries;
+* candidates come from a :class:`TargetIndex`: target atoms are indexed per
+  ``sig_id`` and additionally per ``(sig_id, position, uid)`` posting list,
+  so a source atom with a constant or an already-bound slot at some
+  position is only checked against that position's posting list instead of
+  every atom of its predicate;
+* term objects reappear only at the result boundary, where the slot
+  bindings are translated back into the ``{variable: term}`` dictionaries
+  callers expect.
+
 Selecting the atom with the fewest verified candidates doubles as forward
 checking — a remaining atom with no candidate prunes the branch
 immediately.  The enumeration order is *identical* to the plain
 backtracking search this replaced (preserved verbatim in
 :mod:`repro.core.reference`): candidates are verified in target-body order
 and ties in the selection break toward the earlier source atom, so every
-chase strategy built on top keeps its deterministic step sequence.
+chase strategy built on top keeps its deterministic step sequence.  (The
+kernel stops counting an atom's candidates once it has as many as the
+current best — a count that large can never win the strictly-fewer
+selection — which skips verification work without affecting the choice.)
 
-A ``TargetIndex`` can be built once and passed to many searches against the
-same target conjunction (``iter_homomorphisms(..., index=...)``); the chase
-drivers do exactly that — inside one chase round every dependency probe hits
-the same query body, so the index is built once per round instead of once
-per probe.
+Both halves of a search are reusable: a ``TargetIndex`` can be built once
+and passed to many searches against the same target conjunction
+(``iter_homomorphisms(..., index=...)``), and a ``MatchPlan`` can be
+compiled once and passed to many searches from the same source
+(``iter_homomorphisms(..., plan=...)``).  The chase drivers do exactly that
+— inside one chase round every dependency probe hits the same query body
+(one index per round), and the per-dependency premise/conclusion plans are
+compiled once per Σ and reused across rounds *and runs* (see
+:mod:`repro.chase.plans`).
 """
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
 from typing import Iterator, Mapping, Sequence
 
 from .atoms import Atom
+from .plan import MatchPlan
 from .query import ConjunctiveQuery
-from .terms import Constant, Term
+from .terms import Constant, Term, Variable
 
 Homomorphism = dict[Term, Term]
 
@@ -97,10 +116,11 @@ class TargetIndex:
     number of searches against the same target; ``lookups`` / ``narrowed``
     count how often a candidate lookup happened and how often a posting list
     strictly narrowed (or emptied) the predicate group — the chase profiler
-    reports their ratio as the index hit rate.
+    reports their ratio as the index hit rate — and ``searches`` counts the
+    kernel searches run against the index.
     """
 
-    __slots__ = ("atoms", "_groups", "_postings", "lookups", "narrowed")
+    __slots__ = ("atoms", "_groups", "_postings", "lookups", "narrowed", "searches")
 
     def __init__(self, atoms: Sequence[Atom]):
         self.atoms: tuple[Atom, ...] = tuple(atoms)
@@ -123,6 +143,7 @@ class TargetIndex:
                     posting.append(atom_id)
         self.lookups = 0
         self.narrowed = 0
+        self.searches = 0
 
     def candidate_ids(
         self, atom: Atom, mapping: Mapping[Term, Term]
@@ -157,20 +178,180 @@ class TargetIndex:
             self.narrowed += 1
         return best
 
-    def candidates(
-        self, atom: Atom, mapping: Homomorphism
-    ) -> list[Homomorphism]:
-        """Verified candidate extensions for *atom*, in target-body order."""
-        atoms = self.atoms
-        found = []
-        for atom_id in self.candidate_ids(atom, mapping):
-            extension = _compatible(atom, atoms[atom_id], mapping)
-            if extension is not None:
-                found.append(extension)
-        return found
+    def candidate_ids_coded(
+        self, sig_id: int, codes: Sequence[int], binding: Sequence[int]
+    ) -> Sequence[int]:
+        """The int-kernel variant of :meth:`candidate_ids`.
+
+        *codes* are a :class:`~repro.core.plan.MatchPlan` atom's per-position
+        codes and *binding* the kernel's slot array; the narrowing walk is the
+        same as the term-based lookup (first-to-last position, keep the
+        strictly smallest posting) but never touches a term object.
+        """
+        self.lookups += 1
+        best = self._groups.get(sig_id)
+        if best is None:
+            return _EMPTY_IDS
+        group_size = len(best)
+        postings = self._postings
+        for position, code in enumerate(codes):
+            if code >= 0:
+                uid = binding[code]
+                if uid < 0:
+                    continue
+            else:
+                uid = ~code
+            posting = postings.get((sig_id, position, uid))
+            if posting is None:
+                self.narrowed += 1
+                return _EMPTY_IDS
+            if len(posting) < len(best):
+                best = posting
+        if len(best) < group_size:
+            self.narrowed += 1
+        return best
 
     def __len__(self) -> int:
         return len(self.atoms)
+
+
+_NO_CAP = sys.maxsize
+
+
+def iter_matches(
+    plan: MatchPlan,
+    index: TargetIndex,
+    fixed: Mapping[Term, Term] | None = None,
+) -> Iterator[Homomorphism]:
+    """The compiled match kernel: every homomorphism of *plan* into *index*.
+
+    The working mapping is a slot-indexed int array (``-1`` = unbound); a
+    parallel array of term objects records what each slot is bound to, so
+    the result boundary — and nothing before it — builds the
+    ``{variable: term}`` dictionaries callers consume.  Enumeration order is
+    identical to :func:`repro.core.reference.iter_homomorphisms_reference`.
+    """
+    index.searches += 1
+    base: Homomorphism = dict(fixed or {})
+    # Constants in the fixed mapping must be identity (defensive check,
+    # mirroring the reference search).
+    for key, value in base.items():
+        if isinstance(key, Constant) and key != value:
+            return
+
+    binding = [-1] * len(plan.slot_vars)
+    bound_terms: list[Term | None] = [None] * len(plan.slot_vars)
+    slot_of = plan.slot_of
+    for key, value in base.items():
+        if isinstance(key, Variable):
+            slot = slot_of.get(key.uid)
+            if slot is not None:
+                binding[slot] = value.uid
+                bound_terms[slot] = value
+
+    atom_codes = plan.codes
+    sig_ids = plan.sig_ids
+    slot_vars = plan.slot_vars
+    target_atoms = index.atoms
+    candidate_ids = index.candidate_ids_coded
+    remaining = list(range(len(atom_codes)))
+    # Slots bound during the search, in binding order (excludes `fixed`
+    # pre-bindings, which are already in `base`).
+    trail: list[int] = []
+    # Per-candidate scratch of tentatively bound slots (avoids allocating a
+    # list per verification).
+    scratch = [0] * plan.max_arity
+
+    def verified_ids(source_pos: int, cap: int) -> list[int] | None:
+        """Target atom ids matching source atom *source_pos* under `binding`.
+
+        Returns None as soon as *cap* candidates verify: the caller only
+        wants strictly-fewer-than-cap lists, so a capped atom cannot win.
+        """
+        codes = atom_codes[source_pos]
+        ids: list[int] = []
+        for atom_id in candidate_ids(sig_ids[source_pos], codes, binding):
+            term_ids = target_atoms[atom_id].term_ids
+            touched = 0
+            ok = True
+            for position, code in enumerate(codes):
+                uid = term_ids[position]
+                if code >= 0:
+                    bound = binding[code]
+                    if bound < 0:
+                        binding[code] = uid
+                        scratch[touched] = code
+                        touched += 1
+                    elif bound != uid:
+                        ok = False
+                        break
+                elif ~code != uid:
+                    ok = False
+                    break
+            while touched:
+                touched -= 1
+                binding[scratch[touched]] = -1
+            if ok:
+                ids.append(atom_id)
+                if len(ids) >= cap:
+                    return None
+        return ids
+
+    def search() -> Iterator[Homomorphism]:
+        if not remaining:
+            result = dict(base)
+            for slot in trail:
+                result[slot_vars[slot]] = bound_terms[slot]  # type: ignore[assignment]
+            yield result
+            return
+        # Most-constrained-first with forward checking: pick the remaining
+        # atom with the fewest verified candidates under the current binding;
+        # an atom with none prunes the branch outright.
+        best_at = 0
+        best_ids: list[int] | None = None
+        cap = _NO_CAP
+        for position, source_pos in enumerate(remaining):
+            ids = verified_ids(source_pos, cap)
+            if ids is None:
+                continue
+            best_at, best_ids = position, ids
+            if not ids:
+                return
+            cap = len(ids)
+        source_pos = remaining.pop(best_at)
+        codes = atom_codes[source_pos]
+        assert best_ids is not None
+        for atom_id in best_ids:
+            target_atom = target_atoms[atom_id]
+            term_ids = target_atom.term_ids
+            terms = target_atom.terms
+            bound_here = 0
+            # Re-application of a verified candidate cannot fail: the binding
+            # state is exactly what verified_ids checked it under.
+            for position, code in enumerate(codes):
+                if code >= 0 and binding[code] < 0:
+                    binding[code] = term_ids[position]
+                    bound_terms[code] = terms[position]
+                    trail.append(code)
+                    bound_here += 1
+            yield from search()
+            while bound_here:
+                bound_here -= 1
+                binding[trail.pop()] = -1
+        remaining.insert(best_at, source_pos)
+
+    yield from search()
+
+
+def find_match(
+    plan: MatchPlan,
+    index: TargetIndex,
+    fixed: Mapping[Term, Term] | None = None,
+) -> Homomorphism | None:
+    """The first kernel match of *plan* into *index*, or None."""
+    for match in iter_matches(plan, index, fixed):
+        return match
+    return None
 
 
 def iter_homomorphisms(
@@ -179,6 +360,7 @@ def iter_homomorphisms(
     fixed: Mapping[Term, Term] | None = None,
     *,
     index: TargetIndex | None = None,
+    plan: MatchPlan | None = None,
 ) -> Iterator[Homomorphism]:
     """Yield every homomorphism from *source* to *target* extending *fixed*.
 
@@ -186,44 +368,16 @@ def iter_homomorphisms(
     *fixed*) to terms of *target*.  Constants are required to be preserved
     but are not recorded in the mapping.  ``index`` lets callers that probe
     the same target repeatedly (the chase) reuse one :class:`TargetIndex`
-    instead of rebuilding it per call; when given it must index exactly
-    *target*.
+    instead of rebuilding it per call; ``plan`` likewise lets callers that
+    search from the same source repeatedly reuse one compiled
+    :class:`~repro.core.plan.MatchPlan`.  When given, they must index /
+    compile exactly *target* / *source*.
     """
     if index is None:
         index = TargetIndex(target)
-    base: Homomorphism = dict(fixed or {})
-    # Constants in the fixed mapping must be identity (defensive check).
-    for key, value in base.items():
-        if isinstance(key, Constant) and key != value:
-            return
-
-    candidates = index.candidates
-
-    def search(remaining: list[Atom], mapping: Homomorphism) -> Iterator[Homomorphism]:
-        if not remaining:
-            yield dict(mapping)
-            return
-        # Most-constrained-first with forward checking: pick the remaining
-        # atom with the fewest verified candidates under the current mapping;
-        # an atom with none prunes the branch outright.
-        best_idx = 0
-        best_candidates: list[Homomorphism] | None = None
-        for idx, atom in enumerate(remaining):
-            cands = candidates(atom, mapping)
-            if best_candidates is None or len(cands) < len(best_candidates):
-                best_idx, best_candidates = idx, cands
-                if not cands:
-                    return
-        atom = remaining.pop(best_idx)
-        assert best_candidates is not None
-        for extension in best_candidates:
-            mapping.update(extension)
-            yield from search(remaining, mapping)
-            for key in extension:
-                del mapping[key]
-        remaining.insert(best_idx, atom)
-
-    yield from search(list(source), base)
+    if plan is None:
+        plan = MatchPlan(source)
+    yield from iter_matches(plan, index, fixed)
 
 
 def find_homomorphism(
@@ -232,9 +386,10 @@ def find_homomorphism(
     fixed: Mapping[Term, Term] | None = None,
     *,
     index: TargetIndex | None = None,
+    plan: MatchPlan | None = None,
 ) -> Homomorphism | None:
     """Return one homomorphism from *source* to *target*, or None."""
-    for hom in iter_homomorphisms(source, target, fixed, index=index):
+    for hom in iter_homomorphisms(source, target, fixed, index=index, plan=plan):
         return hom
     return None
 
@@ -280,7 +435,12 @@ def iter_containment_mappings(
     fixed = _head_fixed_mapping(q_from, q_to)
     if fixed is None:
         return
-    yield from iter_homomorphisms(q_from.body, q_to.body, fixed=fixed)
+    # The compiled body plan is memoized per query object, so repeated
+    # containment tests against the same q_from (every equivalence decision
+    # runs several) compile it once.
+    yield from iter_homomorphisms(
+        q_from.body, q_to.body, fixed=fixed, plan=q_from.body_plan()
+    )
 
 
 def find_containment_mapping(

@@ -34,6 +34,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..exceptions import QueryError
 from .atoms import Atom, atoms_constants, atoms_variables, substitute_atoms
+from .plan import MatchPlan
 from .terms import (
     Constant,
     FreshVariableFactory,
@@ -68,6 +69,7 @@ class ConjunctiveQuery:
         "_constants",
         "_variable_names",
         "_dedup",
+        "_body_plan",
         "__weakref__",
     )
 
@@ -85,6 +87,7 @@ class ConjunctiveQuery:
     _constants: Any
     _variable_names: Any
     _dedup: Any
+    _body_plan: Any
 
     def __init__(
         self,
@@ -106,6 +109,7 @@ class ConjunctiveQuery:
         set_slot(self, "_constants", _UNSET)
         set_slot(self, "_variable_names", _UNSET)
         set_slot(self, "_dedup", _UNSET)
+        set_slot(self, "_body_plan", _UNSET)
         if validate:
             self._validate()
 
@@ -220,6 +224,19 @@ class ConjunctiveQuery:
             cached = tuple(seen)
             object.__setattr__(self, "_constants", cached)
         return list(cached)  # type: ignore[arg-type]
+
+    def body_plan(self) -> MatchPlan:
+        """The body compiled as a :class:`~repro.core.plan.MatchPlan`, memoized.
+
+        Used when this query's body is the *source* side of a homomorphism
+        search — containment mappings, assignment enumeration — so the slot
+        assignment is computed once per query object.
+        """
+        cached = self._body_plan
+        if cached is _UNSET:
+            cached = MatchPlan(self.body)
+            object.__setattr__(self, "_body_plan", cached)
+        return cached  # type: ignore[return-value]
 
     def predicates(self) -> set[str]:
         """The set of predicate names used in the body."""

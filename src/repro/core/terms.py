@@ -23,10 +23,15 @@ Interning is an implementation detail, not a semantic change:
 * pickling round-trips through ``__reduce__``, which re-interns on
   unpickling — terms sent to ``decide_many(..., concurrency=N)`` worker
   processes come back as the parent process's canonical singletons;
-* the intern tables live for the process lifetime and are never pruned.
-  Terms are tiny (a name/value, an int, and a cached hash), so the tables
-  grow with the number of *distinct* names ever used, not with the number
-  of construction calls.
+* the intern tables hold their terms **weakly** (``WeakValueDictionary``):
+  a term stays the canonical singleton for as long as anything references
+  it, and is dropped from the table when the last reference dies, so a
+  long-lived server chasing adversarial workloads with unbounded fresh
+  constant vocabularies does not grow the tables without bound.  A name
+  re-interned after its term died gets a **new** ``uid`` — safe, because
+  every uid-keyed structure (posting lists, compiled plans) holds strong
+  references to the terms whose uids it embeds, so a uid can only be
+  observed while its term is alive.
 
 ``INTERN_STATS`` counts intern-table hits and misses; the chase drivers
 snapshot it around a run and report the delta in their
@@ -41,7 +46,8 @@ construction (Definition 4.2 of the paper) rely on this.
 from __future__ import annotations
 
 import itertools
-from typing import ClassVar, Dict, Hashable, Iterable, Iterator, Union
+import weakref
+from typing import ClassVar, Hashable, Iterable, Iterator, Union
 
 
 class HitMissStats:
@@ -73,16 +79,19 @@ _NEXT_UID = itertools.count()
 class Variable:
     """A query / dependency variable, identified by name.
 
-    Interned: ``Variable("X") is Variable("X")`` within one process.
+    Interned: ``Variable("X") is Variable("X")`` while at least one strong
+    reference to the interned term exists (the table holds it weakly).
     """
 
-    __slots__ = ("name", "uid", "_hash")
+    __slots__ = ("name", "uid", "_hash", "__weakref__")
 
     name: str
     uid: int
     _hash: int
 
-    _intern: ClassVar[Dict[str, "Variable"]] = {}
+    _intern: ClassVar["weakref.WeakValueDictionary[str, Variable]"] = (
+        weakref.WeakValueDictionary()
+    )
 
     def __new__(cls, name: str) -> "Variable":
         table = cls._intern
@@ -100,7 +109,9 @@ class Variable:
         # setdefault, not assignment: if another thread interned the same
         # name between the get above and here, exactly one object wins the
         # table and both constructions return it — no distinct-uid duplicate
-        # can escape into uid-keyed index structures.
+        # can escape into uid-keyed index structures.  (WeakValueDictionary's
+        # setdefault also treats a dead entry as absent, so a name whose term
+        # died is simply re-interned.)
         return table.setdefault(name, self)
 
     def __setattr__(self, attr: str, value: object) -> None:
@@ -161,6 +172,11 @@ class Constant:
     at construction time rather than at first hash, which the intern lookup
     makes unavoidable anyway.
 
+    Like :class:`Variable`, the intern table is weak: ``Constant(1) is
+    Constant(1)`` while a strong reference to the interned term exists, and
+    a value whose term has died is re-interned (with a fresh ``uid``) on
+    next construction.
+
     Cross-type-equal values (``1`` / ``True`` / ``1.0``) intern to one
     singleton — whichever was constructed first in the process — because
     they always *compared* equal (``Constant(1) == Constant(True)`` held in
@@ -172,13 +188,15 @@ class Constant:
     equal ints in the same vocabulary should normalize at the boundary.
     """
 
-    __slots__ = ("value", "uid", "_hash")
+    __slots__ = ("value", "uid", "_hash", "__weakref__")
 
     value: Hashable
     uid: int
     _hash: int
 
-    _intern: ClassVar[Dict[Hashable, "Constant"]] = {}
+    _intern: ClassVar["weakref.WeakValueDictionary[Hashable, Constant]"] = (
+        weakref.WeakValueDictionary()
+    )
 
     def __new__(cls, value: Hashable) -> "Constant":
         table = cls._intern
@@ -225,7 +243,11 @@ Term = Union[Variable, Constant]
 
 
 def intern_table_sizes() -> tuple[int, int]:
-    """Current ``(variables, constants)`` intern-table sizes (observability)."""
+    """Current ``(variables, constants)`` intern-table sizes (observability).
+
+    The tables are weak, so the sizes count *live* interned terms — terms
+    whose last strong reference died no longer appear.
+    """
     return (len(Variable._intern), len(Constant._intern))
 
 

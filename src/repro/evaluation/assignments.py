@@ -12,6 +12,15 @@ backtracking join:
 * at each step the next atom joined is the one with the fewest candidate
   tuples given the variables bound so far (most-constrained-first),
 * assignments are yielded as plain ``{Variable: value}`` dictionaries.
+
+The join runs on the same compiled representation as the homomorphism
+kernel: the conjunction is compiled (once, via
+:class:`~repro.core.plan.MatchPlan` — query bodies memoize theirs through
+:meth:`~repro.core.query.ConjunctiveQuery.body_plan`) into per-atom
+slot/constant codes, and the working assignment is a slot-indexed array of
+database values instead of a dictionary keyed by term objects.  Variables
+and values reappear only at the yield boundary, so the enumeration order and
+the yielded dictionaries are identical to the pre-plan implementation.
 """
 
 from __future__ import annotations
@@ -19,10 +28,15 @@ from __future__ import annotations
 from typing import Iterator, Mapping, Sequence
 
 from ..core.atoms import Atom
+from ..core.plan import MatchPlan
 from ..core.terms import Constant, Variable
 from ..database.instance import DatabaseInstance, Relation
 
 Assignment = dict[Variable, object]
+
+#: Slot sentinel: distinguishes "unbound" from bound-to-a-falsy-or-None
+#: database value.
+_UNBOUND = object()
 
 
 class _RelationIndex:
@@ -70,86 +84,122 @@ class InstanceIndex:
         return self._indexes[predicate]
 
 
-def _bound_positions(atom: Atom, assignment: Assignment) -> tuple[list[tuple[int, object]], bool]:
-    """(position, value) pairs fixed by constants / bound variables; also reports
-    whether the atom has repeated variables that must agree."""
-    bound: list[tuple[int, object]] = []
-    has_repeats = len(set(atom.terms)) != len(atom.terms)
-    for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            bound.append((position, term.value))
-        elif term in assignment:
-            bound.append((position, assignment[term]))
-    return bound, has_repeats
-
-
-def _match_atom(atom: Atom, row: tuple, assignment: Assignment) -> Assignment | None:
-    """New bindings needed for *atom* to match *row* under *assignment*, or None."""
-    new_bindings: Assignment = {}
-    for term, value in zip(atom.terms, row):
-        if isinstance(term, Constant):
-            if term.value != value:
-                return None
-            continue
-        bound_value = assignment.get(term, new_bindings.get(term))
-        if bound_value is None and term not in assignment and term not in new_bindings:
-            new_bindings[term] = value
-        elif bound_value != value:
-            return None
-    return new_bindings
-
-
 def iter_satisfying_assignments(
     atoms: Sequence[Atom],
     instance: DatabaseInstance,
     index: InstanceIndex | None = None,
     fixed: Mapping[Variable, object] | None = None,
+    plan: MatchPlan | None = None,
 ) -> Iterator[Assignment]:
     """Yield every assignment of the variables of *atoms* satisfied by *instance*.
 
     ``fixed`` pre-binds some variables (used by tgd-satisfaction checks where
-    the premise assignment is extended over the conclusion).
+    the premise assignment is extended over the conclusion); ``plan`` lets
+    callers that evaluate the same conjunction repeatedly pass its compiled
+    :class:`~repro.core.plan.MatchPlan` (it must be compiled from exactly
+    *atoms*).
     """
     if index is None:
         index = InstanceIndex(instance)
-    atom_list = list(atoms)
+    if plan is None:
+        plan = MatchPlan(atoms)
     base: Assignment = dict(fixed or {})
 
-    def candidate_rows(atom: Atom, assignment: Assignment) -> list[tuple] | None:
+    plan_atoms = plan.atoms
+    atom_codes = plan.codes
+    slot_vars = plan.slot_vars
+    # Constant positions, precomputed per atom as (position, value) pairs —
+    # the codes encode constants as ~uid, but the join compares raw database
+    # values, so the values are pulled from the source terms once here.
+    const_bound: list[tuple[tuple[int, object], ...]] = [
+        tuple(
+            (position, atom.terms[position].value)  # type: ignore[union-attr]
+            for position, code in enumerate(codes)
+            if code < 0
+        )
+        for atom, codes in zip(plan_atoms, atom_codes)
+    ]
+
+    values: list[object] = [_UNBOUND] * len(slot_vars)
+    slot_of = plan.slot_of
+    for key, value in base.items():
+        slot = slot_of.get(key.uid)
+        if slot is not None:
+            values[slot] = value
+
+    def candidate_rows(source_pos: int) -> list[tuple]:
+        atom = plan_atoms[source_pos]
         relation_index = index.for_predicate(atom.predicate)
         if relation_index is None:
             return []
         if relation_index.relation.arity != atom.arity:
             return []
-        bound, _ = _bound_positions(atom, assignment)
+        bound = list(const_bound[source_pos])
+        for position, code in enumerate(atom_codes[source_pos]):
+            if code >= 0:
+                value = values[code]
+                if value is not _UNBOUND:
+                    bound.append((position, value))
         return relation_index.candidates(bound)
 
-    def search(remaining: list[Atom], assignment: Assignment) -> Iterator[Assignment]:
+    remaining = list(range(len(plan_atoms)))
+    trail: list[int] = []
+    scratch = [0] * plan.max_arity
+
+    def search() -> Iterator[Assignment]:
         if not remaining:
-            yield dict(assignment)
+            result = dict(base)
+            for slot in trail:
+                result[slot_vars[slot]] = values[slot]
+            yield result
             return
         # Most-constrained-first atom selection.
-        best_index = 0
+        best_at = 0
         best_rows: list[tuple] | None = None
-        for position, atom in enumerate(remaining):
-            rows = candidate_rows(atom, assignment)
+        for position, source_pos in enumerate(remaining):
+            rows = candidate_rows(source_pos)
             if best_rows is None or len(rows) < len(best_rows):
-                best_index, best_rows = position, rows
+                best_at, best_rows = position, rows
                 if not rows:
                     return
-        atom = remaining[best_index]
-        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        source_pos = remaining.pop(best_at)
+        codes = atom_codes[source_pos]
+        consts = const_bound[source_pos]
         assert best_rows is not None
         for row in best_rows:
-            new_bindings = _match_atom(atom, row, assignment)
-            if new_bindings is None:
+            # Match the row against the atom's codes, binding free slots.
+            ok = True
+            for position, value in consts:
+                if row[position] != value:
+                    ok = False
+                    break
+            touched = 0
+            if ok:
+                for position, code in enumerate(codes):
+                    if code < 0:
+                        continue
+                    bound_value = values[code]
+                    row_value = row[position]
+                    if bound_value is _UNBOUND:
+                        values[code] = row_value
+                        scratch[touched] = code
+                        touched += 1
+                    elif bound_value != row_value:
+                        ok = False
+                        break
+            if not ok:
+                while touched:
+                    touched -= 1
+                    values[scratch[touched]] = _UNBOUND
                 continue
-            assignment.update(new_bindings)
-            yield from search(rest, assignment)
-            for key in new_bindings:
-                del assignment[key]
+            trail.extend(scratch[:touched])
+            yield from search()
+            while touched:
+                touched -= 1
+                values[trail.pop()] = _UNBOUND
+        remaining.insert(best_at, source_pos)
 
-    yield from search(atom_list, base)
+    yield from search()
 
 
 def assignment_satisfies(

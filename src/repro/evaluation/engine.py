@@ -45,7 +45,9 @@ def evaluate_set(query: ConjunctiveQuery, instance: DatabaseInstance) -> Bag:
     deduplicated = instance.distinct()
     index = InstanceIndex(deduplicated)
     seen: set[tuple] = set()
-    for assignment in iter_satisfying_assignments(query.body, deduplicated, index):
+    for assignment in iter_satisfying_assignments(
+        query.body, deduplicated, index, plan=query.body_plan()
+    ):
         seen.add(instantiate_terms(query.head_terms, assignment))
     return Bag(seen)
 
@@ -62,7 +64,9 @@ def evaluate_bag_set(query: ConjunctiveQuery, instance: DatabaseInstance) -> Bag
     deduplicated = instance.distinct()
     index = InstanceIndex(deduplicated)
     answer = Bag()
-    for assignment in iter_satisfying_assignments(query.body, deduplicated, index):
+    for assignment in iter_satisfying_assignments(
+        query.body, deduplicated, index, plan=query.body_plan()
+    ):
         answer.add(instantiate_terms(query.head_terms, assignment))
     return answer
 
@@ -78,7 +82,9 @@ def evaluate_bag(query: ConjunctiveQuery, instance: DatabaseInstance) -> Bag:
     deduplicated = instance.distinct()
     index = InstanceIndex(deduplicated)
     answer = Bag()
-    for assignment in iter_satisfying_assignments(query.body, deduplicated, index):
+    for assignment in iter_satisfying_assignments(
+        query.body, deduplicated, index, plan=query.body_plan()
+    ):
         multiplicity = 1
         for atom in query.body:
             row = instantiate_terms(atom.terms, assignment)

@@ -25,6 +25,7 @@ downstream test (homomorphism, isomorphism, C&B) is invariant under.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable
@@ -111,6 +112,69 @@ def chase_cache_key(
     if sigma_key is None:
         sigma_key = sigma_fingerprint(dependencies)
     return ChaseKey((query.structural_key(), sigma_key, semantics, max_steps))
+
+
+class WeakKeyLRU:
+    """A weak-keyed memo bounded by the chase cache's LRU policy.
+
+    The Session's per-query :class:`ChaseKey` memo is weak keyed so it can
+    never pin a query a caller has dropped — but weak keys alone do not
+    bound it: a pathological caller holding millions of distinct live
+    queries would pay one entry each for as long as it holds them.  This
+    wrapper adds the same least-recently-used eviction the
+    :class:`ChaseCache` applies, so the memo's footprint is capped no matter
+    what the caller keeps alive.
+
+    Keys are stored as :class:`weakref.ref` objects (which hash and compare
+    like their referents while alive), with a death callback that drops the
+    entry — the same semantics as a ``WeakKeyDictionary``, plus recency
+    tracking and a size bound.
+    """
+
+    __slots__ = ("maxsize", "_entries", "evictions")
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"memo maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[weakref.ref, object] = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: object) -> object | None:
+        """The memoized value for *key* (refreshing its recency), or None."""
+        ref = weakref.ref(key)
+        value = self._entries.get(ref)
+        if value is not None:
+            self._entries.move_to_end(ref)
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        """Memoize *value* for *key*, evicting the least recently used entry."""
+        entries = self._entries
+        probe = weakref.ref(key)
+        if probe in entries:
+            # Keep the stored ref (it carries the death callback).
+            entries[probe] = value
+            entries.move_to_end(probe)
+            return
+
+        def _drop(ref: weakref.ref, _entries: OrderedDict = entries) -> None:
+            _entries.pop(ref, None)
+
+        entries[weakref.ref(key, _drop)] = value
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the eviction counter survives)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeakKeyLRU(size={len(self._entries)}/{self.maxsize})"
 
 
 @dataclass(frozen=True)

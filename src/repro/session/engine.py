@@ -28,9 +28,9 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Hashable, Iterable, Mapping, Sequence
-from weakref import WeakKeyDictionary
+from typing import Iterable, Mapping, Sequence
 
+from ..chase.plans import PlanCache, default_plan_cache
 from ..chase.profile import ChaseProfile
 from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
 from ..core.aggregate import AggregateQuery
@@ -39,7 +39,14 @@ from ..dependencies.base import Dependency, DependencySet
 from ..equivalence.decision import EquivalenceVerdict
 from ..semantics import Semantics
 from ..exceptions import DependencyError, SchemaError, SemanticsError
-from .cache import MISSING, CacheStats, ChaseCache, chase_cache_key, sigma_fingerprint
+from .cache import (
+    MISSING,
+    CacheStats,
+    ChaseCache,
+    WeakKeyLRU,
+    chase_cache_key,
+    sigma_fingerprint,
+)
 from .registry import SemanticsRegistry, default_registry, normalize_semantics_name
 from .strategies import SemanticsStrategy
 
@@ -83,6 +90,7 @@ class Session:
         registry: SemanticsRegistry | None = None,
         cache: ChaseCache | None = None,
         cache_size: int = 4096,
+        plan_cache: PlanCache | None = None,
         default_semantics: Semantics | str = Semantics.BAG_SET,
         max_steps: int = DEFAULT_MAX_STEPS,
     ):
@@ -97,6 +105,11 @@ class Session:
         self.schema = schema
         self.registry = registry if registry is not None else default_registry()
         self.cache = cache if cache is not None else ChaseCache(cache_size)
+        # Compiled per-Σ match plans; by default the process-wide cache, so
+        # sessions over the same Σ (and the module-level chase functions)
+        # share compilations.  Threaded into every chase this session runs
+        # via SemanticsStrategy.chase_with_plans.
+        self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
         self.default_semantics = default_semantics
         self.max_steps = max_steps
         self._dependencies = self._coerce_dependencies(dependencies)
@@ -105,10 +118,10 @@ class Session:
         # the hash-consing refactor): repeated decisions on the same query
         # objects — every C&B run, every warm dashboard — reuse the exact
         # ChaseKey instance, whose hash is already computed.  Weak keys keep
-        # the memo from pinning queries a caller has dropped.
-        self._key_memo: WeakKeyDictionary[ConjunctiveQuery, dict[Hashable, Hashable]] = (
-            WeakKeyDictionary()
-        )
+        # the memo from pinning queries a caller has dropped; the LRU bound
+        # (the chase cache's own policy and size) keeps a caller holding
+        # millions of live queries from growing it without limit.
+        self._key_memo: WeakKeyLRU = WeakKeyLRU(getattr(self.cache, "maxsize", cache_size))
         # Aggregate of every *cold* chase's profile (cache hits add nothing:
         # the work they saved is exactly what the aggregate measures).
         self._profile = ChaseProfile(runs=0)
@@ -198,7 +211,7 @@ class Session:
         per_query = self._key_memo.get(query)
         if per_query is None:
             per_query = {}
-            self._key_memo[query] = per_query
+            self._key_memo.put(query, per_query)
         memo_key = (strategy_key, max_steps)
         key = per_query.get(memo_key)
         if key is not None:
@@ -229,7 +242,9 @@ class Session:
         cached = self.cache.get(key)
         if cached is not MISSING:
             return cached
-        result = strategy.chase(query, self._dependencies, steps)
+        result = strategy.chase_with_plans(
+            query, self._dependencies, steps, self.plan_cache
+        )
         profile = getattr(result, "profile", None)
         if profile is not None:
             self._profile.merge(profile)
@@ -351,6 +366,16 @@ class Session:
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the chase cache."""
         return self.cache.stats
+
+    def plan_cache_stats(self) -> tuple[int, int, int]:
+        """``(hits, misses, evictions)`` of the compiled-plan cache.
+
+        By default the plan cache is process-wide (plans, like interned
+        terms, are process-level state), so these counters cover every chase
+        in the process, not just this session's.
+        """
+        cache = self.plan_cache
+        return (cache.hits, cache.misses, cache.evictions)
 
     def chase_profile(self) -> ChaseProfile:
         """Aggregated :class:`ChaseProfile` over this session's cold chases.

@@ -71,6 +71,23 @@ class SemanticsStrategy(abc.ABC):
     ) -> ChaseResult:
         """Run the chase that is sound for this semantics."""
 
+    def chase_with_plans(
+        self,
+        query: ConjunctiveQuery,
+        dependencies: DependencySet,
+        max_steps: int,
+        plan_cache,
+    ) -> ChaseResult:
+        """Run :meth:`chase`, routing compiled-plan reuse through *plan_cache*.
+
+        The Session calls this hook so its plan cache serves the chase's
+        per-dependency match plans.  The default ignores the cache — a
+        third-party strategy that predates plan caching (or whose chase has
+        no notion of plans) keeps working unchanged; the built-in strategies
+        override it to thread the cache into :func:`repro.chase.sound_chase`.
+        """
+        return self.chase(query, dependencies, max_steps)
+
     @abc.abstractmethod
     def equivalent_chased(
         self,
@@ -131,6 +148,17 @@ class _BuiltinStrategy(SemanticsStrategy):
         max_steps: int = DEFAULT_MAX_STEPS,
     ) -> ChaseResult:
         return sound_chase(query, dependencies, self.semantics, max_steps)
+
+    def chase_with_plans(
+        self,
+        query: ConjunctiveQuery,
+        dependencies: DependencySet,
+        max_steps: int,
+        plan_cache,
+    ) -> ChaseResult:
+        return sound_chase(
+            query, dependencies, self.semantics, max_steps, plan_cache=plan_cache
+        )
 
 
 class SetStrategy(_BuiltinStrategy):

@@ -1,0 +1,140 @@
+"""Unit tests for the CI benchmark trend gate (benchmarks/check_bench_trend.py).
+
+The script lives outside ``src/`` (it is CI tooling, not library code), so it
+is loaded here by file path.  The committed baselines are also validated for
+shape, so a malformed refresh fails tier-1 instead of silently disarming CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_bench_trend.py"
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+spec = importlib.util.spec_from_file_location("check_bench_trend", SCRIPT)
+trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(trend)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _current(tmp_path, **extra_info):
+    return _write(
+        tmp_path,
+        "current.json",
+        {"benchmarks": [{"name": "bench_x", "extra_info": extra_info,
+                         "stats": {"mean": 0.5}}]},
+    )
+
+
+def _baseline(tmp_path, metrics):
+    return _write(tmp_path, "baseline.json", {"pinned": {"bench_x": metrics}})
+
+
+class TestCheck:
+    def test_within_tolerance_passes(self, tmp_path):
+        current = _current(tmp_path, speedup=8.0)
+        baseline = _baseline(
+            tmp_path, {"extra_info.speedup": {"value": 10.0, "direction": "higher"}}
+        )
+        assert trend.check(current, baseline) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        current = _current(tmp_path, speedup=7.0)
+        baseline = _baseline(
+            tmp_path, {"extra_info.speedup": {"value": 10.0, "direction": "higher"}}
+        )
+        failures = trend.check(current, baseline)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_lower_direction(self, tmp_path):
+        current = _current(tmp_path)
+        baseline = _baseline(
+            tmp_path, {"stats.mean": {"value": 0.1, "direction": "lower"}}
+        )
+        failures = trend.check(current, baseline)
+        assert len(failures) == 1 and "above baseline" in failures[0]
+
+    def test_zero_tolerance_pins_exact_counts(self, tmp_path):
+        current = _current(tmp_path, steps=19)
+        baseline = _baseline(
+            tmp_path,
+            {"extra_info.steps": {"value": 20, "direction": "higher", "tolerance": 0.0}},
+        )
+        assert trend.check(current, baseline)
+        exact = _current(tmp_path, steps=20)
+        assert trend.check(exact, baseline) == []
+
+    def test_missing_metric_and_missing_benchmark_fail(self, tmp_path):
+        current = _current(tmp_path)
+        baseline = _write(
+            tmp_path,
+            "baseline.json",
+            {"pinned": {
+                "bench_x": {"extra_info.gone": {"value": 1, "direction": "higher"}},
+                "bench_gone": {"extra_info.y": {"value": 1, "direction": "higher"}},
+            }},
+        )
+        failures = trend.check(current, baseline)
+        assert any("metric missing" in f for f in failures)
+        assert any("benchmark missing" in f for f in failures)
+
+    def test_empty_baseline_fails(self, tmp_path):
+        current = _current(tmp_path)
+        baseline = _write(tmp_path, "baseline.json", {"pinned": {}})
+        assert trend.check(current, baseline)
+
+    def test_nested_workload_paths_resolve(self, tmp_path):
+        current = _write(
+            tmp_path,
+            "current.json",
+            {"benchmarks": [{"name": "bench_x",
+                             "extra_info": {"workloads": {"chain": {"steps": 11}}}}]},
+        )
+        baseline = _baseline(
+            tmp_path,
+            {"extra_info.workloads.chain.steps":
+                 {"value": 11, "direction": "higher", "tolerance": 0.0}},
+        )
+        assert trend.check(current, baseline) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        current = _current(tmp_path, speedup=10.0)
+        good = _baseline(
+            tmp_path, {"extra_info.speedup": {"value": 10.0, "direction": "higher"}}
+        )
+        assert trend.main(["--current", str(current), "--baseline", str(good)]) == 0
+        bad = _write(
+            tmp_path, "bad.json",
+            {"pinned": {"bench_x": {"extra_info.speedup":
+                                        {"value": 100.0, "direction": "higher"}}}},
+        )
+        assert trend.main(["--current", str(current), "--baseline", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "OK" in out
+
+
+@pytest.mark.parametrize(
+    "baseline_path", sorted(BASELINE_DIR.glob("*.json")), ids=lambda p: p.name
+)
+def test_committed_baselines_are_well_formed(baseline_path):
+    data = json.loads(baseline_path.read_text())
+    pinned = data.get("pinned")
+    assert pinned, f"{baseline_path.name}: no pinned metrics"
+    for bench_name, metrics in pinned.items():
+        assert metrics, f"{baseline_path.name}: {bench_name} pins nothing"
+        for metric_path, pin in metrics.items():
+            assert isinstance(pin.get("value"), (int, float)), (bench_name, metric_path)
+            assert pin.get("direction", "higher") in ("higher", "lower")
+            tolerance = pin.get("tolerance", trend.DEFAULT_TOLERANCE)
+            assert 0.0 <= float(tolerance) <= 1.0

@@ -10,6 +10,11 @@ The generator is seeded and covers the hard spots deliberately: constants
 (matching and clashing), repeated variables within and across atoms,
 repeated predicates (many candidate atoms per predicate), mixed arities on
 one predicate name, and non-empty ``fixed`` mappings.
+
+Since the uid-kernel refactor the campaign runs 500 cases and each case is
+additionally replayed through an explicitly precompiled
+:class:`~repro.core.plan.MatchPlan`, pinning both entry points of the int
+kernel against the frozen reference backtracker.
 """
 
 from __future__ import annotations
@@ -19,14 +24,20 @@ import random
 import pytest
 
 from repro.core.atoms import Atom
-from repro.core.homomorphism import TargetIndex, find_homomorphism, iter_homomorphisms
+from repro.core.homomorphism import (
+    TargetIndex,
+    find_homomorphism,
+    iter_homomorphisms,
+    iter_matches,
+)
+from repro.core.plan import MatchPlan
 from repro.core.reference import (
     find_homomorphism_reference,
     iter_homomorphisms_reference,
 )
 from repro.core.terms import Constant, Variable
 
-CASES = 200
+CASES = 500
 PREDICATES = ("p", "q", "r")  # few names → plenty of repeated predicates
 VARIABLES = tuple(Variable(f"X{i}") for i in range(5))
 CONSTANTS = tuple(Constant(value) for value in (0, 1, "a"))
@@ -72,6 +83,11 @@ def test_indexed_engine_matches_reference(seed):
     expected = list(iter_homomorphisms_reference(source, target, fixed))
     actual = list(iter_homomorphisms(source, target, fixed))
     assert actual == expected  # same mappings, same order
+
+    # The precompiled-plan entry point yields exactly the same enumeration.
+    plan = MatchPlan(source)
+    index = TargetIndex(target)
+    assert list(iter_matches(plan, index, fixed)) == expected
 
     # find-one agrees with iterate-all (and with the reference find-one).
     assert find_homomorphism(source, target, fixed) == (

@@ -79,19 +79,24 @@ class TestTermInterning:
 
     def test_intern_stats_count_hits_and_misses(self):
         before = INTERN_STATS.snapshot()
-        Variable("BrandNewInternStatVariable")
-        Variable("BrandNewInternStatVariable")
+        # Hold the first construction: the weak tables drop an interned term
+        # as soon as its last strong reference dies, so an unreferenced
+        # first construction would make the second a miss again.
+        keep = Variable("BrandNewInternStatVariable")
+        again = Variable("BrandNewInternStatVariable")
+        assert again is keep
         hits, misses = INTERN_STATS.snapshot()
         assert misses - before[1] == 1
         assert hits - before[0] == 1
 
     def test_intern_table_sizes_reports_both_tables(self):
         variables_before, constants_before = intern_table_sizes()
-        Variable("BrandNewTableSizeVariable")
-        Constant("brand-new-table-size-constant")
+        keep_variable = Variable("BrandNewTableSizeVariable")
+        keep_constant = Constant("brand-new-table-size-constant")
         variables_after, constants_after = intern_table_sizes()
         assert variables_after == variables_before + 1
         assert constants_after == constants_before + 1
+        del keep_variable, keep_constant
 
 
 class TestAtomPrecomputation:
@@ -282,3 +287,88 @@ class TestDifferentialPin:
         result = run_campaign(0, 300)
         assert result.ok, [failure.summary() for failure in result.failures]
         assert result.cases == 300
+
+
+class TestWeakInterning:
+    """The intern tables are weak: live terms are canonical, dead ones pruned.
+
+    Satellite of the uid-kernel PR (ROADMAP: intern-table pruning): a
+    long-lived server on an unbounded constant vocabulary must not grow the
+    tables without bound, while the equality-falls-back-to-value guarantee
+    and the equality ⇒ identity fast path stay intact for live terms.
+    """
+
+    def test_tables_prune_dead_terms(self):
+        import gc
+
+        variables_before, constants_before = intern_table_sizes()
+        held = [Variable(f"WeakIntern{i}") for i in range(50)]
+        held += [Constant(f"weak-intern-{i}") for i in range(50)]
+        variables_live, constants_live = intern_table_sizes()
+        assert variables_live >= variables_before + 50
+        assert constants_live >= constants_before + 50
+        del held
+        gc.collect()
+        variables_after, constants_after = intern_table_sizes()
+        assert variables_after <= variables_live - 50
+        assert constants_after <= constants_live - 50
+
+    def test_live_terms_stay_canonical_singletons(self):
+        keep = Variable("WeakInternCanonical")
+        assert Variable("WeakInternCanonical") is keep
+        keep_constant = Constant("weak-intern-canonical")
+        assert Constant("weak-intern-canonical") is keep_constant
+
+    def test_reinterned_name_gets_fresh_uid_but_same_hash_and_equality(self):
+        import gc
+
+        first = Variable("WeakInternReborn")
+        first_uid, first_hash = first.uid, hash(first)
+        del first
+        gc.collect()
+        reborn = Variable("WeakInternReborn")
+        # A new singleton: uid is fresh (uids are never reused), but the
+        # value-based hash and equality semantics are unchanged.
+        assert reborn.uid != first_uid
+        assert hash(reborn) == first_hash
+        assert reborn == Variable("WeakInternReborn")
+
+    def test_uid_keyed_structures_keep_their_terms_alive(self):
+        """A uid embedded in an index implies its term is strongly held."""
+        import gc
+
+        from repro.core.homomorphism import TargetIndex
+        from repro.core.plan import MatchPlan
+
+        atoms = [Atom("weak_intern_p", [Variable("WeakInternHeld"), Constant("weak-held")])]
+        plan = MatchPlan(atoms)
+        index = TargetIndex(atoms)
+        del atoms
+        gc.collect()
+        # The plan/index's atoms pin the terms, so the interned singletons
+        # (and therefore the uids in codes and postings) are still valid.
+        assert Variable("WeakInternHeld") is plan.atoms[0].terms[0]
+        assert Variable("WeakInternHeld").uid == plan.atoms[0].term_ids[0]
+        assert index.atoms[0].terms[1] is Constant("weak-held")
+
+    def test_equality_falls_back_to_value_for_uninterned_twins(self):
+        # An exotic construction path (bypassing __new__'s intern lookup)
+        # still compares equal by value — the documented guarantee that
+        # makes stale references safe.
+        twin = object.__new__(Variable)
+        object.__setattr__(twin, "name", "WeakInternTwin")
+        object.__setattr__(twin, "uid", -1)
+        object.__setattr__(twin, "_hash", hash(("WeakInternTwin",)))
+        canonical = Variable("WeakInternTwin")
+        assert twin is not canonical
+        assert twin == canonical and canonical == twin
+        assert hash(twin) == hash(canonical)
+
+    def test_pickle_reinterns_after_original_died(self):
+        import gc
+
+        payload = pickle.dumps(Constant("weak-intern-pickled"))
+        gc.collect()  # the original may already be dead
+        loaded = pickle.loads(payload)
+        assert loaded is Constant("weak-intern-pickled")
+        assert loaded.value == "weak-intern-pickled"
