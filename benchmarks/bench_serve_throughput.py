@@ -1,0 +1,109 @@
+"""Experiment E13 — the ``repro serve`` daemon's warm-state value.
+
+Two claims the serving subsystem makes, measured end-to-end over the real
+TCP transport (in-process event-loop thread, same code path as the CLI
+daemon):
+
+* **warm request throughput** — once the daemon has chased a workload, every
+  further identical ``decide`` is answered from the shared chase cache: the
+  engine performs zero chases per request, so the cost is one JSON line each
+  way plus a cache lookup.
+* **restart latency with vs without the disk store** — the first request of
+  a freshly started daemon must chase cold (two sound chases for the
+  Theorem 4.2 workload) unless a :class:`ChaseStore` file is attached, in
+  which case the chases come off disk and the profile stays at zero runs.
+
+As elsewhere, the CI gate pins counts and ratios (chases per request, store
+hits) rather than wall-clock seconds; see
+``benchmarks/baselines/BENCH_serve_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import record
+
+from repro.datalog import render_query
+from repro.serve import ChaseStore, ReproClient, ReproServer
+from repro.session import Session
+
+_WARM_REQUESTS = 25
+
+
+def bench_warm_decide_throughput(benchmark, ex41):
+    """Warm requests are chase-free: profile runs stay put across the loop."""
+    q1, q4 = render_query(ex41.q1), render_query(ex41.q4)
+    server = ReproServer(Session(dependencies=ex41.dependencies), port=0)
+    with server.start_in_thread() as handle:
+        with ReproClient(handle.host, handle.port) as client:
+            client.decide(q1, q4, "bag")  # absorb the cold chases up front
+            runs_before = client.stats()["profile"]["runs"]
+
+            def warm_loop():
+                for _ in range(_WARM_REQUESTS):
+                    verdict = client.decide(q1, q4, "bag")
+                return verdict
+
+            verdict = benchmark(warm_loop)
+            runs_after = client.stats()["profile"]["runs"]
+
+    assert verdict["equivalent"] is False
+    assert runs_after == runs_before  # zero chases across every warm request
+    record(
+        benchmark,
+        requests_per_round=_WARM_REQUESTS,
+        chases_per_request=runs_after - runs_before,
+    )
+
+
+def bench_restart_first_request(benchmark, ex41, tmp_path):
+    """First decide after restart: cold chase without a store, disk hit with.
+
+    One measured round restarts the daemon twice on the same workload —
+    once bare, once on a pre-populated store file — and times the first
+    ``decide`` of each.  The deterministic half (store restart performs zero
+    chase runs, the bare restart performs two) is always asserted; the
+    wall-clock ratio is recorded for the report but not gated.
+    """
+    q1, q4 = render_query(ex41.q1), render_query(ex41.q4)
+    store_path = tmp_path / "bench-store.jsonl"
+
+    # Pre-populate the store file once, outside the measured region.
+    seeder = Session(dependencies=ex41.dependencies, store=ChaseStore(store_path))
+    seeder.decide(ex41.q1, ex41.q4, "bag")
+    seeder.store.close()
+
+    def first_request(store):
+        server = ReproServer(
+            Session(dependencies=ex41.dependencies), port=0, store=store
+        )
+        with server.start_in_thread() as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                started = time.perf_counter()
+                verdict = client.decide(q1, q4, "bag")
+                elapsed = time.perf_counter() - started
+                stats = client.stats()
+        return verdict, elapsed, stats
+
+    def measure():
+        bare = first_request(None)
+        warm = first_request(ChaseStore(store_path))
+        return bare, warm
+
+    (bare_verdict, bare_s, bare_stats), (warm_verdict, warm_s, warm_stats) = (
+        benchmark(measure)
+    )
+
+    assert bare_verdict["equivalent"] is False
+    assert warm_verdict["equivalent"] is False
+    assert bare_stats["profile"]["runs"] == 2  # cold restart chased
+    assert warm_stats["profile"]["runs"] == 0  # store restart did not
+    assert warm_stats["store"]["hits"] >= 2
+    record(
+        benchmark,
+        cold_restart_runs=bare_stats["profile"]["runs"],
+        store_restart_runs=warm_stats["profile"]["runs"],
+        store_restart_hits=warm_stats["store"]["hits"],
+        restart_speedup=round(bare_s / warm_s, 2) if warm_s else float("inf"),
+    )

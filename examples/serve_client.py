@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Serving: a long-lived equivalence daemon and its line client.
+
+``repro serve`` keeps one :class:`repro.Session` — chase cache, plan cache,
+interned terms — alive across requests, so the expensive sound chases of a
+workload are paid once and every later request is answered from warm state.
+This example:
+
+1. starts the daemon in-process on an ephemeral port over Example 4.1's
+   dependencies (the same server the ``repro serve`` CLI runs),
+2. connects a :class:`ReproClient` and checks ``health``,
+3. decides the paper's headline pair Q1 vs Q4 under all three semantics,
+4. repeats a decision and reads ``stats`` to show it was served from the
+   chase cache without re-chasing,
+5. ships a small batch, then shuts the daemon down cleanly.
+
+Run with:  python examples/serve_client.py
+
+Against a standalone daemon, steps 1 and 6 are replaced by::
+
+    repro serve --dependencies deps.txt --port 7464 --store chase-store.jsonl
+    repro client decide --port 7464 --query "Q1(X) :- ..." --other "Q4(X) :- ..."
+"""
+
+from __future__ import annotations
+
+from repro.paperlib import example_4_1
+from repro.serve import ReproClient, ReproServer
+from repro.session import Session
+
+
+def main() -> None:
+    ex41 = example_4_1()
+    from repro.datalog import render_query
+
+    q1, q4 = render_query(ex41.q1), render_query(ex41.q4)
+
+    # ------------------------------------------------------------------ #
+    # 1. One process-wide Session, owned by the server.  port=0 picks an
+    #    ephemeral port; a real deployment would pass --store too, so the
+    #    chase results survive restarts.
+    # ------------------------------------------------------------------ #
+    server = ReproServer(Session(dependencies=ex41.dependencies), port=0)
+    with server.start_in_thread() as handle:
+        print(f"daemon listening on {handle.host}:{handle.port}")
+
+        with ReproClient(handle.host, handle.port) as client:
+            # -------------------------------------------------------- #
+            # 2. health: semantics on offer, Σ size, store attachment.
+            # -------------------------------------------------------- #
+            health = client.health()
+            print(f"health: {health['status']}, semantics={health['semantics']}")
+
+            # -------------------------------------------------------- #
+            # 3. The paper's Example 4.1 verdicts over the wire.
+            # -------------------------------------------------------- #
+            for semantics in ("set", "bag-set", "bag"):
+                verdict = client.decide(q1, q4, semantics)
+                print(f"Q1 vs Q4 under {semantics:>7}: equivalent={verdict['equivalent']}")
+
+            # -------------------------------------------------------- #
+            # 4. Warm state: the repeat decision chases nothing.
+            # -------------------------------------------------------- #
+            before = client.stats()
+            client.decide(q1, q4, "bag")
+            after = client.stats()
+            print(
+                "repeat decide: "
+                f"+{after['chase_cache']['hits'] - before['chase_cache']['hits']} cache hits, "
+                f"+{after['profile']['runs'] - before['profile']['runs']} chase runs"
+            )
+
+            # -------------------------------------------------------- #
+            # 5. Batches amortize one connection over many pairs.
+            # -------------------------------------------------------- #
+            report = client.batch([[q1, q4], [q1, q1]], "set")
+            print(f"batch: ok={report['ok_count']} errors={report['error_count']}")
+
+    # 6. Leaving the with-block stopped the daemon and its engine thread.
+    print("daemon shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# CI smoke for the `repro serve` daemon: a real process on a real port,
+# driven by the scripted `repro client` sequence, shut down with SIGTERM,
+# restarted on the same disk store to prove the warm-restart path.
+#
+# Asserts:
+#   * the daemon prints its listening address and serves health/decide/stats;
+#   * verdicts match the paper (Example 4.1: Q1 vs Q4 — set yes, bag no);
+#   * SIGTERM exits 0 after printing the clean-shutdown line;
+#   * a restarted daemon serves the same workload off the store file with
+#     zero chase runs (store hits, not cold chases).
+#
+# Run from the repository root:  bash examples/serve_smoke.sh
+
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/deps.txt" <<'EOF'
+p(X,Y) -> s(X,Z) & t(X,V,W)
+p(X,Y) -> t(X,Y,W)
+p(X,Y) -> r(X)
+p(X,Y) -> u(X,Z) & t(X,Y,W)
+s(X,Y) & s(X,Z) -> Y = Z
+t(X,Y,Z) & t(X,Y,W) -> Z = W
+EOF
+
+Q1='Q1(X) :- p(X,Y), t(X,Y,W), s(X,Z), r(X), u(X,U)'
+Q4='Q4(X) :- p(X,Y)'
+STORE="$WORKDIR/chase-store.jsonl"
+
+# jq may be absent on minimal runners; this is the only JSON probing needed.
+json_get() { # json_get <file> <dotted.path>
+    python - "$1" "$2" <<'PYEOF'
+import json, sys
+node = json.load(open(sys.argv[1]))
+for part in sys.argv[2].split("."):
+    node = node[part]
+print(json.dumps(node))
+PYEOF
+}
+
+start_daemon() { # start_daemon <logfile>
+    python -m repro serve --dependencies "$WORKDIR/deps.txt" \
+        --set-valued s,t --port 0 --store "$STORE" > "$1" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 50); do
+        grep -q "listening on" "$1" && break
+        sleep 0.2
+    done
+    grep -q "listening on" "$1" || { echo "FAIL: daemon never came up"; cat "$1"; exit 1; }
+    PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$1" | head -1)
+    echo "daemon pid=$DAEMON_PID port=$PORT"
+}
+
+stop_daemon() { # stop_daemon <logfile>
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || { echo "FAIL: daemon exited non-zero"; cat "$1"; exit 1; }
+    grep -q "shut down cleanly" "$1" || { echo "FAIL: no clean-shutdown line"; cat "$1"; exit 1; }
+}
+
+client() { # client <op> [args...] -> writes JSON response to stdout
+    python -m repro client "$@" --port "$PORT"
+}
+
+# ----------------------------------------------------------------------- #
+# Round 1: cold daemon.  Health, the paper's verdicts, stats, clean stop.
+# ----------------------------------------------------------------------- #
+start_daemon "$WORKDIR/serve1.log"
+
+client health > "$WORKDIR/health.json"
+[ "$(json_get "$WORKDIR/health.json" result.status)" = '"ok"' ]
+
+client decide --query "$Q1" --other "$Q4" --semantics set > "$WORKDIR/set.json"
+[ "$(json_get "$WORKDIR/set.json" result.equivalent)" = "true" ]
+
+client decide --query "$Q1" --other "$Q4" --semantics bag > "$WORKDIR/bag.json"
+[ "$(json_get "$WORKDIR/bag.json" result.equivalent)" = "false" ]
+
+# A structured error must come back as a response, not kill the daemon.
+client decide --query 'broken((' --other "$Q4" > "$WORKDIR/err.json" && {
+    echo "FAIL: error response should exit non-zero"; exit 1; } || true
+[ "$(json_get "$WORKDIR/err.json" error.code)" = '"parse-error"' ]
+
+client stats > "$WORKDIR/stats1.json"
+COLD_RUNS=$(json_get "$WORKDIR/stats1.json" result.profile.runs)
+WRITES=$(json_get "$WORKDIR/stats1.json" result.store.writes)
+[ "$COLD_RUNS" -ge 2 ] || { echo "FAIL: expected cold chases, got runs=$COLD_RUNS"; exit 1; }
+[ "$WRITES" -ge 2 ] || { echo "FAIL: expected store writes, got $WRITES"; exit 1; }
+
+stop_daemon "$WORKDIR/serve1.log"
+echo "round 1 OK: cold serve + clean shutdown (runs=$COLD_RUNS, store writes=$WRITES)"
+
+# ----------------------------------------------------------------------- #
+# Round 2: restart on the same store.  The same workload must be served
+# from disk — store hits and zero chase runs.
+# ----------------------------------------------------------------------- #
+start_daemon "$WORKDIR/serve2.log"
+
+client decide --query "$Q1" --other "$Q4" --semantics bag > "$WORKDIR/bag2.json"
+[ "$(json_get "$WORKDIR/bag2.json" result.equivalent)" = "false" ]
+
+client stats > "$WORKDIR/stats2.json"
+WARM_RUNS=$(json_get "$WORKDIR/stats2.json" result.profile.runs)
+HITS=$(json_get "$WORKDIR/stats2.json" result.store.hits)
+[ "$WARM_RUNS" -eq 0 ] || { echo "FAIL: restart re-chased (runs=$WARM_RUNS)"; exit 1; }
+[ "$HITS" -ge 2 ] || { echo "FAIL: expected store hits, got $HITS"; exit 1; }
+
+stop_daemon "$WORKDIR/serve2.log"
+echo "round 2 OK: warm restart served off the store (hits=$HITS, runs=$WARM_RUNS)"
+echo "serve smoke PASSED"

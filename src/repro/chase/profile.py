@@ -16,6 +16,7 @@ of every cold chase into a per-session aggregate, and the CLI's
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -162,6 +163,18 @@ class ChaseProfile:
         self.cache_keys_reused += other.cache_keys_reused
         self.key_build_time += other.key_build_time
         self.wall_time += other.wall_time
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-able snapshot of every counter plus the derived metrics.
+
+        Used by :meth:`repro.session.Session.stats` (and through it the
+        ``repro serve`` ``stats`` endpoint); a plain ``asdict`` would miss
+        the derived ``steps`` / ``index_hit_rate`` properties.
+        """
+        snapshot: dict[str, object] = dataclasses.asdict(self)
+        snapshot["steps"] = self.steps
+        snapshot["index_hit_rate"] = self.index_hit_rate
+        return snapshot
 
     def summary_lines(self) -> list[str]:
         """Human-readable summary, one counter per line (used by the CLI)."""

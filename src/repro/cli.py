@@ -94,12 +94,17 @@ def _semantics_argument(parser: argparse.ArgumentParser, allow_all: bool = False
 def _print_plan_cache_line(session: Session) -> None:
     """One ``--profile`` line for the compiled-plan cache state.
 
-    The cache is process-wide by default, so the counters cover every chase
-    of this CLI invocation (per-run compile/reuse deltas are on the profile
-    lines above).
+    Reads the unified :meth:`Session.stats` surface — the same dict the
+    ``repro serve`` ``stats`` endpoint returns — so the CLI and the service
+    can never report different numbers.  The cache is process-wide by
+    default, so the counters cover every chase of this CLI invocation
+    (per-run compile/reuse deltas are on the profile lines above).
     """
-    hits, misses, evictions = session.plan_cache_stats()
-    print(f"  plan cache       : {hits} hits, {misses} misses, {evictions} evictions")
+    plans = session.stats()["plan_cache"]
+    print(
+        f"  plan cache       : {plans['hits']} hits, {plans['misses']} misses, "
+        f"{plans['evictions']} evictions"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -276,6 +281,91 @@ def _cmd_batch(args) -> int:
     return 0 if report.error_count == 0 else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ChaseStore, ReproServer
+
+    store = ChaseStore(args.store) if args.store else None
+    session = _build_session(args)
+    server = ReproServer(
+        session,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        max_request_bytes=args.max_request_bytes,
+        store=store,
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await server.start()
+        # One parseable line on stdout so scripts (and the CI smoke job) can
+        # wait for readiness and discover the port when --port 0 was used.
+        print(f"repro serve: listening on {server.host}:{server.port}", flush=True)
+        if store is not None:
+            entries = store.stats()["entries"]
+            print(f"repro serve: chase store {store.path} ({entries} entries)", flush=True)
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stop.wait())
+        await asyncio.wait({serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+        stop_task.cancel()
+        serve_task.cancel()
+        # serve_forever absorbs the cancellation and closes the store and
+        # executor before returning.
+        await asyncio.gather(serve_task, return_exceptions=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C without handler
+        pass
+    print("repro serve: shut down cleanly", flush=True)
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json as json_module
+
+    from .serve import ClientError, ReproClient
+
+    params: dict = {}
+    if args.query is not None:
+        params["query"] = args.query
+    if args.other is not None:
+        params["other"] = args.other
+    if args.semantics is not None:
+        params["semantics"] = args.semantics
+    if args.minimal_only:
+        params["minimal_only"] = True
+    if args.op == "batch":
+        if not args.pairs:
+            print("error: batch needs --pairs", file=sys.stderr)
+            return 2
+        params["pairs"] = [
+            [left.strip(), right.strip()]
+            for left, _, right in (
+                line.partition(";")
+                for line in _read_text_or_file(args.pairs).splitlines()
+                if line.strip() and not line.strip().startswith("#")
+            )
+        ]
+    try:
+        with ReproClient(args.host, args.port, timeout=args.timeout) as client:
+            response = client.request(args.op, params, check=False)
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json_module.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing and docs)."""
@@ -401,6 +491,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for per-failure reproduction JSON (default: fuzz-failures)",
     )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived equivalence daemon (newline-delimited JSON "
+        "over TCP; one warm Session shared by every client)",
+    )
+    _add_dependency_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=7464,
+        help="TCP port; 0 picks a free port and prints it (default: 7464)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        help="path of the disk-backed chase-result store (JSONL); restarts "
+        "with the same path start warm",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock budget in seconds (default: 30)",
+    )
+    serve_parser.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=1 << 20,
+        help="cap on one request line; larger requests are refused and the "
+        "connection closed (default: 1 MiB)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    client_parser = subparsers.add_parser(
+        "client",
+        help="send one request to a running repro serve daemon and print the "
+        "JSON response",
+    )
+    client_parser.add_argument(
+        "op",
+        choices=["decide", "reformulate", "batch", "stats", "health"],
+        help="operation to invoke",
+    )
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, default=7464)
+    client_parser.add_argument(
+        "--timeout", type=float, default=60.0, help="socket timeout in seconds"
+    )
+    client_parser.add_argument("--query", help="query in rule notation")
+    client_parser.add_argument("--other", help="second query (decide)")
+    client_parser.add_argument(
+        "--semantics", choices=["set", "bag", "bag-set"], help="semantics name"
+    )
+    client_parser.add_argument(
+        "--minimal-only",
+        action="store_true",
+        help="reformulate: also report only the Σ-minimal reformulations",
+    )
+    client_parser.add_argument(
+        "--pairs", help="batch: pair list (file or text), one 'QUERY ; QUERY' per line"
+    )
+    client_parser.set_defaults(handler=_cmd_client)
 
     return parser
 

@@ -251,6 +251,56 @@ def intern_table_sizes() -> tuple[int, int]:
     return (len(Variable._intern), len(Constant._intern))
 
 
+#: Snapshots pinned by :func:`pin_interned_terms`: strong references that keep
+#: the re-interned terms alive for the process lifetime, so the weak tables
+#: cannot drop them between requests / batch items.
+_PINNED_SNAPSHOTS: list[tuple[Term, ...]] = []
+
+
+def export_interned_terms() -> list[tuple[str, Hashable]]:
+    """Snapshot every live interned term as picklable ``(kind, payload)`` pairs.
+
+    The snapshot is what a parent ships to worker processes (the
+    ``decide_many(..., concurrency=N)`` pool initializer, multi-worker
+    serving) so workers re-intern the parent's working vocabulary once, up
+    front, instead of miss-by-miss as payloads arrive.  Under the ``fork``
+    start method the tables are inherited anyway and re-pinning is nearly
+    free; under ``spawn`` the snapshot is the only thing standing between a
+    worker and an entirely cold table.  ``uid`` values are deliberately not
+    part of the snapshot: uids are process-local by design.
+    """
+    snapshot: list[tuple[str, Hashable]] = []
+    # list() first: iterating a WeakValueDictionary directly would break if
+    # GC drops an entry mid-iteration.
+    for variable in list(Variable._intern.values()):
+        snapshot.append(("V", variable.name))
+    for constant in list(Constant._intern.values()):
+        snapshot.append(("C", constant.value))
+    return snapshot
+
+
+def pin_interned_terms(snapshot: Iterable[tuple[str, Hashable]]) -> int:
+    """Re-intern a snapshot from :func:`export_interned_terms` and pin it.
+
+    Pinning holds strong references for the rest of the process, making the
+    snapshot effectively a read-only warm table: every subsequent
+    construction of a snapshotted name/value is an intern hit, never a miss,
+    and the weak tables cannot evict them while idle.  Returns the number of
+    terms pinned.
+    """
+    pinned: list[Term] = []
+    for kind, payload in snapshot:
+        if kind == "V":
+            assert isinstance(payload, str)
+            pinned.append(Variable(payload))
+        elif kind == "C":
+            pinned.append(Constant(payload))
+        else:
+            raise ValueError(f"unknown intern snapshot entry kind {kind!r}")
+    _PINNED_SNAPSHOTS.append(tuple(pinned))
+    return len(pinned)
+
+
 def is_variable(term: Term) -> bool:
     """Return True if *term* is a :class:`Variable`."""
     return isinstance(term, Variable)

@@ -1,0 +1,46 @@
+"""``repro.serve`` — the long-lived equivalence service.
+
+Everything below :mod:`repro.session` answers one question at a time and
+forgets; this package keeps the answers' *infrastructure* alive.  It wraps
+one process-wide :class:`~repro.session.Session` in an asyncio TCP daemon
+(:class:`ReproServer`, ``repro serve``) speaking newline-delimited JSON
+(:mod:`~repro.serve.protocol`), persists terminal chase results to disk so
+restarts start warm (:class:`ChaseStore`, keyed by a stable digest of the
+session's chase-cache key), and ships the process's intern-table snapshot to
+worker processes so they stop re-interning from scratch
+(:func:`~repro.core.terms.export_interned_terms` /
+:func:`~repro.core.terms.pin_interned_terms`, re-exported here).
+
+:class:`ReproClient` is the matching blocking client used by tests, the
+``repro client`` subcommand, and the CI smoke job.
+"""
+
+from ..core.terms import export_interned_terms, pin_interned_terms
+from .client import ClientError, ReproClient, ServerError
+from .protocol import (
+    DEFAULT_TIMEOUT,
+    ERROR_CODES,
+    MAX_REQUEST_BYTES,
+    OPS,
+    ProtocolError,
+)
+from .server import ReproServer, ServerHandle
+from .store import ChaseStore, StoreError, key_digest
+
+__all__ = [
+    "ChaseStore",
+    "ClientError",
+    "DEFAULT_TIMEOUT",
+    "ERROR_CODES",
+    "MAX_REQUEST_BYTES",
+    "OPS",
+    "ProtocolError",
+    "ReproClient",
+    "ReproServer",
+    "ServerError",
+    "ServerHandle",
+    "StoreError",
+    "export_interned_terms",
+    "key_digest",
+    "pin_interned_terms",
+]

@@ -1,0 +1,160 @@
+"""A minimal blocking client for the ``repro serve`` daemon.
+
+Small on purpose: one socket, one ``makefile`` line reader, one JSON line
+per request/response.  It exists so tests, the ``repro client`` subcommand,
+the CI smoke job, and user scripts all drive the daemon through the same
+few lines of transport code — the protocol is simple enough that a client
+in any other language is equally short.
+
+    with ReproClient("127.0.0.1", 7464) as client:
+        client.health()
+        client.decide("Q1(X) :- p(X,Y)", "Q2(X) :- p(X,Y), r(X)", semantics="bag")
+        client.stats()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from ..exceptions import ReproError
+
+
+class ClientError(ReproError):
+    """Transport-level client failure (connection refused, truncated stream)."""
+
+
+class ServerError(ReproError):
+    """The daemon answered with a structured error response."""
+
+    def __init__(self, code: str, message: str, error: dict[str, Any]):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.error = error
+
+
+class ReproClient:
+    """A blocking NDJSON client over one TCP connection.
+
+    ``request`` raises :class:`ServerError` on structured error responses by
+    default; pass ``check=False`` to receive the raw response dict instead
+    (the CLI does, to print error responses verbatim).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7464, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ClientError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._stream = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def request(
+        self, op: str, params: dict[str, Any] | None = None, *, check: bool = True
+    ) -> dict[str, Any]:
+        """Send one request and block for its response.
+
+        Returns the ``result`` object of a success response; with
+        ``check=False``, returns the whole response envelope (success or
+        error) without raising.
+        """
+        self._next_id += 1
+        payload: dict[str, Any] = {"id": self._next_id, "op": op}
+        if params:
+            payload["params"] = params
+        try:
+            self._stream.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+            self._stream.flush()
+            line = self._stream.readline()
+        except OSError as exc:
+            raise ClientError(f"connection to {self.host}:{self.port} failed: {exc}") from exc
+        if not line:
+            raise ClientError(
+                f"server {self.host}:{self.port} closed the connection without answering"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:  # pragma: no cover - server bug
+            raise ClientError(f"unparseable response line: {line[:200]!r}") from exc
+        if not check:
+            return response
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                str(error.get("code", "internal")),
+                str(error.get("message", "unknown server error")),
+                error,
+            )
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers, one per op.
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        query: str,
+        other: str,
+        semantics: str | None = None,
+        max_steps: int | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"query": query, "other": other}
+        if semantics is not None:
+            params["semantics"] = semantics
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        return self.request("decide", params)
+
+    def reformulate(
+        self,
+        query: str,
+        semantics: str | None = None,
+        *,
+        minimal_only: bool = False,
+        max_steps: int | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"query": query, "minimal_only": minimal_only}
+        if semantics is not None:
+            params["semantics"] = semantics
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        return self.request("reformulate", params)
+
+    def batch(
+        self, pairs: list[tuple[str, str]] | list[list[str]], semantics: str | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"pairs": [list(pair) for pair in pairs]}
+        if semantics is not None:
+            params["semantics"] = semantics
+        return self.request("batch", params)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def health(self) -> dict[str, Any]:
+        return self.request("health")
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._stream.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReproClient({self.host}:{self.port})"

@@ -1,0 +1,479 @@
+"""The ``repro serve`` daemon: one warm Session, many clients.
+
+Architecture (see :mod:`repro.serve.protocol` for the wire format):
+
+* an **asyncio TCP server** accepts connections and frames newline-delimited
+  JSON requests; the event loop only ever parses, validates, and routes —
+  it never chases;
+* every CPU-bound operation (decide, reformulate, batch) is pushed onto a
+  **single-threaded executor**, so the event loop stays responsive while a
+  chase runs, and — because the executor has exactly one worker — all engine
+  work is serialized through the one process-wide
+  :class:`~repro.session.Session` without the Session needing locks.
+  Concurrent clients interleave at request granularity; what they share is
+  precisely the point: the hot chase cache, plan cache, and intern tables;
+* a **per-request timeout** (:func:`asyncio.wait_for`) turns a runaway
+  request into a structured ``timeout`` error for its client.  The worker
+  thread itself cannot be killed mid-chase (Python offers no safe
+  preemption), so the *next* request may wait behind the stragglers — the
+  chase step budget (``--max-steps``) is the real bound on a single chase;
+* an optional **disk-backed chase store** (:mod:`repro.serve.store`)
+  attached to the Session makes restarts start warm.
+
+Nothing a client sends can kill the daemon: every anticipated failure is
+mapped to a structured error response, and unanticipated ones are answered
+with ``internal`` and logged to stderr.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import sys
+import threading
+import time
+from typing import Any, Callable
+
+from ..datalog.parser import parse_query
+from ..datalog.render import render_query
+from ..exceptions import (
+    ChaseNonTerminationError,
+    ParseError,
+    ReproError,
+    UnknownSemanticsError,
+)
+from ..session import Session
+from ..session.engine import ChaseResultStore
+from .protocol import (
+    DEFAULT_TIMEOUT,
+    MAX_REQUEST_BYTES,
+    ProtocolError,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+    request_id_of,
+)
+from .store import ChaseStore
+
+__all__ = ["ReproServer", "ServerHandle"]
+
+
+def _param_str(params: dict[str, Any], name: str) -> str:
+    value = params.get(name)
+    if not isinstance(value, str) or not value.strip():
+        raise ProtocolError(
+            "invalid-request", f"params.{name} must be a non-empty string"
+        )
+    return value
+
+
+def _param_query(params: dict[str, Any], name: str):
+    try:
+        return parse_query(_param_str(params, name))
+    except ParseError as exc:
+        raise ProtocolError("parse-error", f"params.{name}: {exc}") from exc
+
+
+def _param_max_steps(params: dict[str, Any]) -> int | None:
+    value = params.get("max_steps")
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ProtocolError(
+            "invalid-request", "params.max_steps must be a positive integer"
+        )
+    return value
+
+
+class ReproServer:
+    """An asyncio NDJSON server over one process-wide :class:`Session`.
+
+    The server owns the Session (and therefore the warm caches); it may be
+    handed one explicitly — the test fixtures do, to compare against direct
+    calls — or built from a dependency set by the CLI.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_request_bytes: int = MAX_REQUEST_BYTES,
+        store: ChaseStore | None = None,
+    ):
+        if store is not None:
+            session.set_store(store)
+        self.session = session
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_request_bytes = max_request_bytes
+        # Whatever store the session ended up with (passed here, or attached
+        # to the session before construction); the server owns its shutdown.
+        self.store: "ChaseResultStore | None" = session.store
+        self.started = time.monotonic()
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.connections_accepted = 0
+        # One worker: engine work is serialized, so the shared Session (and
+        # the process-wide intern tables underneath it) needs no locking.
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-engine"
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------ #
+    # Handlers.  Each takes validated params and returns a JSON-able dict;
+    # CPU-bound ones run on the executor.
+    # ------------------------------------------------------------------ #
+    def _handle_decide(self, params: dict[str, Any]) -> dict[str, Any]:
+        q1 = _param_query(params, "query")
+        q2 = _param_query(params, "other")
+        semantics = params.get("semantics")
+        verdict = self.session.decide(q1, q2, semantics, _param_max_steps(params))
+        return {
+            "equivalent": bool(verdict),
+            "semantics": str(verdict.semantics),
+            "chased": [render_query(verdict.chased_left), render_query(verdict.chased_right)],
+        }
+
+    def _handle_reformulate(self, params: dict[str, Any]) -> dict[str, Any]:
+        query = _param_query(params, "query")
+        semantics = params.get("semantics")
+        minimal_only = bool(params.get("minimal_only", False))
+        result = self.session.reformulate(
+            query,
+            semantics,
+            _param_max_steps(params),
+            check_sigma_minimality=minimal_only,
+        )
+        payload: dict[str, Any] = {
+            "universal_plan": render_query(result.universal_plan),
+            "reformulations": sorted(
+                (render_query(q) for q in result.reformulations), key=len
+            ),
+        }
+        if minimal_only:
+            payload["minimal_reformulations"] = sorted(
+                (render_query(q) for q in result.minimal_reformulations), key=len
+            )
+        return payload
+
+    def _handle_batch(self, params: dict[str, Any]) -> dict[str, Any]:
+        pairs_raw = params.get("pairs")
+        if not isinstance(pairs_raw, list) or not all(
+            isinstance(pair, list) and len(pair) == 2 for pair in pairs_raw
+        ):
+            raise ProtocolError(
+                "invalid-request",
+                "params.pairs must be a list of [query, other] string pairs",
+            )
+        # Parse failures are per-item (the decide_many contract: one bad
+        # input must not sink the batch), so parsing happens inside the
+        # pipeline via pre-captured items rather than up front.
+        pairs: list[Any] = []
+        parse_failures: dict[int, str] = {}
+        for index, (left, right) in enumerate(pairs_raw):
+            try:
+                if not isinstance(left, str) or not isinstance(right, str):
+                    raise ParseError("pair entries must be strings")
+                pairs.append((parse_query(left), parse_query(right)))
+            except ParseError as exc:
+                parse_failures[index] = str(exc)
+                pairs.append(None)
+        semantics = params.get("semantics")
+        report = self.session.decide_many(
+            (pair for pair in pairs if pair is not None),
+            semantics=semantics,
+            max_steps=_param_max_steps(params),
+        )
+        # Merge engine outcomes back into input order around the parse
+        # failures.
+        outcomes = iter(report)
+        items: list[dict[str, Any]] = []
+        for index in range(len(pairs)):
+            if index in parse_failures:
+                items.append(
+                    {
+                        "index": index,
+                        "ok": False,
+                        "error": {"code": "parse-error", "message": parse_failures[index]},
+                    }
+                )
+                continue
+            item = next(outcomes)
+            if item.ok:
+                items.append(
+                    {"index": index, "ok": True, "equivalent": bool(item.result)}
+                )
+            else:
+                items.append(
+                    {
+                        "index": index,
+                        "ok": False,
+                        "error": {"code": "repro-error", "message": item.error or ""},
+                    }
+                )
+        ok_count = sum(1 for item in items if item["ok"])
+        return {"items": items, "ok_count": ok_count, "error_count": len(items) - ok_count}
+
+    def _handle_stats(self, params: dict[str, Any]) -> dict[str, Any]:
+        stats = self.session.stats()
+        stats["server"] = {
+            "uptime_s": time.monotonic() - self.started,
+            "requests_served": self.requests_served,
+            "requests_failed": self.requests_failed,
+            "connections_accepted": self.connections_accepted,
+        }
+        return stats
+
+    def _handle_health(self, params: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "semantics": list(self.session.semantics_names()),
+            "dependencies": len(self.session.dependencies),
+            "store": self.store is not None,
+            "uptime_s": time.monotonic() - self.started,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        handler: Callable[[dict[str, Any]], dict[str, Any]] = {
+            "decide": self._handle_decide,
+            "reformulate": self._handle_reformulate,
+            "batch": self._handle_batch,
+            "stats": self._handle_stats,
+            "health": self._handle_health,
+        }[op]
+        if op in ("stats", "health"):
+            # Counter reads only; running them on the loop keeps them
+            # answerable even while the engine thread is mid-chase.
+            return handler(params)
+        loop = asyncio.get_running_loop()
+        return await asyncio.wait_for(
+            loop.run_in_executor(self._executor, handler, params),
+            timeout=self.timeout if self.timeout and self.timeout > 0 else None,
+        )
+
+    async def _respond(self, request_id: Any, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        """Run one request to a response dict, mapping every failure to a code."""
+        try:
+            result = await self._dispatch(op, params)
+            return ok_response(request_id, result)
+        except ProtocolError as exc:
+            return error_response(request_id, exc.code, str(exc))
+        except asyncio.TimeoutError:
+            return error_response(
+                request_id,
+                "timeout",
+                f"request exceeded the {self.timeout:g}s budget; "
+                "the engine keeps running it to completion",
+            )
+        except ChaseNonTerminationError as exc:
+            return error_response(
+                request_id,
+                "chase-failed",
+                str(exc),
+                steps_taken=exc.steps_taken,
+            )
+        except UnknownSemanticsError as exc:
+            return error_response(request_id, "unknown-semantics", str(exc))
+        except ParseError as exc:
+            return error_response(request_id, "parse-error", str(exc))
+        except ReproError as exc:
+            # Any other engine-level failure: structured, typed, non-fatal.
+            return error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        except Exception as exc:  # noqa: BLE001 - the server must survive anything
+            print(
+                f"repro serve: internal error on op {op!r}: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The request line exceeds the frame limit: its end — and
+                    # with it the next frame boundary — cannot be located, so
+                    # answer once and close this connection (only this one).
+                    writer.write(
+                        encode_line(
+                            error_response(
+                                None,
+                                "request-too-large",
+                                f"request exceeds {self.max_request_bytes} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    self.requests_failed += 1
+                    break
+                if not line:
+                    break  # client closed
+                if not line.strip():
+                    continue  # bare newline keep-alives are legal
+                try:
+                    request_id, op, params = parse_request(line)
+                except ProtocolError as exc:
+                    response = error_response(request_id_of(exc), exc.code, str(exc))
+                else:
+                    response = await self._respond(request_id, op, params)
+                if response.get("ok"):
+                    self.requests_served += 1
+                else:
+                    self.requests_failed += 1
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection mid-read.  Returning
+            # (rather than re-raising) lets the task finish cleanly, which
+            # keeps asyncio's stream callbacks from logging spurious
+            # "exception in callback" noise during teardown.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):  # pragma: no cover - teardown races
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting (resolves :attr:`port` when it was 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=self.max_request_bytes,
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled; closes the store and executor on the way out."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, release the executor, flush and close the store."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        if self.store is not None:
+            self.store.close()
+
+    # ------------------------------------------------------------------ #
+    def start_in_thread(self) -> "ServerHandle":
+        """Run this server on a dedicated event-loop thread (fixtures, tools).
+
+        Returns a :class:`ServerHandle` whose :attr:`~ServerHandle.port` is
+        already resolved; the caller stops the server with
+        :meth:`ServerHandle.stop`.  This is the in-process embedding used by
+        the test suite and the throughput benchmark — same code path as the
+        CLI daemon, minus the process boundary.
+        """
+        started = threading.Event()
+        startup_error: list[BaseException] = []
+        loop_holder: list[asyncio.AbstractEventLoop] = []
+
+        async def _run() -> None:
+            try:
+                await self.start()
+            except BaseException as exc:  # pragma: no cover - bind failures
+                startup_error.append(exc)
+                started.set()
+                return
+            loop_holder.append(asyncio.get_running_loop())
+            started.set()
+            await self.serve_forever()
+
+        def _thread_main() -> None:
+            asyncio.run(_run())
+
+        thread = threading.Thread(
+            target=_thread_main, name="repro-serve", daemon=True
+        )
+        thread.start()
+        started.wait()
+        if startup_error:  # pragma: no cover - bind failures
+            raise startup_error[0]
+        return ServerHandle(self, thread, loop_holder[0])
+
+
+class ServerHandle:
+    """A running in-thread server: its port, and the means to stop it."""
+
+    def __init__(
+        self,
+        server: ReproServer,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+    ):
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Cancel the serve loop and join the thread (idempotent)."""
+        if self._thread.is_alive():
+            def _cancel_all() -> None:
+                for task in asyncio.all_tasks(self._loop):
+                    task.cancel()
+
+            try:
+                self._loop.call_soon_threadsafe(_cancel_all)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -16,7 +16,7 @@ The flat top-level functions (``equivalent_under_dependencies_bag``,
 
 from .batch import BatchItem, BatchReport, decide_many, reformulate_many
 from .cache import CacheStats, ChaseCache, chase_cache_key, sigma_fingerprint
-from .engine import Session, assert_proposition_6_1
+from .engine import ChaseResultStore, Session, assert_proposition_6_1
 from .registry import SemanticsRegistry, default_registry, normalize_semantics_name
 from .strategies import (
     BUILTIN_STRATEGIES,
@@ -34,6 +34,7 @@ __all__ = [
     "BatchReport",
     "CacheStats",
     "ChaseCache",
+    "ChaseResultStore",
     "SemanticsRegistry",
     "SemanticsStrategy",
     "Session",

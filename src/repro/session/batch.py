@@ -18,7 +18,7 @@ process and is not shipped across the fork.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from ..core.aggregate import AggregateQuery
 from ..core.query import ConjunctiveQuery
@@ -107,13 +107,25 @@ class BatchReport:
 # Worker-process plumbing.  One Session per process, created by the pool
 # initializer; payloads and results must stay picklable.
 # --------------------------------------------------------------------------- #
-_WORKER_SESSION = None
+_WORKER_SESSION: Any = None
 
 
-def _init_worker(dependencies: DependencySet, max_steps: int) -> None:
+def _init_worker(
+    dependencies: DependencySet,
+    max_steps: int,
+    intern_snapshot: "list[tuple[str, Hashable]] | None" = None,
+) -> None:
     global _WORKER_SESSION
+    from ..core.terms import pin_interned_terms
     from .engine import Session
 
+    if intern_snapshot:
+        # Warm the worker's intern tables with the parent's live vocabulary
+        # before the first payload arrives, and pin the terms so the weak
+        # tables cannot drop them between items.  Under the fork start
+        # method the tables are inherited and this is nearly free; under
+        # spawn it replaces per-payload re-interning from an empty table.
+        pin_interned_terms(intern_snapshot)
     _WORKER_SESSION = Session(dependencies=dependencies, max_steps=max_steps)
 
 
@@ -151,11 +163,13 @@ def _require_builtin_for_concurrency(strategy) -> None:
 def _run_pool(session, worker, payloads, concurrency: int):
     from concurrent.futures import ProcessPoolExecutor
 
+    from ..core.terms import export_interned_terms
+
     max_steps = session.max_steps
     with ProcessPoolExecutor(
         max_workers=concurrency,
         initializer=_init_worker,
-        initargs=(session.dependencies, max_steps),
+        initargs=(session.dependencies, max_steps, export_interned_terms()),
     ) as pool:
         yield from pool.map(worker, payloads, chunksize=_CHUNKSIZE)
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Any, Hashable, Iterable
 
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
@@ -137,10 +137,10 @@ class WeakKeyLRU:
         if maxsize < 1:
             raise ValueError(f"memo maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: OrderedDict[weakref.ref, object] = OrderedDict()
+        self._entries: "OrderedDict[weakref.ref, Any]" = OrderedDict()
         self.evictions = 0
 
-    def get(self, key: object) -> object | None:
+    def get(self, key: object) -> Any:
         """The memoized value for *key* (refreshing its recency), or None."""
         ref = weakref.ref(key)
         value = self._entries.get(ref)

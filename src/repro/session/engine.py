@@ -28,7 +28,7 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Protocol, Sequence
 
 from ..chase.plans import PlanCache, default_plan_cache
 from ..chase.profile import ChaseProfile
@@ -49,6 +49,24 @@ from .cache import (
 )
 from .registry import SemanticsRegistry, default_registry, normalize_semantics_name
 from .strategies import SemanticsStrategy
+
+
+class ChaseResultStore(Protocol):
+    """What a Session needs from a persistent chase-result store.
+
+    The concrete implementation lives a layer up, in
+    :class:`repro.serve.store.ChaseStore` (session must not depend on the
+    serving subsystem); anything honouring this protocol — get by key or
+    ``None``, write-through put, JSON-able stats — can back a session.
+    """
+
+    def get(self, key: Any) -> ChaseResult | None: ...
+
+    def put(self, key: Any, result: ChaseResult) -> None: ...
+
+    def stats(self) -> Mapping[str, Any]: ...
+
+    def close(self) -> None: ...
 
 
 class _SessionDependencySet(DependencySet):
@@ -93,6 +111,7 @@ class Session:
         plan_cache: PlanCache | None = None,
         default_semantics: Semantics | str = Semantics.BAG_SET,
         max_steps: int = DEFAULT_MAX_STEPS,
+        store: "ChaseResultStore | None" = None,
     ):
         if schema is not None and not hasattr(schema, "set_valued_relations"):
             # The natural-looking call Session(sigma) would otherwise bind
@@ -112,8 +131,12 @@ class Session:
         self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
         self.default_semantics = default_semantics
         self.max_steps = max_steps
+        # Optional persistent second-level store (see ChaseResultStore):
+        # consulted on every in-memory miss, written through on every cold
+        # chase, so a restarted process starts warm from disk.
+        self.store = store
         self._dependencies = self._coerce_dependencies(dependencies)
-        self._sigma_key = None  # computed lazily by _chase_key
+        self._sigma_key: object | None = None  # computed lazily by _chase_key
         # Assembled cache keys, memoized per live query object (satellite of
         # the hash-consing refactor): repeated decisions on the same query
         # objects — every C&B run, every warm dashboard — reuse the exact
@@ -242,6 +265,14 @@ class Session:
         cached = self.cache.get(key)
         if cached is not MISSING:
             return cached
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                # Promote to the in-memory cache so the next hit skips the
+                # store's parse as well; no profile merge — a store hit did
+                # no chase work, exactly like a memory hit.
+                self.cache.put(key, stored)
+                return stored
         result = strategy.chase_with_plans(
             query, self._dependencies, steps, self.plan_cache
         )
@@ -249,6 +280,8 @@ class Session:
         if profile is not None:
             self._profile.merge(profile)
         self.cache.put(key, result)
+        if self.store is not None and result.terminated:
+            self.store.put(key, result)
         return result
 
     # ------------------------------------------------------------------ #
@@ -387,6 +420,65 @@ class Session:
         snapshot = ChaseProfile(runs=0)
         snapshot.merge(self._profile)
         return snapshot
+
+    def stats(self) -> dict[str, object]:
+        """One unified, JSON-able snapshot of every cache/engine counter.
+
+        This is *the* stats surface: the CLI ``--profile`` output and the
+        ``repro serve`` ``stats`` endpoint both read it, so the two can
+        never drift apart.  Sections:
+
+        * ``chase_cache`` — the in-memory result cache
+          (:meth:`cache_stats`, flattened);
+        * ``plan_cache`` — the compiled-match-plan cache (process-wide by
+          default, see :meth:`plan_cache_stats`);
+        * ``intern`` — process-wide term intern-table counters and live
+          table sizes;
+        * ``profile`` — the aggregate cold-chase profile
+          (:meth:`chase_profile`, as a dict);
+        * ``store`` — the persistent store's counters, present only when a
+          store is attached.
+        """
+        from ..core.terms import INTERN_STATS, intern_table_sizes
+
+        cache = self.cache.stats
+        plan_hits, plan_misses, plan_evictions = self.plan_cache_stats()
+        variables, constants = intern_table_sizes()
+        stats: dict[str, object] = {
+            "chase_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+                "size": cache.size,
+                "maxsize": cache.maxsize,
+                "hit_rate": cache.hit_rate,
+            },
+            "plan_cache": {
+                "hits": plan_hits,
+                "misses": plan_misses,
+                "evictions": plan_evictions,
+            },
+            "intern": {
+                "hits": INTERN_STATS.hits,
+                "misses": INTERN_STATS.misses,
+                "variables": variables,
+                "constants": constants,
+            },
+            "profile": self.chase_profile().as_dict(),
+        }
+        if self.store is not None:
+            stats["store"] = dict(self.store.stats())
+        return stats
+
+    def set_store(self, store: "ChaseResultStore | None") -> None:
+        """Attach (or detach, with ``None``) a persistent chase-result store.
+
+        The in-memory cache is left alone — its entries stay valid — but
+        every future miss consults the new store and every future cold chase
+        writes through to it.
+        """
+        self.store = store
 
     def clear_cache(self) -> None:
         """Drop every cached chase result (Σ stays untouched)."""

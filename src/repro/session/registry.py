@@ -36,7 +36,9 @@ class SemanticsRegistry:
     def __init__(self, strategies: "tuple[SemanticsStrategy, ...] | list" = ()):
         self._by_key: dict[str, SemanticsStrategy] = {}
         self._canonical: dict[str, SemanticsStrategy] = {}
-        self._shadow_listeners: list[Callable[[], None]] = []
+        # Each listener entry is a zero-arg resolver returning the live
+        # callback or None (a WeakMethod, or a strong-holding closure).
+        self._shadow_listeners: list[Callable[[], Callable[[], None] | None]] = []
         for strategy in strategies:
             self.register(strategy)
 
@@ -50,6 +52,7 @@ class SemanticsRegistry:
         are held weakly, so a registry shared across many (possibly
         short-lived) sessions does not keep their caches alive.
         """
+        ref: Callable[[], Callable[[], None] | None]
         try:
             ref = weakref.WeakMethod(callback)
         except TypeError:  # plain function / non-method callable: hold strongly
