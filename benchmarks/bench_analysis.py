@@ -1,0 +1,85 @@
+"""Static analyzer throughput and verdict mix (the ``repro check`` engine).
+
+The analyzer sits on two latency-sensitive paths: ``Session(precheck=...)``
+pays it on every construction, and the fuzz oracle pays it on every case.
+This benchmark times full analyzer passes over a fixed fuzz-corpus of
+dependency sets and pins the *deterministic* outputs — how many Σ certify,
+how many diagnostics fire, and that every certificate machine-verifies —
+which is what the CI trend gate checks (wall-clock on shared runners is
+noise; a changed verdict mix is a behaviour change).
+"""
+
+from __future__ import annotations
+
+from _util import record
+
+from repro.analysis.static import analyze
+from repro.dependencies.weak_acyclicity import is_weakly_acyclic
+from repro.fuzz import generate_dependencies
+from repro.paperlib import example_4_1
+
+_SEED = 0
+_BLOCKS = 50
+
+
+def _corpus():
+    return [list(generate_dependencies(_SEED, block)[0]) for block in range(_BLOCKS)]
+
+
+def bench_analyze_fuzz_corpus(benchmark):
+    """Full analyzer (all passes + certification) over 50 generated Σ."""
+    corpus = _corpus()
+
+    def run():
+        return [analyze(sigma) for sigma in corpus]
+
+    reports = benchmark(run)
+    certified = sum(report.certified for report in reports)
+    diagnostics = sum(len(report.diagnostics) for report in reports)
+    # The analyzer verdict must agree with the SCC check on every Σ, and
+    # each produced certificate must machine-verify.
+    for sigma, report in zip(corpus, reports):
+        assert report.certified == is_weakly_acyclic(sigma)
+        if report.certified:
+            assert report.certificate.verify(sigma)
+        else:
+            assert report.witness.verify(sigma)
+    record(
+        benchmark,
+        sigmas=_BLOCKS,
+        certified=certified,
+        uncertified=_BLOCKS - certified,
+        diagnostics=diagnostics,
+    )
+
+
+def bench_analyze_without_subsumption(benchmark):
+    """The precheck configuration: subsumption (the only super-linear pass) off."""
+    corpus = _corpus()
+    reports = benchmark(lambda: [analyze(s, subsumption=False) for s in corpus])
+    assert len(reports) == _BLOCKS
+    assert all(
+        "dependency-subsumed" not in {d.code for d in report.diagnostics}
+        for report in reports
+    )
+    record(benchmark, sigmas=_BLOCKS)
+
+
+def bench_certificate_budget_seeding(benchmark):
+    """Certificate bound computation for Example 4.1 — the Session hot path."""
+    example = example_4_1()
+    report = analyze(example.dependencies)
+    assert report.certified
+
+    def seed_budgets():
+        return [
+            report.certificate.step_budget_for(query)
+            for query in (example.q1, example.q4)
+        ]
+
+    budgets = benchmark(seed_budgets)
+    # The budgets are astronomically loose by design; what matters is that
+    # they exist, are positive, and dominate the depth bound.
+    assert all(budget > 0 for budget in budgets)
+    assert budgets[0] >= report.certificate.chase_depth_bound(example.q1)
+    record(benchmark, certified=1, max_rank=report.certificate.max_rank)

@@ -92,12 +92,14 @@ from .equivalence import (
     equivalent_under_dependencies_set,
 )
 from .evaluation import Bag, evaluate, evaluate_aggregate
+from .analysis import AnalysisReport, Diagnostic, TerminationCertificate, analyze
 from .exceptions import (
     ChaseError,
     ChaseNonTerminationError,
     DependencyError,
     EvaluationError,
     ParseError,
+    PrecheckFailedError,
     QueryError,
     ReformulationError,
     ReproError,
@@ -147,6 +149,7 @@ __all__ = [
     "AggregateQuery",
     "AggregateTerm",
     "Atom",
+    "AnalysisReport",
     "Bag",
     "BatchItem",
     "BatchReport",
@@ -163,6 +166,7 @@ __all__ = [
     "CounterexampleWitness",
     "DatabaseInstance",
     "DatabaseSchema",
+    "Diagnostic",
     "DependencyError",
     "DependencySet",
     "EGD",
@@ -171,6 +175,7 @@ __all__ = [
     "EvaluationError",
     "ParseError",
     "QueryError",
+    "PrecheckFailedError",
     "ReformulationError",
     "ReformulationResult",
     "Relation",
@@ -183,11 +188,13 @@ __all__ = [
     "SemanticsStrategy",
     "Session",
     "TGD",
+    "TerminationCertificate",
     "TranslationError",
     "UnknownSemanticsError",
     "Variable",
     "ViewDefinition",
     "ViewSet",
+    "analyze",
     "are_isomorphic",
     "bag_c_and_b",
     "bag_chase",

@@ -1,4 +1,4 @@
-"""Reporting helpers: chase statistics, equivalence matrices, reformulation tables."""
+"""Analysis helpers: reporting tables plus the static Σ/query analyzer."""
 
 from .reporting import (
     ChaseStatistics,
@@ -8,9 +8,27 @@ from .reporting import (
     reformulation_table,
     render_table,
 )
+from .static import (
+    DIAGNOSTIC_CODES,
+    AnalysisReport,
+    CycleWitness,
+    Diagnostic,
+    Severity,
+    TerminationCertificate,
+    analyze,
+    certify,
+)
 
 __all__ = [
+    "DIAGNOSTIC_CODES",
+    "AnalysisReport",
     "ChaseStatistics",
+    "CycleWitness",
+    "Diagnostic",
+    "Severity",
+    "TerminationCertificate",
+    "analyze",
+    "certify",
     "chase_statistics",
     "equivalence_matrix",
     "equivalence_matrix_table",

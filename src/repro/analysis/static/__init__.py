@@ -1,0 +1,33 @@
+"""Static Σ/query analyzer: chase-free diagnostics and termination certificates.
+
+The subsystem behind ``repro check`` and ``Session(precheck=...)``: lint
+passes over Σ, the queries, and an optional instance, plus machine-checkable
+termination evidence (rank certificates with static chase-depth bounds for
+weakly acyclic Σ, witness cycles otherwise).
+"""
+
+from .analyzer import analyze
+from .certificates import (
+    CycleWitness,
+    TerminationCertificate,
+    WitnessEdge,
+    certify,
+)
+from .diagnostics import (
+    DIAGNOSTIC_CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "AnalysisReport",
+    "CycleWitness",
+    "Diagnostic",
+    "Severity",
+    "TerminationCertificate",
+    "WitnessEdge",
+    "analyze",
+    "certify",
+]

@@ -1,0 +1,91 @@
+"""The chase-free analyzer: Σ (+ queries, + instance) → :class:`AnalysisReport`.
+
+``analyze`` runs every lint pass, then attempts to certify termination of
+``regularize(Σ)`` — the dependency set the sound chase actually runs.  A
+certified Σ yields an info diagnostic carrying the rank summary; an
+uncertified Σ yields an error diagnostic carrying the witness cycle
+rendered in rule notation.  Diagnostics are ordered most severe first,
+then by code and subject, so reports are deterministic and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core.query import ConjunctiveQuery
+from ...database.instance import DatabaseInstance
+from ...dependencies.base import Dependency, DependencySet
+from ...dependencies.weak_acyclicity import is_weakly_acyclic
+from .certificates import certify
+from .diagnostics import DIAGNOSTIC_CODES, AnalysisReport, Diagnostic
+from .passes import (
+    check_arities,
+    check_degenerate_egds,
+    check_query_cross_products,
+    check_range_restriction,
+    check_subsumed_dependencies,
+    check_unused_premise_atoms,
+)
+
+
+def analyze(
+    dependencies: DependencySet | Sequence[Dependency],
+    queries: Sequence[ConjunctiveQuery] = (),
+    instance: DatabaseInstance | None = None,
+    *,
+    subsumption: bool = True,
+) -> AnalysisReport:
+    """Statically analyze Σ together with the queries it will serve.
+
+    ``subsumption=False`` skips the pairwise implication pass (the only
+    super-linear one) for callers on a hot path, e.g. the Session precheck
+    of a large machine-generated Σ.
+    """
+    sigma = DependencySet.coerce(dependencies)
+    items = list(sigma.dependencies)
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(check_arities(items, queries, instance))
+    diagnostics.extend(check_range_restriction(items))
+    diagnostics.extend(check_unused_premise_atoms(items))
+    diagnostics.extend(check_query_cross_products(queries))
+    diagnostics.extend(check_degenerate_egds(items))
+    if subsumption:
+        diagnostics.extend(check_subsumed_dependencies(items))
+
+    certificate, witness = certify(sigma)
+    if certificate is not None:
+        code = "sigma-certified"
+        if items and not is_weakly_acyclic(items):
+            # The regularization dropped the special edges that closed the
+            # cycle; the chase is still certified, but say so explicitly.
+            code = "sigma-certified-after-regularization"
+        severity, _ = DIAGNOSTIC_CODES[code]
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                subject="Σ",
+                message=certificate.summary(),
+                data={"max_rank": certificate.max_rank, "positions": len(certificate.ranks)},
+            )
+        )
+    else:
+        assert witness is not None
+        severity, _ = DIAGNOSTIC_CODES["sigma-not-weakly-acyclic"]
+        diagnostics.append(
+            Diagnostic(
+                code="sigma-not-weakly-acyclic",
+                severity=severity,
+                subject="Σ",
+                message=witness.render(),
+                hint="break the cycle or chase with an explicit step budget",
+                data={"witness": witness.as_dict()["edges"]},
+            )
+        )
+
+    diagnostics.sort(key=lambda d: (-d.severity.rank, d.code, d.subject))
+    return AnalysisReport(
+        diagnostics=tuple(diagnostics),
+        certificate=certificate,
+        witness=witness,
+    )

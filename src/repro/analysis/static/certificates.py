@@ -1,0 +1,367 @@
+"""Machine-checkable termination evidence for a dependency set.
+
+Two shapes, both computed over ``regularize(Σ)`` (the set the sound chase
+actually runs — regularization only removes special edges, never adds):
+
+* :class:`TerminationCertificate` — for weakly acyclic Σ: a *rank function*
+  over the positions of the dependency graph (rank = maximum number of
+  special edges on any path into the position).  Validity is a purely local
+  edge condition — ``rank(target) >= rank(source) + 1`` across special edges
+  and ``>= rank(source)`` across ordinary ones — which is checkable without
+  re-running any cycle search and implies weak acyclicity outright (a cycle
+  through a special edge would force a rank to exceed itself).  From the
+  ranks and per-tgd shape profiles the certificate derives a concrete static
+  chase-depth bound, which the Session uses to seed chase budgets.
+
+* :class:`CycleWitness` — for cyclic Σ: a closed edge walk through at least
+  one special edge, every edge carrying the inducing rule and variable, so
+  the refusal message shows *which* rules feed values into themselves.
+
+The chase-depth bound follows Fagin et al.'s termination argument made
+quantitative.  Writing ``F`` / ``E`` for the frontier / existential variable
+counts of a regularized tgd and ``n`` for the number of distinct initial
+values (query body terms plus conclusion/equality constants, plus one unit
+of slack):
+
+* Values at rank-0 positions are original values, plus whatever the
+  frontier-free tgds deposit (a tgd with ``F = 0`` fires at most once ever,
+  adding ``E`` nulls): ``N_0 = n + Σ_{F=0} E``.
+* A tgd fires at most once per frontier tuple, and the frontier values of a
+  firing that creates rank-``i+1`` nulls sit at positions of rank ``<= i``,
+  so ``N_{i+1} = N_i + Σ_{F>0, E>0} E · N_i^F``, iterated up to the maximum
+  rank ``r``.
+* Every value anywhere is bounded by ``V = N_r + Σ_{F>0, E>0} E · N_r^F``;
+  tgd steps number at most ``Σ V^F`` and egd steps at most ``V`` (each
+  merge permanently retires one value), giving the step bound
+  ``Σ V^F + V`` and the depth (rounds) bound one more.
+
+The numbers are astronomically loose — they are budgets proving "finite",
+not predictions — but Python integers make them free to carry around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from ...core.query import ConjunctiveQuery
+from ...core.terms import Constant
+from ...datalog.render import render_dependency
+from ...dependencies.base import EGD, TGD, Dependency, DependencySet
+from ...dependencies.position_graph import (
+    Position,
+    PositionGraph,
+    render_position,
+)
+from ...dependencies.regularize import regularize
+
+
+# ------------------------------------------------------------------ #
+# shared shape extraction
+# ------------------------------------------------------------------ #
+def _regularized(
+    dependencies: DependencySet | Sequence[Dependency],
+) -> DependencySet:
+    return regularize(DependencySet.coerce(dependencies))
+
+
+def _tgd_profiles(dependencies: Iterable[Dependency]) -> tuple[tuple[str, int, int], ...]:
+    """``(rendered rule, frontier count, existential count)`` per tgd."""
+    profiles = []
+    for dependency in dependencies:
+        if isinstance(dependency, TGD):
+            profiles.append(
+                (
+                    render_dependency(dependency),
+                    len(dependency.frontier_variables()),
+                    len(dependency.existential_variables()),
+                )
+            )
+    return tuple(profiles)
+
+
+def _generated_constants(dependencies: Iterable[Dependency]) -> tuple[Hashable, ...]:
+    """Distinct constant values the chase can introduce, first-occurrence order.
+
+    Constants in tgd conclusions are written into new atoms; constants in
+    egd equalities can replace an existing value.  Premise constants only
+    ever match values already present.
+    """
+    seen: dict[Hashable, None] = {}
+    for dependency in dependencies:
+        if isinstance(dependency, TGD):
+            for atom in dependency.conclusion:
+                for term in atom.terms:
+                    if isinstance(term, Constant):
+                        seen.setdefault(term.value, None)
+        elif isinstance(dependency, EGD):
+            for equality in dependency.equalities:
+                for term in (equality.left, equality.right):
+                    if isinstance(term, Constant):
+                        seen.setdefault(term.value, None)
+    return tuple(seen)
+
+
+# ------------------------------------------------------------------ #
+# cycle witness
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class WitnessEdge:
+    """One edge of a witness cycle, with the rule and variable that induce it."""
+
+    source: Position
+    target: Position
+    special: bool
+    rule: str
+    variable: str
+
+    def render(self) -> str:
+        arrow = "⇒" if self.special else "→"
+        return (
+            f"{render_position(self.source)} {arrow} {render_position(self.target)}"
+            f"   via {self.variable} in {self.rule}"
+        )
+
+    def as_list(self) -> list[Any]:
+        return [
+            self.source[0],
+            self.source[1],
+            self.target[0],
+            self.target[1],
+            self.special,
+            self.rule,
+            self.variable,
+        ]
+
+    @classmethod
+    def from_list(cls, payload: Sequence[Any]) -> "WitnessEdge":
+        return cls(
+            source=(str(payload[0]), int(payload[1])),
+            target=(str(payload[2]), int(payload[3])),
+            special=bool(payload[4]),
+            rule=str(payload[5]),
+            variable=str(payload[6]),
+        )
+
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """A closed walk through a special edge: why Σ is not certified."""
+
+    edges: tuple[WitnessEdge, ...]
+
+    def render(self) -> str:
+        lines = ["cycle through a special edge (⇒ marks fresh-null creation):"]
+        lines.extend(f"  {edge.render()}" for edge in self.edges)
+        return "\n".join(lines)
+
+    def verify(self, dependencies: DependencySet | Sequence[Dependency]) -> bool:
+        """Check the walk is closed, passes a special edge, and exists in the graph."""
+        if not self.edges:
+            return False
+        if not any(edge.special for edge in self.edges):
+            return False
+        for edge, successor in zip(self.edges, self.edges[1:] + self.edges[:1]):
+            if edge.target != successor.source:
+                return False
+        graph = PositionGraph.from_dependencies(_regularized(dependencies).dependencies)
+        present = {
+            (
+                graph.positions[edge.source],
+                graph.positions[edge.target],
+                edge.special,
+            )
+            for edge in graph.edges
+        }
+        return all(
+            (edge.source, edge.target, edge.special) in present for edge in self.edges
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"edges": [edge.as_list() for edge in self.edges]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CycleWitness":
+        return cls(
+            edges=tuple(WitnessEdge.from_list(e) for e in payload.get("edges", ()))
+        )
+
+
+# ------------------------------------------------------------------ #
+# termination certificate
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class TerminationCertificate:
+    """Rank function + tgd shape profiles certifying chase termination.
+
+    ``ranks`` covers every node of the dependency graph of
+    ``regularize(Σ)``; positions outside the graph implicitly have rank 0.
+    """
+
+    ranks: tuple[tuple[Position, int], ...]
+    max_rank: int
+    tgd_profiles: tuple[tuple[str, int, int], ...]
+    generated_constants: tuple[Hashable, ...]
+
+    # -------------------------------------------------------------- #
+    def rank_of(self, position: Position) -> int:
+        for candidate, rank in self.ranks:
+            if candidate == position:
+                return rank
+        return 0
+
+    def verify(self, dependencies: DependencySet | Sequence[Dependency]) -> bool:
+        """Machine-check the certificate against Σ.
+
+        Local edge inequalities over the rebuilt graph (which alone imply
+        weak acyclicity), plus agreement of the shape profiles and constants
+        the bounds were computed from.
+        """
+        regular = _regularized(dependencies)
+        graph = PositionGraph.from_dependencies(regular.dependencies)
+        ranks = dict(self.ranks)
+        for edge in graph.edges:
+            source = graph.positions[edge.source]
+            target = graph.positions[edge.target]
+            if source not in ranks or target not in ranks:
+                return False
+            if ranks[target] < ranks[source] + (1 if edge.special else 0):
+                return False
+        if any(rank > self.max_rank or rank < 0 for rank in ranks.values()):
+            return False
+        if self.tgd_profiles != _tgd_profiles(regular.dependencies):
+            return False
+        if set(self.generated_constants) != set(_generated_constants(regular.dependencies)):
+            return False
+        return True
+
+    # -------------------------------------------------------------- #
+    # quantitative bounds
+    # -------------------------------------------------------------- #
+    def initial_values(self, query: ConjunctiveQuery) -> int:
+        """Distinct values the chase of *query* starts from (plus slack)."""
+        terms = {term for atom in query.body for term in atom.terms}
+        values = {
+            term.value if isinstance(term, Constant) else term for term in terms
+        }
+        values.update(self.generated_constants)
+        return len(values) + 1
+
+    def _value_bound(self, initial: int) -> int:
+        """``N_r``: values at positions of rank ``<= r`` starting from *initial*."""
+        total = initial + sum(
+            existential
+            for _, frontier, existential in self.tgd_profiles
+            if frontier == 0
+        )
+        for _ in range(self.max_rank):
+            total = total + sum(
+                existential * total**frontier
+                for _, frontier, existential in self.tgd_profiles
+                if frontier > 0 and existential > 0
+            )
+        return total
+
+    def _total_values(self, initial: int) -> int:
+        """``V``: every value appearing anywhere during the chase."""
+        reachable = self._value_bound(initial)
+        return reachable + sum(
+            existential * reachable**frontier
+            for _, frontier, existential in self.tgd_profiles
+            if frontier > 0 and existential > 0
+        )
+
+    def _step_bound(self, values: int) -> int:
+        """Chase steps given at most *values* distinct values ever."""
+        tgd_steps = sum(values**frontier for _, frontier, _ in self.tgd_profiles)
+        return tgd_steps + values
+
+    def chase_step_bound(self, query: ConjunctiveQuery) -> int:
+        """Static bound on chase steps for *query* under the certified Σ."""
+        return self._step_bound(self._total_values(self.initial_values(query)))
+
+    def chase_depth_bound(self, query: ConjunctiveQuery) -> int:
+        """Static bound on chase *rounds* (the driver counts steps + 1)."""
+        return self.chase_step_bound(query) + 1
+
+    def step_budget_for(self, query: ConjunctiveQuery) -> int:
+        """A ``max_steps`` budget guaranteed to let every chase terminate.
+
+        One cushion deeper than :meth:`chase_depth_bound`: the sound chase
+        runs nested Definition 4.3 test chases whose starting bodies may
+        already contain every value of the outer chase, so the budget is the
+        depth bound recomputed from the total-value bound ``V`` instead of
+        the initial values.
+        """
+        outer_values = self._total_values(self.initial_values(query))
+        return self._step_bound(self._total_values(outer_values)) + 1
+
+    # -------------------------------------------------------------- #
+    def summary(self) -> str:
+        return (
+            f"weakly acyclic: {len(self.ranks)} position(s), "
+            f"max rank {self.max_rank}, {len(self.tgd_profiles)} tgd(s)"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ranks": [
+                [position[0], position[1], rank] for position, rank in self.ranks
+            ],
+            "max_rank": self.max_rank,
+            "tgd_profiles": [list(profile) for profile in self.tgd_profiles],
+            "generated_constants": list(self.generated_constants),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TerminationCertificate":
+        return cls(
+            ranks=tuple(
+                ((str(pred), int(index)), int(rank))
+                for pred, index, rank in payload.get("ranks", ())
+            ),
+            max_rank=int(payload["max_rank"]),
+            tgd_profiles=tuple(
+                (str(rule), int(frontier), int(existential))
+                for rule, frontier, existential in payload.get("tgd_profiles", ())
+            ),
+            generated_constants=tuple(payload.get("generated_constants", ())),
+        )
+
+
+# ------------------------------------------------------------------ #
+# entry point
+# ------------------------------------------------------------------ #
+def certify(
+    dependencies: DependencySet | Sequence[Dependency],
+) -> tuple[TerminationCertificate | None, CycleWitness | None]:
+    """Certificate for ``regularize(Σ)``, or the witness cycle refusing one."""
+    regular = _regularized(dependencies)
+    graph = PositionGraph.from_dependencies(regular.dependencies)
+    ranks = graph.ranks()
+    if ranks is None:
+        cycle = graph.witness_cycle()
+        assert cycle is not None
+        witness = CycleWitness(
+            edges=tuple(
+                WitnessEdge(
+                    source=graph.positions[edge.source],
+                    target=graph.positions[edge.target],
+                    special=edge.special,
+                    rule=render_dependency(edge.dependency),
+                    variable=edge.variable.name,
+                )
+                for edge in cycle
+            )
+        )
+        return None, witness
+    pairs = sorted(
+        (graph.positions[node], ranks[node]) for node in range(len(graph.positions))
+    )
+    certificate = TerminationCertificate(
+        ranks=tuple(pairs),
+        max_rank=max(ranks, default=0),
+        tgd_profiles=_tgd_profiles(regular.dependencies),
+        generated_constants=_generated_constants(regular.dependencies),
+    )
+    return certificate, None

@@ -1,0 +1,221 @@
+"""Structured diagnostics for the static Σ/query analyzer.
+
+Every finding of the analyzer is a :class:`Diagnostic`: a stable
+machine-readable code (the contract for tests, CI gates and the serve
+protocol), a severity, the rendered offending object, a human message and a
+fix hint, plus a JSON-able ``data`` payload with the structured details
+(witness edges, bounds, positions).  A whole run is an
+:class:`AnalysisReport` — diagnostics plus the termination certificate or
+the witness cycle — that round-trips losslessly through ``as_dict`` /
+``from_dict`` (the ``repro check --format json`` contract).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .certificates import CycleWitness, TerminationCertificate
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic; orders ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+#: code -> (severity, one-line description).  The README's diagnostic table
+#: and the golden tests are generated against this registry; codes are
+#: append-only (stable identifiers, like compiler warning codes).
+DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
+    "sigma-not-weakly-acyclic": (
+        Severity.ERROR,
+        "Σ has a cycle through a special edge; the sound chase may not terminate",
+    ),
+    "arity-conflict": (
+        Severity.ERROR,
+        "a predicate is used with two different arities across Σ/queries/instance",
+    ),
+    "rule-not-range-restricted": (
+        Severity.WARNING,
+        "tgd conclusion shares no variables with its premise (fires at most once)",
+    ),
+    "unused-premise-atom": (
+        Severity.WARNING,
+        "premise atom shares no variables with the rest of the rule (pure guard)",
+    ),
+    "query-cross-product": (
+        Severity.WARNING,
+        "query body join graph is disconnected (cartesian product)",
+    ),
+    "egd-trivial": (
+        Severity.WARNING,
+        "every equality of the egd is trivially satisfied",
+    ),
+    "egd-always-failing": (
+        Severity.WARNING,
+        "an egd equality equates two distinct constants (chase fails when premise matches)",
+    ),
+    "dependency-subsumed": (
+        Severity.WARNING,
+        "dependency is implied by another dependency in Σ (static homomorphism check)",
+    ),
+    "sigma-certified": (
+        Severity.INFO,
+        "Σ is weakly acyclic; rank certificate and static chase-depth bound attached",
+    ),
+    "sigma-certified-after-regularization": (
+        Severity.INFO,
+        "Σ is cyclic as written but regularize(Σ) — what the chase runs — is certified",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``data`` carries only JSON-primitive values (strings, numbers, booleans,
+    lists, dicts) so a report survives a JSON round trip unchanged.
+    """
+
+    code: str
+    severity: Severity
+    subject: str
+    message: str
+    hint: str = ""
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+            "hint": self.hint,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            code=str(payload["code"]),
+            severity=Severity(payload["severity"]),
+            subject=str(payload["subject"]),
+            message=str(payload["message"]),
+            hint=str(payload.get("hint", "")),
+            data=dict(payload.get("data", {})),
+        )
+
+    def render_line(self) -> str:
+        hint = f"  (hint: {self.hint})" if self.hint else ""
+        return f"{self.severity.value}[{self.code}] {self.subject}: {self.message}{hint}"
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The full result of one analyzer run.
+
+    Exactly one of ``certificate`` / ``witness`` is set when Σ is nonempty
+    (certificate for weakly acyclic Σ, witness cycle otherwise); both refer
+    to ``regularize(Σ)``, the dependency set the chase actually runs.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    certificate: "TerminationCertificate | None" = None
+    witness: "CycleWitness | None" = None
+
+    # -------------------------------------------------------------- #
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors
+
+    @property
+    def certified(self) -> bool:
+        return self.certificate is not None
+
+    def exit_code(self) -> int:
+        """Process exit code: 2 on errors, 1 on warnings, 0 otherwise."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        counts = {
+            severity: len(self.by_severity(severity))
+            for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        }
+        status = "certified" if self.certified else "NOT certified"
+        return (
+            f"Σ {status}; "
+            + ", ".join(f"{n} {s.value}(s)" for s, n in counts.items())
+        )
+
+    # -------------------------------------------------------------- #
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "certificate": self.certificate.as_dict() if self.certificate else None,
+            "witness": self.witness.as_dict() if self.witness else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnalysisReport":
+        from .certificates import CycleWitness, TerminationCertificate
+
+        certificate = payload.get("certificate")
+        witness = payload.get("witness")
+        return cls(
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in payload.get("diagnostics", ())
+            ),
+            certificate=(
+                TerminationCertificate.from_dict(certificate) if certificate else None
+            ),
+            witness=CycleWitness.from_dict(witness) if witness else None,
+        )
+
+    def render_table(self) -> str:
+        """Fixed-width table of the diagnostics (the ``--format table`` view)."""
+        from ..reporting import render_table
+
+        rows = [
+            (d.severity.value, d.code, d.subject, d.message, d.hint)
+            for d in self.diagnostics
+        ]
+        table = render_table(
+            ["severity", "code", "subject", "message", "hint"], rows
+        )
+        return f"{table}\n\n{self.summary()}"

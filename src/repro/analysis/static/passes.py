@@ -1,0 +1,358 @@
+"""Individual lint passes of the static analyzer.
+
+Every pass is a pure function from (parts of) the analyzer input to a list
+of :class:`Diagnostic` records, in deterministic input order.  The passes
+are chase-free: the most expensive machinery any of them touches is the
+static homomorphism search behind the dependency-subsumption check, which
+is capped so a pathological Σ cannot stall ``repro check``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+from ...core.atoms import Atom, atoms_variables
+from ...core.homomorphism import find_homomorphism, iter_homomorphisms
+from ...core.query import ConjunctiveQuery
+from ...core.terms import Constant, Term, Variable
+from ...database.instance import DatabaseInstance
+from ...datalog.render import render_dependency, render_query
+from ...dependencies.base import EGD, TGD, Dependency
+from .diagnostics import DIAGNOSTIC_CODES, Diagnostic
+
+#: Caps on the subsumption search so `repro check` stays O(small) even on
+#: adversarial Σ: homomorphisms enumerated per premise pair, and frontier
+#: back-mapping combinations tried per premise homomorphism.
+_MAX_PREMISE_HOMS = 64
+_MAX_FRONTIER_COMBINATIONS = 64
+
+
+def _make(code: str, subject: str, message: str, hint: str = "", **data: object) -> Diagnostic:
+    severity, _ = DIAGNOSTIC_CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        subject=subject,
+        message=message,
+        hint=hint,
+        data=dict(data),
+    )
+
+
+# ------------------------------------------------------------------ #
+# arity conflicts across Σ / queries / instance
+# ------------------------------------------------------------------ #
+def check_arities(
+    dependencies: Sequence[Dependency],
+    queries: Sequence[ConjunctiveQuery] = (),
+    instance: DatabaseInstance | None = None,
+) -> list[Diagnostic]:
+    """Every predicate must be used with one arity everywhere."""
+    first_use: dict[str, tuple[int, str]] = {}
+    diagnostics: list[Diagnostic] = []
+
+    def visit(predicate: str, arity: int, where: str) -> None:
+        seen = first_use.get(predicate)
+        if seen is None:
+            first_use[predicate] = (arity, where)
+            return
+        expected, origin = seen
+        if arity != expected:
+            diagnostics.append(
+                _make(
+                    "arity-conflict",
+                    predicate,
+                    f"used with arity {arity} in {where} "
+                    f"but arity {expected} in {origin}",
+                    hint="rename one of the relations or fix the atom",
+                    arities=[expected, arity],
+                    sources=[origin, where],
+                )
+            )
+
+    for dependency in dependencies:
+        where = render_dependency(dependency)
+        for atom in dependency.premise:
+            visit(atom.predicate, atom.arity, where)
+        if isinstance(dependency, TGD):
+            for atom in dependency.conclusion:
+                visit(atom.predicate, atom.arity, where)
+    for query in queries:
+        where = render_query(query)
+        for atom in query.body:
+            visit(atom.predicate, atom.arity, where)
+    if instance is not None:
+        for name, relation in sorted(instance.relations.items()):
+            visit(name, relation.arity, "the database instance")
+    return diagnostics
+
+
+# ------------------------------------------------------------------ #
+# range restriction
+# ------------------------------------------------------------------ #
+def check_range_restriction(dependencies: Sequence[Dependency]) -> list[Diagnostic]:
+    """Tgds whose conclusion shares no variables with the premise.
+
+    With implicit existential quantification such a rule is satisfied by a
+    single witness tuple unrelated to the premise match — it fires at most
+    once ever, which is almost always a typo'd variable name.
+    """
+    diagnostics = []
+    for dependency in dependencies:
+        if isinstance(dependency, TGD) and not dependency.frontier_variables():
+            diagnostics.append(
+                _make(
+                    "rule-not-range-restricted",
+                    render_dependency(dependency),
+                    "conclusion shares no variables with the premise; "
+                    "every conclusion variable is existential and the rule "
+                    "fires at most once",
+                    hint="check the conclusion variable names against the premise",
+                )
+            )
+    return diagnostics
+
+
+# ------------------------------------------------------------------ #
+# unused premise atoms
+# ------------------------------------------------------------------ #
+def check_unused_premise_atoms(dependencies: Sequence[Dependency]) -> list[Diagnostic]:
+    """Premise atoms that share no variables with the rest of the rule."""
+    diagnostics = []
+    for dependency in dependencies:
+        if len(dependency.premise) < 2:
+            continue
+        if isinstance(dependency, TGD):
+            conclusion_vars = set(atoms_variables(dependency.conclusion))
+        else:
+            assert isinstance(dependency, EGD)
+            conclusion_vars = {
+                var for eq in dependency.equalities for var in eq.variables()
+            }
+        for position, atom in enumerate(dependency.premise):
+            own = atom.variable_set()
+            rest = set(
+                atoms_variables(
+                    dependency.premise[:position] + dependency.premise[position + 1 :]
+                )
+            )
+            if own & (rest | conclusion_vars):
+                continue
+            diagnostics.append(
+                _make(
+                    "unused-premise-atom",
+                    render_dependency(dependency),
+                    f"premise atom {atom} shares no variables with the rest "
+                    "of the rule; it only gates firing on nonemptiness",
+                    hint="drop the atom or join it to the rule",
+                    atom=str(atom),
+                    position=position,
+                )
+            )
+    return diagnostics
+
+
+# ------------------------------------------------------------------ #
+# cross products in query bodies
+# ------------------------------------------------------------------ #
+def check_query_cross_products(
+    queries: Sequence[ConjunctiveQuery],
+) -> list[Diagnostic]:
+    """Query bodies whose join graph is disconnected (cartesian products)."""
+    diagnostics = []
+    for query in queries:
+        body = query.body
+        if len(body) < 2:
+            continue
+        component = list(range(len(body)))
+
+        def find(node: int) -> int:
+            while component[node] != node:
+                component[node] = component[component[node]]
+                node = component[node]
+            return node
+
+        variable_home: dict[Variable, int] = {}
+        for index, atom in enumerate(body):
+            for variable in atom.variable_set():
+                home = variable_home.setdefault(variable, index)
+                component[find(index)] = find(home)
+        roots = {find(index) for index in range(len(body))}
+        if len(roots) < 2:
+            continue
+        groups = [
+            [str(atom) for index, atom in enumerate(body) if find(index) == root]
+            for root in sorted(roots)
+        ]
+        diagnostics.append(
+            _make(
+                "query-cross-product",
+                render_query(query),
+                f"body joins into {len(roots)} disconnected groups; "
+                "the query multiplies their cardinalities",
+                hint="join the groups through a shared variable if unintended",
+                components=groups,
+            )
+        )
+    return diagnostics
+
+
+# ------------------------------------------------------------------ #
+# degenerate egds
+# ------------------------------------------------------------------ #
+def check_degenerate_egds(dependencies: Sequence[Dependency]) -> list[Diagnostic]:
+    """Egds that are trivially satisfied or can only fail."""
+    diagnostics = []
+    for dependency in dependencies:
+        if not isinstance(dependency, EGD):
+            continue
+        subject = render_dependency(dependency)
+        if all(eq.is_trivial() for eq in dependency.equalities):
+            diagnostics.append(
+                _make(
+                    "egd-trivial",
+                    subject,
+                    "every equality is syntactically trivial; the egd can "
+                    "never change an instance",
+                    hint="remove the egd",
+                )
+            )
+        for equality in dependency.equalities:
+            if (
+                isinstance(equality.left, Constant)
+                and isinstance(equality.right, Constant)
+                and equality.left != equality.right
+            ):
+                diagnostics.append(
+                    _make(
+                        "egd-always-failing",
+                        subject,
+                        f"equality {equality} equates two distinct constants; "
+                        "the chase fails whenever the premise matches",
+                        hint="this encodes a denial constraint — "
+                        "confirm that is intended",
+                        equality=str(equality),
+                    )
+                )
+    return diagnostics
+
+
+# ------------------------------------------------------------------ #
+# syntactic dependency subsumption
+# ------------------------------------------------------------------ #
+def _frontier_backmaps(
+    premise_hom: Mapping[Term, Term],
+    frontier_one: Sequence[Variable],
+    frontier_two: Sequence[Variable],
+) -> "itertools.product[tuple[tuple[Variable, Variable], ...]]":
+    """Ways to send each frontier variable of σ2 back to one of σ1.
+
+    For the conclusion homomorphism ``v`` to compose soundly, ``v(y)`` must
+    be a frontier variable ``z`` of σ1 with ``u(z) = y`` — enumerate the
+    candidate ``z`` per ``y`` and take the product.
+    """
+    candidate_lists = []
+    for y in frontier_two:
+        candidates = [z for z in frontier_one if premise_hom.get(z) == y]
+        candidate_lists.append([(y, z) for z in candidates])
+    return itertools.product(*candidate_lists)
+
+
+def _tgd_implies(first: TGD, second: TGD) -> bool:
+    """Sufficient condition for ``first ⊨ second``.
+
+    There is a homomorphism ``u : premise(first) → premise(second)`` and a
+    homomorphism ``v : conclusion(second) → conclusion(first)`` sending each
+    frontier variable ``y`` of *second* to a frontier variable ``z`` of
+    *first* with ``u(z) = y``.  Then any match ``h`` of *second*'s premise
+    pulls back through ``u`` to a match of *first*'s premise, whose
+    guaranteed conclusion extension ``g`` makes ``g ∘ v`` extend ``h``.
+    """
+    frontier_one = first.frontier_variables()
+    frontier_two = second.frontier_variables()
+    for premise_hom in itertools.islice(
+        iter_homomorphisms(first.premise, second.premise), _MAX_PREMISE_HOMS
+    ):
+        for combination in itertools.islice(
+            _frontier_backmaps(premise_hom, frontier_one, frontier_two),
+            _MAX_FRONTIER_COMBINATIONS,
+        ):
+            fixed: dict[Term, Term] = {y: z for y, z in combination}
+            if len(fixed) < len(frontier_two):
+                continue
+            if find_homomorphism(second.conclusion, first.conclusion, fixed) is not None:
+                return True
+    return False
+
+
+def _egd_implies(first: EGD, second: EGD) -> bool:
+    """Sufficient condition for ``first ⊨ second``: a premise homomorphism
+    ``u`` mapping some equality of *first* onto each equality of *second*."""
+    for premise_hom in itertools.islice(
+        iter_homomorphisms(first.premise, second.premise), _MAX_PREMISE_HOMS
+    ):
+        def image(term: Term) -> Term:
+            return premise_hom.get(term, term)
+
+        covered = True
+        for target_eq in second.equalities:
+            want = {target_eq.left, target_eq.right}
+            if len(want) == 1:  # trivial equality: always entailed
+                continue
+            if not any(
+                {image(eq.left), image(eq.right)} == want for eq in first.equalities
+            ):
+                covered = False
+                break
+        if covered:
+            return True
+    return False
+
+
+def check_subsumed_dependencies(
+    dependencies: Sequence[Dependency],
+) -> list[Diagnostic]:
+    """Dependencies statically implied by another member of Σ.
+
+    Mutually equivalent pairs flag only the later member (the earlier one
+    is kept as the representative), so a pair is never reported twice.
+    """
+    diagnostics = []
+    subsumed: set[int] = set()
+    for j, second in enumerate(dependencies):
+        for i, first in enumerate(dependencies):
+            if i == j or i in subsumed or type(first) is not type(second):
+                continue
+            if isinstance(second, TGD):
+                assert isinstance(first, TGD)
+                implied = _tgd_implies(first, second)
+            else:
+                assert isinstance(first, EGD) and isinstance(second, EGD)
+                implied = _egd_implies(first, second)
+            if implied:
+                subsumed.add(j)
+                diagnostics.append(
+                    _make(
+                        "dependency-subsumed",
+                        render_dependency(second),
+                        f"implied by {render_dependency(first)}; removing it "
+                        "does not change the certified chase",
+                        hint="drop the subsumed dependency to shrink Σ",
+                        implied_by=render_dependency(first),
+                        index=j,
+                        implied_by_index=i,
+                    )
+                )
+                break
+    return diagnostics
+
+
+__all__ = [
+    "check_arities",
+    "check_range_restriction",
+    "check_unused_premise_atoms",
+    "check_query_cross_products",
+    "check_degenerate_egds",
+    "check_subsumed_dependencies",
+]

@@ -67,7 +67,11 @@ def _load_dependencies(args) -> "DependencySet":
 
 def _build_session(args) -> Session:
     """One Session per CLI invocation: shared cache, registry dispatch."""
-    return Session(dependencies=_load_dependencies(args), max_steps=args.max_steps)
+    return Session(
+        dependencies=_load_dependencies(args),
+        max_steps=args.max_steps,
+        precheck=getattr(args, "precheck", None),
+    )
 
 
 def _add_dependency_arguments(parser: argparse.ArgumentParser) -> None:
@@ -166,6 +170,37 @@ def _cmd_reformulate(args) -> int:
     for reformulation in sorted(pool, key=lambda q: len(q.body)):
         print(f"  {render_query(reformulation)}")
     return 0
+
+
+def _cmd_check(args) -> int:
+    import json as json_module
+
+    from .analysis.static import analyze
+    from .database import DatabaseInstance
+
+    dependencies = _load_dependencies(args)
+    queries = [parse_query(text) for text in (args.query or [])]
+    if args.queries:
+        for line in _read_text_or_file(args.queries).splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                queries.append(parse_query(line))
+    instance = None
+    if args.instance:
+        payload = json_module.loads(_read_text_or_file(args.instance))
+        instance = DatabaseInstance.from_dict(payload)
+    report = analyze(
+        dependencies,
+        queries=queries,
+        instance=instance,
+        subsumption=not args.no_subsumption,
+    )
+    if args.format == "json":
+        print(json_module.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_table())
+    # 0 clean, 1 warnings only, 2 errors — mirrors AnalysisReport.exit_code.
+    return report.exit_code()
 
 
 def _cmd_sql(args) -> int:
@@ -344,6 +379,15 @@ def _cmd_client(args) -> int:
         params["semantics"] = args.semantics
     if args.minimal_only:
         params["minimal_only"] = True
+    if args.op == "analyze":
+        # The analyze op takes a query *list*; fold the single --query flag in.
+        params.pop("query", None)
+        if args.query is not None:
+            params["queries"] = [args.query]
+        if args.dependencies is not None:
+            params["dependencies"] = _read_text_or_file(args.dependencies)
+        if args.strict:
+            params["strict"] = True
     if args.op == "batch":
         if not args.pairs:
             print("error: batch needs --pairs", file=sys.stderr)
@@ -426,6 +470,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="report every equivalent reformulation, not only Σ-minimal ones",
     )
     reformulate_parser.set_defaults(handler=_cmd_reformulate)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="statically analyze Σ (and queries/instance): lint diagnostics "
+        "plus a termination certificate or witness cycle — no chase runs",
+    )
+    _add_dependency_arguments(check_parser)
+    check_parser.add_argument(
+        "--query",
+        action="append",
+        help="query in rule notation (repeatable)",
+    )
+    check_parser.add_argument(
+        "--queries",
+        help="more queries: a file path or literal text, one query per line",
+    )
+    check_parser.add_argument(
+        "--instance",
+        help='database instance JSON (file or text): {"pred": [[values...], ...]}',
+    )
+    check_parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="output format (default: table); json round-trips via "
+        "AnalysisReport.from_dict",
+    )
+    check_parser.add_argument(
+        "--no-subsumption",
+        action="store_true",
+        help="skip the pairwise dependency-subsumption pass (the only "
+        "super-linear one)",
+    )
+    check_parser.set_defaults(handler=_cmd_check)
 
     sql_parser = subparsers.add_parser(
         "sql", help="reformulate a SQL query against a SQL DDL schema"
@@ -525,6 +603,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on one request line; larger requests are refused and the "
         "connection closed (default: 1 MiB)",
     )
+    serve_parser.add_argument(
+        "--precheck",
+        choices=["off", "warn", "strict"],
+        default=None,
+        help="statically analyze Σ at startup; 'strict' refuses an "
+        "uncertified Σ, both modes seed chase budgets from the certificate",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     client_parser = subparsers.add_parser(
@@ -534,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_parser.add_argument(
         "op",
-        choices=["decide", "reformulate", "batch", "stats", "health"],
+        choices=["decide", "reformulate", "batch", "analyze", "stats", "health"],
         help="operation to invoke",
     )
     client_parser.add_argument("--host", default="127.0.0.1")
@@ -554,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_parser.add_argument(
         "--pairs", help="batch: pair list (file or text), one 'QUERY ; QUERY' per line"
+    )
+    client_parser.add_argument(
+        "--dependencies",
+        help="analyze: rule-notation Σ (file or text) to analyze instead of "
+        "the server session's Σ",
+    )
+    client_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="analyze: answer with a precheck-failed error when the analyzed "
+        "Σ has error-severity diagnostics",
     )
     client_parser.set_defaults(handler=_cmd_client)
 

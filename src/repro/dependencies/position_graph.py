@@ -1,0 +1,334 @@
+"""Int-keyed dependency (position) graph shared by the weak-acyclicity gate
+and the static analyzer.
+
+This replaces the earlier :mod:`networkx` ``MultiDiGraph`` with a
+self-contained structure tuned for the two questions the repository asks of
+it:
+
+* *Is Σ weakly acyclic?* — a special edge lies on a cycle iff both endpoints
+  fall in the same strongly connected component (Tarjan, iterative).
+* *Why / why not?* — every edge carries provenance (the tgd and the
+  universal variable that induced it), so a cyclic Σ yields a concrete
+  witness cycle renderable in rule notation, and an acyclic Σ yields a rank
+  function over positions (the number of special edges on the longest path
+  into a position) that certifies termination and bounds chase depth.
+
+Construction mirrors Definition H.1 exactly as the networkx version did —
+including which positions become nodes and how parallel edges multiply — so
+``number_of_nodes()`` / ``number_of_edges()`` and the multiset of special
+edges on cycles are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..core.terms import Variable
+from .base import TGD, Dependency
+
+Position = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PositionEdge:
+    """One edge of the dependency graph, with provenance.
+
+    ``source``/``target`` are node ids (indices into
+    :attr:`PositionGraph.positions`); ``dependency`` is the inducing tgd and
+    ``variable`` the universal variable whose premise occurrence is the edge
+    source.  Parallel edges are kept (the graph is a multigraph, exactly as
+    Definition H.1 produces it).
+    """
+
+    source: int
+    target: int
+    special: bool
+    dependency: TGD
+    variable: Variable
+
+
+class PositionGraph:
+    """The dependency graph of Definition H.1 over int node ids."""
+
+    def __init__(self) -> None:
+        self.positions: list[Position] = []
+        self._ids: dict[Position, int] = {}
+        self.edges: list[PositionEdge] = []
+        self._successors: list[list[int]] = []  # node id -> edge indices out of it
+        self._components: list[int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, position: Position) -> int:
+        """Intern *position*, returning its node id."""
+        node = self._ids.get(position)
+        if node is None:
+            node = len(self.positions)
+            self._ids[position] = node
+            self.positions.append(position)
+            self._successors.append([])
+            self._components = None
+        return node
+
+    def add_edge(
+        self,
+        source: Position,
+        target: Position,
+        *,
+        special: bool,
+        dependency: TGD,
+        variable: Variable,
+    ) -> PositionEdge:
+        """Append an edge (parallel edges allowed; insertion order kept)."""
+        src = self.add_node(source)
+        dst = self.add_node(target)
+        edge = PositionEdge(src, dst, special, dependency, variable)
+        self._successors[src].append(len(self.edges))
+        self.edges.append(edge)
+        self._components = None
+        return edge
+
+    @classmethod
+    def from_dependencies(cls, dependencies: Iterable[Dependency]) -> "PositionGraph":
+        """Build the graph of Definition H.1 (egds contribute nothing)."""
+        graph = cls()
+        for dependency in dependencies:
+            if not isinstance(dependency, TGD):
+                continue
+            premise_positions: dict[Variable, list[Position]] = {}
+            for atom in dependency.premise:
+                for index, term in enumerate(atom.terms):
+                    if isinstance(term, Variable):
+                        premise_positions.setdefault(term, []).append(
+                            (atom.predicate, index)
+                        )
+            existential = dependency.existential_variables()
+            conclusion_positions: dict[Variable, list[Position]] = {}
+            for atom in dependency.conclusion:
+                for index, term in enumerate(atom.terms):
+                    if isinstance(term, Variable):
+                        conclusion_positions.setdefault(term, []).append(
+                            (atom.predicate, index)
+                        )
+            for variable, sources in premise_positions.items():
+                targets = conclusion_positions.get(variable, [])
+                if not targets and not existential:
+                    continue
+                for source in sources:
+                    graph.add_node(source)
+                    # Ordinary edges: premise position of X -> conclusion
+                    # position of X.
+                    for target in targets:
+                        graph.add_edge(
+                            source,
+                            target,
+                            special=False,
+                            dependency=dependency,
+                            variable=variable,
+                        )
+                    # Special edges: premise position of X -> every position
+                    # of an existential variable in the conclusion, but only
+                    # for variables X that occur in the conclusion
+                    # (Definition H.1's "for every X in X̄ that occurs in ψ").
+                    if variable in conclusion_positions:
+                        for exist_var in existential:
+                            for target in conclusion_positions.get(exist_var, []):
+                                graph.add_edge(
+                                    source,
+                                    target,
+                                    special=True,
+                                    dependency=dependency,
+                                    variable=variable,
+                                )
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # shape (API kept compatible with the former networkx MultiDiGraph)
+    # ------------------------------------------------------------------ #
+    def number_of_nodes(self) -> int:
+        return len(self.positions)
+
+    def number_of_edges(self) -> int:
+        return len(self.edges)
+
+    def node_id(self, position: Position) -> int | None:
+        """The node id of *position*, or None when it is not in the graph."""
+        return self._ids.get(position)
+
+    def __contains__(self, position: Position) -> bool:
+        return position in self._ids
+
+    def __iter__(self) -> Iterator[Position]:
+        return iter(self.positions)
+
+    # ------------------------------------------------------------------ #
+    # strongly connected components (iterative Tarjan)
+    # ------------------------------------------------------------------ #
+    def component_of(self) -> list[int]:
+        """Node id -> SCC id.
+
+        Tarjan emits components in reverse topological order of the
+        condensation, so ``component_of[u] >= component_of[v]`` whenever
+        there is an edge ``u -> v`` across components.
+        """
+        if self._components is not None:
+            return self._components
+        n = len(self.positions)
+        index_of = [-1] * n
+        lowlink = [0] * n
+        on_stack = [False] * n
+        component = [-1] * n
+        stack: list[int] = []
+        next_index = 0
+        component_count = 0
+        for root in range(n):
+            if index_of[root] != -1:
+                continue
+            # Each work item is (node, iterator position into its out-edges).
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, edge_pos = work.pop()
+                if edge_pos == 0:
+                    index_of[node] = lowlink[node] = next_index
+                    next_index += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                recurse = False
+                out = self._successors[node]
+                while edge_pos < len(out):
+                    successor = self.edges[out[edge_pos]].target
+                    edge_pos += 1
+                    if index_of[successor] == -1:
+                        work.append((node, edge_pos))
+                        work.append((successor, 0))
+                        recurse = True
+                        break
+                    if on_stack[successor]:
+                        lowlink[node] = min(lowlink[node], index_of[successor])
+                if recurse:
+                    continue
+                if lowlink[node] == index_of[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component[member] = component_count
+                        if member == node:
+                            break
+                    component_count += 1
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        self._components = component
+        return component
+
+    def number_of_components(self) -> int:
+        components = self.component_of()
+        return max(components, default=-1) + 1
+
+    # ------------------------------------------------------------------ #
+    # weak acyclicity, witnesses, ranks
+    # ------------------------------------------------------------------ #
+    def special_edges_in_cycles(self) -> list[PositionEdge]:
+        """Special edges with both endpoints in one SCC (insertion order)."""
+        component = self.component_of()
+        return [
+            edge
+            for edge in self.edges
+            if edge.special and component[edge.source] == component[edge.target]
+        ]
+
+    def is_weakly_acyclic(self) -> bool:
+        return not self.special_edges_in_cycles()
+
+    def witness_cycle(self) -> list[PositionEdge] | None:
+        """A concrete cycle through a special edge, or None when acyclic.
+
+        Takes the first special edge ``u -> v`` lying in an SCC and closes it
+        with a shortest edge path ``v -> ... -> u`` inside that SCC (BFS).
+        The returned edges form a closed walk: each edge's target is the next
+        edge's source, and the last edge's target is the first edge's source.
+        """
+        offenders = self.special_edges_in_cycles()
+        if not offenders:
+            return None
+        first = offenders[0]
+        if first.target == first.source:
+            return [first]
+        component = self.component_of()
+        scc = component[first.source]
+        # BFS over edges from the special edge's head back to its tail,
+        # restricted to the SCC (guaranteed to succeed: same component).
+        parent_edge: dict[int, PositionEdge] = {}
+        frontier = [first.target]
+        seen = {first.target}
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for edge_index in self._successors[node]:
+                    edge = self.edges[edge_index]
+                    successor = edge.target
+                    if successor in seen or component[successor] != scc:
+                        continue
+                    parent_edge[successor] = edge
+                    if successor == first.source:
+                        path: list[PositionEdge] = []
+                        cursor = successor
+                        while cursor != first.target:
+                            step = parent_edge[cursor]
+                            path.append(step)
+                            cursor = step.source
+                        path.reverse()
+                        return [first, *path]
+                    seen.add(successor)
+                    next_frontier.append(successor)
+            frontier = next_frontier
+        raise AssertionError("special edge in an SCC must close into a cycle")
+
+    def ranks(self) -> list[int] | None:
+        """Node id -> rank, or None when Σ is not weakly acyclic.
+
+        The rank of a position is the maximum number of special edges on any
+        path ending at it — well defined exactly when no cycle passes through
+        a special edge.  Computed by dynamic programming over the
+        condensation in topological order; intra-component (necessarily
+        ordinary) edges cannot raise ranks, so component granularity is
+        exact.
+        """
+        component = self.component_of()
+        if any(
+            edge.special and component[edge.source] == component[edge.target]
+            for edge in self.edges
+        ):
+            return None
+        component_count = max(component, default=-1) + 1
+        component_rank = [0] * component_count
+        # Tarjan numbers components in reverse topological order, so walking
+        # component ids downward visits sources before their targets.
+        edges_by_source_component: list[list[PositionEdge]] = [
+            [] for _ in range(component_count)
+        ]
+        for edge in self.edges:
+            edges_by_source_component[component[edge.source]].append(edge)
+        for comp in range(component_count - 1, -1, -1):
+            for edge in edges_by_source_component[comp]:
+                weight = 1 if edge.special else 0
+                target_comp = component[edge.target]
+                if target_comp != comp:
+                    candidate = component_rank[comp] + weight
+                    if candidate > component_rank[target_comp]:
+                        component_rank[target_comp] = candidate
+        return [component_rank[component[node]] for node in range(len(self.positions))]
+
+
+def render_position(position: Position) -> str:
+    """``predicate[index]`` — the conventional notation for a position."""
+    return f"{position[0]}[{position[1]}]"
+
+
+def build_position_graph(
+    dependencies: "Sequence[Dependency] | Iterable[Dependency]",
+) -> PositionGraph:
+    """Convenience wrapper matching the old ``dependency_graph`` call shape."""
+    return PositionGraph.from_dependencies(dependencies)

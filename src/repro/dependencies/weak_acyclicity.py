@@ -14,104 +14,61 @@ attribute_index)``; for every tgd and every universally quantified variable
 The set is weakly acyclic when no cycle of the graph passes through a
 special edge.  Egds are ignored (they never create new values).
 
-The implementation uses :mod:`networkx` for the strongly-connected-component
-computation: a special edge lies on a cycle iff both of its endpoints belong
-to the same SCC.
+The graph and its SCC machinery live in
+:mod:`repro.dependencies.position_graph` — a self-contained int-keyed
+structure (iterative Tarjan) shared with the static analyzer, which also
+needs edge provenance for witness cycles and the rank function behind
+termination certificates.  A special edge lies on a cycle iff both of its
+endpoints belong to the same SCC.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import networkx as nx
+from .base import Dependency, DependencySet
+from .position_graph import Position, PositionGraph
 
-from ..core.terms import Variable
-from .base import TGD, Dependency, DependencySet
+__all__ = [
+    "Position",
+    "dependency_graph",
+    "is_weakly_acyclic",
+    "special_edges_on_cycles",
+]
 
-Position = tuple[str, int]
+
+def _items(
+    dependencies: DependencySet | Sequence[Dependency],
+) -> Iterable[Dependency]:
+    if isinstance(dependencies, DependencySet):
+        return dependencies.dependencies
+    return dependencies
 
 
-def dependency_graph(dependencies: Iterable[Dependency]) -> nx.MultiDiGraph:
+def dependency_graph(dependencies: Iterable[Dependency]) -> PositionGraph:
     """The dependency graph of Definition H.1.
 
-    Nodes are positions ``(predicate, index)``; edges carry a boolean
-    ``special`` attribute.
+    Nodes are positions ``(predicate, index)``; edges carry a ``special``
+    flag plus provenance (inducing tgd and variable).  The shape accessors
+    (``number_of_nodes`` / ``number_of_edges``) match the former networkx
+    ``MultiDiGraph``, parallel edges included.
     """
-    graph = nx.MultiDiGraph()
-    for dependency in dependencies:
-        if not isinstance(dependency, TGD):
-            continue
-        premise_positions: dict[Variable, list[Position]] = {}
-        for atom in dependency.premise:
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Variable):
-                    premise_positions.setdefault(term, []).append(
-                        (atom.predicate, index)
-                    )
-        existential = set(dependency.existential_variables())
-        conclusion_positions: dict[Variable, list[Position]] = {}
-        for atom in dependency.conclusion:
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Variable):
-                    conclusion_positions.setdefault(term, []).append(
-                        (atom.predicate, index)
-                    )
-        for variable, sources in premise_positions.items():
-            if variable not in conclusion_positions and not existential:
-                continue
-            targets = conclusion_positions.get(variable, [])
-            if not targets and not existential:
-                continue
-            for source in sources:
-                graph.add_node(source)
-                # Ordinary edges: premise position of X -> conclusion position of X.
-                for target in targets:
-                    graph.add_node(target)
-                    graph.add_edge(source, target, special=False)
-                # Special edges: premise position of X -> every position of an
-                # existential variable in the conclusion, but only for variables X
-                # that occur in the conclusion (Definition H.1's "for every X in
-                # X̄ that occurs in ψ").
-                if variable in conclusion_positions:
-                    for exist_var in existential:
-                        for target in conclusion_positions.get(exist_var, []):
-                            graph.add_node(target)
-                            graph.add_edge(source, target, special=True)
-    return graph
+    return PositionGraph.from_dependencies(dependencies)
 
 
 def is_weakly_acyclic(
     dependencies: DependencySet | Sequence[Dependency],
 ) -> bool:
     """True when the dependency graph has no cycle through a special edge."""
-    items: Iterable[Dependency]
-    items = dependencies.dependencies if isinstance(dependencies, DependencySet) else dependencies
-    graph = dependency_graph(items)
-    if graph.number_of_nodes() == 0:
-        return True
-    component_of: dict[Position, int] = {}
-    for component_id, component in enumerate(nx.strongly_connected_components(graph)):
-        for node in component:
-            component_of[node] = component_id
-    for source, target, data in graph.edges(data=True):
-        if data.get("special") and component_of[source] == component_of[target]:
-            return False
-    return True
+    return dependency_graph(_items(dependencies)).is_weakly_acyclic()
 
 
 def special_edges_on_cycles(
     dependencies: DependencySet | Sequence[Dependency],
 ) -> list[tuple[Position, Position]]:
     """The special edges that lie on cycles — the witnesses of non-weak-acyclicity."""
-    items: Iterable[Dependency]
-    items = dependencies.dependencies if isinstance(dependencies, DependencySet) else dependencies
-    graph = dependency_graph(items)
-    component_of: dict[Position, int] = {}
-    for component_id, component in enumerate(nx.strongly_connected_components(graph)):
-        for node in component:
-            component_of[node] = component_id
-    witnesses = []
-    for source, target, data in graph.edges(data=True):
-        if data.get("special") and component_of[source] == component_of[target]:
-            witnesses.append((source, target))
-    return witnesses
+    graph = dependency_graph(_items(dependencies))
+    return [
+        (graph.positions[edge.source], graph.positions[edge.target])
+        for edge in graph.special_edges_in_cycles()
+    ]

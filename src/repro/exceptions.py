@@ -25,6 +25,22 @@ class DependencyError(ReproError):
     """An embedded dependency is malformed or cannot be normalised."""
 
 
+class PrecheckFailedError(DependencyError):
+    """A strict Session precheck refused Σ before any chase step ran.
+
+    Raised by ``Session(precheck="strict")`` (and by the serve daemon's
+    strict ``analyze`` op) when the static analyzer produced error-severity
+    diagnostics — a non-weakly-acyclic Σ or an arity conflict.  ``report``
+    carries the full :class:`repro.analysis.static.AnalysisReport` (typed as
+    ``object`` here to keep the exceptions module dependency-free), so
+    callers can render the witness cycle or serialize the diagnostics.
+    """
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        self.report = report
+
+
 class ChaseError(ReproError):
     """The chase could not be carried out (internal inconsistency)."""
 

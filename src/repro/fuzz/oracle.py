@@ -1,7 +1,7 @@
 """The differential oracle: every cheap invariant this repository can check.
 
 Given a :class:`~repro.fuzz.generator.FuzzCase` (a query pair plus Σ), the
-oracle runs four independent families of checks and reports every mismatch:
+oracle runs five independent families of checks and reports every mismatch:
 
 1. **Engine differential** — the accelerated chase drivers
    (:func:`repro.chase.sound_chase.sound_chase`, delta-driven, indexed) must
@@ -19,6 +19,11 @@ oracle runs four independent families of checks and reports every mismatch:
    and are compared structurally).
 4. **SQL round trip** — rendering a query to SQL against the case's derived
    schema and translating it back must yield an isomorphic query.
+5. **Static analysis** — the chase-free analyzer must agree with
+   :func:`repro.dependencies.is_weakly_acyclic` on every Σ, its termination
+   certificate (or witness cycle) must machine-verify, and on weakly
+   acyclic Σ the certificate's static chase-depth bound must dominate the
+   rounds every terminated reference chase actually took.
 
 Every check is pure: the oracle never mutates the case and builds a fresh
 :class:`Session` per report, so corpus replays and shrink probes are
@@ -36,6 +41,7 @@ from ..core.homomorphism import find_isomorphism, iter_homomorphisms
 from ..core.query import ConjunctiveQuery
 from ..core.reference import iter_homomorphisms_reference
 from ..dependencies.base import EGD, TGD, Dependency
+from ..dependencies.weak_acyclicity import is_weakly_acyclic
 from ..datalog import parse_dependency, parse_query, render_dependency, render_query
 from ..equivalence.decision import EquivalenceVerdict
 from ..exceptions import ChaseNonTerminationError, ReproError
@@ -340,6 +346,55 @@ def _check_sql_round_trip(case: FuzzCase, report: CaseReport) -> None:
 # --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
+def _check_static_analysis(
+    case: FuzzCase, report: CaseReport, reference_outcomes: dict
+) -> None:
+    """Analyzer verdict agreement, certificate validity, and bound dominance."""
+    from ..analysis.static import analyze
+
+    static = analyze(case.dependencies, queries=(case.query, case.other))
+    expected = is_weakly_acyclic(case.dependencies)
+    if static.certified != expected:
+        report.mismatches.append(
+            OracleMismatch(
+                "static-analysis",
+                f"analyzer certified={static.certified} but "
+                f"is_weakly_acyclic={expected}",
+            )
+        )
+        return
+    if static.certificate is not None:
+        certificate = static.certificate
+        if not certificate.verify(case.dependencies):
+            report.mismatches.append(
+                OracleMismatch(
+                    "static-analysis", "termination certificate fails verify()"
+                )
+            )
+            return
+        for (label, semantics), outcome in reference_outcomes.items():
+            kind, result = outcome
+            if kind != "terminated":
+                continue
+            query = case.query if label == "query" else case.other
+            bound = certificate.chase_depth_bound(query)
+            observed_rounds = result.step_count + 1
+            if observed_rounds > bound:
+                report.mismatches.append(
+                    OracleMismatch(
+                        "static-analysis",
+                        f"{label}[{semantics}]: observed {observed_rounds} "
+                        f"chase rounds exceed the static depth bound {bound}",
+                    )
+                )
+    else:
+        assert static.witness is not None
+        if not static.witness.verify(case.dependencies):
+            report.mismatches.append(
+                OracleMismatch("static-analysis", "witness cycle fails verify()")
+            )
+
+
 def run_oracle(
     case: FuzzCase,
     *,
@@ -358,4 +413,5 @@ def run_oracle(
     _check_verdicts(case, report, reference_outcomes, session, precomputed_verdicts)
     _check_datalog_round_trip(case, report)
     _check_sql_round_trip(case, report)
+    _check_static_analysis(case, report, reference_outcomes)
     return report

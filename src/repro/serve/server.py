@@ -39,6 +39,7 @@ from ..datalog.render import render_query
 from ..exceptions import (
     ChaseNonTerminationError,
     ParseError,
+    PrecheckFailedError,
     ReproError,
     UnknownSemanticsError,
 )
@@ -220,6 +221,49 @@ class ReproServer:
         ok_count = sum(1 for item in items if item["ok"])
         return {"items": items, "ok_count": ok_count, "error_count": len(items) - ok_count}
 
+    def _handle_analyze(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Static analysis of Σ (the session's, or one sent in params).
+
+        ``params.dependencies`` (rule-notation text) analyzes a caller Σ
+        instead of the session's; ``params.queries`` adds query lint;
+        ``params.strict: true`` turns error-severity diagnostics into a
+        ``precheck-failed`` error response carrying the full report.
+        """
+        from ..analysis.static import analyze
+        from ..datalog.parser import parse_dependencies
+
+        if "dependencies" in params:
+            text = _param_str(params, "dependencies")
+            try:
+                dependencies = parse_dependencies(text)
+            except ParseError as exc:
+                raise ProtocolError(
+                    "parse-error", f"params.dependencies: {exc}"
+                ) from exc
+        else:
+            dependencies = self.session.dependencies
+        queries_raw = params.get("queries", [])
+        if not isinstance(queries_raw, list) or not all(
+            isinstance(entry, str) for entry in queries_raw
+        ):
+            raise ProtocolError(
+                "invalid-request", "params.queries must be a list of strings"
+            )
+        try:
+            queries = [parse_query(entry) for entry in queries_raw]
+        except ParseError as exc:
+            raise ProtocolError("parse-error", f"params.queries: {exc}") from exc
+        report = analyze(dependencies, queries=queries)
+        if params.get("strict") and not report.ok:
+            raise PrecheckFailedError(
+                "; ".join(d.render_line() for d in report.errors),
+                report=report,
+            )
+        payload = report.as_dict()
+        payload["ok"] = report.ok
+        payload["summary"] = report.summary()
+        return payload
+
     def _handle_stats(self, params: dict[str, Any]) -> dict[str, Any]:
         stats = self.session.stats()
         stats["server"] = {
@@ -247,6 +291,7 @@ class ReproServer:
             "decide": self._handle_decide,
             "reformulate": self._handle_reformulate,
             "batch": self._handle_batch,
+            "analyze": self._handle_analyze,
             "stats": self._handle_stats,
             "health": self._handle_health,
         }[op]
@@ -281,6 +326,12 @@ class ReproServer:
                 str(exc),
                 steps_taken=exc.steps_taken,
             )
+        except PrecheckFailedError as exc:
+            detail: dict[str, Any] = {}
+            report = exc.report
+            if report is not None and hasattr(report, "as_dict"):
+                detail["report"] = report.as_dict()
+            return error_response(request_id, "precheck-failed", str(exc), **detail)
         except UnknownSemanticsError as exc:
             return error_response(request_id, "unknown-semantics", str(exc))
         except ParseError as exc:

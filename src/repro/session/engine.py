@@ -112,6 +112,7 @@ class Session:
         default_semantics: Semantics | str = Semantics.BAG_SET,
         max_steps: int = DEFAULT_MAX_STEPS,
         store: "ChaseResultStore | None" = None,
+        precheck: str | None = None,
     ):
         if schema is not None and not hasattr(schema, "set_valued_relations"):
             # The natural-looking call Session(sigma) would otherwise bind
@@ -135,7 +136,22 @@ class Session:
         # consulted on every in-memory miss, written through on every cold
         # chase, so a restarted process starts warm from disk.
         self.store = store
+        # Static precheck mode: None/"off" (no analysis), "warn" (analyze Σ,
+        # keep the report, seed chase budgets from the termination
+        # certificate), or "strict" (additionally refuse an uncertified Σ
+        # with a PrecheckFailedError before any chase step runs).
+        if precheck not in (None, "off", "warn", "strict"):
+            raise DependencyError(
+                f"unknown precheck mode {precheck!r}; expected 'off', 'warn', or 'strict'"
+            )
+        self.precheck = "off" if precheck is None else precheck
+        self.precheck_report = None
+        self._certificate = None
         self._dependencies = self._coerce_dependencies(dependencies)
+        if self.precheck != "off":
+            self.precheck_report, self._certificate = self._run_precheck(
+                self._dependencies
+            )
         self._sigma_key: object | None = None  # computed lazily by _chase_key
         # Assembled cache keys, memoized per live query object (satellite of
         # the hash-consing refactor): repeated decisions on the same query
@@ -184,11 +200,41 @@ class Session:
     def set_dependencies(
         self, dependencies: DependencySet | Sequence[Dependency]
     ) -> None:
-        """Replace Σ and invalidate every cached chase result."""
-        self._dependencies = self._coerce_dependencies(dependencies)
+        """Replace Σ and invalidate every cached chase result.
+
+        Under a strict precheck a refused Σ leaves the session on its
+        previous (certified) dependency set.
+        """
+        coerced = self._coerce_dependencies(dependencies)
+        report = certificate = None
+        if self.precheck != "off":
+            report, certificate = self._run_precheck(coerced)
+        self._dependencies = coerced
+        self.precheck_report = report
+        self._certificate = certificate
         self._sigma_key = None
         self._key_memo.clear()  # memoized keys embed the old Σ fingerprint
         self.cache.invalidate()
+
+    def _run_precheck(self, dependencies: DependencySet):
+        """Analyze Σ; in strict mode raise on error-severity diagnostics."""
+        from ..analysis.static import analyze
+        from ..exceptions import PrecheckFailedError
+
+        report = analyze(dependencies)
+        if self.precheck == "strict" and not report.ok:
+            lines = [diagnostic.render_line() for diagnostic in report.errors]
+            raise PrecheckFailedError(
+                "strict precheck refused Σ before any chase step:\n"
+                + "\n".join(lines),
+                report=report,
+            )
+        return report, report.certificate
+
+    @property
+    def certificate(self):
+        """The termination certificate of Σ (precheck modes only), or None."""
+        return self._certificate
 
     # ------------------------------------------------------------------ #
     # Registry surface
@@ -258,9 +304,23 @@ class Session:
         semantics: object | None = None,
         max_steps: int | None = None,
     ) -> ChaseResult:
-        """The terminal sound chase of *query* under Σ, served from cache when warm."""
+        """The terminal sound chase of *query* under Σ, served from cache when warm.
+
+        With an active precheck and a certified Σ, a call without an explicit
+        ``max_steps`` draws its budget from the certificate's static
+        chase-depth bound instead of the session default — a certified chase
+        can never die of budget exhaustion (the bound is astronomically
+        loose but sufficient by construction, and the chase stops at its
+        terminal result long before).
+        """
         strategy = self.strategy_for(semantics)
-        steps = self.max_steps if max_steps is None else max_steps
+        if max_steps is None:
+            if self._certificate is not None:
+                steps = self._certificate.step_budget_for(query)
+            else:
+                steps = self.max_steps
+        else:
+            steps = max_steps
         key = self._chase_key(query, strategy, steps)
         cached = self.cache.get(key)
         if cached is not MISSING:
@@ -437,7 +497,9 @@ class Session:
         * ``profile`` — the aggregate cold-chase profile
           (:meth:`chase_profile`, as a dict);
         * ``store`` — the persistent store's counters, present only when a
-          store is attached.
+          store is attached;
+        * ``precheck`` — mode, certification status, and diagnostic counts,
+          present only when the session was built with ``precheck=``.
         """
         from ..core.terms import INTERN_STATS, intern_table_sizes
 
@@ -469,6 +531,19 @@ class Session:
         }
         if self.store is not None:
             stats["store"] = dict(self.store.stats())
+        if self.precheck != "off":
+            report = self.precheck_report
+            stats["precheck"] = {
+                "mode": self.precheck,
+                "certified": self._certificate is not None,
+                "errors": len(report.errors) if report is not None else 0,
+                "warnings": len(report.warnings) if report is not None else 0,
+                "max_rank": (
+                    self._certificate.max_rank
+                    if self._certificate is not None
+                    else None
+                ),
+            }
         return stats
 
     def set_store(self, store: "ChaseResultStore | None") -> None:

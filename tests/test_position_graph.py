@@ -1,0 +1,277 @@
+"""The self-contained position graph vs. a networkx reference, plus unit checks.
+
+PR 7 replaced the networkx-backed weak-acyclicity check with an int-keyed
+position graph (Tarjan SCC, special-edge cycle search, rank DP) in
+``repro.dependencies.position_graph``.  These tests pin the replacement to
+Definition H.1 two ways:
+
+* a *reference reimplementation* of the old networkx construction (inlined
+  below, skipped when networkx is absent) must agree with the new graph on
+  node set, edge multiset, weak-acyclicity verdict, and offending-special-edge
+  set across a seeded fuzz corpus of dependency sets;
+* hand-built graphs exercise Tarjan, the rank DP, and the witness cycle
+  directly, independent of any dependency front end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.dependencies.base import TGD, DependencySet
+from repro.dependencies.position_graph import (
+    PositionGraph,
+    build_position_graph,
+)
+from repro.dependencies.weak_acyclicity import (
+    dependency_graph,
+    is_weakly_acyclic,
+    special_edges_on_cycles,
+)
+from repro.fuzz import generate_dependencies
+from repro import parse_dependencies
+
+
+def _sigma(text: str) -> list:
+    return list(parse_dependencies(text))
+
+
+CYCLIC = _sigma("r(X, Y) -> r(Y, Z)")
+ACYCLIC = _sigma(
+    """
+    r(X, Y) -> s(Y, Z)
+    s(X, Y) -> t(X, Y)
+    """
+)
+
+
+# ---------------------------------------------------------------------------
+# Reference reimplementation of the pre-PR-7 networkx construction.
+# ---------------------------------------------------------------------------
+
+
+def _nx_dependency_graph(dependencies):
+    nx = pytest.importorskip("networkx")
+    graph = nx.MultiDiGraph()
+    from repro.core.terms import Variable
+
+    for dependency in dependencies:
+        if not isinstance(dependency, TGD):
+            continue
+        premise_positions = {}
+        for atom in dependency.premise:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    premise_positions.setdefault(term, []).append(
+                        (atom.predicate, index)
+                    )
+        existential = set(dependency.existential_variables())
+        conclusion_positions = {}
+        for atom in dependency.conclusion:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    conclusion_positions.setdefault(term, []).append(
+                        (atom.predicate, index)
+                    )
+        for variable, sources in premise_positions.items():
+            targets = conclusion_positions.get(variable, [])
+            if not targets and not existential:
+                continue
+            for source in sources:
+                graph.add_node(source)
+                for target in targets:
+                    graph.add_node(target)
+                    graph.add_edge(source, target, special=False)
+                if variable in conclusion_positions:
+                    for exist_var in existential:
+                        for target in conclusion_positions.get(exist_var, []):
+                            graph.add_node(target)
+                            graph.add_edge(source, target, special=True)
+    return graph
+
+
+def _nx_verdict_and_witnesses(dependencies):
+    nx = pytest.importorskip("networkx")
+    graph = _nx_dependency_graph(dependencies)
+    component_of = {}
+    for component_id, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = component_id
+    witnesses = [
+        (source, target)
+        for source, target, data in graph.edges(data=True)
+        if data.get("special") and component_of[source] == component_of[target]
+    ]
+    return graph, not witnesses, witnesses
+
+
+def _assert_parity(dependencies):
+    nx_graph, nx_acyclic, nx_witnesses = _nx_verdict_and_witnesses(dependencies)
+    graph = dependency_graph(dependencies)
+    assert set(graph) == set(nx_graph.nodes)
+    assert graph.number_of_nodes() == nx_graph.number_of_nodes()
+    ours = Counter(
+        (graph.positions[e.source], graph.positions[e.target], e.special)
+        for e in graph.edges
+    )
+    theirs = Counter(
+        (source, target, bool(data.get("special")))
+        for source, target, data in nx_graph.edges(data=True)
+    )
+    assert ours == theirs
+    assert is_weakly_acyclic(dependencies) == nx_acyclic
+    assert Counter(special_edges_on_cycles(dependencies)) == Counter(nx_witnesses)
+
+
+def test_parity_on_hand_built_sets():
+    _assert_parity(CYCLIC)
+    _assert_parity(ACYCLIC)
+    _assert_parity([])
+    # Variable in premise only, existential in conclusion: the Definition H.1
+    # subtlety — special edges exist only for premise variables that occur in
+    # the conclusion.
+    _assert_parity(_sigma("r(X, W) -> s(X, Z)"))
+    # Parallel edges from repeated positions must survive as a multiset.
+    _assert_parity(_sigma("r(X, X) -> s(X, X, Z)"))
+
+
+@pytest.mark.parametrize("block", range(40))
+def test_parity_on_fuzz_corpus(block):
+    sigma, _vocab = generate_dependencies(0, block)
+    _assert_parity(list(sigma))
+
+
+def test_parity_accepts_dependency_set_wrapper():
+    assert is_weakly_acyclic(DependencySet(CYCLIC)) is False
+    assert is_weakly_acyclic(DependencySet(ACYCLIC)) is True
+
+
+# ---------------------------------------------------------------------------
+# Direct unit checks on the graph algorithms.
+# ---------------------------------------------------------------------------
+
+
+_DUMMY = _sigma("dummy(X) -> dummy2(X, Z)")[0]
+
+
+def _graph(edges, nodes=()):
+    graph = PositionGraph()
+    for node in nodes:
+        graph.add_node(node)
+    for source, target, special in edges:
+        graph.add_edge(
+            source,
+            target,
+            special=special,
+            dependency=_DUMMY,
+            variable=next(iter(_DUMMY.frontier_variables())),
+        )
+    return graph
+
+
+def _position_ranks(graph):
+    ranks = graph.ranks()
+    if ranks is None:
+        return None
+    return {graph.positions[node]: rank for node, rank in enumerate(ranks)}
+
+
+def test_tarjan_components_on_dag():
+    graph = _graph([(("a", 0), ("b", 0), False), (("b", 0), ("c", 0), False)])
+    component = graph.component_of()
+    assert graph.number_of_components() == 3
+    assert len({component[i] for i in range(3)}) == 3
+    # Tarjan emits SCCs in reverse topological order: successors first.
+    assert component[graph.node_id(("c", 0))] < component[graph.node_id(("a", 0))]
+
+
+def test_tarjan_components_on_cycle():
+    graph = _graph(
+        [
+            (("a", 0), ("b", 0), False),
+            (("b", 0), ("a", 0), False),
+            (("b", 0), ("c", 0), False),
+        ]
+    )
+    component = graph.component_of()
+    assert component[graph.node_id(("a", 0))] == component[graph.node_id(("b", 0))]
+    assert component[graph.node_id(("c", 0))] != component[graph.node_id(("a", 0))]
+    assert graph.number_of_components() == 2
+
+
+def test_isolated_nodes_are_their_own_components():
+    graph = _graph([], nodes=[("a", 0), ("b", 1)])
+    assert graph.number_of_components() == 2
+    assert graph.is_weakly_acyclic()
+    assert _position_ranks(graph) == {("a", 0): 0, ("b", 1): 0}
+
+
+def test_special_self_loop_is_cyclic_with_singleton_witness():
+    graph = _graph([(("r", 1), ("r", 1), True)])
+    assert not graph.is_weakly_acyclic()
+    assert graph.ranks() is None
+    witness = graph.witness_cycle()
+    assert witness is not None
+    assert len(witness) == 1 and witness[0].special
+
+
+def test_witness_cycle_is_a_closed_walk_through_a_special_edge():
+    graph = _graph(
+        [
+            (("r", 0), ("r", 1), True),
+            (("r", 1), ("s", 0), False),
+            (("s", 0), ("r", 0), False),
+        ]
+    )
+    witness = graph.witness_cycle()
+    assert witness is not None
+    assert any(edge.special for edge in witness)
+    for edge, following in zip(witness, witness[1:] + witness[:1]):
+        assert edge.target == following.source
+
+
+def test_ordinary_cycle_has_ranks_and_no_witness():
+    graph = _graph(
+        [
+            (("r", 0), ("r", 1), False),
+            (("r", 1), ("r", 0), False),
+            (("r", 1), ("s", 0), True),
+        ]
+    )
+    assert graph.is_weakly_acyclic()
+    assert graph.witness_cycle() is None
+    assert _position_ranks(graph) == {("r", 0): 0, ("r", 1): 0, ("s", 0): 1}
+
+
+def test_ranks_count_special_edges_on_longest_path():
+    graph = _graph(
+        [
+            (("a", 0), ("b", 0), True),
+            (("b", 0), ("c", 0), False),
+            (("c", 0), ("d", 0), True),
+            (("a", 0), ("d", 0), True),
+        ]
+    )
+    ranks = _position_ranks(graph)
+    assert ranks == {("a", 0): 0, ("b", 0): 1, ("c", 0): 1, ("d", 0): 2}
+    # Every edge satisfies the local rank condition — the certificate check.
+    for edge in graph.edges:
+        weight = 1 if edge.special else 0
+        assert ranks[graph.positions[edge.target]] >= (
+            ranks[graph.positions[edge.source]] + weight
+        )
+
+
+def test_build_position_graph_matches_dependency_graph():
+    for sigma in (CYCLIC, ACYCLIC):
+        first = build_position_graph(sigma)
+        second = dependency_graph(sigma)
+        assert set(first) == set(second)
+        assert Counter(
+            (first.positions[e.source], first.positions[e.target], e.special)
+            for e in first.edges
+        ) == Counter(
+            (second.positions[e.source], second.positions[e.target], e.special)
+            for e in second.edges
+        )

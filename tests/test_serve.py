@@ -289,3 +289,52 @@ class TestErrorPaths:
             stream.flush()
             response = json.loads(stream.readline())
         assert response["ok"] is True
+
+
+# --------------------------------------------------------------------------- #
+class TestAnalyzeOp:
+    """The ``analyze`` op: the static analyzer over the wire."""
+
+    def test_analyze_session_sigma(self, client, ex41):
+        result = client.request("analyze", {})
+        assert result["ok"] is True
+        assert "Σ certified" in result["summary"]
+        codes = {d["code"] for d in result["diagnostics"]}
+        assert "sigma-certified" in codes
+        assert result["certificate"] is not None
+
+    def test_analyze_explicit_cyclic_sigma(self, client):
+        result = client.request("analyze", {"dependencies": CYCLIC})
+        assert result["ok"] is False
+        assert result["witness"] is not None
+        codes = {d["code"] for d in result["diagnostics"]}
+        assert "sigma-not-weakly-acyclic" in codes
+
+    def test_analyze_strict_answers_precheck_failed(self, client):
+        response = client.request(
+            "analyze", {"dependencies": CYCLIC, "strict": True}, check=False
+        )
+        assert response["error"]["code"] == "precheck-failed"
+        # The structured report rides along for programmatic clients.
+        assert response["error"]["report"]["witness"] is not None
+        # The refusal did not take the server down.
+        assert client.health()["status"] == "ok"
+
+    def test_analyze_queries_feed_the_lint_passes(self, client):
+        result = client.request(
+            "analyze", {"queries": ["Q(X) :- r0(X, X), zz(Y, Y)"]}
+        )
+        codes = {d["code"] for d in result["diagnostics"]}
+        assert "query-cross-product" in codes
+
+    def test_analyze_rejects_non_list_queries(self, client):
+        response = client.request(
+            "analyze", {"queries": "Q(X) :- p(X)"}, check=False
+        )
+        assert response["error"]["code"] == "invalid-request"
+
+    def test_analyze_unparseable_sigma(self, client):
+        response = client.request(
+            "analyze", {"dependencies": "not a rule (("}, check=False
+        )
+        assert response["error"]["code"] == "parse-error"

@@ -1,0 +1,435 @@
+"""The static Σ/query analyzer: diagnostics, certificates, prechecks, CLI.
+
+Golden coverage per diagnostic code, machine verification of the
+termination certificate and witness cycle (including JSON round trips),
+the Session precheck modes (strict refusal before any chase step, budget
+seeding from the certificate), the ``repro check`` CLI contract, corpus
+replay, and a 500-case seeded property test that the static chase-depth
+bound dominates the rounds the chase actually takes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import PrecheckFailedError, Session, parse_dependencies, parse_query
+from repro.analysis.static import (
+    DIAGNOSTIC_CODES,
+    AnalysisReport,
+    CycleWitness,
+    Severity,
+    TerminationCertificate,
+    analyze,
+    certify,
+)
+from repro.chase.sound_chase import sound_chase
+from repro.chase.steps import ChaseFailedError
+from repro.cli import main
+from repro.core.atoms import EqualityAtom
+from repro.core.terms import Constant
+from repro.database import DatabaseInstance
+from repro.datalog import render_dependency
+from repro.dependencies.base import EGD
+from repro.dependencies.weak_acyclicity import is_weakly_acyclic
+from repro.exceptions import ChaseNonTerminationError
+from repro.fuzz import generate_block, load_corpus_file
+from repro.fuzz.corpus import iter_corpus_paths
+from repro.semantics import Semantics
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+CYCLIC = "r(X, Y) -> r(Y, Z)"
+ACYCLIC = """
+p(X, Y) -> q(X, Y)
+q(X, Y) -> s(X, Y)
+"""
+
+
+def _codes(report):
+    return [diagnostic.code for diagnostic in report.diagnostics]
+
+
+def _diagnostic(report, code):
+    matching = [d for d in report.diagnostics if d.code == code]
+    assert matching, f"no {code} diagnostic in {_codes(report)}"
+    return matching[0]
+
+
+# --------------------------------------------------------------------------- #
+# golden output per diagnostic code
+# --------------------------------------------------------------------------- #
+class TestDiagnosticCodes:
+    def test_sigma_certified(self):
+        report = analyze(parse_dependencies(ACYCLIC))
+        diagnostic = _diagnostic(report, "sigma-certified")
+        assert diagnostic.severity is Severity.INFO
+        assert diagnostic.subject == "Σ"
+        assert report.certified and report.ok
+        assert report.exit_code() == 0
+
+    def test_sigma_not_weakly_acyclic(self):
+        report = analyze(parse_dependencies(CYCLIC))
+        diagnostic = _diagnostic(report, "sigma-not-weakly-acyclic")
+        assert diagnostic.severity is Severity.ERROR
+        assert "⇒" in diagnostic.message  # the rendered witness cycle
+        assert diagnostic.data["witness"]  # structured edges ride along
+        assert not report.certified and not report.ok
+        assert report.exit_code() == 2
+
+    def test_sigma_certified_after_regularization(self):
+        # Cyclic as written (special self-loop p[0] ⇒ p[0] through the
+        # existential W), but regularize() splits the conclusion and the
+        # fragment containing p(W) has an empty frontier — no special edges.
+        sigma = parse_dependencies("p(X) -> q(X, Z) & p(W)")
+        assert not is_weakly_acyclic(sigma)
+        report = analyze(sigma)
+        _diagnostic(report, "sigma-certified-after-regularization")
+        assert report.certified
+        assert report.certificate.verify(sigma)
+
+    def test_arity_conflict(self):
+        report = analyze(parse_dependencies("p(X) -> q(X)\nq(X, Y) -> p(X)"))
+        diagnostic = _diagnostic(report, "arity-conflict")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.subject == "q"
+        assert sorted(diagnostic.data["arities"]) == [1, 2]
+        assert report.exit_code() == 2
+
+    def test_arity_conflict_against_instance(self):
+        instance = DatabaseInstance.from_dict({"p": [[1, 2]]})
+        report = analyze(
+            parse_dependencies("p(X) -> q(X)"), instance=instance
+        )
+        diagnostic = _diagnostic(report, "arity-conflict")
+        assert "database instance" in diagnostic.message
+
+    def test_rule_not_range_restricted(self):
+        report = analyze(parse_dependencies("p(X) -> q(Z)"))
+        diagnostic = _diagnostic(report, "rule-not-range-restricted")
+        assert diagnostic.severity is Severity.WARNING
+        assert report.exit_code() == 1
+
+    def test_unused_premise_atom(self):
+        report = analyze(parse_dependencies("p(X) & guard(W) -> q(X)"))
+        diagnostic = _diagnostic(report, "unused-premise-atom")
+        assert "guard" in diagnostic.data["atom"]
+        assert diagnostic.data["position"] == 1
+
+    def test_query_cross_product(self):
+        report = analyze(
+            parse_dependencies(ACYCLIC),
+            queries=[parse_query("Q(X) :- p(X, X), r(Y, Y)")],
+        )
+        diagnostic = _diagnostic(report, "query-cross-product")
+        assert len(diagnostic.data["components"]) == 2
+
+    def test_connected_query_is_clean(self):
+        report = analyze(
+            parse_dependencies(ACYCLIC),
+            queries=[parse_query("Q(X) :- p(X, Y), q(Y, Z)")],
+        )
+        assert "query-cross-product" not in _codes(report)
+
+    def test_egd_trivial(self):
+        report = analyze(parse_dependencies("p(X, Y) -> X = X"))
+        _diagnostic(report, "egd-trivial")
+
+    def test_egd_always_failing(self):
+        egd = EGD(
+            list(parse_dependencies("p(X, Y) -> X = Y"))[0].premise,
+            [EqualityAtom(Constant(1), Constant(2))],
+        )
+        report = analyze([egd])
+        diagnostic = _diagnostic(report, "egd-always-failing")
+        assert "denial" in diagnostic.hint
+
+    def test_dependency_subsumed(self):
+        sigma = parse_dependencies(
+            """
+            p(X, Y) -> q(X, Y)
+            p(X, Y) & r(X, X) -> q(X, Y)
+            """
+        )
+        report = analyze(sigma)
+        diagnostic = _diagnostic(report, "dependency-subsumed")
+        # The more specific rule is implied by the more general one.
+        assert diagnostic.data["implied_by_index"] == 0
+        assert diagnostic.data["index"] == 1
+
+    def test_subsumption_can_be_disabled(self):
+        sigma = parse_dependencies("p(X) -> q(X)\np(X) -> q(X)")
+        assert "dependency-subsumed" in _codes(analyze(sigma))
+        assert "dependency-subsumed" not in _codes(
+            analyze(sigma, subsumption=False)
+        )
+
+    def test_diagnostics_sorted_most_severe_first(self):
+        report = analyze(
+            parse_dependencies("r(X, Y) -> r(Y, Z)\np(X) -> q(W)")
+        )
+        ranks = [d.severity.rank for d in report.diagnostics]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_every_code_in_registry_is_reachable_or_documented(self):
+        # The registry is the contract for README and the golden tests above;
+        # every code above must exist in it, and severities must be stable.
+        assert set(DIAGNOSTIC_CODES) == {
+            "sigma-not-weakly-acyclic",
+            "arity-conflict",
+            "rule-not-range-restricted",
+            "unused-premise-atom",
+            "query-cross-product",
+            "egd-trivial",
+            "egd-always-failing",
+            "dependency-subsumed",
+            "sigma-certified",
+            "sigma-certified-after-regularization",
+        }
+
+
+# --------------------------------------------------------------------------- #
+# certificates and witnesses
+# --------------------------------------------------------------------------- #
+class TestCertificates:
+    def test_certificate_verifies_and_round_trips(self):
+        sigma = parse_dependencies(ACYCLIC)
+        certificate, witness = certify(sigma)
+        assert witness is None
+        assert certificate.verify(sigma)
+        clone = TerminationCertificate.from_dict(
+            json.loads(json.dumps(certificate.as_dict()))
+        )
+        assert clone == certificate
+        assert clone.verify(sigma)
+
+    def test_tampered_certificate_fails_verification(self):
+        sigma = parse_dependencies("p(X, Y) -> q(Y, Z)")  # q[1] has rank 1
+        certificate, _ = certify(sigma)
+        payload = certificate.as_dict()
+        payload["ranks"] = [[pred, index, 0] for pred, index, _ in payload["ranks"]]
+        tampered = TerminationCertificate.from_dict(payload)
+        # Flattening every rank to 0 breaks the special-edge inequality.
+        assert not tampered.verify(sigma)
+
+    def test_certificate_rejects_different_sigma(self):
+        certificate, _ = certify(parse_dependencies(ACYCLIC))
+        assert not certificate.verify(parse_dependencies("a(X) -> b(X, Z)"))
+
+    def test_witness_verifies_and_round_trips(self):
+        sigma = parse_dependencies(CYCLIC)
+        certificate, witness = certify(sigma)
+        assert certificate is None
+        assert witness.verify(sigma)
+        clone = CycleWitness.from_dict(json.loads(json.dumps(witness.as_dict())))
+        assert clone == witness
+        assert clone.verify(sigma)
+        assert "⇒" in witness.render()
+
+    def test_broken_witness_fails_verification(self):
+        sigma = parse_dependencies(CYCLIC)
+        _, witness = certify(sigma)
+        assert not CycleWitness(edges=()).verify(sigma)
+        # A witness from a different Σ does not exist in this graph.
+        _, other = certify(parse_dependencies("s(X, Y) -> s(Y, Z)"))
+        assert not other.verify(sigma)
+
+    def test_rank_of_defaults_to_zero_off_graph(self):
+        certificate, _ = certify(parse_dependencies(ACYCLIC))
+        assert certificate.rank_of(("nonexistent", 0)) == 0
+
+    def test_depth_bound_dominates_observed_rounds(self):
+        sigma = parse_dependencies(ACYCLIC)
+        certificate, _ = certify(sigma)
+        query = parse_query("Q(X) :- p(X, Y)")
+        result = sound_chase(query, sigma, Semantics.from_name("set"), 100)
+        assert result.step_count + 1 <= certificate.chase_depth_bound(query)
+
+    def test_step_budget_is_at_least_the_depth_bound(self):
+        certificate, _ = certify(parse_dependencies(ACYCLIC))
+        query = parse_query("Q(X) :- p(X, Y)")
+        assert certificate.step_budget_for(query) >= certificate.chase_depth_bound(
+            query
+        )
+
+    def test_report_json_round_trip(self):
+        for text in (ACYCLIC, CYCLIC):
+            report = analyze(parse_dependencies(text))
+            payload = json.loads(json.dumps(report.as_dict(), sort_keys=True))
+            clone = AnalysisReport.from_dict(payload)
+            assert clone == report
+            assert clone.as_dict() == report.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Session precheck
+# --------------------------------------------------------------------------- #
+class TestSessionPrecheck:
+    def test_strict_refuses_cyclic_sigma_before_any_chase(self):
+        with pytest.raises(PrecheckFailedError) as info:
+            Session(dependencies=parse_dependencies(CYCLIC), precheck="strict")
+        assert "⇒" in str(info.value)  # the rendered witness, not a timeout
+        assert info.value.report is not None
+        assert not info.value.report.ok
+
+    def test_warn_mode_keeps_the_report(self):
+        session = Session(
+            dependencies=parse_dependencies(CYCLIC), precheck="warn"
+        )
+        assert session.precheck_report is not None
+        assert not session.precheck_report.ok
+        assert session.certificate is None
+
+    def test_off_mode_skips_analysis(self):
+        session = Session(dependencies=parse_dependencies(CYCLIC))
+        assert session.precheck == "off"
+        assert session.precheck_report is None
+
+    def test_invalid_mode_is_rejected(self):
+        from repro.exceptions import DependencyError
+
+        with pytest.raises(DependencyError):
+            Session(dependencies=[], precheck="paranoid")
+
+    def test_strict_set_dependencies_keeps_previous_sigma(self):
+        session = Session(
+            dependencies=parse_dependencies(ACYCLIC), precheck="strict"
+        )
+        before = session.dependencies
+        with pytest.raises(PrecheckFailedError):
+            session.set_dependencies(parse_dependencies(CYCLIC))
+        assert session.dependencies is before
+
+    def test_certificate_seeds_chase_budgets(self):
+        sigma = parse_dependencies(ACYCLIC)
+        query = parse_query("Q(X) :- p(X, Y)")
+        # A one-step manual budget exhausts on this two-step chain...
+        with pytest.raises(ChaseNonTerminationError):
+            Session(dependencies=sigma, max_steps=1).chase(query)
+        # ...but the certified session ignores the default budget in favour
+        # of the certificate-derived one and terminates.
+        certified = Session(dependencies=sigma, precheck="strict", max_steps=1)
+        result = certified.chase(query)
+        assert result.terminated
+        # An explicit per-call budget still wins.
+        with pytest.raises(ChaseNonTerminationError):
+            certified.chase(query, max_steps=1)
+
+    def test_stats_expose_precheck_section(self):
+        session = Session(
+            dependencies=parse_dependencies(ACYCLIC), precheck="strict"
+        )
+        stats = session.stats()
+        assert stats["precheck"]["mode"] == "strict"
+        assert stats["precheck"]["certified"] is True
+        assert stats["precheck"]["errors"] == 0
+        plain = Session(dependencies=parse_dependencies(ACYCLIC))
+        assert "precheck" not in plain.stats()
+
+
+# --------------------------------------------------------------------------- #
+# repro check CLI
+# --------------------------------------------------------------------------- #
+class TestCheckCommand:
+    def test_json_round_trips_the_report(self, capsys):
+        code = main(["check", "--dependencies", ACYCLIC, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        clone = AnalysisReport.from_dict(payload)
+        assert clone == analyze(parse_dependencies(ACYCLIC))
+        assert code == clone.exit_code() == 0
+
+    def test_exit_code_two_on_cyclic_sigma(self, capsys):
+        code = main(["check", "--dependencies", CYCLIC, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["witness"] is not None
+
+    def test_exit_code_one_on_warnings(self, capsys):
+        code = main(["check", "--dependencies", "p(X) -> q(Z)"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rule-not-range-restricted" in out
+
+    def test_table_format_renders_summary(self, capsys):
+        code = main(["check", "--dependencies", ACYCLIC])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sigma-certified" in out
+        assert "Σ certified" in out
+
+    def test_queries_and_instance_feed_the_passes(self, capsys, tmp_path):
+        instance_file = tmp_path / "instance.json"
+        instance_file.write_text(json.dumps({"p": [[1, 2, 3]]}))
+        code = main(
+            [
+                "check",
+                "--dependencies",
+                ACYCLIC,
+                "--query",
+                "Q(X) :- p(X, X), s(Y, Y)",
+                "--instance",
+                str(instance_file),
+                "--format",
+                "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "query-cross-product" in codes
+        assert "arity-conflict" in codes  # p is binary in Σ, ternary in data
+        assert code == 2
+
+    @pytest.mark.parametrize(
+        "path",
+        list(iter_corpus_paths(CORPUS_DIR)),
+        ids=[path.stem for path in iter_corpus_paths(CORPUS_DIR)],
+    )
+    def test_corpus_replays_through_check(self, capsys, path):
+        """Every committed corpus case round-trips through ``repro check``."""
+        case = load_corpus_file(path).case
+        text = "\n".join(render_dependency(d) for d in case.dependencies)
+        code = main(["check", "--dependencies", text, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        report = AnalysisReport.from_dict(payload)
+        assert code == report.exit_code()
+        assert report.certified == is_weakly_acyclic(case.dependencies)
+
+
+# --------------------------------------------------------------------------- #
+# 500-case property: the static bound dominates observed chase rounds
+# --------------------------------------------------------------------------- #
+def test_depth_bound_dominates_fuzz_corpus():
+    total = 0
+    block = 0
+    set_semantics = Semantics.from_name("set")
+    while total < 500:
+        cases = generate_block(0, block, stop=500)
+        block += 1
+        if not cases:
+            continue
+        sigma = list(cases[0].dependencies)
+        report = analyze(sigma, subsumption=False)
+        assert report.certified == is_weakly_acyclic(sigma)
+        if report.certified:
+            assert report.certificate.verify(sigma)
+        else:
+            assert report.witness.verify(sigma)
+        for case in cases:
+            total += 1
+            if not report.certified:
+                continue
+            for query in (case.query, case.other):
+                try:
+                    result = sound_chase(
+                        query, case.dependencies, set_semantics, case.max_steps
+                    )
+                except (ChaseNonTerminationError, ChaseFailedError):
+                    continue
+                bound = report.certificate.chase_depth_bound(query)
+                assert result.step_count + 1 <= bound, (
+                    f"{case.origin}: {result.step_count + 1} rounds "
+                    f"exceed static bound {bound}"
+                )
+    assert total >= 500
