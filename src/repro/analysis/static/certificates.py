@@ -33,7 +33,11 @@ of slack):
 * Every value anywhere is bounded by ``V = N_r + Σ_{F>0, E>0} E · N_r^F``;
   tgd steps number at most ``Σ V^F`` and egd steps at most ``V`` (each
   merge permanently retires one value), giving the step bound
-  ``Σ V^F + V`` and the depth (rounds) bound one more.
+  ``Σ V^F + V`` and the depth (rounds) bound one more.  When Σ has no
+  egds the ``+ V`` term is dropped (no step can retire a value), and when
+  no tgd has existential variables the chase invents no values at all, so
+  ``V = n`` and the extra budget cushion for nested Definition 4.3 test
+  chases collapses to the plain depth bound.
 
 The numbers are astronomically loose — they are budgets proving "finite",
 not predictions — but Python integers make them free to carry around.
@@ -202,6 +206,10 @@ class TerminationCertificate:
     max_rank: int
     tgd_profiles: tuple[tuple[str, int, int], ...]
     generated_constants: tuple[Hashable, ...]
+    #: Number of egds in ``regularize(Σ)``; with none, no chase step can
+    #: retire a value and the egd term of the step bound is dropped.
+    #: Defaults to a conservative sentinel for payloads predating the field.
+    egd_count: int = -1
 
     # -------------------------------------------------------------- #
     def rank_of(self, position: Position) -> int:
@@ -232,6 +240,11 @@ class TerminationCertificate:
         if self.tgd_profiles != _tgd_profiles(regular.dependencies):
             return False
         if set(self.generated_constants) != set(_generated_constants(regular.dependencies)):
+            return False
+        actual_egds = sum(1 for d in regular.dependencies if isinstance(d, EGD))
+        # -1 is the legacy "unknown" sentinel: such certificates keep the
+        # conservative egd term in their bounds, so they stay valid.
+        if self.egd_count not in (-1, actual_egds):
             return False
         return True
 
@@ -272,8 +285,14 @@ class TerminationCertificate:
         )
 
     def _step_bound(self, values: int) -> int:
-        """Chase steps given at most *values* distinct values ever."""
+        """Chase steps given at most *values* distinct values ever.
+
+        The ``+ values`` term budgets egd steps (each merge permanently
+        retires one value); with no egds in Σ it is dropped.
+        """
         tgd_steps = sum(values**frontier for _, frontier, _ in self.tgd_profiles)
+        if self.egd_count == 0:
+            return tgd_steps
         return tgd_steps + values
 
     def chase_step_bound(self, query: ConjunctiveQuery) -> int:
@@ -291,8 +310,12 @@ class TerminationCertificate:
         runs nested Definition 4.3 test chases whose starting bodies may
         already contain every value of the outer chase, so the budget is the
         depth bound recomputed from the total-value bound ``V`` instead of
-        the initial values.
+        the initial values.  Full tgds (no existential variables anywhere)
+        need no cushion: the chase invents no values, every test chase
+        starts from the same value pool, and the plain depth bound suffices.
         """
+        if all(existential == 0 for _, _, existential in self.tgd_profiles):
+            return self.chase_depth_bound(query)
         outer_values = self._total_values(self.initial_values(query))
         return self._step_bound(self._total_values(outer_values)) + 1
 
@@ -311,6 +334,7 @@ class TerminationCertificate:
             "max_rank": self.max_rank,
             "tgd_profiles": [list(profile) for profile in self.tgd_profiles],
             "generated_constants": list(self.generated_constants),
+            "egd_count": self.egd_count,
         }
 
     @classmethod
@@ -326,6 +350,7 @@ class TerminationCertificate:
                 for rule, frontier, existential in payload.get("tgd_profiles", ())
             ),
             generated_constants=tuple(payload.get("generated_constants", ())),
+            egd_count=int(payload.get("egd_count", -1)),
         )
 
 
@@ -363,5 +388,6 @@ def certify(
         max_rank=max(ranks, default=0),
         tgd_profiles=_tgd_profiles(regular.dependencies),
         generated_constants=_generated_constants(regular.dependencies),
+        egd_count=sum(1 for d in regular.dependencies if isinstance(d, EGD)),
     )
     return certificate, None

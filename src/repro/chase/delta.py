@@ -73,6 +73,42 @@ class TriggerIndex:
         self._by_predicate = by_predicate
         return self
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        count: int,
+        by_predicate: Mapping[str, Sequence[int]],
+        clean: Sequence[bool],
+    ) -> "TriggerIndex":
+        """An index over *count* dependencies seeded from a prior run's bits.
+
+        The incremental chase resumes a run whose terminal clean bits were
+        captured by :meth:`snapshot`.  The seeded list may be shorter than
+        *count* — dependencies appended to Σ since the snapshot start dirty.
+        A seed *longer* than the current dependency list would silently
+        misattribute verdicts, so it is rejected.
+        """
+        if len(clean) > count:
+            raise ValueError(
+                f"trigger snapshot covers {len(clean)} dependencies "
+                f"but the current list has only {count}"
+            )
+        self = cls.__new__(cls)
+        self._clean = list(clean) + [False] * (count - len(clean))
+        self._by_predicate = by_predicate
+        return self
+
+    def snapshot(self) -> tuple[bool, ...]:
+        """The clean bits, frozen — the trigger frontier of a checkpoint.
+
+        Each ``True`` bit is a growth-stable "no trigger" verdict (see the
+        module docstring): it remains valid for any future state that only
+        *adds* atoms, provided :meth:`note_added` is called with the added
+        predicates.  That is exactly the contract the resumable chase relies
+        on when it seeds a continuation run via :meth:`from_snapshot`.
+        """
+        return tuple(self._clean)
+
     def is_clean(self, position: int) -> bool:
         """Can the dependency at *position* be skipped this round?"""
         return self._clean[position]
@@ -92,3 +128,39 @@ class TriggerIndex:
         """An egd step rewrote the query: every dependency must rescan."""
         for position in range(len(self._clean)):
             self._clean[position] = False
+
+
+class ChaseCapture:
+    """Terminal-state capture slot passed into a chase driver.
+
+    The drivers in :mod:`repro.chase.set_chase` / :mod:`repro.chase.sound_chase`
+    fill this in exactly once, at the moment they prove the fixpoint: the
+    trigger frontier (clean bits of both :class:`TriggerIndex` instances) and
+    the full set of variable names the run ever produced (the labeled-null
+    counter state — fresh-variable generation forbids every name in it).
+    :mod:`repro.chase.incremental` turns a filled capture plus the driver's
+    :class:`~repro.chase.set_chase.ChaseResult` into a ``ChaseCheckpoint``.
+
+    A capture belongs to one run: drivers overwrite, never merge.  ``filled``
+    distinguishes "run never terminated" from "terminated with empty state".
+    """
+
+    __slots__ = ("egd_clean", "tgd_clean", "used_names", "filled")
+
+    def __init__(self) -> None:
+        self.egd_clean: tuple[bool, ...] = ()
+        self.tgd_clean: tuple[bool, ...] = ()
+        self.used_names: frozenset[str] = frozenset()
+        self.filled: bool = False
+
+    def record(
+        self,
+        egd_state: TriggerIndex,
+        tgd_state: TriggerIndex,
+        used_names: Iterable[str],
+    ) -> None:
+        """Snapshot the terminal trigger frontier and the used-name set."""
+        self.egd_clean = egd_state.snapshot()
+        self.tgd_clean = tgd_state.snapshot()
+        self.used_names = frozenset(used_names)
+        self.filled = True

@@ -28,8 +28,8 @@ from ..core.terms import Term
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
 from ..exceptions import ChaseNonTerminationError
 from ..semantics import Semantics
-from .delta import TriggerIndex
-from .plans import EGDPlan, PlanCache, TGDPlan, default_plan_cache
+from .delta import ChaseCapture, TriggerIndex
+from .plans import EGDPlan, PlanCache, SigmaPlans, TGDPlan, default_plan_cache
 from .profile import ChaseProfile, snapshot_core_stats
 from .steps import (
     ChaseStepRecord,
@@ -120,45 +120,28 @@ def _first_applicable_tgd_step(
     return None
 
 
-def set_chase(
-    query: ConjunctiveQuery,
-    dependencies: DependencySet | Sequence[Dependency],
-    max_steps: int = DEFAULT_MAX_STEPS,
-    regularize: bool = True,
-    deduplicate: bool = True,
-    *,
-    plan_cache: PlanCache | None = None,
-) -> ChaseResult:
-    """Chase *query* with *dependencies* under set semantics to termination.
+def _drive_set_chase(
+    current: ConjunctiveQuery,
+    plans: SigmaPlans,
+    egd_state: TriggerIndex,
+    tgd_state: TriggerIndex,
+    used_names: set[str],
+    records: list[ChaseStepRecord],
+    profile: ChaseProfile,
+    max_steps: int,
+    deduplicate: bool,
+) -> ConjunctiveQuery:
+    """The delta-driven set-chase loop, from *current* to its fixpoint.
 
-    ``regularize`` replaces every tgd by its regularized set first
-    (Proposition 4.1 guarantees this does not change the result up to
-    equivalence); ``deduplicate`` drops duplicate subgoals after egd steps,
-    which is always harmless under set semantics.
-
-    The loop is delta-driven: one :class:`TargetIndex` over the current body
-    is shared by every dependency probe of a round, a :class:`TriggerIndex`
-    per dependency kind skips dependencies that provably cannot have gained
-    a trigger since their last clean scan, and each dependency's compiled
-    match plans are served per Σ from ``plan_cache`` (default: the
-    process-wide cache) and reused across rounds and runs.  The applied step
-    sequence is identical to a full rescan every round.
+    Shared by :func:`set_chase` (fresh state) and the incremental resume in
+    :mod:`repro.chase.incremental` (state seeded from a checkpoint): the
+    caller owns the trigger indexes, the used-name set, and the record list,
+    so a continuation run starts exactly where a previous fixpoint left off.
+    Mutates *records*, *used_names*, and the trigger states in place and
+    returns the terminal query; raises :class:`ChaseNonTerminationError`
+    after *max_steps* rounds.
     """
-    cache = plan_cache if plan_cache is not None else default_plan_cache()
-    plan_stats = cache.snapshot()
-    plans = cache.plans_for(dependencies, regularize=regularize)
-    items, egds, tgds = plans.items, plans.egds, plans.tgds
-
-    profile = ChaseProfile(semantics=str(Semantics.SET))
-    started = time.perf_counter()
-    core_stats = snapshot_core_stats()
-    current = query
-    records: list[ChaseStepRecord] = []
-    # Names of every variable ever used in this chase run, so fresh variables
-    # never reuse a name eliminated by an earlier egd step.
-    used_names = set(query.variable_names())
-    egd_state = TriggerIndex.from_trigger_map(len(egds), plans.egd_trigger_map)
-    tgd_state = TriggerIndex.from_trigger_map(len(tgds), plans.tgd_trigger_map)
+    egds, tgds = plans.egds, plans.tgds
     index = TargetIndex(current.body)
     for _ in range(max_steps):
         profile.rounds += 1
@@ -192,16 +175,68 @@ def set_chase(
             index = TargetIndex(current.body)
             continue
         profile.retire_index(index)
-        profile.record_core_stats(core_stats)
-        profile.record_plan_stats(plan_stats, cache)
-        profile.wall_time = time.perf_counter() - started
-        return ChaseResult(current, records, Semantics.SET, terminated=True, profile=profile)
+        return current
     raise ChaseNonTerminationError(
         f"set chase did not terminate within {max_steps} steps "
-        f"(query {query.head_predicate}, {len(items)} dependencies); "
+        f"({len(plans.items)} dependencies); "
         "either raise max_steps or use weakly acyclic dependencies",
         steps_taken=len(records),
     )
+
+
+def set_chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    regularize: bool = True,
+    deduplicate: bool = True,
+    *,
+    plan_cache: PlanCache | None = None,
+    capture: ChaseCapture | None = None,
+) -> ChaseResult:
+    """Chase *query* with *dependencies* under set semantics to termination.
+
+    ``regularize`` replaces every tgd by its regularized set first
+    (Proposition 4.1 guarantees this does not change the result up to
+    equivalence); ``deduplicate`` drops duplicate subgoals after egd steps,
+    which is always harmless under set semantics.
+
+    The loop is delta-driven: one :class:`TargetIndex` over the current body
+    is shared by every dependency probe of a round, a :class:`TriggerIndex`
+    per dependency kind skips dependencies that provably cannot have gained
+    a trigger since their last clean scan, and each dependency's compiled
+    match plans are served per Σ from ``plan_cache`` (default: the
+    process-wide cache) and reused across rounds and runs.  The applied step
+    sequence is identical to a full rescan every round.
+
+    ``capture``, when given, receives the terminal trigger frontier and the
+    run's used-name set — the raw material of a resumable checkpoint (see
+    :mod:`repro.chase.incremental`).  Nothing is captured on non-termination.
+    """
+    cache = plan_cache if plan_cache is not None else default_plan_cache()
+    plan_stats = cache.snapshot()
+    plans = cache.plans_for(dependencies, regularize=regularize)
+    egds, tgds = plans.egds, plans.tgds
+
+    profile = ChaseProfile(semantics=str(Semantics.SET))
+    started = time.perf_counter()
+    core_stats = snapshot_core_stats()
+    records: list[ChaseStepRecord] = []
+    # Names of every variable ever used in this chase run, so fresh variables
+    # never reuse a name eliminated by an earlier egd step.
+    used_names = set(query.variable_names())
+    egd_state = TriggerIndex.from_trigger_map(len(egds), plans.egd_trigger_map)
+    tgd_state = TriggerIndex.from_trigger_map(len(tgds), plans.tgd_trigger_map)
+    terminal = _drive_set_chase(
+        query, plans, egd_state, tgd_state, used_names, records, profile,
+        max_steps, deduplicate,
+    )
+    profile.record_core_stats(core_stats)
+    profile.record_plan_stats(plan_stats, cache)
+    profile.wall_time = time.perf_counter() - started
+    if capture is not None:
+        capture.record(egd_state, tgd_state, used_names)
+    return ChaseResult(terminal, records, Semantics.SET, terminated=True, profile=profile)
 
 
 def set_chase_terminates(

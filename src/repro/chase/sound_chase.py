@@ -43,8 +43,8 @@ from ..dependencies.regularize import regularize_dependencies
 from ..exceptions import ChaseError, ChaseNonTerminationError
 from ..semantics import Semantics
 from .assignment_fixing import is_assignment_fixing_for
-from .delta import TriggerIndex
-from .plans import PlanCache, TGDPlan, default_plan_cache
+from .delta import ChaseCapture, TriggerIndex
+from .plans import PlanCache, SigmaPlans, TGDPlan, default_plan_cache
 from .profile import ChaseProfile, snapshot_core_stats
 from .set_chase import DEFAULT_MAX_STEPS, ChaseResult, _first_applicable_egd_step, set_chase
 from .steps import (
@@ -115,55 +115,33 @@ def _first_sound_tgd_step(
     return None
 
 
-def sound_chase(
-    query: ConjunctiveQuery,
-    dependencies: DependencySet | Sequence[Dependency],
-    semantics: Semantics | str = Semantics.BAG,
-    max_steps: int = DEFAULT_MAX_STEPS,
-    *,
-    plan_cache: PlanCache | None = None,
-) -> ChaseResult:
-    """Chase *query* applying only chase steps sound under *semantics*.
+def _drive_sound_chase(
+    current: ConjunctiveQuery,
+    plans: SigmaPlans,
+    items_sigma: DependencySet,
+    semantics: Semantics,
+    set_valued: frozenset[str],
+    dedup_predicates: set[str] | None,
+    egd_state: TriggerIndex,
+    tgd_state: TriggerIndex,
+    used_names: set[str],
+    records: list[ChaseStepRecord],
+    profile: ChaseProfile,
+    af_memo: dict[Hashable, bool],
+    max_steps: int,
+    cache: PlanCache,
+) -> ConjunctiveQuery:
+    """The delta-driven sound-chase loop, from *current* to its fixpoint.
 
-    For ``Semantics.SET`` this simply delegates to :func:`set_chase` (every
-    step is sound under set semantics).  For bag semantics the
-    :class:`DependencySet`'s ``set_valued_predicates`` determine which
-    relations may receive new subgoals and which duplicate subgoals may be
-    dropped.  ``plan_cache`` (default: the process-wide cache) serves the
-    per-dependency compiled match plans, reused across rounds and runs.
+    Shared by :func:`sound_chase` (fresh state) and the incremental resume
+    in :mod:`repro.chase.incremental` (state seeded from a replayed
+    checkpoint).  The caller owns the trigger indexes, the used-name set,
+    the record list, and the Definition 4.3 memo; all are mutated in place.
+    Returns the terminal query; raises :class:`ChaseNonTerminationError`
+    after *max_steps* rounds.
     """
-    semantics = Semantics.from_name(semantics)
-    if semantics is Semantics.SET:
-        return set_chase(query, dependencies, max_steps=max_steps, plan_cache=plan_cache)
-
-    cache = plan_cache if plan_cache is not None else default_plan_cache()
-    plan_stats = cache.snapshot()
-    _, set_valued = _split(dependencies)
-    plans = cache.plans_for(dependencies, regularize=True)
-    items, egds, tgds = plans.items, plans.egds, plans.tgds
-    # Wrapped once so the nested Definition 4.3 test chases key their plan
-    # lookups on a memoized fingerprint instead of re-walking the list.
-    items_sigma = DependencySet(items)
-    dedup_predicates: set[str] | None
-    if semantics is Semantics.BAG:
-        dedup_predicates = set(set_valued)
-    else:
-        dedup_predicates = None  # bag-set: all duplicates may be dropped
-
-    profile = ChaseProfile(semantics=str(semantics))
-    started = time.perf_counter()
-    core_stats = snapshot_core_stats()
-    current = query
-    records: list[ChaseStepRecord] = []
-    # Forbid reuse of any variable name ever produced in this chase run.
-    used_names = set(query.variable_names())
-    # Per-run state of the acceleration layers: body index, delta trigger
-    # tracking, and the Definition 4.3 verdict memo (Σ and the step budget
-    # are fixed for the whole run, as the memo requires).
-    egd_state = TriggerIndex.from_trigger_map(len(egds), plans.egd_trigger_map)
-    tgd_state = TriggerIndex.from_trigger_map(len(tgds), plans.tgd_trigger_map)
+    egds, tgds = plans.egds, plans.tgds
     index = TargetIndex(current.body)
-    af_memo: dict[Hashable, bool] = {}
     for _ in range(max_steps):
         profile.rounds += 1
         # Egd steps are always sound under both semantics (Theorems 4.1/4.3 item 2).
@@ -209,14 +187,78 @@ def sound_chase(
             index = TargetIndex(current.body)
             continue
         profile.retire_index(index)
-        profile.record_core_stats(core_stats)
-        profile.record_plan_stats(plan_stats, cache)
-        profile.wall_time = time.perf_counter() - started
-        return ChaseResult(current, records, semantics, terminated=True, profile=profile)
+        return current
     raise ChaseNonTerminationError(
         f"sound chase under {semantics} did not terminate within {max_steps} steps",
         steps_taken=len(records),
     )
+
+
+def sound_chase(
+    query: ConjunctiveQuery,
+    dependencies: DependencySet | Sequence[Dependency],
+    semantics: Semantics | str = Semantics.BAG,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    *,
+    plan_cache: PlanCache | None = None,
+    capture: ChaseCapture | None = None,
+) -> ChaseResult:
+    """Chase *query* applying only chase steps sound under *semantics*.
+
+    For ``Semantics.SET`` this simply delegates to :func:`set_chase` (every
+    step is sound under set semantics).  For bag semantics the
+    :class:`DependencySet`'s ``set_valued_predicates`` determine which
+    relations may receive new subgoals and which duplicate subgoals may be
+    dropped.  ``plan_cache`` (default: the process-wide cache) serves the
+    per-dependency compiled match plans, reused across rounds and runs.
+    ``capture``, when given, receives the terminal trigger frontier and the
+    run's used-name set — the raw material of a resumable checkpoint (see
+    :mod:`repro.chase.incremental`).
+    """
+    semantics = Semantics.from_name(semantics)
+    if semantics is Semantics.SET:
+        return set_chase(
+            query, dependencies, max_steps=max_steps,
+            plan_cache=plan_cache, capture=capture,
+        )
+
+    cache = plan_cache if plan_cache is not None else default_plan_cache()
+    plan_stats = cache.snapshot()
+    _, set_valued = _split(dependencies)
+    plans = cache.plans_for(dependencies, regularize=True)
+    egds, tgds = plans.egds, plans.tgds
+    # Wrapped once so the nested Definition 4.3 test chases key their plan
+    # lookups on a memoized fingerprint instead of re-walking the list.
+    items_sigma = DependencySet(plans.items)
+    dedup_predicates: set[str] | None
+    if semantics is Semantics.BAG:
+        dedup_predicates = set(set_valued)
+    else:
+        dedup_predicates = None  # bag-set: all duplicates may be dropped
+
+    profile = ChaseProfile(semantics=str(semantics))
+    started = time.perf_counter()
+    core_stats = snapshot_core_stats()
+    records: list[ChaseStepRecord] = []
+    # Forbid reuse of any variable name ever produced in this chase run.
+    used_names = set(query.variable_names())
+    # Per-run state of the acceleration layers: body index, delta trigger
+    # tracking, and the Definition 4.3 verdict memo (Σ and the step budget
+    # are fixed for the whole run, as the memo requires).
+    egd_state = TriggerIndex.from_trigger_map(len(egds), plans.egd_trigger_map)
+    tgd_state = TriggerIndex.from_trigger_map(len(tgds), plans.tgd_trigger_map)
+    af_memo: dict[Hashable, bool] = {}
+    terminal = _drive_sound_chase(
+        query, plans, items_sigma, semantics, set_valued, dedup_predicates,
+        egd_state, tgd_state, used_names, records, profile, af_memo,
+        max_steps, cache,
+    )
+    profile.record_core_stats(core_stats)
+    profile.record_plan_stats(plan_stats, cache)
+    profile.wall_time = time.perf_counter() - started
+    if capture is not None:
+        capture.record(egd_state, tgd_state, used_names)
+    return ChaseResult(terminal, records, semantics, terminated=True, profile=profile)
 
 
 def chase(

@@ -94,6 +94,36 @@ def is_tgd_applicable(query: ConjunctiveQuery, tgd: TGD) -> bool:
     return False
 
 
+def is_recorded_trigger_applicable(
+    query: ConjunctiveQuery,
+    tgd: TGD,
+    homomorphism: Mapping[Term, Term],
+    *,
+    index: TargetIndex | None = None,
+    plan: TGDPlan | None = None,
+) -> bool:
+    """Is the *recorded* premise homomorphism still an applicable trigger?
+
+    The incremental chase replays checkpointed step provenance against a
+    state that has grown since the step originally fired.  A recorded
+    trigger is still applicable exactly when (a) it still maps the premise
+    into the current body — atom by atom, no search — and (b) it still
+    cannot be extended to cover the conclusion.  Unlike premise validity,
+    (b) is *not* monotone in the body: atoms added by a delta can satisfy
+    the conclusion, in which case re-adding the recorded atoms would no
+    longer be a chase step at all and the caller must fall back to a cold
+    run.
+    """
+    if index is None:
+        index = TargetIndex(query.body)
+    if plan is None:
+        plan = TGDPlan(tgd)
+    body = set(query.body)
+    if any(atom.substitute(homomorphism) not in body for atom in tgd.premise):
+        return False
+    return find_match(plan.conclusion, index, fixed=homomorphism) is None
+
+
 def conclusion_instantiation(
     query: ConjunctiveQuery,
     tgd: TGD,

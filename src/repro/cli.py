@@ -65,12 +65,13 @@ def _load_dependencies(args) -> "DependencySet":
     return parse_dependencies(text, set_valued=set_valued)
 
 
-def _build_session(args) -> Session:
+def _build_session(args, *, chase_resumable: bool = False) -> Session:
     """One Session per CLI invocation: shared cache, registry dispatch."""
     return Session(
         dependencies=_load_dependencies(args),
         max_steps=args.max_steps,
         precheck=getattr(args, "precheck", None),
+        chase_resumable=chase_resumable,
     )
 
 
@@ -115,13 +116,52 @@ def _print_plan_cache_line(session: Session) -> None:
 # Subcommands
 # --------------------------------------------------------------------------- #
 def _cmd_chase(args) -> int:
-    session = _build_session(args)
+    if (args.add_atoms or args.add_dependencies) and not args.resume:
+        print(
+            "error: --add-atoms/--add-dependencies require --resume",
+            file=sys.stderr,
+        )
+        return 2
+    session = _build_session(args, chase_resumable=args.resume)
     query = parse_query(args.query)
     result = session.chase(query, args.semantics)
     print(render_query(result.query))
     if args.show_steps:
         for record in result.steps:
             print(f"  {record}")
+    if args.resume:
+        from .chase.incremental import ChaseDelta
+        from .datalog import parse_atoms
+
+        deltas = [
+            ChaseDelta.atoms(*parse_atoms(_read_text_or_file(text)))
+            for text in (args.add_atoms or [])
+        ]
+        deltas.extend(
+            ChaseDelta.dependencies(
+                *parse_dependencies(_read_text_or_file(text)).dependencies
+            )
+            for text in (args.add_dependencies or [])
+        )
+        current = query
+        for number, delta in enumerate(deltas, 1):
+            outcome = session.apply_delta(current, delta, args.semantics)
+            label = (
+                "resumed"
+                if outcome.resumed
+                else f"cold ({outcome.fallback_reason})"
+            )
+            print(
+                f"# delta {number}: {label}, {outcome.replayed_steps} steps "
+                f"replayed, {outcome.new_steps} new steps"
+            )
+            print(render_query(outcome.result.query))
+            if args.show_steps:
+                for record in outcome.result.steps[outcome.replayed_steps:]:
+                    print(f"  {record}")
+            if outcome.checkpoint is not None:
+                current = outcome.checkpoint.base_query
+            result = outcome.result
     if args.profile and result.profile is not None:
         for line in result.profile.summary_lines():
             print(line)
@@ -323,7 +363,8 @@ def _cmd_serve(args) -> int:
     from .serve import ChaseStore, ReproServer
 
     store = ChaseStore(args.store) if args.store else None
-    session = _build_session(args)
+    # Resumable: the daemon's apply-delta op stores and resumes checkpoints.
+    session = _build_session(args, chase_resumable=True)
     server = ReproServer(
         session,
         host=args.host,
@@ -388,6 +429,21 @@ def _cmd_client(args) -> int:
             params["dependencies"] = _read_text_or_file(args.dependencies)
         if args.strict:
             params["strict"] = True
+    if args.op == "apply-delta":
+        if args.add_atoms is not None:
+            params["add_atoms"] = _read_text_or_file(args.add_atoms)
+        if args.add_dependencies is not None:
+            params["add_dependencies"] = _read_text_or_file(args.add_dependencies)
+        if args.remove_atoms is not None:
+            params["remove_atoms"] = _read_text_or_file(args.remove_atoms)
+        if args.remove_dependencies is not None:
+            params["remove_dependencies"] = _read_text_or_file(
+                args.remove_dependencies
+            )
+        if args.set_valued:
+            params["set_valued"] = [
+                name.strip() for name in args.set_valued.split(",") if name.strip()
+            ]
     if args.op == "batch":
         if not args.pairs:
             print("error: batch needs --pairs", file=sys.stderr)
@@ -440,6 +496,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the chase profile (steps by kind, triggers examined, "
         "index hit rate, wall time)",
+    )
+    chase_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="capture a resumable checkpoint and apply --add-atoms / "
+        "--add-dependencies deltas incrementally instead of rechasing",
+    )
+    chase_parser.add_argument(
+        "--add-atoms",
+        action="append",
+        metavar="ATOMS",
+        help="with --resume: apply one instance delta (a conjunction of "
+        "atoms, file or text); repeatable, applied in order",
+    )
+    chase_parser.add_argument(
+        "--add-dependencies",
+        action="append",
+        metavar="SIGMA",
+        help="with --resume: apply one Σ delta (rule-notation dependencies, "
+        "file or text); repeatable, applied after the --add-atoms deltas",
     )
     chase_parser.set_defaults(handler=_cmd_chase)
 
@@ -619,7 +695,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_parser.add_argument(
         "op",
-        choices=["decide", "reformulate", "batch", "analyze", "stats", "health"],
+        choices=[
+            "decide",
+            "reformulate",
+            "batch",
+            "analyze",
+            "apply-delta",
+            "stats",
+            "health",
+        ],
         help="operation to invoke",
     )
     client_parser.add_argument("--host", default="127.0.0.1")
@@ -650,6 +734,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="analyze: answer with a precheck-failed error when the analyzed "
         "Σ has error-severity diagnostics",
+    )
+    client_parser.add_argument(
+        "--add-atoms", help="apply-delta: atoms to add (conjunction text)"
+    )
+    client_parser.add_argument(
+        "--add-dependencies",
+        help="apply-delta: dependencies to add to the server's Σ (rule "
+        "notation, file or text)",
+    )
+    client_parser.add_argument(
+        "--remove-atoms", help="apply-delta: atoms to remove (conjunction text)"
+    )
+    client_parser.add_argument(
+        "--remove-dependencies",
+        help="apply-delta: dependencies to remove from the server's Σ (rule "
+        "notation, file or text)",
+    )
+    client_parser.add_argument(
+        "--set-valued",
+        help="apply-delta: comma-separated set-valued markers to add",
     )
     client_parser.set_defaults(handler=_cmd_client)
 

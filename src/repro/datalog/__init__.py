@@ -2,6 +2,7 @@
 
 from .parser import (
     parse_aggregate_query,
+    parse_atoms,
     parse_dependencies,
     parse_dependency,
     parse_egd,
@@ -19,6 +20,7 @@ from .render import (
 
 __all__ = [
     "parse_aggregate_query",
+    "parse_atoms",
     "parse_dependencies",
     "parse_dependency",
     "parse_egd",

@@ -255,6 +255,27 @@ def parse_aggregate_query(text: str) -> AggregateQuery:
     return AggregateQuery(name_token.value, grouping_terms, aggregate, atoms)
 
 
+def parse_atoms(text: str) -> list[Atom]:
+    """Parse a comma/``&``-separated conjunction of relational atoms.
+
+    The textual form of an instance delta (``repro client apply-delta``, the
+    ``--add-atoms`` CLI flag): plain atoms, no equalities, no rule arrow.
+    """
+    parser = _Parser(text)
+    conjuncts = parser.parse_conjunction()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(
+            f"unexpected trailing input {token.value!r} in {text!r}", token.position
+        )
+    atoms = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, EqualityAtom):
+            raise ParseError(f"expected relational atoms, found equality in {text!r}")
+        atoms.append(conjunct)
+    return atoms
+
+
 def parse_dependency(text: str, name: str = "") -> list[Dependency]:
     """Parse an embedded dependency ``premise -> conclusion``.
 

@@ -45,6 +45,24 @@ class ChaseError(ReproError):
     """The chase could not be carried out (internal inconsistency)."""
 
 
+class DeltaRejectedError(ChaseError):
+    """An instance/Σ delta cannot be applied to a chase state.
+
+    Raised by the incremental-chase layer (:mod:`repro.chase.incremental`)
+    and by ``Session.apply_delta`` when a delta is structurally invalid:
+    empty, removing an atom the base query does not contain, removing a
+    dependency Σ does not contain, or adding an atom whose arity conflicts
+    with the predicate's known arity.  ``reason`` carries a stable
+    machine-readable slug (``"empty-delta"``, ``"unknown-atom"``,
+    ``"unknown-dependency"``, ``"arity-conflict"``) that the serve daemon
+    forwards in its structured ``delta-rejected`` error responses.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid-delta"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class ChaseNonTerminationError(ChaseError):
     """The chase exceeded its step budget without reaching a terminal result.
 

@@ -1,7 +1,7 @@
 """The differential oracle: every cheap invariant this repository can check.
 
 Given a :class:`~repro.fuzz.generator.FuzzCase` (a query pair plus Σ), the
-oracle runs five independent families of checks and reports every mismatch:
+oracle runs six independent families of checks and reports every mismatch:
 
 1. **Engine differential** — the accelerated chase drivers
    (:func:`repro.chase.sound_chase.sound_chase`, delta-driven, indexed) must
@@ -24,6 +24,13 @@ oracle runs five independent families of checks and reports every mismatch:
    certificate (or witness cycle) must machine-verify, and on weakly
    acyclic Σ the certificate's static chase-depth bound must dominate the
    rounds every terminated reference chase actually took.
+6. **Incremental resume** — replaying the case as a *delta sequence* (a
+   head-safe prefix of the query grown one atom at a time, then the second
+   half of Σ one dependency at a time) through
+   :func:`repro.chase.incremental.resume_chase` must land on a genuine
+   fixpoint (no applicable step remains) that is Σ-equivalent to a cold
+   chase of the same accumulated state, with agreeing outcome kinds when a
+   chase fails.
 
 Every check is pure: the oracle never mutates the case and builds a fresh
 :class:`Session` per report, so corpus replays and shrink probes are
@@ -34,13 +41,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..chase.incremental import (
+    ChaseDelta,
+    chase_with_checkpoint,
+    has_applicable_step,
+    resume_chase,
+)
 from ..chase.reference import sound_chase_reference
 from ..chase.sound_chase import sound_chase
 from ..chase.steps import ChaseFailedError
 from ..core.homomorphism import find_isomorphism, iter_homomorphisms
 from ..core.query import ConjunctiveQuery
 from ..core.reference import iter_homomorphisms_reference
-from ..dependencies.base import EGD, TGD, Dependency
+from ..dependencies.base import EGD, TGD, Dependency, DependencySet
 from ..dependencies.weak_acyclicity import is_weakly_acyclic
 from ..datalog import parse_dependency, parse_query, render_dependency, render_query
 from ..equivalence.decision import EquivalenceVerdict
@@ -344,6 +357,140 @@ def _check_sql_round_trip(case: FuzzCase, report: CaseReport) -> None:
 
 
 # --------------------------------------------------------------------------- #
+# Incremental resume
+# --------------------------------------------------------------------------- #
+def _delta_sequence(case: FuzzCase):
+    """Decompose the case into a start state and a list of monotone deltas.
+
+    The start query is the shortest head-safe body prefix; every further
+    body atom becomes one atom delta.  The start Σ is the first half of the
+    case's dependency set (all set-valued markers included from the start,
+    so only dependencies are ever delta'd); the second half arrives one
+    dependency at a time.  Returns ``None`` when the case offers no delta
+    to replay.
+    """
+    from ..core.terms import Variable
+
+    head_variables = set(case.query.head_variables())
+    covered: set = set()
+    prefix_length = 1  # a CQ body is a nonempty conjunction
+    for position, atom in enumerate(case.query.body):
+        covered |= {term for term in atom.terms if isinstance(term, Variable)}
+        if covered >= head_variables:
+            prefix_length = position + 1
+            break
+    atom_deltas = case.query.body[prefix_length:]
+
+    all_dependencies = list(case.dependencies)
+    split = len(all_dependencies) // 2
+    base_sigma = DependencySet(
+        all_dependencies[:split] if split else all_dependencies,
+        case.dependencies.set_valued_predicates,
+    )
+    dependency_deltas = all_dependencies[split:] if split else []
+    if not atom_deltas and not dependency_deltas:
+        return None
+
+    base_query = ConjunctiveQuery(
+        case.query.head_predicate,
+        case.query.head_terms,
+        case.query.body[:prefix_length],
+    )
+    deltas = [ChaseDelta.atoms(atom) for atom in atom_deltas]
+    deltas.extend(ChaseDelta.dependencies(dep) for dep in dependency_deltas)
+    return base_query, base_sigma, deltas
+
+
+def _check_incremental_resume(case: FuzzCase, report: CaseReport) -> None:
+    """Resumed delta replay vs cold chase of the same accumulated state.
+
+    Each delta step must (a) agree with a cold chase on the outcome *kind*
+    (terminated / chase-failed; budget exhaustion on either side skips the
+    rest of the sequence — step accounting legitimately differs between the
+    two paths), (b) land on a genuine fixpoint per the trust-nothing
+    :func:`~repro.chase.incremental.has_applicable_step` probe, and (c) be
+    Σ-equivalent to the cold result under the step's semantics.
+    """
+    decomposed = _delta_sequence(case)
+    if decomposed is None:
+        return
+    base_query, sigma, deltas = decomposed
+    semantics = ALL_SEMANTICS[(case.index or 0) % len(ALL_SEMANTICS)]
+    session = Session(max_steps=case.max_steps)
+    strategy = session.strategy_for(semantics)
+    try:
+        _, checkpoint = chase_with_checkpoint(
+            base_query, sigma, semantics, case.max_steps
+        )
+    except ChaseNonTerminationError:
+        report.budget_exhausted = True
+        return
+    except ChaseFailedError:
+        return  # kind agreement on full states is covered by check 1
+
+    for position, delta in enumerate(deltas):
+        try:
+            outcome = resume_chase(checkpoint, delta)
+        except ChaseNonTerminationError:
+            report.budget_exhausted = True
+            return
+        except ChaseFailedError:
+            outcome = None
+        new_sigma = checkpoint.sigma
+        if outcome is not None:
+            new_sigma = outcome.checkpoint.sigma
+            new_query = outcome.checkpoint.base_query
+        else:
+            from ..chase.incremental import apply_delta_to_query, apply_delta_to_sigma
+
+            new_query = apply_delta_to_query(checkpoint.base_query, delta)
+            new_sigma = apply_delta_to_sigma(checkpoint.sigma, delta)
+        cold = _chase_outcome(
+            sound_chase, new_query, new_sigma, semantics, case.max_steps
+        )
+        if cold[0] == "budget-exhausted":
+            report.budget_exhausted = True
+            return
+        resumed_kind = "terminated" if outcome is not None else "chase-failed"
+        if resumed_kind != cold[0]:
+            report.mismatches.append(
+                OracleMismatch(
+                    f"incremental-resume[{semantics}]",
+                    f"delta {position}: resumed chase {resumed_kind} but cold "
+                    f"chase {cold[0]}",
+                )
+            )
+            return
+        if outcome is None:
+            return  # both failed; the accumulated state is inconsistent
+        if has_applicable_step(
+            outcome.result.query, new_sigma, semantics, case.max_steps
+        ):
+            report.mismatches.append(
+                OracleMismatch(
+                    f"incremental-resume[{semantics}]",
+                    f"delta {position}: resumed result "
+                    f"{outcome.result.query} is not a fixpoint "
+                    f"(resumed={outcome.resumed})",
+                )
+            )
+            return
+        if not strategy.equivalent_chased(
+            outcome.result.query, cold[1].query, new_sigma
+        ):
+            report.mismatches.append(
+                OracleMismatch(
+                    f"incremental-resume[{semantics}]",
+                    f"delta {position}: resumed result {outcome.result.query} "
+                    f"not Σ-equivalent to cold result {cold[1].query} "
+                    f"(resumed={outcome.resumed})",
+                )
+            )
+            return
+        checkpoint = outcome.checkpoint
+
+
+# --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
 def _check_static_analysis(
@@ -414,4 +561,5 @@ def run_oracle(
     _check_datalog_round_trip(case, report)
     _check_sql_round_trip(case, report)
     _check_static_analysis(case, report, reference_outcomes)
+    _check_incremental_resume(case, report)
     return report

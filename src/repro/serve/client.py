@@ -132,6 +132,35 @@ class ReproClient:
             params["semantics"] = semantics
         return self.request("batch", params)
 
+    def apply_delta(
+        self,
+        query: str,
+        *,
+        add_atoms: str | None = None,
+        add_dependencies: str | None = None,
+        remove_atoms: str | None = None,
+        remove_dependencies: str | None = None,
+        set_valued: list[str] | None = None,
+        semantics: str | None = None,
+        max_steps: int | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"query": query}
+        if add_atoms is not None:
+            params["add_atoms"] = add_atoms
+        if add_dependencies is not None:
+            params["add_dependencies"] = add_dependencies
+        if remove_atoms is not None:
+            params["remove_atoms"] = remove_atoms
+        if remove_dependencies is not None:
+            params["remove_dependencies"] = remove_dependencies
+        if set_valued:
+            params["set_valued"] = list(set_valued)
+        if semantics is not None:
+            params["semantics"] = semantics
+        if max_steps is not None:
+            params["max_steps"] = max_steps
+        return self.request("apply-delta", params)
+
     def stats(self) -> dict[str, Any]:
         return self.request("stats")
 

@@ -37,7 +37,7 @@ from typing import Any, Mapping
 from ..exceptions import ReproError
 
 #: Operations the daemon dispatches on.
-OPS = ("decide", "reformulate", "batch", "analyze", "stats", "health")
+OPS = ("decide", "reformulate", "batch", "analyze", "apply-delta", "stats", "health")
 
 #: Default cap on one request line (bytes, newline included).  Generous for
 #: query text, small enough that a misbehaving client cannot balloon server
@@ -55,6 +55,7 @@ ERROR_CODES = (
     "unknown-op",  # op not in OPS
     "unknown-semantics",  # semantics name the session cannot dispatch on
     "chase-failed",  # the chase exhausted its step budget
+    "delta-rejected",  # an apply-delta edit is structurally invalid (carries 'reason')
     "precheck-failed",  # the static analyzer refused Σ (strict analyze/precheck)
     "timeout",  # the per-request wall-clock budget ran out
     "request-too-large",  # request line over the size cap (connection closes)

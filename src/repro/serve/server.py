@@ -34,10 +34,12 @@ import threading
 import time
 from typing import Any, Callable
 
-from ..datalog.parser import parse_query
+from ..chase.incremental import ChaseDelta
+from ..datalog.parser import parse_atoms, parse_dependencies, parse_query
 from ..datalog.render import render_query
 from ..exceptions import (
     ChaseNonTerminationError,
+    DeltaRejectedError,
     ParseError,
     PrecheckFailedError,
     ReproError,
@@ -264,6 +266,81 @@ class ReproServer:
         payload["summary"] = report.summary()
         return payload
 
+    def _handle_apply_delta(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Apply an instance/Σ delta and chase the new state incrementally.
+
+        ``params.query`` names the base query; ``params.add_atoms`` /
+        ``params.remove_atoms`` (conjunction text) edit its body, and
+        ``params.add_dependencies`` / ``params.remove_dependencies``
+        (rule-notation text, one dependency per line) edit the *session's* Σ.
+        ``params.set_valued`` lists additional set-valued markers.  The
+        session resumes from a stored checkpoint when it can; a structurally
+        invalid delta is answered with a ``delta-rejected`` error carrying
+        the stable rejection ``reason``.
+        """
+        query = _param_query(params, "query")
+        delta = self._param_delta(params)
+        semantics = params.get("semantics")
+        outcome = self.session.apply_delta(
+            query, delta, semantics, _param_max_steps(params)
+        )
+        checkpoint = outcome.checkpoint
+        return {
+            "resumed": outcome.resumed,
+            "fallback_reason": outcome.fallback_reason,
+            "replayed_steps": outcome.replayed_steps,
+            "new_steps": outcome.new_steps,
+            "steps_saved": outcome.steps_saved,
+            "query": render_query(
+                checkpoint.base_query if checkpoint is not None else query
+            ),
+            "chased": render_query(outcome.result.query),
+            "dependencies": len(self.session.dependencies),
+        }
+
+    @staticmethod
+    def _param_delta(params: dict[str, Any]) -> ChaseDelta:
+        def atoms_of(name: str) -> tuple:
+            text = params.get(name)
+            if text is None:
+                return ()
+            if not isinstance(text, str):
+                raise ProtocolError(
+                    "invalid-request", f"params.{name} must be a string"
+                )
+            try:
+                return tuple(parse_atoms(text))
+            except ParseError as exc:
+                raise ProtocolError("parse-error", f"params.{name}: {exc}") from exc
+
+        def dependencies_of(name: str) -> tuple:
+            text = params.get(name)
+            if text is None:
+                return ()
+            if not isinstance(text, str):
+                raise ProtocolError(
+                    "invalid-request", f"params.{name} must be a string"
+                )
+            try:
+                return tuple(parse_dependencies(text).dependencies)
+            except ParseError as exc:
+                raise ProtocolError("parse-error", f"params.{name}: {exc}") from exc
+
+        set_valued = params.get("set_valued", [])
+        if not isinstance(set_valued, list) or not all(
+            isinstance(entry, str) for entry in set_valued
+        ):
+            raise ProtocolError(
+                "invalid-request", "params.set_valued must be a list of strings"
+            )
+        return ChaseDelta(
+            added_atoms=atoms_of("add_atoms"),
+            added_dependencies=dependencies_of("add_dependencies"),
+            removed_atoms=atoms_of("remove_atoms"),
+            removed_dependencies=dependencies_of("remove_dependencies"),
+            set_valued=frozenset(set_valued),
+        )
+
     def _handle_stats(self, params: dict[str, Any]) -> dict[str, Any]:
         stats = self.session.stats()
         stats["server"] = {
@@ -292,6 +369,7 @@ class ReproServer:
             "reformulate": self._handle_reformulate,
             "batch": self._handle_batch,
             "analyze": self._handle_analyze,
+            "apply-delta": self._handle_apply_delta,
             "stats": self._handle_stats,
             "health": self._handle_health,
         }[op]
@@ -325,6 +403,10 @@ class ReproServer:
                 "chase-failed",
                 str(exc),
                 steps_taken=exc.steps_taken,
+            )
+        except DeltaRejectedError as exc:
+            return error_response(
+                request_id, "delta-rejected", str(exc), reason=exc.reason
             )
         except PrecheckFailedError as exc:
             detail: dict[str, Any] = {}

@@ -30,6 +30,17 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable, Mapping, Protocol, Sequence
 
+from ..chase.incremental import (
+    ChaseCheckpoint,
+    ChaseDelta,
+    ResumeOutcome,
+    apply_delta_to_query,
+    apply_delta_to_sigma,
+    chase_with_checkpoint,
+    resume_chase,
+    sigma_extension_suffix,
+    validate_delta,
+)
 from ..chase.plans import PlanCache, default_plan_cache
 from ..chase.profile import ChaseProfile
 from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
@@ -38,11 +49,12 @@ from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
 from ..equivalence.decision import EquivalenceVerdict
 from ..semantics import Semantics
-from ..exceptions import DependencyError, SchemaError, SemanticsError
+from ..exceptions import DeltaRejectedError, DependencyError, SchemaError, SemanticsError
 from .cache import (
     MISSING,
     CacheStats,
     ChaseCache,
+    ChaseKey,
     WeakKeyLRU,
     chase_cache_key,
     sigma_fingerprint,
@@ -113,6 +125,7 @@ class Session:
         max_steps: int = DEFAULT_MAX_STEPS,
         store: "ChaseResultStore | None" = None,
         precheck: str | None = None,
+        chase_resumable: bool = False,
     ):
         if schema is not None and not hasattr(schema, "set_valued_relations"):
             # The natural-looking call Session(sigma) would otherwise bind
@@ -164,6 +177,26 @@ class Session:
         # Aggregate of every *cold* chase's profile (cache hits add nothing:
         # the work they saved is exactly what the aggregate measures).
         self._profile = ChaseProfile(runs=0)
+        # Incremental chase state.  With ``chase_resumable`` every cold chase
+        # of a built-in semantics also captures a ChaseCheckpoint; apply_delta
+        # always captures one for the post-delta state.  Checkpoints are
+        # keyed *without* Σ or the step budget (a checkpoint carries its own
+        # Σ and budget and is caught up to the session's Σ at resume time),
+        # and deliberately kept in a cache separate from the chase-result
+        # cache: set_dependencies must invalidate stale results but a
+        # checkpoint taken under a Σ prefix is exactly what apply_delta
+        # resumes from after Σ grows.
+        self.chase_resumable = bool(chase_resumable)
+        self._checkpoints = ChaseCache(cache_size)
+        self._incremental: dict[str, int] = {
+            "deltas_applied": 0,
+            "deltas_rejected": 0,
+            "resumed_runs": 0,
+            "cold_runs": 0,
+            "steps_replayed": 0,
+            "steps_executed": 0,
+            "steps_saved": 0,
+        }
         # Any registration that shadows an existing semantics name — through
         # this object or the registry directly — must drop cached chases.
         self.registry.on_shadow(self.cache.invalidate)
@@ -333,9 +366,19 @@ class Session:
                 # no chase work, exactly like a memory hit.
                 self.cache.put(key, stored)
                 return stored
-        result = strategy.chase_with_plans(
-            query, self._dependencies, steps, self.plan_cache
-        )
+        semantics_token = getattr(strategy, "semantics", None)
+        if self.chase_resumable and semantics_token is not None:
+            result, checkpoint = chase_with_checkpoint(
+                query, self._dependencies, semantics_token, steps,
+                plan_cache=self.plan_cache,
+            )
+            self._checkpoints.put(self._checkpoint_key(query, strategy), checkpoint)
+            self._incremental["cold_runs"] += 1
+            self._incremental["steps_executed"] += result.step_count
+        else:
+            result = strategy.chase_with_plans(
+                query, self._dependencies, steps, self.plan_cache
+            )
         profile = getattr(result, "profile", None)
         if profile is not None:
             self._profile.merge(profile)
@@ -343,6 +386,169 @@ class Session:
         if self.store is not None and result.terminated:
             self.store.put(key, result)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental chase
+    # ------------------------------------------------------------------ #
+    def _checkpoint_key(
+        self, query: ConjunctiveQuery, strategy: SemanticsStrategy
+    ) -> ChaseKey:
+        # No Σ fingerprint and no step budget, unlike _chase_key: a
+        # checkpoint records its own Σ and budget, and the whole point of
+        # keeping it across set_dependencies is resuming after Σ grows.
+        strategy_key = (
+            normalize_semantics_name(strategy.name),
+            strategy.cache_token(),
+        )
+        return ChaseKey((query.structural_key(), strategy_key))
+
+    def checkpoint_for(
+        self, query: ConjunctiveQuery, semantics: object | None = None
+    ) -> "ChaseCheckpoint | None":
+        """The stored chase checkpoint for *query*, or None.
+
+        Checkpoints exist for queries chased with ``chase_resumable`` set or
+        advanced through :meth:`apply_delta`; they may have been taken under
+        an earlier (prefix) Σ than the session's current one.
+        """
+        strategy = self.strategy_for(semantics)
+        checkpoint = self._checkpoints.get(self._checkpoint_key(query, strategy))
+        return None if checkpoint is MISSING else checkpoint
+
+    def apply_delta(
+        self,
+        query: ConjunctiveQuery,
+        delta: ChaseDelta,
+        semantics: object | None = None,
+        max_steps: int | None = None,
+    ) -> ResumeOutcome:
+        """Apply an instance/Σ delta to *query* and chase the new state.
+
+        The delta's dependency edits update the *session's* Σ (through
+        :meth:`set_dependencies`, so cached chase results are invalidated and
+        an active precheck re-runs — a strict precheck that refuses the new Σ
+        leaves the session untouched); its atom edits produce the new query,
+        available as ``outcome.checkpoint.base_query``.  When a checkpoint
+        for *query* exists and the delta is monotone, the chase is *resumed*
+        from the checkpointed fixpoint instead of being recomputed — a
+        checkpoint taken under an earlier Σ is caught up by folding the
+        missing Σ suffix into the delta.  The outcome's result is also cached
+        under the new query, so a following :meth:`chase` of it is warm.
+
+        A resumed terminal result is Σ-equivalent to the cold chase of the
+        new state (exactly what every downstream equivalence/C&B test needs),
+        but not in general syntactically identical to it.
+
+        Raises :class:`~repro.exceptions.DeltaRejectedError` for structurally
+        invalid deltas, with the session state untouched.
+        """
+        strategy = self.strategy_for(semantics)
+        try:
+            validate_delta(query, self._dependencies, delta)
+        except DeltaRejectedError:
+            self._incremental["deltas_rejected"] += 1
+            raise
+        previous_sigma = self._dependencies
+        new_sigma = apply_delta_to_sigma(previous_sigma, delta)
+        new_query = apply_delta_to_query(query, delta)
+        if (
+            delta.added_dependencies
+            or delta.removed_dependencies
+            or delta.set_valued
+        ):
+            # May raise PrecheckFailedError under a strict precheck; nothing
+            # has been chased or cached yet, so the session stays consistent.
+            self.set_dependencies(new_sigma)
+        semantics_token = getattr(strategy, "semantics", None)
+        if max_steps is None:
+            if self._certificate is not None:
+                steps = self._certificate.step_budget_for(new_query)
+            else:
+                steps = self.max_steps
+        else:
+            steps = max_steps
+
+        outcome: ResumeOutcome | None = None
+        if semantics_token is None:
+            result = strategy.chase_with_plans(
+                new_query, self._dependencies, steps, self.plan_cache
+            )
+            outcome = ResumeOutcome(
+                result=result,
+                checkpoint=None,
+                resumed=False,
+                fallback_reason="unsupported-strategy",
+                replayed_steps=0,
+                new_steps=result.step_count,
+            )
+        elif delta.is_monotone:
+            checkpoint = self._checkpoints.get(self._checkpoint_key(query, strategy))
+            if checkpoint is not MISSING:
+                catchup = sigma_extension_suffix(checkpoint.sigma, previous_sigma)
+                if catchup is not None:
+                    suffix, markers = catchup
+                    effective = ChaseDelta(
+                        added_atoms=delta.added_atoms,
+                        added_dependencies=suffix + delta.added_dependencies,
+                        set_valued=markers | delta.set_valued,
+                    )
+                    outcome = resume_chase(
+                        checkpoint, effective,
+                        max_steps=steps, plan_cache=self.plan_cache,
+                    )
+                else:
+                    outcome = self._cold_outcome(
+                        new_query, semantics_token, steps, "sigma-diverged"
+                    )
+            else:
+                outcome = self._cold_outcome(
+                    new_query, semantics_token, steps, "no-checkpoint"
+                )
+        else:
+            outcome = self._cold_outcome(
+                new_query, semantics_token, steps, "non-monotone-delta"
+            )
+
+        counters = self._incremental
+        counters["deltas_applied"] += 1
+        if outcome.resumed:
+            counters["resumed_runs"] += 1
+        else:
+            counters["cold_runs"] += 1
+        counters["steps_replayed"] += outcome.replayed_steps
+        counters["steps_executed"] += outcome.new_steps
+        counters["steps_saved"] += outcome.steps_saved
+        profile = getattr(outcome.result, "profile", None)
+        if profile is not None:
+            self._profile.merge(profile)
+        key = self._chase_key(new_query, strategy, steps)
+        self.cache.put(key, outcome.result)
+        if self.store is not None and outcome.result.terminated:
+            self.store.put(key, outcome.result)
+        if outcome.checkpoint is not None:
+            self._checkpoints.put(
+                self._checkpoint_key(new_query, strategy), outcome.checkpoint
+            )
+        return outcome
+
+    def _cold_outcome(
+        self,
+        query: ConjunctiveQuery,
+        semantics: Semantics,
+        steps: int,
+        reason: str,
+    ) -> ResumeOutcome:
+        result, checkpoint = chase_with_checkpoint(
+            query, self._dependencies, semantics, steps, plan_cache=self.plan_cache
+        )
+        return ResumeOutcome(
+            result=result,
+            checkpoint=checkpoint,
+            resumed=False,
+            fallback_reason=reason,
+            replayed_steps=0,
+            new_steps=result.step_count,
+        )
 
     # ------------------------------------------------------------------ #
     # Decisions
@@ -496,6 +702,9 @@ class Session:
           table sizes;
         * ``profile`` — the aggregate cold-chase profile
           (:meth:`chase_profile`, as a dict);
+        * ``incremental`` — resumed-vs-cold run counts, replayed/executed/
+          saved step counters, and live checkpoint count of the incremental
+          chase layer (:meth:`apply_delta` / ``chase_resumable``);
         * ``store`` — the persistent store's counters, present only when a
           store is attached;
         * ``precheck`` — mode, certification status, and diagnostic counts,
@@ -528,6 +737,11 @@ class Session:
                 "constants": constants,
             },
             "profile": self.chase_profile().as_dict(),
+            "incremental": {
+                **self._incremental,
+                "checkpoints": len(self._checkpoints),
+                "resumable": self.chase_resumable,
+            },
         }
         if self.store is not None:
             stats["store"] = dict(self.store.stats())

@@ -2,12 +2,14 @@
 
 from .definitions import ViewDefinition, ViewSet
 from .rewriting import (
+    IncrementalViewRewriter,
     ViewRewritingResult,
     is_correct_rewriting,
     rewrite_query_using_views,
 )
 
 __all__ = [
+    "IncrementalViewRewriter",
     "ViewDefinition",
     "ViewRewritingResult",
     "ViewSet",

@@ -87,7 +87,7 @@ class ViewDefinition:
 class ViewSet:
     """A collection of views over one base schema."""
 
-    def __init__(self, views: Iterable[ViewDefinition] = ()):
+    def __init__(self, views: Iterable[ViewDefinition] = ()) -> None:
         self._views: dict[str, ViewDefinition] = {}
         for view in views:
             self.add(view)

@@ -42,8 +42,9 @@ usable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
+from ..core.atoms import Atom
 from ..core.homomorphism import are_isomorphic
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
@@ -101,7 +102,7 @@ class ViewRewritingResult:
     expansions: dict[int, ConjunctiveQuery] = field(default_factory=dict)
     candidates_examined: int = 0
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
         return iter(self.rewritings)
 
     def __len__(self) -> int:
@@ -153,7 +154,38 @@ def rewrite_query_using_views(
     # Candidate generation always uses the set chase (see the module
     # docstring); per-candidate validation below uses the requested semantics.
     universal_plan = sound_chase(query, combined, Semantics.SET, max_steps).query
+    return _collect_rewritings(
+        query,
+        views,
+        dependencies,
+        semantics,
+        universal_plan,
+        total_only=total_only,
+        max_steps=max_steps,
+        max_candidate_size=max_candidate_size,
+    )
 
+
+def _collect_rewritings(
+    query: ConjunctiveQuery,
+    views: ViewSet,
+    dependencies: DependencySet,
+    semantics: Semantics,
+    universal_plan: ConjunctiveQuery,
+    *,
+    total_only: bool,
+    max_steps: int,
+    max_candidate_size: int | None,
+) -> ViewRewritingResult:
+    """Steps 3–4 of the recipe: enumerate and validate subquery candidates.
+
+    Shared by :func:`rewrite_query_using_views` (which chases the universal
+    plan cold) and :class:`IncrementalViewRewriter` (which maintains it
+    across deltas); any terminal set-chase fixpoint of the combined
+    dependency set works as *universal_plan* — resumed and cold fixpoints
+    differ only up to Σ-equivalence, and the per-candidate expansion test
+    carries the correctness guarantee either way.
+    """
     result = ViewRewritingResult(
         query=query, semantics=semantics, universal_plan=universal_plan
     )
@@ -183,6 +215,117 @@ def rewrite_query_using_views(
         result.rewritings.append(candidate)
         result.expansions[id(candidate)] = expansion
     return result
+
+
+class IncrementalViewRewriter:
+    """Maintain view-based rewritings while the query and Σ grow.
+
+    The dominant cost of :func:`rewrite_query_using_views` on a warm
+    workload is step 2 — re-chasing the input to its universal plan after
+    every edit.  This maintainer keeps that chase *resumable* (see
+    :mod:`repro.chase.incremental`): :meth:`add_atoms` and
+    :meth:`add_dependencies` advance the universal-plan fixpoint from its
+    checkpoint instead of rechasing, then re-run only candidate enumeration
+    and validation.
+
+    The maintainer owns its working dependency order: it starts from
+    ``views.combined_dependencies(dependencies)`` and *appends* every added
+    dependency at the end, so each checkpoint's Σ stays a prefix of the next
+    (the resumability condition).  This differs from what
+    ``combined_dependencies`` would produce if rebuilt from the grown base
+    set (base dependencies first, view dependencies after) — harmless, since
+    chase order only affects the fixpoint's syntax, never its Σ-equivalence
+    class, and validation is order-insensitive.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        views: ViewSet,
+        dependencies: DependencySet | Sequence[Dependency] = (),
+        semantics: Semantics | str = Semantics.SET,
+        total_only: bool = True,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_candidate_size: int | None = None,
+    ) -> None:
+        from ..chase.incremental import ResumableChase
+
+        self.semantics = Semantics.from_name(semantics)
+        if not isinstance(dependencies, DependencySet):
+            dependencies = DependencySet(dependencies)
+        self.views = views
+        self.total_only = total_only
+        self.max_steps = max_steps
+        self.max_candidate_size = max_candidate_size
+        self._check_base_only(query.body)
+        # Validation Σ (base + added) and the chase's working Σ (combined,
+        # append-only) evolve together but keep different orders; see the
+        # class docstring.
+        self._dependencies = dependencies
+        self._chase = ResumableChase(
+            query,
+            views.combined_dependencies(dependencies),
+            Semantics.SET,
+            max_steps,
+        )
+
+    def _check_base_only(self, atoms: Iterable[Atom]) -> None:
+        if any(atom.predicate in self.views.view_names() for atom in atoms):
+            raise ReformulationError(
+                "the input query must be phrased over the base schema; "
+                "rewritings over the views are the output"
+            )
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The current (delta-accumulated) input query."""
+        return self._chase.query
+
+    @property
+    def dependencies(self) -> DependencySet:
+        """The current base dependency set used for validation."""
+        return self._dependencies
+
+    def rewrite(self) -> ViewRewritingResult:
+        """Rewritings for the current state (chases only what a delta needs)."""
+        universal_plan = self._chase.run().query
+        return _collect_rewritings(
+            self.query,
+            self.views,
+            self._dependencies,
+            self.semantics,
+            universal_plan,
+            total_only=self.total_only,
+            max_steps=self.max_steps,
+            max_candidate_size=self.max_candidate_size,
+        )
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> ViewRewritingResult:
+        """Grow the input query's body and re-derive the rewritings."""
+        from ..chase.incremental import ChaseDelta
+
+        added = tuple(atoms)
+        self._check_base_only(added)
+        self._chase.apply(ChaseDelta.atoms(*added))
+        return self.rewrite()
+
+    def add_dependencies(
+        self, dependencies: Sequence[Dependency]
+    ) -> ViewRewritingResult:
+        """Grow the base dependency set and re-derive the rewritings."""
+        from ..chase.incremental import ChaseDelta
+
+        added = tuple(dependencies)
+        self._chase.apply(ChaseDelta.dependencies(*added))
+        base = list(self._dependencies.dependencies) + list(added)
+        self._dependencies = DependencySet(
+            base, self._dependencies.set_valued_predicates
+        )
+        return self.rewrite()
+
+    def stats(self) -> dict[str, int]:
+        """Resumed-vs-cold counters of the maintained universal-plan chase."""
+        return self._chase.stats()
 
 
 def is_correct_rewriting(

@@ -254,6 +254,47 @@ class TestCertificates:
             query
         )
 
+    def test_full_tgd_budget_golden(self):
+        """Golden pin of the tightened full-tgd budget.
+
+        With no existential variables the chase invents no values, so the
+        step budget collapses to the plain depth bound; with no egds the
+        value-retirement term of the step bound is dropped as well.
+        """
+        sigma = parse_dependencies(
+            """
+            p(X, Y) -> q(X, Y)
+            q(X, Y) -> r(X, Y)
+            r(X, Y) -> s(X, Y)
+            """
+        )
+        certificate, _ = certify(sigma)
+        assert certificate.egd_count == 0
+        query = parse_query("Q(X) :- p(X, Y)")
+        # 3 values (X, Y, slack), three full tgds: 3·3² steps + 1 = 28.
+        assert certificate.chase_step_bound(query) == 27
+        assert certificate.chase_depth_bound(query) == 28
+        assert certificate.step_budget_for(query) == 28
+
+    def test_legacy_payload_keeps_conservative_bounds(self):
+        """Payloads predating egd_count verify and stay looser, never tighter."""
+        sigma = parse_dependencies("p(X, Y) -> q(X, Y)")
+        certificate, _ = certify(sigma)
+        payload = certificate.as_dict()
+        payload.pop("egd_count")
+        legacy = TerminationCertificate.from_dict(payload)
+        assert legacy.egd_count == -1
+        assert legacy.verify(sigma)
+        query = parse_query("Q(X) :- p(X, Y)")
+        assert legacy.step_budget_for(query) >= certificate.step_budget_for(query)
+
+    def test_egd_count_mismatch_fails_verification(self):
+        sigma = parse_dependencies("p(X, Y) -> q(X, Y)")
+        certificate, _ = certify(sigma)
+        payload = certificate.as_dict()
+        payload["egd_count"] = 5
+        assert not TerminationCertificate.from_dict(payload).verify(sigma)
+
     def test_report_json_round_trip(self):
         for text in (ACYCLIC, CYCLIC):
             report = analyze(parse_dependencies(text))
