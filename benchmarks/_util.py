@@ -1,6 +1,15 @@
-"""Reporting helper shared by the benchmark modules."""
+"""Reporting and reference-path helpers shared by the benchmark modules."""
 
 from __future__ import annotations
+
+from repro.chase.reference import (
+    _is_assignment_fixing_for as _reference_is_assignment_fixing_for,
+    _iter_applicable_tgd_homomorphisms as _reference_tgd_triggers,
+)
+from repro.chase.sound_chase import _split
+from repro.dependencies.base import EGD, TGD
+from repro.dependencies.regularize import regularize_dependencies
+from repro.semantics import Semantics
 
 
 def record(benchmark, **values) -> None:
@@ -12,3 +21,45 @@ def record(benchmark, **values) -> None:
     """
     for key, value in values.items():
         benchmark.extra_info[key] = value
+
+
+def reference_sound_step_verdicts(query, dependencies, semantics, max_steps):
+    """``is_sound_chase_step`` per dependency, on the frozen reference path.
+
+    Assembled strictly from :mod:`repro.chase.reference` building blocks —
+    plain backtracking trigger enumeration, from-scratch Definition 4.3 test
+    chases, per-call regularization, no index / plan / memo sharing — so the
+    binding-level benchmarks can measure the accelerated scan against the
+    pre-kernel cost profile with identical verdict semantics (Theorems
+    4.1/4.3: egds and set semantics vacuously sound; a non-regularized tgd
+    is checked through its regularized components).
+    """
+    items, set_valued = _split(dependencies)
+    items = regularize_dependencies(items)
+    verdicts = []
+    for dependency in dependencies:
+        if isinstance(dependency, EGD) or semantics is Semantics.SET:
+            verdicts.append(True)
+            continue
+        components = [
+            d for d in regularize_dependencies([dependency]) if isinstance(d, TGD)
+        ]
+        sound = True
+        for component in components:
+            if semantics is Semantics.BAG and not all(
+                atom.predicate in set_valued for atom in component.conclusion
+            ):
+                if next(_reference_tgd_triggers(query, component), None) is not None:
+                    sound = False
+                    break
+                continue
+            for hom in _reference_tgd_triggers(query, component):
+                if not _reference_is_assignment_fixing_for(
+                    query, component, hom, items, max_steps
+                ):
+                    sound = False
+                    break
+            if not sound:
+                break
+        verdicts.append(sound)
+    return verdicts

@@ -56,12 +56,13 @@ SCALING_TIERS = {
 #: machine): it runs on nightly shared runners and exists to catch the
 #: acceleration collapsing entirely, not a few percent of drift.  The
 #: large tier carried a paper-grade 5x bar through PR 4; the uid-kernel
-#: refactor is required to improve the accelerated chase a further ≥1.3x
-#: over that baseline (1.69s recorded; ~1.65x measured), and because the
-#: frozen reference is the same in both eras the bar compounds into the
-#: same-run speedup ratio: 5.0 × 1.3 = 6.5x (10x measured).  Asserting the
-#: ratio rather than seconds keeps the bar meaningful across machines.
-SCALING_SPEEDUP_FLOOR = {"medium": 2.0, "large": 6.5}
+#: refactor compounded that to 6.5x (10x measured), and the binding-level
+#: probe rework (zero-materialization tgd applicability + per-Σ plan reuse
+#: + candidate-list pooling) moved the measured ratio to 10.5x on a quiet
+#: machine, so the floor rises to 7.5x — ~30% headroom for shared-runner
+#: noise.  Asserting the ratio rather than seconds keeps the bar
+#: meaningful across machines.
+SCALING_SPEEDUP_FLOOR = {"medium": 2.0, "large": 7.5}
 SCALING_MAX_STEPS = 5000
 
 #: PR 4's recorded large-tier accelerated wall time and reference speedup,

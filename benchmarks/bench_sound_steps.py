@@ -7,18 +7,138 @@ checks that the sound chase refuses the offending step while the equivalence
 tests reject the chased query.  The regularization ablation (chase with the
 original σ4 as a whole vs its regularized components, Examples 4.4/4.5) is
 covered by ``bench_example_4_5_regularization_ablation``.
+
+The **probe tiers** (``bench_sound_steps_cold_probe``) additionally measure
+the per-step soundness tests themselves — ``is_sound_chase_step`` across all
+of Σ against a workload query, the exact inner loop of every chase round and
+of Algorithms 1/2 — on the binding-level kernel (shared index, per-Σ plan
+cache, Definition 4.3 memo) against a reference scan assembled from the
+frozen :mod:`repro.chase.reference` building blocks.  Both scans must agree
+on every verdict; the large tier asserts the ≥1.3x speedup floor of the
+binding-level rework and CI trend-gates the small tier's counters.
 """
 
 from __future__ import annotations
 
-from _util import record
+import time
 
-from repro.chase import bag_chase, bag_set_chase
-from repro.core import are_isomorphic
+import pytest
+from _util import record, reference_sound_step_verdicts
+
+from repro.chase import bag_chase, bag_set_chase, is_sound_chase_step
+from repro.chase.plans import PlanCache
+from repro.chase.profile import ChaseProfile
+from repro.core import TargetIndex, are_isomorphic
 from repro.database import DatabaseInstance
 from repro.datalog import parse_query
 from repro.equivalence import decide_equivalence
 from repro.evaluation import evaluate
+from repro.paperlib import clique_workload, h_family, star_workload
+from repro.semantics import Semantics
+
+
+# Probe tiers: every dependency of Σ soundness-tested against the workload
+# query (the state every chase round scans), under both non-trivial
+# semantics.  Query size and |Σ| grow together.
+PROBE_TIERS = {
+    "small": (("star", (8, 8)), ("clique", (6, 4))),
+    "large": (("star", (20, 20)), ("clique", (9, 8)), ("h_family", (4,))),
+}
+_WORKLOADS = {
+    "star": star_workload,
+    "clique": clique_workload,
+    "h_family": h_family,
+}
+#: Minimum accelerated-vs-reference speedup asserted on the large tier (the
+#: binding-level kernel bar; ~3.4x measured on a quiet machine).
+PROBE_SPEEDUP_FLOOR = 1.3
+PROBE_MAX_STEPS = 5000
+
+
+def _probe_cases(tier: str):
+    return [
+        (label, _WORKLOADS[label](*parameters))
+        for label, parameters in PROBE_TIERS[tier]
+    ]
+
+
+def _accelerated_scan(query, dependencies, semantics):
+    """One shared-state soundness scan of Σ, as the sigma-subset drivers run it."""
+    cache = PlanCache()
+    index = TargetIndex(query.body)
+    memo: dict = {}
+    profile = ChaseProfile(semantics=str(semantics))
+    verdicts = [
+        is_sound_chase_step(
+            query, dependency, dependencies, semantics, PROBE_MAX_STEPS,
+            plan_cache=cache, index=index, memo=memo, profile=profile,
+        )
+        for dependency in dependencies
+    ]
+    profile.retire_index(index)
+    return verdicts, profile
+
+
+@pytest.mark.parametrize("tier", list(PROBE_TIERS))
+def bench_sound_steps_cold_probe(benchmark, tier):
+    """Per-step soundness scans: binding-level kernel vs frozen reference."""
+    cases = _probe_cases(tier)
+
+    def run_accelerated():
+        return [
+            _accelerated_scan(w.query, w.dependencies, semantics)
+            for _, w in cases
+            for semantics in (Semantics.BAG, Semantics.BAG_SET)
+        ]
+
+    per_case = {}
+    accelerated_total = reference_total = 0.0
+    for label, workload in cases:
+        for semantics in (Semantics.BAG, Semantics.BAG_SET):
+            started = time.perf_counter()
+            fast, profile = _accelerated_scan(
+                workload.query, workload.dependencies, semantics
+            )
+            accelerated_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            slow = reference_sound_step_verdicts(
+                workload.query, workload.dependencies, semantics, PROBE_MAX_STEPS
+            )
+            reference_seconds = time.perf_counter() - started
+            assert fast == slow, (
+                f"{tier}/{label}[{semantics}]: soundness verdicts diverge "
+                "from the reference scan"
+            )
+            accelerated_total += accelerated_seconds
+            reference_total += reference_seconds
+            per_case[f"{label}.{semantics}"] = {
+                "accelerated_seconds": round(accelerated_seconds, 6),
+                "reference_seconds": round(reference_seconds, 6),
+                "unsound": sum(1 for verdict in fast if not verdict),
+                "extension_probes": profile.extension_probes,
+                "dicts_avoided": profile.dicts_avoided,
+                "subset_plans_reused": profile.subset_plans_reused,
+                "assignment_fixing_tests": profile.assignment_fixing_tests,
+            }
+
+    speedup = reference_total / accelerated_total
+    benchmark(run_accelerated)
+    total_probes = sum(case["extension_probes"] for case in per_case.values())
+    record(
+        benchmark,
+        tier=tier,
+        probe_speedup=round(speedup, 2),
+        accelerated_seconds=round(accelerated_total, 6),
+        reference_seconds=round(reference_total, 6),
+        extension_probes=total_probes,
+        scans=per_case,
+    )
+    assert total_probes > 0, "the binding-level probe layer never ran"
+    if tier == "large":
+        assert speedup >= PROBE_SPEEDUP_FLOOR, (
+            f"large-tier soundness-scan speedup regressed to {speedup:.2f}x "
+            f"(floor {PROBE_SPEEDUP_FLOOR}x)"
+        )
 
 
 def bench_example_4_5_regularization_ablation(benchmark, ex41):

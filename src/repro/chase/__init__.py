@@ -22,6 +22,7 @@ from .sigma_subset import (
     SigmaSubsetResult,
     max_bag_set_sigma_subset,
     max_bag_sigma_subset,
+    scan_sigma_subset,
 )
 from .sound_chase import (
     bag_chase,
@@ -38,8 +39,11 @@ from .steps import (
     is_egd_applicable,
     is_recorded_trigger_applicable,
     is_tgd_applicable,
+    iter_applicable_egd_bindings,
     iter_applicable_egd_homomorphisms,
+    iter_applicable_tgd_bindings,
     iter_applicable_tgd_homomorphisms,
+    trigger_homomorphism,
 )
 from .test_query import AssociatedTestQuery, associated_test_query
 
@@ -76,11 +80,15 @@ __all__ = [
     "is_recorded_trigger_applicable",
     "is_sound_chase_step",
     "is_tgd_applicable",
+    "iter_applicable_egd_bindings",
     "iter_applicable_egd_homomorphisms",
+    "iter_applicable_tgd_bindings",
     "iter_applicable_tgd_homomorphisms",
+    "trigger_homomorphism",
     "max_bag_set_sigma_subset",
     "max_bag_sigma_subset",
     "resume_chase",
+    "scan_sigma_subset",
     "set_chase",
     "set_chase_terminates",
     "sound_chase",

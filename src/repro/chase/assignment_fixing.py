@@ -23,10 +23,10 @@ from ..core.query import ConjunctiveQuery
 from ..core.terms import Term
 from ..dependencies.base import TGD, Dependency, DependencySet
 from ..dependencies.classify import is_key_based_tgd
-from .plans import PlanCache
+from .plans import PlanCache, TGDPlan
 from .profile import ChaseProfile
 from .set_chase import DEFAULT_MAX_STEPS, set_chase
-from .steps import iter_applicable_tgd_homomorphisms
+from .steps import iter_applicable_tgd_bindings, trigger_homomorphism
 from .test_query import AssociatedTestQuery, associated_test_query
 
 
@@ -127,7 +127,9 @@ def is_assignment_fixing(
 
     Returns False when the tgd is not applicable to the query at all.
     """
-    for homomorphism in iter_applicable_tgd_homomorphisms(query, tgd):
+    plan = TGDPlan(tgd)
+    for match in iter_applicable_tgd_bindings(query, tgd, plan=plan):
+        homomorphism = trigger_homomorphism(plan, match)
         if is_assignment_fixing_for(query, tgd, homomorphism, dependencies, max_steps):
             return True
     return False

@@ -35,31 +35,58 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable, Iterable
 
-from ..core.plan import MatchPlan
+from ..core.plan import MatchPlan, shared_slot_links
+from ..core.terms import Term
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
 from ..dependencies.regularize import regularize_dependencies
 
 
 class TGDPlan:
-    """Compiled premise and conclusion plans of one tgd."""
+    """Compiled premise and conclusion plans of one tgd.
 
-    __slots__ = ("tgd", "premise", "conclusion", "premise_predicates")
+    ``conclusion_links`` are the ``(conclusion_slot, premise_slot)`` pairs of
+    the tgd's shared (universal, conclusion-occurring) variables: a completed
+    premise match seeds the conclusion plan's slot array through them, so the
+    applicability probe (can this match be extended to the conclusion?) runs
+    entirely at the binding level — see
+    :func:`repro.core.homomorphism.has_match_from_binding`.
+    """
+
+    __slots__ = ("tgd", "premise", "conclusion", "conclusion_links", "premise_predicates")
 
     def __init__(self, tgd: TGD):
         self.tgd = tgd
         self.premise = MatchPlan(tgd.premise)
         self.conclusion = MatchPlan(tgd.conclusion)
+        self.conclusion_links = shared_slot_links(self.premise, self.conclusion)
         self.premise_predicates = frozenset(a.predicate for a in tgd.premise)
 
 
 class EGDPlan:
-    """Compiled premise plan of one egd."""
+    """Compiled premise plan of one egd.
 
-    __slots__ = ("egd", "premise", "premise_predicates")
+    ``equality_codes`` compile the egd's equalities for the binding-level
+    trigger scan: one ``(left_slot, left_term, right_slot, right_term)``
+    tuple per equality, where a slot ``>= 0`` reads the term's image from
+    the premise match's slot arrays and ``-1`` means the term maps to
+    itself (a constant, or a variable not occurring in the premise).
+    """
+
+    __slots__ = ("egd", "premise", "equality_codes", "premise_predicates")
 
     def __init__(self, egd: EGD):
         self.egd = egd
         self.premise = MatchPlan(egd.premise)
+        slot_of = self.premise.slot_of
+        self.equality_codes: tuple[tuple[int, Term, int, Term], ...] = tuple(
+            (
+                slot_of.get(equality.left.uid, -1),
+                equality.left,
+                slot_of.get(equality.right.uid, -1),
+                equality.right,
+            )
+            for equality in egd.equalities
+        )
         self.premise_predicates = frozenset(a.predicate for a in egd.premise)
 
 
@@ -89,6 +116,7 @@ class SigmaPlans:
         "tgd_plans",
         "egd_trigger_map",
         "tgd_trigger_map",
+        "_sigma",
     )
 
     def __init__(self, dependencies: Iterable[Dependency], *, regularize: bool = True):
@@ -102,6 +130,23 @@ class SigmaPlans:
         self.tgd_plans: list[TGDPlan] = [TGDPlan(tgd) for tgd in self.tgds]
         self.egd_trigger_map = _trigger_map(self.egd_plans)
         self.tgd_trigger_map = _trigger_map(self.tgd_plans)
+        self._sigma: DependencySet | None = None
+
+    def dependency_set(self) -> DependencySet:
+        """The compiled items wrapped as a :class:`DependencySet`, memoized.
+
+        Repeated callers under the same cached plans (every
+        ``is_sound_chase_step`` of a sigma-subset scan, every nested
+        Definition 4.3 test chase) share one wrapper — and through it one
+        memoized fingerprint — instead of re-wrapping the list per call.
+        Set-valued predicate annotations are deliberately not carried: the
+        wrapper feeds nested *set*-semantics test chases, which ignore them.
+        """
+        sigma = self._sigma
+        if sigma is None:
+            sigma = DependencySet(self.items)
+            self._sigma = sigma
+        return sigma
 
 
 class PlanCache:

@@ -65,6 +65,15 @@ class ChaseProfile:
     #: Compiled-match-kernel searches run (one per premise / conclusion /
     #: containment probe against a TargetIndex).
     kernel_searches: int = 0
+    #: Binding-level tgd-conclusion extension probes run directly on a
+    #: premise slot array, and premise matches those probes discharged
+    #: without ever materializing a ``{variable: term}`` dictionary.
+    extension_probes: int = 0
+    dicts_avoided: int = 0
+    #: Per-Σ plan sets a sigma-subset scan's ``is_sound_chase_step`` calls
+    #: served from the PlanCache instead of re-regularizing / re-compiling
+    #: (zero outside sigma-subset scans).
+    subset_plans_reused: int = 0
     #: Per-Σ plan sets compiled vs served from the PlanCache during the run
     #: (the nested Definition 4.3 test chases consult the cache too, so a
     #: single run typically records many reuses).
@@ -119,9 +128,13 @@ class ChaseProfile:
         self.index_lookups += index.lookups
         self.index_hits += index.narrowed
         self.kernel_searches += index.searches
+        self.extension_probes += index.extension_probes
+        self.dicts_avoided += index.dicts_avoided
         index.lookups = 0
         index.narrowed = 0
         index.searches = 0
+        index.extension_probes = 0
+        index.dicts_avoided = 0
 
     def record_plan_stats(
         self, baseline: tuple[int, int], cache: "PlanCache"
@@ -151,6 +164,9 @@ class ChaseProfile:
         self.index_lookups += other.index_lookups
         self.index_hits += other.index_hits
         self.kernel_searches += other.kernel_searches
+        self.extension_probes += other.extension_probes
+        self.dicts_avoided += other.dicts_avoided
+        self.subset_plans_reused += other.subset_plans_reused
         self.plans_compiled += other.plans_compiled
         self.plans_reused += other.plans_reused
         self.assignment_fixing_tests += other.assignment_fixing_tests
@@ -188,6 +204,15 @@ class ChaseProfile:
         ]
         if self.kernel_searches:
             lines.append(f"  kernel searches  : {self.kernel_searches}")
+        if self.extension_probes:
+            lines.append(
+                f"  extension probes : {self.extension_probes} binding-level "
+                f"({self.dicts_avoided} trigger dicts avoided)"
+            )
+        if self.subset_plans_reused:
+            lines.append(
+                f"  subset plan reuse: {self.subset_plans_reused} cache hits"
+            )
         if self.plans_compiled or self.plans_reused:
             lines.append(
                 f"  match plans      : {self.plans_reused} reused, "

@@ -36,8 +36,9 @@ from .steps import (
     apply_egd_step,
     apply_tgd_step,
     deduplicate_body,
-    iter_applicable_egd_homomorphisms,
-    iter_applicable_tgd_homomorphisms,
+    iter_applicable_egd_bindings,
+    iter_applicable_tgd_bindings,
+    trigger_homomorphism,
 )
 
 DEFAULT_MAX_STEPS = 2000
@@ -83,11 +84,13 @@ def _first_applicable_egd_step(
         if state.is_clean(position):
             profile.dependencies_skipped += 1
             continue
-        for hom, left, right in iter_applicable_egd_homomorphisms(
-            query, egd, index=index, plan=plans[position]
+        plan = plans[position]
+        for match, left, right in iter_applicable_egd_bindings(
+            query, egd, index=index, plan=plan
         ):
             profile.triggers_examined += 1
-            return egd, hom, left, right
+            # Only the applied trigger crosses the dict boundary.
+            return egd, trigger_homomorphism(plan, match), left, right
         state.mark_clean(position)
     return None
 
@@ -111,11 +114,13 @@ def _first_applicable_tgd_step(
         if state.is_clean(position):
             profile.dependencies_skipped += 1
             continue
-        for hom in iter_applicable_tgd_homomorphisms(
-            query, tgd, index=index, plan=plans[position]
+        plan = plans[position]
+        for match in iter_applicable_tgd_bindings(
+            query, tgd, index=index, plan=plan
         ):
             profile.triggers_examined += 1
-            return tgd, hom
+            # Only the applied trigger crosses the dict boundary.
+            return tgd, trigger_homomorphism(plan, match)
         state.mark_clean(position)
     return None
 

@@ -39,7 +39,6 @@ from typing import Hashable, Sequence
 from ..core.homomorphism import Homomorphism, TargetIndex
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import EGD, TGD, Dependency, DependencySet
-from ..dependencies.regularize import regularize_dependencies
 from ..exceptions import ChaseError, ChaseNonTerminationError
 from ..semantics import Semantics
 from .assignment_fixing import is_assignment_fixing_for
@@ -52,7 +51,8 @@ from .steps import (
     apply_egd_step,
     apply_tgd_step,
     deduplicate_body,
-    iter_applicable_tgd_homomorphisms,
+    iter_applicable_tgd_bindings,
+    trigger_homomorphism,
 )
 
 
@@ -98,13 +98,17 @@ def _first_sound_tgd_step(
                 profile.dependencies_skipped += 1
             continue
         applicable = False
-        for homomorphism in iter_applicable_tgd_homomorphisms(
-            query, tgd, index=index,
-            plan=plans[position] if plans is not None else None,
+        plan = plans[position] if plans is not None else TGDPlan(tgd)
+        for match in iter_applicable_tgd_bindings(
+            query, tgd, index=index, plan=plan,
         ):
             applicable = True
             if profile is not None:
                 profile.triggers_examined += 1
+            # The Definition 4.3 test needs the trigger as a mapping (it
+            # instantiates the associated test query with it), so applicable
+            # triggers — and only those — cross the dict boundary.
+            homomorphism = trigger_homomorphism(plan, match)
             if is_assignment_fixing_for(
                 query, tgd, homomorphism, all_dependencies, max_steps,
                 memo=memo, profile=profile, plan_cache=plan_cache,
@@ -277,6 +281,11 @@ def is_sound_chase_step(
     dependencies: DependencySet | Sequence[Dependency],
     semantics: Semantics | str = Semantics.BAG,
     max_steps: int = DEFAULT_MAX_STEPS,
+    *,
+    plan_cache: PlanCache | None = None,
+    index: TargetIndex | None = None,
+    memo: dict[Hashable, bool] | None = None,
+    profile: ChaseProfile | None = None,
 ) -> bool:
     """Is every applicable chase step of *dependency* on *query* sound?
 
@@ -289,11 +298,22 @@ def is_sound_chase_step(
     never sound under bag or bag-set semantics (Section 4.2.2), so it is
     checked against its regularized set: the step is sound only if each
     regularized component with an applicable step passes the test.
+
+    The vacuous verdicts — egds (always sound) and set semantics (every step
+    sound) — return before any Σ setup, so they are O(1).  The setup itself
+    is served by ``plan_cache`` (default: the process-wide cache): both the
+    regularized Σ for the nested Definition 4.3 test chases and the
+    dependency's regularized component plans are compiled once and reused
+    across calls.  A sigma-subset scan checks every dependency of Σ against
+    the *same* terminal query, so it additionally shares one ``index`` over
+    the query body, one Definition 4.3 verdict ``memo`` (sound only while
+    Σ and *max_steps* stay fixed, which the scan guarantees), and one
+    ``profile`` across the whole scan — see
+    :func:`repro.chase.sigma_subset.max_bag_sigma_subset`.
     """
     semantics = Semantics.from_name(semantics)
-    items, set_valued = _split(dependencies)
-    items = regularize_dependencies(items)
-
+    # Fast paths first (Theorems 4.1/4.3 item 2): no regularization, no
+    # index build, no plan compilation for the vacuous verdicts.
     if isinstance(dependency, EGD):
         return True
     if semantics is Semantics.SET:
@@ -301,20 +321,33 @@ def is_sound_chase_step(
     if not isinstance(dependency, TGD):
         raise ChaseError(f"unsupported dependency {dependency!r}")
 
-    components = regularize_dependencies([dependency])
-    index = TargetIndex(query.body)
-    # Wrapped once: the nested Definition 4.3 test chases key their plan
-    # lookups on the memoized fingerprint.
-    items_sigma = DependencySet(items)
-    for component in components:
-        assert isinstance(component, TGD)
-        for homomorphism in iter_applicable_tgd_homomorphisms(query, component, index=index):
-            if semantics is Semantics.BAG and not all(
-                atom.predicate in set_valued for atom in component.conclusion
-            ):
+    cache = plan_cache if plan_cache is not None else default_plan_cache()
+    plan_stats = cache.snapshot()
+    _, set_valued = _split(dependencies)
+    # One regularization of Σ per cache entry; the memoized DependencySet
+    # wrapper keys the nested Definition 4.3 test chases' plan lookups on a
+    # fingerprint computed once per Σ, not once per call.
+    items_sigma = cache.plans_for(dependencies, regularize=True).dependency_set()
+    component_plans = cache.plans_for((dependency,), regularize=True)
+    if profile is not None:
+        hits, _ = plan_stats
+        profile.subset_plans_reused += cache.hits - hits
+    if index is None:
+        index = TargetIndex(query.body)
+    for component, plan in zip(component_plans.tgds, component_plans.tgd_plans):
+        if semantics is Semantics.BAG and not all(
+            atom.predicate in set_valued for atom in component.conclusion
+        ):
+            # Theorem 4.1(1): an applicable step adding a non-set-valued
+            # subgoal is unsound; probe applicability only (no dict needed).
+            for _ in iter_applicable_tgd_bindings(query, component, index=index, plan=plan):
                 return False
+            continue
+        for match in iter_applicable_tgd_bindings(query, component, index=index, plan=plan):
+            homomorphism = trigger_homomorphism(plan, match)
             if not is_assignment_fixing_for(
-                query, component, homomorphism, items_sigma, max_steps
+                query, component, homomorphism, items_sigma, max_steps,
+                memo=memo, profile=profile, plan_cache=cache,
             ):
                 return False
     # Either not applicable at all (vacuously sound) or every applicable step

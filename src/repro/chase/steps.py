@@ -26,7 +26,8 @@ from ..core.homomorphism import (
     Homomorphism,
     TargetIndex,
     find_match,
-    iter_matches,
+    has_match_from_binding,
+    iter_binding_matches,
 )
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, FreshVariableFactory, Term, Variable
@@ -61,6 +62,64 @@ class ChaseStepRecord:
 # ---------------------------------------------------------------------- #
 # TGD steps
 # ---------------------------------------------------------------------- #
+
+#: One binding-level premise match: the kernel's slot-uid array, the parallel
+#: term array, and the trail of slots bound during the search (in binding
+#: order).  All three are borrowed from the kernel and reused between yields;
+#: :func:`trigger_homomorphism` is the copy-out boundary.
+BindingMatch = tuple[list[int], "list[Term | None]", list[int]]
+
+
+def trigger_homomorphism(plan: TGDPlan | EGDPlan, match: BindingMatch) -> Homomorphism:
+    """Materialize one binding-level premise match as a ``{variable: term}`` dict.
+
+    Built in trail (binding) order, exactly the dictionary the kernel's own
+    result boundary (:func:`repro.core.homomorphism.iter_matches`) would have
+    produced for the same match — chase step records stay byte-identical to
+    the frozen reference engines.
+    """
+    _, bound_terms, trail = match
+    slot_vars = plan.premise.slot_vars
+    result: Homomorphism = {}
+    for slot in trail:
+        result[slot_vars[slot]] = bound_terms[slot]  # type: ignore[assignment]
+    return result
+
+
+def iter_applicable_tgd_bindings(
+    query: ConjunctiveQuery,
+    tgd: TGD,
+    *,
+    index: TargetIndex | None = None,
+    plan: TGDPlan | None = None,
+) -> Iterator[BindingMatch]:
+    """Binding-level applicable-trigger scan: no dict per premise match.
+
+    Yields one :data:`BindingMatch` per premise homomorphism that cannot be
+    extended to cover the conclusion; the extension probe runs directly on
+    the premise slot array through the plan's precompiled
+    ``conclusion_links`` (:func:`~repro.core.homomorphism.
+    has_match_from_binding`), so premise matches that are already satisfied
+    are discharged without ever materializing a ``{variable: term}``
+    dictionary.  The yielded arrays are borrowed — callers that keep a
+    trigger must copy it out (:func:`trigger_homomorphism`).  ``index`` /
+    ``plan`` play the same sharing roles as in
+    :func:`iter_applicable_tgd_homomorphisms`.
+    """
+    if index is None:
+        index = TargetIndex(query.body)
+    if plan is None:
+        plan = TGDPlan(tgd)
+    conclusion = plan.conclusion
+    links = plan.conclusion_links
+    for match in iter_binding_matches(plan.premise, index):
+        index.extension_probes += 1
+        if has_match_from_binding(conclusion, index, links, match[0]):
+            index.dicts_avoided += 1
+            continue
+        yield match
+
+
 def iter_applicable_tgd_homomorphisms(
     query: ConjunctiveQuery,
     tgd: TGD,
@@ -72,24 +131,24 @@ def iter_applicable_tgd_homomorphisms(
 
     A homomorphism h from the premise to the query body triggers a step only
     when it cannot be extended to also cover the conclusion (otherwise the
-    dependency is already satisfied for this match).  ``index`` lets a chase
-    driver share one :class:`TargetIndex` over the query body across every
-    dependency probe of a round; ``plan`` lets it reuse the tgd's compiled
-    premise/conclusion :class:`~repro.chase.plans.TGDPlan` across rounds
-    (when given it must be compiled from exactly *tgd*).
+    dependency is already satisfied for this match).  This is the dict-yielding
+    API boundary over :func:`iter_applicable_tgd_bindings` — the scan itself
+    runs at the binding level and only applicable triggers are materialized.
+    ``index`` lets a chase driver share one :class:`TargetIndex` over the
+    query body across every dependency probe of a round; ``plan`` lets it
+    reuse the tgd's compiled premise/conclusion
+    :class:`~repro.chase.plans.TGDPlan` across rounds (when given it must be
+    compiled from exactly *tgd*).
     """
-    if index is None:
-        index = TargetIndex(query.body)
     if plan is None:
         plan = TGDPlan(tgd)
-    for hom in iter_matches(plan.premise, index):
-        if find_match(plan.conclusion, index, fixed=hom) is None:
-            yield hom
+    for match in iter_applicable_tgd_bindings(query, tgd, index=index, plan=plan):
+        yield trigger_homomorphism(plan, match)
 
 
 def is_tgd_applicable(query: ConjunctiveQuery, tgd: TGD) -> bool:
     """Is a chase step with *tgd* applicable to *query*?"""
-    for _ in iter_applicable_tgd_homomorphisms(query, tgd):
+    for _ in iter_applicable_tgd_bindings(query, tgd):
         return True
     return False
 
@@ -182,6 +241,35 @@ def apply_tgd_step(
 # ---------------------------------------------------------------------- #
 # EGD steps
 # ---------------------------------------------------------------------- #
+def iter_applicable_egd_bindings(
+    query: ConjunctiveQuery,
+    egd: EGD,
+    *,
+    index: TargetIndex | None = None,
+    plan: EGDPlan | None = None,
+) -> Iterator[tuple[BindingMatch, Term, Term]]:
+    """Binding-level egd trigger scan: ``(match, image_left, image_right)``.
+
+    The equality images are read straight off the premise match's term array
+    through the plan's precompiled ``equality_codes`` — a premise match none
+    of whose equalities fire is discharged without materializing a dict.
+    Applicable means the two images differ; the yielded match is borrowed
+    (copy out via :func:`trigger_homomorphism`).
+    """
+    if index is None:
+        index = TargetIndex(query.body)
+    if plan is None:
+        plan = EGDPlan(egd)
+    equality_codes = plan.equality_codes
+    for match in iter_binding_matches(plan.premise, index):
+        bound_terms = match[1]
+        for left_slot, left_term, right_slot, right_term in equality_codes:
+            left = bound_terms[left_slot] if left_slot >= 0 else left_term
+            right = bound_terms[right_slot] if right_slot >= 0 else right_term
+            if left != right:
+                yield match, left, right  # type: ignore[misc]
+
+
 def iter_applicable_egd_homomorphisms(
     query: ConjunctiveQuery,
     egd: EGD,
@@ -192,24 +280,29 @@ def iter_applicable_egd_homomorphisms(
     """Yield ``(h, image_left, image_right)`` for applicable egd steps.
 
     Applicable means the two images differ; the caller decides how to unify
-    them (or to fail when both are constants).  ``index`` and ``plan`` play
-    the same sharing roles as in :func:`iter_applicable_tgd_homomorphisms`.
+    them (or to fail when both are constants).  This is the dict-yielding API
+    boundary over :func:`iter_applicable_egd_bindings`; one dictionary is
+    built per premise match with at least one firing equality (shared across
+    that match's equalities, as before).  ``index`` and ``plan`` play the
+    same sharing roles as in :func:`iter_applicable_tgd_homomorphisms`.
     """
-    if index is None:
-        index = TargetIndex(query.body)
     if plan is None:
         plan = EGDPlan(egd)
-    for hom in iter_matches(plan.premise, index):
-        for equality in egd.equalities:
-            left = hom.get(equality.left, equality.left)
-            right = hom.get(equality.right, equality.right)
-            if left != right:
-                yield hom, left, right
+    hom: Homomorphism | None = None
+    last_match: BindingMatch | None = None
+    for match, left, right in iter_applicable_egd_bindings(
+        query, egd, index=index, plan=plan
+    ):
+        if match is not last_match:
+            hom = trigger_homomorphism(plan, match)
+            last_match = match
+        assert hom is not None
+        yield hom, left, right
 
 
 def is_egd_applicable(query: ConjunctiveQuery, egd: EGD) -> bool:
     """Is a chase step with *egd* applicable (or failing) on *query*?"""
-    for _ in iter_applicable_egd_homomorphisms(query, egd):
+    for _ in iter_applicable_egd_bindings(query, egd):
         return True
     return False
 

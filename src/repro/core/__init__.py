@@ -17,10 +17,12 @@ from .homomorphism import (
     find_homomorphism,
     find_isomorphism,
     find_match,
+    has_match_from_binding,
+    iter_binding_matches,
     iter_homomorphisms,
     iter_matches,
 )
-from .plan import MatchPlan
+from .plan import MatchPlan, shared_slot_links
 from .minimization import is_minimal, minimize
 from .query import ConjunctiveQuery, cq
 from .terms import Constant, FreshVariableFactory, Term, Variable
@@ -44,8 +46,11 @@ __all__ = [
     "find_homomorphism",
     "find_isomorphism",
     "find_match",
+    "has_match_from_binding",
+    "iter_binding_matches",
     "iter_homomorphisms",
     "iter_matches",
+    "shared_slot_links",
     "is_bag_equivalent",
     "is_bag_equivalent_with_set_enforced",
     "is_bag_set_equivalent",

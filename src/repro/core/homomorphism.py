@@ -120,7 +120,16 @@ class TargetIndex:
     kernel searches run against the index.
     """
 
-    __slots__ = ("atoms", "_groups", "_postings", "lookups", "narrowed", "searches")
+    __slots__ = (
+        "atoms",
+        "_groups",
+        "_postings",
+        "lookups",
+        "narrowed",
+        "searches",
+        "extension_probes",
+        "dicts_avoided",
+    )
 
     def __init__(self, atoms: Sequence[Atom]):
         self.atoms: tuple[Atom, ...] = tuple(atoms)
@@ -144,6 +153,12 @@ class TargetIndex:
         self.lookups = 0
         self.narrowed = 0
         self.searches = 0
+        # Binding-level applicability accounting, incremented by the chase
+        # steps layer (see repro.chase.steps): conclusion probes run directly
+        # on a premise slot array, and premise matches discharged there
+        # without ever materializing a {variable: term} dict.
+        self.extension_probes = 0
+        self.dicts_avoided = 0
 
     def candidate_ids(
         self, atom: Atom, mapping: Mapping[Term, Term]
@@ -218,6 +233,127 @@ class TargetIndex:
 _NO_CAP = sys.maxsize
 
 
+def _kernel_search(
+    plan: MatchPlan,
+    index: TargetIndex,
+    binding: list[int],
+    bound_terms: list[Term | None],
+) -> Iterator[list[int]]:
+    """The shared search core of the compiled match kernel.
+
+    *binding* / *bound_terms* are the caller's slot arrays, possibly
+    pre-bound (``-1`` = unbound); the search mutates them in place and
+    yields its *trail* — the slots bound during the search, in binding
+    order — once per full match.  At yield time every plan slot that any
+    matched atom touches is bound; the arrays and the trail are reused
+    between yields, so callers must copy whatever they keep.  Candidate
+    exploration order is identical to the pre-kernel reference search
+    (:func:`repro.core.reference.iter_homomorphisms_reference`).
+    """
+    atom_codes = plan.codes
+    sig_ids = plan.sig_ids
+    target_atoms = index.atoms
+    candidate_ids = index.candidate_ids_coded
+    remaining = list(range(len(atom_codes)))
+    # Slots bound during the search, in binding order (excludes any
+    # pre-bound slots, which the caller owns).
+    trail: list[int] = []
+    # Per-candidate scratch of tentatively bound slots (avoids allocating a
+    # list per verification).
+    scratch = [0] * plan.max_arity
+    # Free list of (empty) candidate lists: every search level runs one
+    # verified_ids call per remaining atom and keeps only the winner, so
+    # without pooling the kernel allocates a list per (level, atom) pair.
+    pool: list[list[int]] = []
+
+    def verified_ids(source_pos: int, cap: int) -> list[int] | None:
+        """Target atom ids matching source atom *source_pos* under `binding`.
+
+        Returns None as soon as *cap* candidates verify: the caller only
+        wants strictly-fewer-than-cap lists, so a capped atom cannot win.
+        The returned list is pool-owned — the caller releases it back via
+        ``pool.append`` after clearing it.
+        """
+        codes = atom_codes[source_pos]
+        ids: list[int] = pool.pop() if pool else []
+        for atom_id in candidate_ids(sig_ids[source_pos], codes, binding):
+            term_ids = target_atoms[atom_id].term_ids
+            touched = 0
+            ok = True
+            for position, code in enumerate(codes):
+                uid = term_ids[position]
+                if code >= 0:
+                    bound = binding[code]
+                    if bound < 0:
+                        binding[code] = uid
+                        scratch[touched] = code
+                        touched += 1
+                    elif bound != uid:
+                        ok = False
+                        break
+                elif ~code != uid:
+                    ok = False
+                    break
+            while touched:
+                touched -= 1
+                binding[scratch[touched]] = -1
+            if ok:
+                ids.append(atom_id)
+                if len(ids) >= cap:
+                    ids.clear()
+                    pool.append(ids)
+                    return None
+        return ids
+
+    def search() -> Iterator[list[int]]:
+        if not remaining:
+            yield trail
+            return
+        # Most-constrained-first with forward checking: pick the remaining
+        # atom with the fewest verified candidates under the current binding;
+        # an atom with none prunes the branch outright.
+        best_at = 0
+        best_ids: list[int] | None = None
+        cap = _NO_CAP
+        for position, source_pos in enumerate(remaining):
+            ids = verified_ids(source_pos, cap)
+            if ids is None:
+                continue
+            if best_ids is not None:
+                best_ids.clear()
+                pool.append(best_ids)
+            best_at, best_ids = position, ids
+            if not ids:
+                pool.append(ids)
+                return
+            cap = len(ids)
+        source_pos = remaining.pop(best_at)
+        codes = atom_codes[source_pos]
+        assert best_ids is not None
+        for atom_id in best_ids:
+            target_atom = target_atoms[atom_id]
+            term_ids = target_atom.term_ids
+            terms = target_atom.terms
+            bound_here = 0
+            # Re-application of a verified candidate cannot fail: the binding
+            # state is exactly what verified_ids checked it under.
+            for position, code in enumerate(codes):
+                if code >= 0 and binding[code] < 0:
+                    binding[code] = term_ids[position]
+                    bound_terms[code] = terms[position]
+                    trail.append(code)
+                    bound_here += 1
+            yield from search()
+            while bound_here:
+                bound_here -= 1
+                binding[trail.pop()] = -1
+        remaining.insert(best_at, source_pos)
+        best_ids.clear()
+        pool.append(best_ids)
+
+    yield from search()
+
+
 def iter_matches(
     plan: MatchPlan,
     index: TargetIndex,
@@ -249,98 +385,61 @@ def iter_matches(
                 binding[slot] = value.uid
                 bound_terms[slot] = value
 
-    atom_codes = plan.codes
-    sig_ids = plan.sig_ids
     slot_vars = plan.slot_vars
-    target_atoms = index.atoms
-    candidate_ids = index.candidate_ids_coded
-    remaining = list(range(len(atom_codes)))
-    # Slots bound during the search, in binding order (excludes `fixed`
-    # pre-bindings, which are already in `base`).
-    trail: list[int] = []
-    # Per-candidate scratch of tentatively bound slots (avoids allocating a
-    # list per verification).
-    scratch = [0] * plan.max_arity
+    for trail in _kernel_search(plan, index, binding, bound_terms):
+        result = dict(base)
+        for slot in trail:
+            result[slot_vars[slot]] = bound_terms[slot]  # type: ignore[assignment]
+        yield result
 
-    def verified_ids(source_pos: int, cap: int) -> list[int] | None:
-        """Target atom ids matching source atom *source_pos* under `binding`.
 
-        Returns None as soon as *cap* candidates verify: the caller only
-        wants strictly-fewer-than-cap lists, so a capped atom cannot win.
-        """
-        codes = atom_codes[source_pos]
-        ids: list[int] = []
-        for atom_id in candidate_ids(sig_ids[source_pos], codes, binding):
-            term_ids = target_atoms[atom_id].term_ids
-            touched = 0
-            ok = True
-            for position, code in enumerate(codes):
-                uid = term_ids[position]
-                if code >= 0:
-                    bound = binding[code]
-                    if bound < 0:
-                        binding[code] = uid
-                        scratch[touched] = code
-                        touched += 1
-                    elif bound != uid:
-                        ok = False
-                        break
-                elif ~code != uid:
-                    ok = False
-                    break
-            while touched:
-                touched -= 1
-                binding[scratch[touched]] = -1
-            if ok:
-                ids.append(atom_id)
-                if len(ids) >= cap:
-                    return None
-        return ids
+def iter_binding_matches(
+    plan: MatchPlan,
+    index: TargetIndex,
+) -> Iterator[tuple[list[int], list[Term | None], list[int]]]:
+    """Binding-level kernel matches: no dictionaries, only slot arrays.
 
-    def search() -> Iterator[Homomorphism]:
-        if not remaining:
-            result = dict(base)
-            for slot in trail:
-                result[slot_vars[slot]] = bound_terms[slot]  # type: ignore[assignment]
-            yield result
-            return
-        # Most-constrained-first with forward checking: pick the remaining
-        # atom with the fewest verified candidates under the current binding;
-        # an atom with none prunes the branch outright.
-        best_at = 0
-        best_ids: list[int] | None = None
-        cap = _NO_CAP
-        for position, source_pos in enumerate(remaining):
-            ids = verified_ids(source_pos, cap)
-            if ids is None:
-                continue
-            best_at, best_ids = position, ids
-            if not ids:
-                return
-            cap = len(ids)
-        source_pos = remaining.pop(best_at)
-        codes = atom_codes[source_pos]
-        assert best_ids is not None
-        for atom_id in best_ids:
-            target_atom = target_atoms[atom_id]
-            term_ids = target_atom.term_ids
-            terms = target_atom.terms
-            bound_here = 0
-            # Re-application of a verified candidate cannot fail: the binding
-            # state is exactly what verified_ids checked it under.
-            for position, code in enumerate(codes):
-                if code >= 0 and binding[code] < 0:
-                    binding[code] = term_ids[position]
-                    bound_terms[code] = terms[position]
-                    trail.append(code)
-                    bound_here += 1
-            yield from search()
-            while bound_here:
-                bound_here -= 1
-                binding[trail.pop()] = -1
-        remaining.insert(best_at, source_pos)
+    Yields ``(binding, bound_terms, trail)`` — the kernel's slot-uid array,
+    the parallel term array, and the slots bound in binding order — once per
+    full match of *plan* into *index*.  All three are **borrowed**: the
+    kernel reuses them between yields and unwinds them on resumption, so a
+    caller that keeps a match must copy what it needs (see
+    :func:`repro.chase.steps.trigger_homomorphism` for the dict boundary).
+    Enumeration order is identical to :func:`iter_matches` with no ``fixed``
+    mapping.
+    """
+    index.searches += 1
+    binding = [-1] * len(plan.slot_vars)
+    bound_terms: list[Term | None] = [None] * len(plan.slot_vars)
+    for trail in _kernel_search(plan, index, binding, bound_terms):
+        yield binding, bound_terms, trail
 
-    yield from search()
+
+def has_match_from_binding(
+    plan: MatchPlan,
+    index: TargetIndex,
+    links: Sequence[tuple[int, int]],
+    source_binding: Sequence[int],
+) -> bool:
+    """Does *plan* match into *index* under pre-bindings from another plan?
+
+    The binding-level extension probe: *links* are ``(plan_slot,
+    source_slot)`` pairs (see :func:`repro.core.plan.shared_slot_links`) and
+    *source_binding* a completed slot array of the source plan; each linked
+    slot of *plan* is seeded with the uid the source search bound, and the
+    kernel then searches for one full match.  No ``{variable: term}``
+    dictionary is built on either side — this replaces the
+    ``find_match(plan, index, fixed=hom)`` idiom on the chase's tgd
+    applicability hot path.
+    """
+    index.searches += 1
+    binding = [-1] * len(plan.slot_vars)
+    bound_terms: list[Term | None] = [None] * len(plan.slot_vars)
+    for plan_slot, source_slot in links:
+        binding[plan_slot] = source_binding[source_slot]
+    for _ in _kernel_search(plan, index, binding, bound_terms):
+        return True
+    return False
 
 
 def find_match(

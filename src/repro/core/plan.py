@@ -116,3 +116,26 @@ class MatchPlan:
         return (
             f"MatchPlan({len(self.atoms)} atoms, {len(self.slot_vars)} slots)"
         )
+
+
+def shared_slot_links(
+    source: MatchPlan, extension: MatchPlan
+) -> tuple[tuple[int, int], ...]:
+    """``(extension_slot, source_slot)`` pairs for the variables both plans bind.
+
+    A completed *source* search (e.g. a tgd premise match) fixes exactly the
+    shared variables of an *extension* plan (the tgd's conclusion); the kernel
+    extension probe (:func:`repro.core.homomorphism.has_match_from_binding`)
+    seeds the extension's slot array through these links straight from the
+    source's slot array — slot to slot, uid to uid, no term objects.  The
+    pairs are ordered by extension slot.  Like the plans themselves the links
+    embed nothing process-portable and are compiled once per dependency (see
+    :class:`repro.chase.plans.TGDPlan`).
+    """
+    source_slot_of = source.slot_of
+    links: list[tuple[int, int]] = []
+    for extension_slot, variable in enumerate(extension.slot_vars):
+        source_slot = source_slot_of.get(variable.uid)
+        if source_slot is not None:
+            links.append((extension_slot, source_slot))
+    return tuple(links)

@@ -8,7 +8,11 @@ oracle runs six independent families of checks and reports every mismatch:
    reproduce the frozen reference drivers
    (:mod:`repro.chase.reference`) *step for step*: same step records, same
    terminal query, and the same outcome kind when the chase fails or runs
-   out of budget.  The homomorphism engines are compared the same way.
+   out of budget.  The homomorphism engines are compared the same way, and
+   so are the binding-level applicability probes: for every dependency of
+   Σ, the zero-materialization trigger enumeration of
+   :mod:`repro.chase.steps` must yield the same homomorphisms, with the
+   same key order, as the frozen pre-kernel path.
 2. **Proposition 6.1** — the bag ⇒ bag-set ⇒ set implication chain must hold
    across the three verdicts of a :class:`~repro.session.Session`; each
    verdict is additionally recomputed from the *reference* chase results, so
@@ -47,9 +51,17 @@ from ..chase.incremental import (
     has_applicable_step,
     resume_chase,
 )
-from ..chase.reference import sound_chase_reference
+from ..chase.reference import (
+    _iter_applicable_egd_homomorphisms as _reference_egd_triggers,
+    _iter_applicable_tgd_homomorphisms as _reference_tgd_triggers,
+    sound_chase_reference,
+)
 from ..chase.sound_chase import sound_chase
-from ..chase.steps import ChaseFailedError
+from ..chase.steps import (
+    ChaseFailedError,
+    iter_applicable_egd_homomorphisms,
+    iter_applicable_tgd_homomorphisms,
+)
 from ..core.homomorphism import find_isomorphism, iter_homomorphisms
 from ..core.query import ConjunctiveQuery
 from ..core.reference import iter_homomorphisms_reference
@@ -194,6 +206,49 @@ def _compare_homomorphism_engines(case: FuzzCase, report: CaseReport) -> None:
                 "(or a different enumeration order)",
             )
         )
+
+
+def _compare_applicability_probes(case: FuzzCase, report: CaseReport) -> None:
+    """Binding-level trigger enumeration vs the frozen pre-kernel path.
+
+    The chase differential (check 1) compares what the drivers *applied*;
+    this compares what the applicability layer *offered*: for every
+    dependency of Σ against both queries, the zero-materialization probe of
+    :mod:`repro.chase.steps` must yield the same applicable triggers — same
+    dicts, same key order (hence the ``items()`` comparison), same
+    equality images — as the frozen backtracking enumeration.
+    """
+    for label, query in (("query", case.query), ("other", case.other)):
+        for dependency in case.dependencies:
+            if isinstance(dependency, TGD):
+                fast = [
+                    list(hom.items())
+                    for hom in iter_applicable_tgd_homomorphisms(query, dependency)
+                ]
+                slow = [
+                    list(hom.items())
+                    for hom in _reference_tgd_triggers(query, dependency)
+                ]
+            else:
+                fast = [
+                    (list(hom.items()), left, right)
+                    for hom, left, right in iter_applicable_egd_homomorphisms(
+                        query, dependency
+                    )
+                ]
+                slow = [
+                    (list(hom.items()), left, right)
+                    for hom, left, right in _reference_egd_triggers(query, dependency)
+                ]
+            if fast != slow:
+                report.mismatches.append(
+                    OracleMismatch(
+                        "probe-differential",
+                        f"{label}/{dependency.name}: binding-level probe "
+                        f"offered {len(fast)} triggers vs {len(slow)} "
+                        "reference (or a different order)",
+                    )
+                )
 
 
 # --------------------------------------------------------------------------- #
@@ -557,6 +612,7 @@ def run_oracle(
     report = CaseReport(case=case)
     reference_outcomes = _compare_chases(case, report)
     _compare_homomorphism_engines(case, report)
+    _compare_applicability_probes(case, report)
     _check_verdicts(case, report, reference_outcomes, session, precomputed_verdicts)
     _check_datalog_round_trip(case, report)
     _check_sql_round_trip(case, report)

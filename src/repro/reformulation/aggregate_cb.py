@@ -17,7 +17,7 @@ Both are sound and complete whenever the set chase of the core terminates
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Iterator, Sequence
 
 from ..core.aggregate import AggregateQuery
 from ..core.query import ConjunctiveQuery
@@ -36,7 +36,7 @@ class AggregateReformulationResult:
     reformulations: list[AggregateQuery] = field(default_factory=list)
     minimal_reformulations: list[AggregateQuery] = field(default_factory=list)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AggregateQuery]:
         return iter(self.minimal_reformulations)
 
     def __len__(self) -> int:
@@ -62,7 +62,7 @@ def reformulate_aggregate_query(
     query: AggregateQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> AggregateReformulationResult:
     """Dispatch to Max-Min-C&B or Sum-Count-C&B based on the aggregate function."""
     if query.aggregate.function.is_duplicate_sensitive:
@@ -74,7 +74,7 @@ def max_min_c_and_b(
     query: AggregateQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> AggregateReformulationResult:
     """Max-Min-C&B: reformulate a max/min query via set-semantics C&B on its core."""
     core_result = chase_and_backchase(
@@ -94,7 +94,7 @@ def sum_count_c_and_b(
     query: AggregateQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> AggregateReformulationResult:
     """Sum-Count-C&B: reformulate a sum/count query via Bag-Set-C&B on its core.
 

@@ -13,8 +13,9 @@ accepted candidate.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, Sequence
+from typing import Hashable, Iterator, Sequence
 
+from ..core.atoms import Atom
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Variable
 
@@ -61,7 +62,7 @@ def subquery_atom_indices(
     Returns None when the candidate's body is not a sub-multiset of the
     plan's body (e.g. for candidates produced elsewhere).
     """
-    available: dict = {}
+    available: dict[Atom, list[int]] = {}
     for index, atom in enumerate(universal_plan.body):
         available.setdefault(atom, []).append(index)
     chosen: list[int] = []
@@ -74,7 +75,7 @@ def subquery_atom_indices(
 
 
 def sub_multiset_of(
-    smaller: Sequence, larger: Sequence
+    smaller: Sequence[Hashable], larger: Sequence[Hashable]
 ) -> bool:
     """Is *smaller* a sub-multiset of *larger* (used for minimality filtering)?"""
     from collections import Counter

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, cast
 
 from ..core.homomorphism import are_isomorphic
 from ..core.query import ConjunctiveQuery
@@ -31,20 +31,26 @@ from ..chase.sound_chase import sound_chase
 from .candidates import iter_subqueries
 from .minimality import is_sigma_minimal
 
+if TYPE_CHECKING:
+    from ..session.engine import Session
+
 
 @dataclass
 class ReformulationResult:
     """Output of a C&B run."""
 
     query: ConjunctiveQuery
-    semantics: Semantics
+    #: The :class:`~repro.semantics.Semantics` member for the paper's three
+    #: semantics; results produced through a third-party strategy carry that
+    #: strategy's token (its name string) instead.
+    semantics: Semantics | str
     universal_plan: ConjunctiveQuery
     reformulations: list[ConjunctiveQuery] = field(default_factory=list)
     minimal_reformulations: list[ConjunctiveQuery] = field(default_factory=list)
     candidates_examined: int = 0
     chase_result: ChaseResult | None = None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
         return iter(self.minimal_reformulations)
 
     def __len__(self) -> int:
@@ -69,11 +75,11 @@ class ReformulationResult:
 def chase_and_backchase(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
-    semantics: Semantics | str = Semantics.SET,
+    semantics: object = Semantics.SET,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_candidate_size: int | None = None,
     check_sigma_minimality: bool = True,
-    engine=None,
+    engine: "Session | None" = None,
 ) -> ReformulationResult:
     """Run C&B (or its bag / bag-set variant) on *query* under *dependencies*.
 
@@ -88,14 +94,14 @@ def chase_and_backchase(
     one, an ephemeral Session over *dependencies* is built, so direct
     functional callers get the same candidate-chase caching within the call.
     """
-    dependencies = DependencySet.coerce(dependencies)
+    sigma = DependencySet.coerce(dependencies)
 
     if engine is None:
         from ..session.engine import Session
 
-        engine = Session(dependencies=dependencies)
-        dependencies = engine.dependencies
-    elif engine.dependencies is not dependencies:
+        engine = Session(dependencies=sigma)
+        sigma = engine.dependencies
+    elif engine.dependencies is not sigma:
         # The engine chases (and probes minimality) under its own Σ while the
         # dependency-free test below uses *dependencies*; mixing two Σs would
         # silently produce reformulations equivalent under neither.  Session
@@ -103,21 +109,22 @@ def chase_and_backchase(
         # skips even the (memoized) fingerprint comparison on that hot path.
         from ..exceptions import ReformulationError
 
-        if engine.dependencies.fingerprint != dependencies.fingerprint:
+        if engine.dependencies.fingerprint != sigma.fingerprint:
             raise ReformulationError(
                 "chase_and_backchase was given an engine whose dependency "
                 "set differs from the dependencies argument; use "
                 "Session.reformulate, or pass engine.dependencies"
             )
+    session = engine
 
-    strategy = engine.strategy_for(semantics)
-    semantics_label = strategy.token
-    chase = lambda q: engine.chase(q, strategy.name, max_steps)  # noqa: E731
-    equivalence_test = lambda q1, q2: strategy.equivalent_chased(  # noqa: E731
-        q1, q2, dependencies
-    )
-    minimality_equivalent = lambda shortened, original: bool(  # noqa: E731
-        engine.decide(shortened, original, strategy.name, max_steps)
+    strategy = session.strategy_for(semantics)
+    # Built-in strategies stamp the Semantics member, third-party ones their
+    # name string (SemanticsStrategy.token's contract); the cast records that.
+    semantics_label = cast("Semantics | str", strategy.token)
+    chase: Callable[[ConjunctiveQuery], ChaseResult] = lambda q: session.chase(q, strategy.name, max_steps)  # noqa: E731
+    equivalence_test: Callable[[ConjunctiveQuery, ConjunctiveQuery], bool] = lambda q1, q2: strategy.equivalent_chased(q1, q2, sigma)  # noqa: E731
+    minimality_equivalent: Callable[[ConjunctiveQuery, ConjunctiveQuery], bool] = lambda shortened, original: bool(  # noqa: E731
+        session.decide(shortened, original, strategy.name, max_steps)
     )
 
     chase_result = chase(query)
@@ -142,7 +149,7 @@ def chase_and_backchase(
             for candidate in reformulations
             if is_sigma_minimal(
                 candidate,
-                dependencies,
+                sigma,
                 semantics_label,
                 max_steps,
                 equivalent_fn=minimality_equivalent,
@@ -185,7 +192,7 @@ def _session_reformulate(
     dependencies: DependencySet | Sequence[Dependency],
     semantics: Semantics,
     max_steps: int,
-    **kwargs,
+    **kwargs: Any,
 ) -> ReformulationResult:
     """Shared body of the deprecated per-semantics C&B wrappers.
 
@@ -203,7 +210,7 @@ def c_and_b(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ReformulationResult:
     """The original set-semantics C&B of Deutsch et al. (Appendix A).
 
@@ -221,7 +228,7 @@ def bag_c_and_b(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ReformulationResult:
     """Bag-C&B (Theorem 6.4): Σ-minimal reformulations under bag semantics.
 
@@ -239,7 +246,7 @@ def bag_set_c_and_b(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ReformulationResult:
     """Bag-Set-C&B (Theorem K.1): Σ-minimal reformulations under bag-set semantics.
 
@@ -257,7 +264,7 @@ def naive_bag_c_and_b(
     query: ConjunctiveQuery,
     dependencies: DependencySet | Sequence[Dependency],
     max_steps: int = DEFAULT_MAX_STEPS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ReformulationResult:
     """The *unsound* naive extension of C&B discussed in Section 4.1.
 

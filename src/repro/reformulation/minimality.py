@@ -16,23 +16,23 @@ paper targets; the docstring records the restriction explicitly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..core.aggregate import AggregateQuery
 from ..core.minimization import core_endomorphisms
 from ..core.query import ConjunctiveQuery
-from ..core.terms import Variable
+from ..core.terms import Term, Variable
 from ..dependencies.base import Dependency, DependencySet
 from ..semantics import Semantics
 from ..chase.set_chase import DEFAULT_MAX_STEPS
 from ..equivalence.under_dependencies import equivalent_under_dependencies
 
 
-def _candidate_substitutions(query: ConjunctiveQuery) -> list[dict]:
+def _candidate_substitutions(query: ConjunctiveQuery) -> list[dict[Term, Term]]:
     """Identity plus the query's head-preserving variable→variable endomorphisms."""
-    substitutions: list[dict] = [{}]
+    substitutions: list[dict[Term, Term]] = [{}]
     for endomorphism in core_endomorphisms(query):
-        mapping = {
+        mapping: dict[Term, Term] = {
             source: target
             for source, target in endomorphism.items()
             if isinstance(source, Variable) and isinstance(target, Variable)
@@ -48,7 +48,7 @@ def is_sigma_minimal(
     dependencies: DependencySet | Sequence[Dependency],
     semantics: Semantics | str = Semantics.SET,
     max_steps: int = DEFAULT_MAX_STEPS,
-    equivalent_fn=None,
+    equivalent_fn: Callable[[ConjunctiveQuery, ConjunctiveQuery], bool] | None = None,
 ) -> bool:
     """Definition 3.1: is *query* Σ-minimal under the given semantics?
 

@@ -44,6 +44,7 @@ from ..chase.incremental import (
 from ..chase.plans import PlanCache, default_plan_cache
 from ..chase.profile import ChaseProfile
 from ..chase.set_chase import DEFAULT_MAX_STEPS, ChaseResult
+from ..chase.sigma_subset import SigmaSubsetResult, scan_sigma_subset
 from ..core.aggregate import AggregateQuery
 from ..core.query import ConjunctiveQuery
 from ..dependencies.base import Dependency, DependencySet
@@ -385,6 +386,41 @@ class Session:
         self.cache.put(key, result)
         if self.store is not None and result.terminated:
             self.store.put(key, result)
+        return result
+
+    def sigma_subset(
+        self,
+        query: ConjunctiveQuery,
+        semantics: object | None = None,
+        max_steps: int | None = None,
+    ) -> SigmaSubsetResult:
+        """The maximal Σ-subset of Algorithms 1/2 for *query* under this Σ.
+
+        The terminal sound chase is served through :meth:`chase` (so a warm
+        session skips it entirely), and the per-dependency soundness scan
+        shares this session's :class:`~repro.chase.plans.PlanCache` plus one
+        body index and one Definition 4.3 memo across the whole scan (see
+        :func:`repro.chase.sigma_subset.scan_sigma_subset`).  The scan's
+        profile — binding-level extension probes, trigger dicts avoided,
+        per-subset plan reuse — is folded into :meth:`chase_profile` /
+        :meth:`stats`, and also returned on the result's ``scan_profile``.
+        Only bag and bag-set semantics have a nontrivial subset (under set
+        semantics every step is sound, so Σ^max = Σ).
+        """
+        strategy = self.strategy_for(semantics)
+        semantics_token = getattr(strategy, "semantics", None)
+        if semantics_token is None:
+            raise SemanticsError(
+                f"strategy {strategy.name!r} does not expose a core semantics "
+                "token; sigma_subset requires one of set / bag / bag-set"
+            )
+        steps = max_steps if max_steps is not None else self.max_steps
+        chased = self.chase(query, semantics, max_steps=steps)
+        result = scan_sigma_subset(
+            chased, self._dependencies, semantics_token, steps, self.plan_cache
+        )
+        if result.scan_profile is not None:
+            self._profile.merge(result.scan_profile)
         return result
 
     # ------------------------------------------------------------------ #
