@@ -31,6 +31,21 @@ Baseline format::
         }
       }
     }
+
+Two escape hatches exist for tiers that cannot run everywhere:
+
+* a benchmark pinned with ``"_optional": true`` (a meta key next to its
+  metrics) may be **absent from the current run** without failing the gate —
+  CI deselects hardware-bound tiers with ``-k``, and the gate prints a
+  skip notice instead of a failure.  When the benchmark *did* run, its pins
+  are enforced exactly like any other.
+* a metric pinned with ``"optional": true`` may be absent from its
+  benchmark's entry — for values the benchmark only records when the
+  machine qualifies (e.g. a scaling ratio that is meaningless on two
+  cores).  Again: present means enforced.
+
+Everything non-optional that disappears is still a hard failure — silent
+loss of a gated metric is itself a regression.
 """
 
 from __future__ import annotations
@@ -95,7 +110,11 @@ def check_metric(
 
 
 def check(current_path: Path, baseline_path: Path) -> list[str]:
-    """Every pinned-metric failure of *current* against *baseline*."""
+    """Every pinned-metric failure of *current* against *baseline*.
+
+    Skip notices for optional benchmarks/metrics that did not run go to
+    stdout; only genuine regressions land in the returned list.
+    """
     baseline = json.loads(baseline_path.read_text())
     benchmarks = load_benchmarks(current_path)
     failures: list[str] = []
@@ -103,12 +122,23 @@ def check(current_path: Path, baseline_path: Path) -> list[str]:
     if not pinned:
         failures.append(f"{baseline_path}: no pinned metrics — baseline is empty")
     for name, metrics in pinned.items():
+        pins = {path: pin for path, pin in metrics.items()
+                if not path.startswith("_")}
         bench = benchmarks.get(name)
         if bench is None:
+            if metrics.get("_optional"):
+                print(f"  note: optional benchmark {name} not in this run — "
+                      f"{len(pins)} pin(s) skipped")
+                continue
             failures.append(f"{name}: benchmark missing from the current run")
             continue
-        for path, pin in metrics.items():
-            message = check_metric(name, path, pin, metric_value(bench, path))
+        for path, pin in pins.items():
+            current = metric_value(bench, path)
+            if current is None and pin.get("optional"):
+                print(f"  note: optional metric {name} :: {path} absent "
+                      f"from this run — skipped")
+                continue
+            message = check_metric(name, path, pin, current)
             if message is not None:
                 failures.append(message)
     return failures

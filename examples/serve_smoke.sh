@@ -8,7 +8,10 @@
 #   * verdicts match the paper (Example 4.1: Q1 vs Q4 — set yes, bag no);
 #   * SIGTERM exits 0 after printing the clean-shutdown line;
 #   * a restarted daemon serves the same workload off the store file with
-#     zero chase runs (store hits, not cold chases).
+#     zero chase runs (store hits, not cold chases);
+#   * a `--workers 2` daemon serves the same verdicts from its engine
+#     processes, survives SIGKILL of one worker (respawn + next request
+#     succeeds), and unlinks its shared-memory intern snapshot on shutdown.
 #
 # Run from the repository root:  bash examples/serve_smoke.sh
 
@@ -31,26 +34,27 @@ Q4='Q4(X) :- p(X,Y)'
 STORE="$WORKDIR/chase-store.jsonl"
 
 # jq may be absent on minimal runners; this is the only JSON probing needed.
-json_get() { # json_get <file> <dotted.path>
+json_get() { # json_get <file> <dotted.path> (integer parts index lists)
     python - "$1" "$2" <<'PYEOF'
 import json, sys
 node = json.load(open(sys.argv[1]))
 for part in sys.argv[2].split("."):
-    node = node[part]
+    node = node[int(part)] if isinstance(node, list) else node[part]
 print(json.dumps(node))
 PYEOF
 }
 
-start_daemon() { # start_daemon <logfile>
+start_daemon() { # start_daemon <logfile> [extra serve args...]
+    local log="$1"; shift
     python -m repro serve --dependencies "$WORKDIR/deps.txt" \
-        --set-valued s,t --port 0 --store "$STORE" > "$1" 2>&1 &
+        --set-valued s,t --port 0 --store "$STORE" "$@" > "$log" 2>&1 &
     DAEMON_PID=$!
     for _ in $(seq 1 50); do
-        grep -q "listening on" "$1" && break
+        grep -q "listening on" "$log" && break
         sleep 0.2
     done
-    grep -q "listening on" "$1" || { echo "FAIL: daemon never came up"; cat "$1"; exit 1; }
-    PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$1" | head -1)
+    grep -q "listening on" "$log" || { echo "FAIL: daemon never came up"; cat "$log"; exit 1; }
+    PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$log" | head -1)
     echo "daemon pid=$DAEMON_PID port=$PORT"
 }
 
@@ -109,4 +113,60 @@ HITS=$(json_get "$WORKDIR/stats2.json" result.store.hits)
 
 stop_daemon "$WORKDIR/serve2.log"
 echo "round 2 OK: warm restart served off the store (hits=$HITS, runs=$WARM_RUNS)"
+
+# ----------------------------------------------------------------------- #
+# Round 3: the multi-worker pool.  Two engine processes behind the same
+# acceptor, warm off the same store; SIGKILL one worker mid-flight and the
+# daemon must respawn it and keep serving; the shared-memory intern
+# snapshot must be unlinked by the SIGTERM shutdown.
+# ----------------------------------------------------------------------- #
+start_daemon "$WORKDIR/serve3.log" --workers 2
+
+grep -q "engine backend process (2 workers)" "$WORKDIR/serve3.log" \
+    || { echo "FAIL: no process-backend line"; cat "$WORKDIR/serve3.log"; exit 1; }
+
+client health > "$WORKDIR/health3.json"
+[ "$(json_get "$WORKDIR/health3.json" result.backend)" = '"process"' ]
+[ "$(json_get "$WORKDIR/health3.json" result.workers)" = "2" ]
+
+client decide --query "$Q1" --other "$Q4" --semantics set > "$WORKDIR/set3.json"
+[ "$(json_get "$WORKDIR/set3.json" result.equivalent)" = "true" ]
+
+client stats > "$WORKDIR/stats3.json"
+POOL_RUNS=$(json_get "$WORKDIR/stats3.json" result.profile.runs)
+[ "$POOL_RUNS" -eq 0 ] || { echo "FAIL: workers re-chased a stored workload (runs=$POOL_RUNS)"; exit 1; }
+VICTIM=$(json_get "$WORKDIR/stats3.json" result.workers.0.pid)
+SHM_NAME=$(json_get "$WORKDIR/stats3.json" result.pool.intern_snapshot.shm_name | tr -d '"')
+if [ -d /dev/shm ]; then
+    [ -e "/dev/shm/${SHM_NAME#/}" ] || { echo "FAIL: shm snapshot $SHM_NAME not present while serving"; exit 1; }
+fi
+
+echo "killing worker pid=$VICTIM"
+kill -9 "$VICTIM"
+
+# The daemon must keep answering: respawn happens in the background, the
+# surviving worker serves in the meantime.  Zero failed requests here.
+for sem in set bag bag-set; do
+    client decide --query "$Q1" --other "$Q4" --semantics "$sem" > "$WORKDIR/after-kill-$sem.json" \
+        || { echo "FAIL: decide ($sem) failed after worker kill"; cat "$WORKDIR/after-kill-$sem.json"; exit 1; }
+done
+[ "$(json_get "$WORKDIR/after-kill-set.json" result.equivalent)" = "true" ]
+[ "$(json_get "$WORKDIR/after-kill-bag.json" result.equivalent)" = "false" ]
+
+# Pool bookkeeping: one crash, one respawn, two live workers again.
+for _ in $(seq 1 50); do
+    client stats > "$WORKDIR/stats4.json"
+    [ "$(json_get "$WORKDIR/stats4.json" result.pool.workers)" = "2" ] && break
+    sleep 0.2
+done
+[ "$(json_get "$WORKDIR/stats4.json" result.pool.workers)" = "2" ] \
+    || { echo "FAIL: pool never healed to 2 workers"; cat "$WORKDIR/stats4.json"; exit 1; }
+RESPAWNS=$(json_get "$WORKDIR/stats4.json" result.pool.respawns)
+[ "$RESPAWNS" -ge 1 ] || { echo "FAIL: expected a respawn, got $RESPAWNS"; exit 1; }
+
+stop_daemon "$WORKDIR/serve3.log"
+if [ -d /dev/shm ] && [ -e "/dev/shm/${SHM_NAME#/}" ]; then
+    echo "FAIL: shm snapshot $SHM_NAME leaked past shutdown"; exit 1
+fi
+echo "round 3 OK: 2-worker pool survived a worker kill (respawns=$RESPAWNS) and unlinked $SHM_NAME"
 echo "serve smoke PASSED"

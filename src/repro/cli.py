@@ -372,6 +372,8 @@ def _cmd_serve(args) -> int:
         timeout=args.timeout,
         max_request_bytes=args.max_request_bytes,
         store=store,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
     )
 
     async def _run() -> None:
@@ -386,6 +388,11 @@ def _cmd_serve(args) -> int:
         # One parseable line on stdout so scripts (and the CI smoke job) can
         # wait for readiness and discover the port when --port 0 was used.
         print(f"repro serve: listening on {server.host}:{server.port}", flush=True)
+        print(
+            f"repro serve: engine backend {server.backend.kind} "
+            f"({args.workers} worker{'s' if args.workers != 1 else ''})",
+            flush=True,
+        )
         if store is not None:
             entries = store.stats()["entries"]
             print(f"repro serve: chase store {store.path} ({entries} entries)", flush=True)
@@ -685,6 +692,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="statically analyze Σ at startup; 'strict' refuses an "
         "uncertified Σ, both modes seed chase budgets from the certificate",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker processes; 1 (default) keeps engine work on a "
+        "single thread in this process, N>=2 fans requests out to N "
+        "long-lived worker processes sharing the chase store",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="bound on engine requests in flight before new ones are "
+        "refused with an 'overloaded' error (workers>=2 only; default: "
+        "32 per worker)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

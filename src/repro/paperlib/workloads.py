@@ -20,17 +20,21 @@ reformulation algorithms are exercised on three families of workloads:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.atoms import Atom
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Variable
-from ..dependencies.base import Dependency, DependencySet
+from ..dependencies.base import TGD, Dependency, DependencySet
 from ..dependencies.builders import (
     functional_dependency_egd,
     inclusion_dependency,
     key_egds,
 )
 from ..schema.schema import DatabaseSchema
+
+if TYPE_CHECKING:
+    from ..fuzz.generator import GeneratorConfig
 
 
 @dataclass(frozen=True)
@@ -98,9 +102,9 @@ def h_family(m: int, key_based: bool = True) -> Workload:
     )
 
 
-def _tgd_from_atoms(premise, conclusion, name=""):
-    from ..dependencies.base import TGD
-
+def _tgd_from_atoms(
+    premise: list[Atom], conclusion: list[Atom], name: str = ""
+) -> TGD:
     return TGD(premise, conclusion, name=name)
 
 
@@ -245,7 +249,9 @@ def clique_workload(size: int, distractors: int = 0) -> Workload:
     )
 
 
-def random_workload(seed: int, index: int = 0, config=None) -> Workload:
+def random_workload(
+    seed: int, index: int = 0, config: GeneratorConfig | None = None
+) -> Workload:
     """A random (but deterministic) workload drawn from the fuzz generator.
 
     Bridges the structured families above and the scenario-diversity layer of

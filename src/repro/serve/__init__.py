@@ -2,21 +2,36 @@
 
 Everything below :mod:`repro.session` answers one question at a time and
 forgets; this package keeps the answers' *infrastructure* alive.  It wraps
-one process-wide :class:`~repro.session.Session` in an asyncio TCP daemon
-(:class:`ReproServer`, ``repro serve``) speaking newline-delimited JSON
-(:mod:`~repro.serve.protocol`), persists terminal chase results to disk so
-restarts start warm (:class:`ChaseStore`, keyed by a stable digest of the
-session's chase-cache key), and ships the process's intern-table snapshot to
-worker processes so they stop re-interning from scratch
-(:func:`~repro.core.terms.export_interned_terms` /
-:func:`~repro.core.terms.pin_interned_terms`, re-exported here).
+the engine in an asyncio TCP daemon (:class:`ReproServer`, ``repro serve``)
+speaking newline-delimited JSON (:mod:`~repro.serve.protocol`), dispatching
+engine work to a backend (:mod:`~repro.serve.pool`): one serialized worker
+thread over one process-wide :class:`~repro.session.Session` by default, or
+— with ``--workers N`` — a pool of long-lived engine processes with crash
+respawn, ``overloaded`` backpressure, and delta-coherent per-worker caches.
+Terminal chase results persist to disk so restarts and respawned workers
+start warm (:class:`ChaseStore`, keyed by a stable digest of the session's
+chase-cache key), and the process's intern-table snapshot ships to worker
+processes so they stop re-interning from scratch — once, through shared
+memory (:class:`~repro.core.terms.SharedInternSnapshot`), with the pickled
+:func:`~repro.core.terms.export_interned_terms` /
+:func:`~repro.core.terms.pin_interned_terms` handoff as the fallback.
 
 :class:`ReproClient` is the matching blocking client used by tests, the
 ``repro client`` subcommand, and the CI smoke job.
 """
 
-from ..core.terms import export_interned_terms, pin_interned_terms
+from ..core.terms import (
+    SharedInternSnapshot,
+    export_interned_terms,
+    pin_interned_terms,
+)
 from .client import ClientError, ReproClient, ServerError
+from .pool import (
+    ProcessEngineBackend,
+    RemoteEngineError,
+    ThreadEngineBackend,
+    WorkerSpec,
+)
 from .protocol import (
     DEFAULT_TIMEOUT,
     ERROR_CODES,
@@ -34,12 +49,17 @@ __all__ = [
     "ERROR_CODES",
     "MAX_REQUEST_BYTES",
     "OPS",
+    "ProcessEngineBackend",
     "ProtocolError",
+    "RemoteEngineError",
     "ReproClient",
     "ReproServer",
     "ServerError",
     "ServerHandle",
+    "SharedInternSnapshot",
     "StoreError",
+    "ThreadEngineBackend",
+    "WorkerSpec",
     "export_interned_terms",
     "key_digest",
     "pin_interned_terms",

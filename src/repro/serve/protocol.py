@@ -59,6 +59,8 @@ ERROR_CODES = (
     "precheck-failed",  # the static analyzer refused Σ (strict analyze/precheck)
     "timeout",  # the per-request wall-clock budget ran out
     "request-too-large",  # request line over the size cap (connection closes)
+    "overloaded",  # the engine pool's in-flight queue is full; retry later
+    "worker-crashed",  # an engine worker process died mid-request (it is respawned)
     "internal",  # anything else; the server stays up
 )
 

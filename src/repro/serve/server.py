@@ -1,24 +1,30 @@
-"""The ``repro serve`` daemon: one warm Session, many clients.
+"""The ``repro serve`` daemon: one acceptor, one-or-N engine workers.
 
 Architecture (see :mod:`repro.serve.protocol` for the wire format):
 
-* an **asyncio TCP server** accepts connections and frames newline-delimited
-  JSON requests; the event loop only ever parses, validates, and routes —
-  it never chases;
-* every CPU-bound operation (decide, reformulate, batch) is pushed onto a
-  **single-threaded executor**, so the event loop stays responsive while a
-  chase runs, and — because the executor has exactly one worker — all engine
-  work is serialized through the one process-wide
-  :class:`~repro.session.Session` without the Session needing locks.
-  Concurrent clients interleave at request granularity; what they share is
-  precisely the point: the hot chase cache, plan cache, and intern tables;
+* an **asyncio TCP acceptor** accepts connections and frames
+  newline-delimited JSON requests; the event loop only ever parses,
+  validates, routes, and enforces limits — it never chases;
+* every CPU-bound operation (decide, reformulate, batch, analyze,
+  apply-delta) is dispatched to an **engine backend**
+  (:mod:`repro.serve.pool`):
+
+  - the default single-thread backend serializes engine work through the
+    one process-wide :class:`~repro.session.Session` (shared hot caches, no
+    locks);
+  - with ``--workers N`` a **process pool** backend fans requests out to N
+    long-lived engine processes over pipes — bounded in-flight queue with
+    structured ``overloaded`` backpressure, crash detection + respawn
+    (``worker-crashed``), shared-memory intern snapshots, and monotonically
+    versioned ``apply-delta`` broadcasts keeping per-worker caches
+    coherent;
+
 * a **per-request timeout** (:func:`asyncio.wait_for`) turns a runaway
-  request into a structured ``timeout`` error for its client.  The worker
-  thread itself cannot be killed mid-chase (Python offers no safe
-  preemption), so the *next* request may wait behind the stragglers — the
-  chase step budget (``--max-steps``) is the real bound on a single chase;
-* an optional **disk-backed chase store** (:mod:`repro.serve.store`)
-  attached to the Session makes restarts start warm.
+  request into a structured ``timeout`` error for its client.  An engine
+  thread/process cannot be preempted mid-chase, so the chase step budget
+  (``--max-steps``) is the real bound on a single chase;
+* an optional **disk-backed chase store** (:mod:`repro.serve.store`) makes
+  restarts — and freshly (re)spawned pool workers — start warm.
 
 Nothing a client sends can kill the daemon: every anticipated failure is
 mapped to a structured error response, and unanticipated ones are answered
@@ -28,25 +34,21 @@ with ``internal`` and logged to stderr.
 from __future__ import annotations
 
 import asyncio
-import concurrent.futures
 import sys
 import threading
 import time
-from typing import Any, Callable
+from typing import Any
 
-from ..chase.incremental import ChaseDelta
-from ..datalog.parser import parse_atoms, parse_dependencies, parse_query
-from ..datalog.render import render_query
-from ..exceptions import (
-    ChaseNonTerminationError,
-    DeltaRejectedError,
-    ParseError,
-    PrecheckFailedError,
-    ReproError,
-    UnknownSemanticsError,
-)
 from ..session import Session
 from ..session.engine import ChaseResultStore
+from .ops import error_payload_for, execute_op  # noqa: F401  (execute_op re-exported)
+from .pool import (
+    ProcessEngineBackend,
+    RemoteEngineError,
+    ThreadEngineBackend,
+    WorkerSpec,
+    require_builtin_semantics,
+)
 from .protocol import (
     DEFAULT_TIMEOUT,
     MAX_REQUEST_BYTES,
@@ -62,39 +64,15 @@ from .store import ChaseStore
 __all__ = ["ReproServer", "ServerHandle"]
 
 
-def _param_str(params: dict[str, Any], name: str) -> str:
-    value = params.get(name)
-    if not isinstance(value, str) or not value.strip():
-        raise ProtocolError(
-            "invalid-request", f"params.{name} must be a non-empty string"
-        )
-    return value
-
-
-def _param_query(params: dict[str, Any], name: str):
-    try:
-        return parse_query(_param_str(params, name))
-    except ParseError as exc:
-        raise ProtocolError("parse-error", f"params.{name}: {exc}") from exc
-
-
-def _param_max_steps(params: dict[str, Any]) -> int | None:
-    value = params.get("max_steps")
-    if value is None:
-        return None
-    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
-        raise ProtocolError(
-            "invalid-request", "params.max_steps must be a positive integer"
-        )
-    return value
-
-
 class ReproServer:
-    """An asyncio NDJSON server over one process-wide :class:`Session`.
+    """An asyncio NDJSON server over one-or-N engine workers.
 
-    The server owns the Session (and therefore the warm caches); it may be
-    handed one explicitly — the test fixtures do, to compare against direct
-    calls — or built from a dependency set by the CLI.
+    With ``workers=1`` (default) the server owns the Session directly — it
+    may be handed one explicitly (the test fixtures do, to compare against
+    direct calls) or built from a dependency set by the CLI.  With
+    ``workers>=2`` the Session provides the *configuration* (Σ, default
+    semantics, budgets, precheck) and each engine process builds its own
+    from that spec; the acceptor-side Session itself never chases.
     """
 
     def __init__(
@@ -106,248 +84,71 @@ class ReproServer:
         timeout: float = DEFAULT_TIMEOUT,
         max_request_bytes: int = MAX_REQUEST_BYTES,
         store: ChaseStore | None = None,
+        workers: int = 1,
+        max_inflight: int | None = None,
     ):
-        if store is not None:
-            session.set_store(store)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.session = session
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_request_bytes = max_request_bytes
-        # Whatever store the session ended up with (passed here, or attached
-        # to the session before construction); the server owns its shutdown.
-        self.store: "ChaseResultStore | None" = session.store
+        self.workers = workers
         self.started = time.monotonic()
         self.requests_served = 0
         self.requests_failed = 0
         self.connections_accepted = 0
-        # One worker: engine work is serialized, so the shared Session (and
-        # the process-wide intern tables underneath it) needs no locking.
-        self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-engine"
+        if workers == 1:
+            if store is not None:
+                session.set_store(store)
+            self.backend: ThreadEngineBackend | ProcessEngineBackend = (
+                ThreadEngineBackend(session)
+            )
+        else:
+            # The engine processes rebuild their Sessions from the spec, so
+            # only built-in semantics can serve (same contract as
+            # decide_many concurrency).  The store is deliberately NOT
+            # attached to the acceptor session: the parent never chases —
+            # each worker opens its own handle on the store path and warms
+            # from disk at spawn and respawn.
+            require_builtin_semantics(session)
+            store_obj = store if store is not None else session.store
+            store_path = getattr(store_obj, "path", None)
+            sigma = session.dependencies
+            self.backend = ProcessEngineBackend(
+                WorkerSpec(
+                    dependencies=sigma,
+                    max_steps=session.max_steps,
+                    default_semantics=session.default_semantics,
+                    precheck=session.precheck if session.precheck != "off" else None,
+                    store_path=str(store_path) if store_path is not None else None,
+                    cache_size=getattr(session.cache, "maxsize", 4096),
+                ),
+                workers,
+                max_inflight=max_inflight,
+            )
+        # Whatever store the server is responsible for (passed here, or
+        # attached to the session before construction); the server owns its
+        # shutdown.
+        self.store: "ChaseResultStore | None" = (
+            store if store is not None else session.store
         )
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------------ #
-    # Handlers.  Each takes validated params and returns a JSON-able dict;
-    # CPU-bound ones run on the executor.
+    # Acceptor-local handlers (counter reads only — answerable even while
+    # every engine worker is mid-chase).
     # ------------------------------------------------------------------ #
-    def _handle_decide(self, params: dict[str, Any]) -> dict[str, Any]:
-        q1 = _param_query(params, "query")
-        q2 = _param_query(params, "other")
-        semantics = params.get("semantics")
-        verdict = self.session.decide(q1, q2, semantics, _param_max_steps(params))
-        return {
-            "equivalent": bool(verdict),
-            "semantics": str(verdict.semantics),
-            "chased": [render_query(verdict.chased_left), render_query(verdict.chased_right)],
-        }
-
-    def _handle_reformulate(self, params: dict[str, Any]) -> dict[str, Any]:
-        query = _param_query(params, "query")
-        semantics = params.get("semantics")
-        minimal_only = bool(params.get("minimal_only", False))
-        result = self.session.reformulate(
-            query,
-            semantics,
-            _param_max_steps(params),
-            check_sigma_minimality=minimal_only,
-        )
-        payload: dict[str, Any] = {
-            "universal_plan": render_query(result.universal_plan),
-            "reformulations": sorted(
-                (render_query(q) for q in result.reformulations), key=len
-            ),
-        }
-        if minimal_only:
-            payload["minimal_reformulations"] = sorted(
-                (render_query(q) for q in result.minimal_reformulations), key=len
-            )
-        return payload
-
-    def _handle_batch(self, params: dict[str, Any]) -> dict[str, Any]:
-        pairs_raw = params.get("pairs")
-        if not isinstance(pairs_raw, list) or not all(
-            isinstance(pair, list) and len(pair) == 2 for pair in pairs_raw
-        ):
-            raise ProtocolError(
-                "invalid-request",
-                "params.pairs must be a list of [query, other] string pairs",
-            )
-        # Parse failures are per-item (the decide_many contract: one bad
-        # input must not sink the batch), so parsing happens inside the
-        # pipeline via pre-captured items rather than up front.
-        pairs: list[Any] = []
-        parse_failures: dict[int, str] = {}
-        for index, (left, right) in enumerate(pairs_raw):
-            try:
-                if not isinstance(left, str) or not isinstance(right, str):
-                    raise ParseError("pair entries must be strings")
-                pairs.append((parse_query(left), parse_query(right)))
-            except ParseError as exc:
-                parse_failures[index] = str(exc)
-                pairs.append(None)
-        semantics = params.get("semantics")
-        report = self.session.decide_many(
-            (pair for pair in pairs if pair is not None),
-            semantics=semantics,
-            max_steps=_param_max_steps(params),
-        )
-        # Merge engine outcomes back into input order around the parse
-        # failures.
-        outcomes = iter(report)
-        items: list[dict[str, Any]] = []
-        for index in range(len(pairs)):
-            if index in parse_failures:
-                items.append(
-                    {
-                        "index": index,
-                        "ok": False,
-                        "error": {"code": "parse-error", "message": parse_failures[index]},
-                    }
-                )
-                continue
-            item = next(outcomes)
-            if item.ok:
-                items.append(
-                    {"index": index, "ok": True, "equivalent": bool(item.result)}
-                )
-            else:
-                items.append(
-                    {
-                        "index": index,
-                        "ok": False,
-                        "error": {"code": "repro-error", "message": item.error or ""},
-                    }
-                )
-        ok_count = sum(1 for item in items if item["ok"])
-        return {"items": items, "ok_count": ok_count, "error_count": len(items) - ok_count}
-
-    def _handle_analyze(self, params: dict[str, Any]) -> dict[str, Any]:
-        """Static analysis of Σ (the session's, or one sent in params).
-
-        ``params.dependencies`` (rule-notation text) analyzes a caller Σ
-        instead of the session's; ``params.queries`` adds query lint;
-        ``params.strict: true`` turns error-severity diagnostics into a
-        ``precheck-failed`` error response carrying the full report.
-        """
-        from ..analysis.static import analyze
-        from ..datalog.parser import parse_dependencies
-
-        if "dependencies" in params:
-            text = _param_str(params, "dependencies")
-            try:
-                dependencies = parse_dependencies(text)
-            except ParseError as exc:
-                raise ProtocolError(
-                    "parse-error", f"params.dependencies: {exc}"
-                ) from exc
-        else:
-            dependencies = self.session.dependencies
-        queries_raw = params.get("queries", [])
-        if not isinstance(queries_raw, list) or not all(
-            isinstance(entry, str) for entry in queries_raw
-        ):
-            raise ProtocolError(
-                "invalid-request", "params.queries must be a list of strings"
-            )
-        try:
-            queries = [parse_query(entry) for entry in queries_raw]
-        except ParseError as exc:
-            raise ProtocolError("parse-error", f"params.queries: {exc}") from exc
-        report = analyze(dependencies, queries=queries)
-        if params.get("strict") and not report.ok:
-            raise PrecheckFailedError(
-                "; ".join(d.render_line() for d in report.errors),
-                report=report,
-            )
-        payload = report.as_dict()
-        payload["ok"] = report.ok
-        payload["summary"] = report.summary()
-        return payload
-
-    def _handle_apply_delta(self, params: dict[str, Any]) -> dict[str, Any]:
-        """Apply an instance/Σ delta and chase the new state incrementally.
-
-        ``params.query`` names the base query; ``params.add_atoms`` /
-        ``params.remove_atoms`` (conjunction text) edit its body, and
-        ``params.add_dependencies`` / ``params.remove_dependencies``
-        (rule-notation text, one dependency per line) edit the *session's* Σ.
-        ``params.set_valued`` lists additional set-valued markers.  The
-        session resumes from a stored checkpoint when it can; a structurally
-        invalid delta is answered with a ``delta-rejected`` error carrying
-        the stable rejection ``reason``.
-        """
-        query = _param_query(params, "query")
-        delta = self._param_delta(params)
-        semantics = params.get("semantics")
-        outcome = self.session.apply_delta(
-            query, delta, semantics, _param_max_steps(params)
-        )
-        checkpoint = outcome.checkpoint
-        return {
-            "resumed": outcome.resumed,
-            "fallback_reason": outcome.fallback_reason,
-            "replayed_steps": outcome.replayed_steps,
-            "new_steps": outcome.new_steps,
-            "steps_saved": outcome.steps_saved,
-            "query": render_query(
-                checkpoint.base_query if checkpoint is not None else query
-            ),
-            "chased": render_query(outcome.result.query),
-            "dependencies": len(self.session.dependencies),
-        }
-
-    @staticmethod
-    def _param_delta(params: dict[str, Any]) -> ChaseDelta:
-        def atoms_of(name: str) -> tuple:
-            text = params.get(name)
-            if text is None:
-                return ()
-            if not isinstance(text, str):
-                raise ProtocolError(
-                    "invalid-request", f"params.{name} must be a string"
-                )
-            try:
-                return tuple(parse_atoms(text))
-            except ParseError as exc:
-                raise ProtocolError("parse-error", f"params.{name}: {exc}") from exc
-
-        def dependencies_of(name: str) -> tuple:
-            text = params.get(name)
-            if text is None:
-                return ()
-            if not isinstance(text, str):
-                raise ProtocolError(
-                    "invalid-request", f"params.{name} must be a string"
-                )
-            try:
-                return tuple(parse_dependencies(text).dependencies)
-            except ParseError as exc:
-                raise ProtocolError("parse-error", f"params.{name}: {exc}") from exc
-
-        set_valued = params.get("set_valued", [])
-        if not isinstance(set_valued, list) or not all(
-            isinstance(entry, str) for entry in set_valued
-        ):
-            raise ProtocolError(
-                "invalid-request", "params.set_valued must be a list of strings"
-            )
-        return ChaseDelta(
-            added_atoms=atoms_of("add_atoms"),
-            added_dependencies=dependencies_of("add_dependencies"),
-            removed_atoms=atoms_of("remove_atoms"),
-            removed_dependencies=dependencies_of("remove_dependencies"),
-            set_valued=frozenset(set_valued),
-        )
-
-    def _handle_stats(self, params: dict[str, Any]) -> dict[str, Any]:
-        stats = self.session.stats()
+    async def _handle_stats(self, params: dict[str, Any]) -> dict[str, Any]:
+        stats = await self.backend.stats_snapshot()
         stats["server"] = {
             "uptime_s": time.monotonic() - self.started,
             "requests_served": self.requests_served,
             "requests_failed": self.requests_failed,
             "connections_accepted": self.connections_accepted,
+            "backend": self.backend.kind,
+            "workers": self.workers,
         }
         return stats
 
@@ -355,8 +156,10 @@ class ReproServer:
         return {
             "status": "ok",
             "semantics": list(self.session.semantics_names()),
-            "dependencies": len(self.session.dependencies),
+            "dependencies": self.backend.dependency_count,
             "store": self.store is not None,
+            "backend": self.backend.kind,
+            "workers": self.workers,
             "uptime_s": time.monotonic() - self.started,
         }
 
@@ -364,32 +167,32 @@ class ReproServer:
     # Dispatch
     # ------------------------------------------------------------------ #
     async def _dispatch(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
-        handler: Callable[[dict[str, Any]], dict[str, Any]] = {
-            "decide": self._handle_decide,
-            "reformulate": self._handle_reformulate,
-            "batch": self._handle_batch,
-            "analyze": self._handle_analyze,
-            "apply-delta": self._handle_apply_delta,
-            "stats": self._handle_stats,
-            "health": self._handle_health,
-        }[op]
-        if op in ("stats", "health"):
-            # Counter reads only; running them on the loop keeps them
-            # answerable even while the engine thread is mid-chase.
-            return handler(params)
-        loop = asyncio.get_running_loop()
+        if op == "health":
+            return self._handle_health(params)
+        if op == "stats":
+            return await self._handle_stats(params)
         return await asyncio.wait_for(
-            loop.run_in_executor(self._executor, handler, params),
+            self.backend.dispatch(op, params),
             timeout=self.timeout if self.timeout and self.timeout > 0 else None,
         )
 
     async def _respond(self, request_id: Any, op: str, params: dict[str, Any]) -> dict[str, Any]:
-        """Run one request to a response dict, mapping every failure to a code."""
+        """Run one request to a response dict, mapping every failure to a code.
+
+        The exception→code mapping itself lives in
+        :func:`repro.serve.ops.error_payload_for`, shared with the worker
+        loop; this method only adds the transport-level cases (timeout,
+        worker errors arriving as :class:`RemoteEngineError`) on top.
+        """
         try:
             result = await self._dispatch(op, params)
             return ok_response(request_id, result)
         except ProtocolError as exc:
             return error_response(request_id, exc.code, str(exc))
+        except RemoteEngineError as exc:
+            # A structured error produced in (or about) an engine worker:
+            # already carries its protocol code and detail.
+            return error_response(request_id, exc.code, str(exc), **exc.detail)
         except asyncio.TimeoutError:
             return error_response(
                 request_id,
@@ -397,41 +200,19 @@ class ReproServer:
                 f"request exceeded the {self.timeout:g}s budget; "
                 "the engine keeps running it to completion",
             )
-        except ChaseNonTerminationError as exc:
-            return error_response(
-                request_id,
-                "chase-failed",
-                str(exc),
-                steps_taken=exc.steps_taken,
-            )
-        except DeltaRejectedError as exc:
-            return error_response(
-                request_id, "delta-rejected", str(exc), reason=exc.reason
-            )
-        except PrecheckFailedError as exc:
-            detail: dict[str, Any] = {}
-            report = exc.report
-            if report is not None and hasattr(report, "as_dict"):
-                detail["report"] = report.as_dict()
-            return error_response(request_id, "precheck-failed", str(exc), **detail)
-        except UnknownSemanticsError as exc:
-            return error_response(request_id, "unknown-semantics", str(exc))
-        except ParseError as exc:
-            return error_response(request_id, "parse-error", str(exc))
-        except ReproError as exc:
-            # Any other engine-level failure: structured, typed, non-fatal.
-            return error_response(
-                request_id, "internal", f"{type(exc).__name__}: {exc}"
-            )
         except Exception as exc:  # noqa: BLE001 - the server must survive anything
-            print(
-                f"repro serve: internal error on op {op!r}: "
-                f"{type(exc).__name__}: {exc}",
-                file=sys.stderr,
-            )
-            return error_response(
-                request_id, "internal", f"{type(exc).__name__}: {exc}"
-            )
+            payload = error_payload_for(exc)
+            if payload is None:
+                print(
+                    f"repro serve: internal error on op {op!r}: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+                return error_response(
+                    request_id, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            code, message, detail = payload
+            return error_response(request_id, code, message, **detail)
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -499,7 +280,8 @@ class ReproServer:
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Bind and start accepting (resolves :attr:`port` when it was 0)."""
+        """Start the engine backend, bind, and accept (resolves :attr:`port`)."""
+        await self.backend.start()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.host,
@@ -511,7 +293,7 @@ class ReproServer:
             self.port = sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
-        """Run until cancelled; closes the store and executor on the way out."""
+        """Run until cancelled; closes the backend and store on the way out."""
         if self._server is None:
             await self.start()
         assert self._server is not None
@@ -524,12 +306,12 @@ class ReproServer:
             await self.aclose()
 
     async def aclose(self) -> None:
-        """Stop accepting, release the executor, flush and close the store."""
+        """Stop accepting, shut the engine backend down, close the store."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self._executor.shutdown(wait=True, cancel_futures=True)
+        await self.backend.aclose()
         if self.store is not None:
             self.store.close()
 

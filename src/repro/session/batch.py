@@ -114,17 +114,29 @@ def _init_worker(
     dependencies: DependencySet,
     max_steps: int,
     intern_snapshot: "list[tuple[str, Hashable]] | None" = None,
+    shm_name: str | None = None,
 ) -> None:
     global _WORKER_SESSION
-    from ..core.terms import pin_interned_terms
+    from ..core.terms import SharedInternSnapshot, pin_interned_terms
     from .engine import Session
 
-    if intern_snapshot:
-        # Warm the worker's intern tables with the parent's live vocabulary
-        # before the first payload arrives, and pin the terms so the weak
-        # tables cannot drop them between items.  Under the fork start
-        # method the tables are inherited and this is nearly free; under
-        # spawn it replaces per-payload re-interning from an empty table.
+    # Warm the worker's intern tables with the parent's live vocabulary
+    # before the first payload arrives, and pin the terms so the weak
+    # tables cannot drop them between items.  Under the fork start
+    # method the tables are inherited and this is nearly free; under
+    # spawn it replaces per-payload re-interning from an empty table.
+    # The shared-memory segment is preferred — the parent serialized the
+    # snapshot exactly once — with the inline pickle as the fallback for
+    # platforms without shared memory (and a missing segment just means a
+    # cold start, never a failure).
+    pinned = False
+    if shm_name is not None:
+        try:
+            SharedInternSnapshot.attach_and_pin(shm_name)
+            pinned = True
+        except (FileNotFoundError, OSError):
+            pinned = False
+    if not pinned and intern_snapshot:
         pin_interned_terms(intern_snapshot)
     _WORKER_SESSION = Session(dependencies=dependencies, max_steps=max_steps)
 
@@ -161,17 +173,12 @@ def _require_builtin_for_concurrency(strategy) -> None:
 
 
 def _run_pool(session, worker, payloads, concurrency: int):
-    from concurrent.futures import ProcessPoolExecutor
-
-    from ..core.terms import export_interned_terms
-
-    max_steps = session.max_steps
-    with ProcessPoolExecutor(
-        max_workers=concurrency,
-        initializer=_init_worker,
-        initargs=(session.dependencies, max_steps, export_interned_terms()),
-    ) as pool:
-        yield from pool.map(worker, payloads, chunksize=_CHUNKSIZE)
+    # The pool lives on the Session (created lazily, reused across calls,
+    # torn down on Session.close() or when Σ/max_steps change), so repeated
+    # batch calls stop paying process startup plus snapshot re-warm each
+    # time; see Session._ensure_batch_pool.
+    pool = session._ensure_batch_pool(concurrency)
+    yield from pool.map(worker, payloads, chunksize=_CHUNKSIZE)
 
 
 # --------------------------------------------------------------------------- #

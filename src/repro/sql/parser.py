@@ -164,7 +164,7 @@ class _SqlParser:
                 self.advance()
                 group_by.append(self.parse_column_ref())
         if not self.at_end():
-            token = self.peek()
+            token = self.advance()
             raise ParseError(
                 f"unexpected trailing SQL {token.value!r} at position {token.position}",
                 token.position,
@@ -183,8 +183,10 @@ class _SqlParser:
         if self.at_keyword("as"):
             self.advance()
             alias = self.expect_ident().value
-        elif self.peek() is not None and self.peek().kind == "ident":
-            alias = self.advance().value
+        else:
+            following = self.peek()
+            if following is not None and following.kind == "ident":
+                alias = self.advance().value
         return TableRef(table, alias)
 
     def parse_condition(self) -> EqualityCondition:

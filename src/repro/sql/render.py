@@ -97,10 +97,11 @@ def aggregate_query_to_sql(query: AggregateQuery, schema: DatabaseSchema) -> str
     """Render an aggregate query as a SQL SELECT ... GROUP BY statement."""
     context = _RenderContext(query, schema)
     select_parts = [context.slot_for(term) for term in query.grouping_terms]
-    if query.aggregate.function is AggregateFunction.COUNT_STAR:
+    aggregate_argument = query.aggregate.argument
+    if aggregate_argument is None:  # COUNT_STAR is the only argument-free case
         select_parts.append("COUNT(*)")
     else:
-        argument = context.slot_for(query.aggregate.argument)
+        argument = context.slot_for(aggregate_argument)
         select_parts.append(f"{query.aggregate.function.value.upper()}({argument})")
     sql = f"SELECT {', '.join(select_parts)} FROM {context.from_clause()}"
     where = context.where_clause()

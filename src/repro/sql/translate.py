@@ -132,7 +132,7 @@ class TranslatedQuery:
 class _SlotUnionFind:
     """Union-find over (alias, column) slots driven by WHERE equalities."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.parent: dict[tuple[str, str], tuple[str, str]] = {}
         self.constant: dict[tuple[str, str], object] = {}
 

@@ -164,3 +164,72 @@ class TestConcurrencyGuards:
         report = session.decide_many(pairs[:1], semantics="bag", concurrency=4)
         assert report[0].ok
         assert session.cache_stats().misses > 0
+
+
+class TestPoolReuse:
+    """The Session-held worker pool: spawned once, reused across batches,
+    torn down on Σ change and on close()."""
+
+    def test_pool_is_reused_across_batch_calls(self, sigma, pairs):
+        session = Session(dependencies=sigma)
+        session.decide_many(pairs, semantics="bag", concurrency=2)
+        first_pool = session._batch_pool
+        assert first_pool is not None
+        session.decide_many(pairs, semantics="bag-set", concurrency=2)
+        assert session._batch_pool is first_pool
+        assert session.stats()["batch_pool"] == {
+            "workers": 2,
+            "pools_created": 1,
+        }
+        session.close()
+
+    def test_pool_is_rebuilt_on_concurrency_change(self, sigma, pairs):
+        session = Session(dependencies=sigma)
+        session.decide_many(pairs, semantics="bag", concurrency=2)
+        first_pool = session._batch_pool
+        session.decide_many(pairs, semantics="bag", concurrency=3)
+        assert session._batch_pool is not first_pool
+        assert session.stats()["batch_pool"]["pools_created"] == 2
+        session.close()
+
+    def test_pool_is_rebuilt_on_sigma_change(self, sigma, pairs):
+        session = Session(dependencies=sigma)
+        session.decide_many(pairs, semantics="bag", concurrency=2)
+        first_pool = session._batch_pool
+        session.set_dependencies(parse_dependencies("p(X,Y) -> q(Y)"))
+        q = parse_query
+        new_pairs = [(q("Q(X) :- p(X,Y)"), q("Q(X) :- p(X,Y), q(Y)"))] * 2
+        report = session.decide_many(new_pairs, semantics="set", concurrency=2)
+        assert all(item.ok for item in report)
+        assert session._batch_pool is not first_pool
+        assert session.stats()["batch_pool"]["pools_created"] == 2
+        session.close()
+
+    def test_close_tears_the_pool_down(self, sigma, pairs):
+        session = Session(dependencies=sigma)
+        session.decide_many(pairs, semantics="bag", concurrency=2)
+        assert session._batch_pool is not None
+        had_shm = session._batch_shm
+        session.close()
+        assert session._batch_pool is None
+        assert session._batch_pool_key is None
+        assert session._batch_shm is None
+        if had_shm is not None:
+            # The shared-memory intern snapshot was unlinked with the pool.
+            import multiprocessing.shared_memory as shm_mod
+
+            with pytest.raises(FileNotFoundError):
+                shm_mod.SharedMemory(name=had_shm.name)
+
+    def test_close_is_idempotent_and_session_still_decides(self, sigma, pairs):
+        session = Session(dependencies=sigma)
+        session.decide_many(pairs, semantics="bag", concurrency=2)
+        session.close()
+        session.close()
+        # In-process work is unaffected by pool teardown...
+        assert session.decide(pairs[0][0], pairs[0][1], "bag").equivalent
+        # ...and a new batch simply builds a fresh pool.
+        report = session.decide_many(pairs, semantics="bag", concurrency=2)
+        assert all(item.ok for item in report)
+        assert session.stats()["batch_pool"]["pools_created"] == 2
+        session.close()

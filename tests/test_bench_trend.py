@@ -108,6 +108,65 @@ class TestCheck:
         )
         assert trend.check(current, baseline) == []
 
+    def test_optional_benchmark_may_be_absent(self, tmp_path, capsys):
+        # CI deselects hardware-bound tiers with -k; their pins skip with a
+        # notice instead of failing the gate.
+        current = _current(tmp_path, speedup=10.0)
+        baseline = _write(
+            tmp_path,
+            "baseline.json",
+            {"pinned": {
+                "bench_x": {"extra_info.speedup":
+                                {"value": 10.0, "direction": "higher"}},
+                "bench_scaling": {
+                    "_optional": True,
+                    "extra_info.ratio": {"value": 2.5, "direction": "higher"},
+                },
+            }},
+        )
+        assert trend.check(current, baseline) == []
+        assert "optional benchmark bench_scaling" in capsys.readouterr().out
+
+    def test_optional_benchmark_is_enforced_when_present(self, tmp_path):
+        current = _write(
+            tmp_path,
+            "current.json",
+            {"benchmarks": [{"name": "bench_scaling",
+                             "extra_info": {"ratio": 1.1}}]},
+        )
+        baseline = _write(
+            tmp_path,
+            "baseline.json",
+            {"pinned": {"bench_scaling": {
+                "_optional": True,
+                "extra_info.ratio": {"value": 2.5, "direction": "higher"},
+            }}},
+        )
+        failures = trend.check(current, baseline)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_optional_metric_may_be_absent_but_is_enforced_when_present(
+        self, tmp_path, capsys
+    ):
+        # A metric the benchmark only records on qualifying machines.
+        pin = {"extra_info.ratio":
+                   {"value": 2.5, "direction": "higher", "optional": True}}
+        absent = _current(tmp_path, other=1)
+        baseline = _baseline(tmp_path, pin)
+        assert trend.check(absent, baseline) == []
+        assert "optional metric" in capsys.readouterr().out
+        present = _current(tmp_path, ratio=1.0)
+        failures = trend.check(present, baseline)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_non_optional_disappearance_still_fails(self, tmp_path):
+        # The escape hatches must not weaken the default contract.
+        current = _write(tmp_path, "current.json", {"benchmarks": []})
+        baseline = _baseline(
+            tmp_path, {"extra_info.speedup": {"value": 1.0, "direction": "higher"}}
+        )
+        assert any("benchmark missing" in f for f in trend.check(current, baseline))
+
     def test_main_exit_codes(self, tmp_path, capsys):
         current = _current(tmp_path, speedup=10.0)
         good = _baseline(
@@ -134,7 +193,14 @@ def test_committed_baselines_are_well_formed(baseline_path):
     for bench_name, metrics in pinned.items():
         assert metrics, f"{baseline_path.name}: {bench_name} pins nothing"
         for metric_path, pin in metrics.items():
+            if metric_path.startswith("_"):  # meta keys ("_optional")
+                assert metric_path == "_optional" and isinstance(pin, bool), (
+                    bench_name,
+                    metric_path,
+                )
+                continue
             assert isinstance(pin.get("value"), (int, float)), (bench_name, metric_path)
             assert pin.get("direction", "higher") in ("higher", "lower")
             tolerance = pin.get("tolerance", trend.DEFAULT_TOLERANCE)
             assert 0.0 <= float(tolerance) <= 1.0
+            assert isinstance(pin.get("optional", False), bool)
